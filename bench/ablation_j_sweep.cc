@@ -1,0 +1,70 @@
+// Ablation: SECOA_S's accuracy/bandwidth trade-off in J.
+//
+// The paper fixes J=300 "to bound the relative approximation error
+// within 10% with probability 90%" (Section VI). This bench sweeps J and
+// measures the empirical error distribution of 2^x̄ plus the per-edge
+// bandwidth each J costs — and contrasts with SIES, which is exact at a
+// constant 32 bytes for any accuracy requirement.
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sketch/ams_sketch.h"
+
+int main() {
+  using namespace sies;
+  constexpr uint32_t kN = 64;
+  constexpr int kTrials = 40;
+  constexpr uint64_t kSealBytes = 128;  // RSA-1024
+  constexpr uint64_t kCertBytes = 20;
+
+  std::printf(
+      "=== Ablation: SECOA_S accuracy vs J (N=%u, D=[1800,5000], %d "
+      "trials) ===\n",
+      kN, kTrials);
+  std::printf(
+      "(raw = the paper's 2^xbar estimator, biased ~1.26x high — the max "
+      "of M geometric levels averages log2(M) + gamma/ln2 - 1/2; corr = "
+      "the e^gamma/sqrt(2)-debiased estimator)\n");
+  std::printf("%-8s %12s %12s | %12s %12s %12s %14s\n", "J", "raw med",
+              "raw p90", "corr med", "corr p90", "corr max", "edge bytes");
+
+  for (uint32_t j : {10u, 30u, 100u, 300u, 1000u}) {
+    std::vector<double> raw_errors, corr_errors;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Xoshiro256 rng(1000 + trial);
+      sketch::SketchSet set(j, 7777 + trial);
+      uint64_t truth = 0;
+      for (uint32_t src = 0; src < kN; ++src) {
+        uint64_t v = rng.NextInRange(1800, 5000);
+        truth += v;
+        set.InsertValue(src, v);
+      }
+      double t = static_cast<double>(truth);
+      raw_errors.push_back(std::abs(set.Estimate() - t) / t);
+      corr_errors.push_back(std::abs(set.EstimateCorrected() - t) / t);
+    }
+    std::sort(raw_errors.begin(), raw_errors.end());
+    std::sort(corr_errors.begin(), corr_errors.end());
+    auto pick = [](const std::vector<double>& v, double q) {
+      return v[static_cast<size_t>((v.size() - 1) * q)];
+    };
+    uint64_t edge_bytes = j * (1 + kSealBytes) + kCertBytes;
+    std::printf(
+        "%-8u %10.1f %% %10.1f %% | %10.1f %% %10.1f %% %10.1f %% "
+        "%11.1f KiB\n",
+        j, pick(raw_errors, 0.5) * 100, pick(raw_errors, 0.9) * 100,
+        pick(corr_errors, 0.5) * 100, pick(corr_errors, 0.9) * 100,
+        corr_errors.back() * 100, edge_bytes / 1024.0);
+  }
+  std::printf("%-8s %10s %% %10s %% | %10s %% %10s %% %10s %% %14s\n",
+              "SIES", "0.0", "0.0", "0.0", "0.0", "0.0", "32 bytes");
+  std::printf(
+      "\nshape check: corrected error shrinks with J (the paper's J=300 "
+      "lands near its 10%%/90%% target) while bandwidth grows linearly; "
+      "no J reaches the exactness SIES gives at 32 bytes.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation: SIES's symmetric one-time homomorphic scheme vs the
+// public-key alternative from the ODB literature (Ge-Zdonik, Section
+// II-C): Paillier-1024 encryption of the same readings.
+//
+// The paper's argument: Paillier-style aggregation needs a single owner
+// key (unacceptable with mutually-distrusting sensors) AND is orders of
+// magnitude more expensive. This bench quantifies the second half.
+#include <cstdio>
+
+#include "common/timer.h"
+#include "crypto/paillier.h"
+#include "sies/aggregator.h"
+#include "sies/source.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace sies;
+  constexpr uint32_t kN = 64;
+  constexpr uint64_t kSeed = 7;
+
+  workload::TraceConfig tc;
+  tc.num_sources = kN;
+  tc.seed = kSeed;
+  workload::TraceGenerator trace(tc);
+
+  // SIES setup.
+  auto params = core::MakeParams(kN, kSeed).value();
+  auto keys = core::GenerateKeys(params, EncodeUint64(kSeed));
+  core::Source source(params, 0, core::KeysForSource(keys, 0).value());
+
+  // Paillier-1024 setup.
+  Xoshiro256 rng(kSeed);
+  std::fprintf(stderr, "generating Paillier-1024 keypair...\n");
+  auto paillier = crypto::PaillierKeyPair::Generate(1024, rng).value();
+
+  Stopwatch watch;
+
+  // Source-side encryption cost.
+  constexpr int kReps = 20;
+  watch.Restart();
+  for (int e = 1; e <= kReps; ++e) {
+    auto psr = source.CreatePsr(trace.ValueAt(0, e), e);
+    if (!psr.ok()) return 1;
+  }
+  double sies_us = watch.ElapsedMicros() / kReps;
+
+  watch.Restart();
+  for (int e = 1; e <= kReps; ++e) {
+    auto ct = paillier.public_key().Encrypt(
+        crypto::BigUint(trace.ValueAt(0, e)), rng);
+    if (!ct.ok()) return 1;
+  }
+  double paillier_us = watch.ElapsedMicros() / kReps;
+
+  // Aggregation cost for one merge of 4 ciphertexts.
+  std::vector<crypto::BigUint> paillier_cts;
+  std::vector<Bytes> sies_psrs;
+  for (uint32_t i = 0; i < 4; ++i) {
+    core::Source s(params, i, core::KeysForSource(keys, i).value());
+    sies_psrs.push_back(s.CreatePsr(trace.ValueAt(i, 1), 1).value());
+    paillier_cts.push_back(
+        paillier.public_key()
+            .Encrypt(crypto::BigUint(trace.ValueAt(i, 1)), rng)
+            .value());
+  }
+  core::Aggregator aggregator(params);
+  constexpr int kMergeReps = 200;
+  watch.Restart();
+  for (int r = 0; r < kMergeReps; ++r) {
+    if (!aggregator.Merge(sies_psrs).ok()) return 1;
+  }
+  double sies_merge_us = watch.ElapsedMicros() / kMergeReps;
+  watch.Restart();
+  for (int r = 0; r < kMergeReps; ++r) {
+    crypto::BigUint acc = paillier_cts[0];
+    for (size_t i = 1; i < paillier_cts.size(); ++i) {
+      acc = paillier.public_key().AddCiphertexts(acc, paillier_cts[i])
+                .value();
+    }
+  }
+  double paillier_merge_us = watch.ElapsedMicros() / kMergeReps;
+
+  // Querier-side decryption of an aggregate (one ciphertext).
+  crypto::BigUint agg_ct = paillier_cts[0];
+  for (size_t i = 1; i < paillier_cts.size(); ++i) {
+    agg_ct =
+        paillier.public_key().AddCiphertexts(agg_ct, paillier_cts[i]).value();
+  }
+  watch.Restart();
+  for (int r = 0; r < 5; ++r) {
+    if (!paillier.Decrypt(agg_ct).ok()) return 1;
+  }
+  double paillier_dec_us = watch.ElapsedMicros() / 5;
+
+  std::printf("=== Ablation: SIES vs Paillier-1024 (Ge-Zdonik style) ===\n");
+  std::printf("%-28s %14s %14s\n", "metric", "SIES", "Paillier");
+  std::printf("%-28s %11.2f us %11.1f us\n", "source encryption", sies_us,
+              paillier_us);
+  std::printf("%-28s %11.2f us %11.1f us\n", "aggregator merge (F=4)",
+              sies_merge_us, paillier_merge_us);
+  std::printf("%-28s %14s %11.1f us\n", "querier decrypt (1 ct)", "n/a*",
+              paillier_dec_us);
+  std::printf("%-28s %11zu B  %11zu B\n", "ciphertext width",
+              params.PsrBytes(), paillier.public_key().CiphertextBytes());
+  std::printf(
+      "\n(*) SIES querier cost is dominated by per-source key derivation, "
+      "measured in fig6a; Paillier's exponent-size decryption is the "
+      "per-result floor no key count can amortize.\n"
+      "shape check: Paillier encryption is 2-4 orders above SIES, and the "
+      "ciphertext is 8x wider — on top of the single-owner-key problem "
+      "(Section II-C).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: commit-and-attest (SIA-family) vs SIES scalability in N.
+//
+// Section II-B's claim: "The broadcasting inflicts considerable
+// communication cost to the network and high query latency that increase
+// with the number of sources, gravely impacting scalability." This bench
+// reproduces it quantitatively: total round traffic, busiest-edge bytes,
+// and tree-traversal rounds per epoch for both protocols, N = 64..16384.
+#include <cstdio>
+
+#include "caa/commit_attest.h"
+#include "caa/protocol.h"
+#include "common/timer.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace sies;
+  std::printf(
+      "=== Ablation: commit-and-attest vs SIES scalability (F=4) ===\n");
+  std::printf("(CAA columns: fully message-level run incl. muTesla "
+              "broadcast; 'model' = analytical Section II-B accounting)\n");
+  std::printf("%-8s | %13s %13s %12s %8s %10s | %13s %10s %8s\n", "N",
+              "CAA total", "CAA model", "CAA hot edge", "rounds",
+              "wall ms", "SIES total", "hot edge", "rounds");
+
+  for (uint32_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    auto topology = net::Topology::BuildCompleteTree(n, 4).value();
+    caa::Keys keys = caa::GenerateKeys(n, EncodeUint64(1));
+    workload::TraceConfig tc;
+    tc.num_sources = n;
+    tc.seed = 1;
+    workload::TraceGenerator trace(tc);
+    std::vector<uint64_t> values;
+    for (uint32_t i = 0; i < n; ++i) values.push_back(trace.ValueAt(i, 1));
+
+    // Message-level round (real serialized messages + audits).
+    auto protocol =
+        caa::Protocol::Create(topology, keys, EncodeUint64(2)).value();
+    Stopwatch watch;
+    auto message_round = protocol.RunRound(values, 1).value();
+    double wall_ms = watch.ElapsedMillis();
+    // Analytical model for comparison.
+    auto model_round = caa::RunRound(topology, keys, values, 1).value();
+    if (!message_round.verified || !model_round.verified) {
+      std::fprintf(stderr, "commit-and-attest round failed to verify\n");
+      return 1;
+    }
+    // SIES: every node sends exactly one 32-byte PSR; one traversal.
+    uint64_t sies_total = 32ull * topology.num_nodes();
+    uint32_t sies_rounds = topology.height() + 1;
+
+    std::printf(
+        "%-8u | %9.1f KiB %9.1f KiB %8.2f KiB %8u %10.1f | %9.1f KiB "
+        "%7u B %8u\n",
+        n, message_round.traffic.total() / 1024.0,
+        model_round.traffic.total() / 1024.0,
+        message_round.traffic.max_edge_bytes / 1024.0,
+        model_round.broadcast_rounds, wall_ms, sies_total / 1024.0, 32u,
+        sies_rounds);
+  }
+  std::printf(
+      "\nshape check: CAA total grows O(N log N) and its hot edge O(N); "
+      "SIES total grows O(N) with a constant 32-byte hot edge and a "
+      "single up-tree traversal.\n");
+  return 0;
+}

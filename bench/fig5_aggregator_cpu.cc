@@ -1,0 +1,115 @@
+// Figure 5 reproduction: computational cost at the aggregator vs. its
+// fanout F = 2..6, with N=1024, D=[1800,5000], J=300.
+//
+// Expected shape: all schemes linear in F; SIES within a couple of
+// microseconds (32-byte modular additions); CMT marginally cheaper;
+// SECOA_S ~2 orders above (J(F-1) foldings + rolling).
+#include <cstdio>
+
+#include <vector>
+
+#include "cmt/cmt.h"
+#include "common/timer.h"
+#include "crypto/rsa.h"
+#include "secoa/secoa_sum.h"
+#include "sies/aggregator.h"
+#include "sies/source.h"
+#include "workload/workload.h"
+
+namespace {
+constexpr uint32_t kN = 1024;
+constexpr uint32_t kJ = 300;
+constexpr uint64_t kSeed = 7;
+constexpr uint32_t kMaxFanout = 6;
+}  // namespace
+
+int main() {
+  using namespace sies;
+
+  workload::TraceConfig tc;
+  tc.num_sources = kN;
+  tc.scale_pow10 = 2;  // D = [1800, 5000]
+  tc.seed = kSeed;
+  workload::TraceGenerator trace(tc);
+
+  // SIES: F child PSRs prepared once.
+  auto sies_params = core::MakeParams(kN, kSeed).value();
+  auto sies_keys = core::GenerateKeys(sies_params, EncodeUint64(kSeed));
+  core::Aggregator sies_agg(sies_params);
+  std::vector<Bytes> sies_children;
+  for (uint32_t i = 0; i < kMaxFanout; ++i) {
+    core::Source src(sies_params, i, core::KeysForSource(sies_keys, i).value());
+    sies_children.push_back(src.CreatePsr(trace.ValueAt(i, 1), 1).value());
+  }
+
+  // CMT.
+  auto cmt_params = cmt::MakeParams(kN, kSeed).value();
+  auto cmt_keys = cmt::GenerateKeys(cmt_params, EncodeUint64(kSeed));
+  cmt::Aggregator cmt_agg(cmt_params);
+  std::vector<Bytes> cmt_children;
+  for (uint32_t i = 0; i < kMaxFanout; ++i) {
+    cmt::Source src(cmt_params, cmt_keys.source_keys[i]);
+    cmt_children.push_back(
+        src.CreateCiphertext(trace.ValueAt(i, 1), 1).value());
+  }
+
+  // SECOA (RSA-1024, e=3).
+  Xoshiro256 rng(kSeed);
+  auto kp =
+      crypto::GenerateRsaKeyPair(1024, rng, /*public_exponent=*/3).value();
+  secoa::SealOps ops(kp.public_key);
+  secoa::SumParams sum_params{kN, kJ, kSeed};
+  auto secoa_keys = secoa::GenerateKeys(kN, EncodeUint64(kSeed));
+  secoa::SumAggregator secoa_agg(ops, sum_params);
+  std::vector<secoa::SumPsr> secoa_children;
+  std::fprintf(stderr, "preparing %u SECOA child PSRs...\n", kMaxFanout);
+  for (uint32_t i = 0; i < kMaxFanout; ++i) {
+    secoa::SumSource src(ops, sum_params, i, secoa_keys.sources[i]);
+    secoa_children.push_back(src.CreatePsr(trace.ValueAt(i, 1), 1).value());
+  }
+
+  std::printf(
+      "=== Figure 5: aggregator CPU vs fanout (N=%u, D=[1800,5000], "
+      "J=%u) ===\n",
+      kN, kJ);
+  std::printf("%-8s %14s %14s %14s\n", "fanout", "SIES", "CMT", "SECOA_S");
+
+  for (uint32_t f = 2; f <= kMaxFanout; ++f) {
+    Stopwatch watch;
+    constexpr int kReps = 200;
+    std::vector<Bytes> sies_in(sies_children.begin(),
+                               sies_children.begin() + f);
+    watch.Restart();
+    for (int r = 0; r < kReps; ++r) {
+      auto merged = sies_agg.Merge(sies_in);
+      if (!merged.ok()) return 1;
+    }
+    double sies_us = watch.ElapsedMicros() / kReps;
+
+    std::vector<Bytes> cmt_in(cmt_children.begin(),
+                              cmt_children.begin() + f);
+    watch.Restart();
+    for (int r = 0; r < kReps; ++r) {
+      auto merged = cmt_agg.Merge(cmt_in);
+      if (!merged.ok()) return 1;
+    }
+    double cmt_us = watch.ElapsedMicros() / kReps;
+
+    std::vector<secoa::SumPsr> secoa_in(secoa_children.begin(),
+                                        secoa_children.begin() + f);
+    constexpr int kSecoaReps = 10;
+    watch.Restart();
+    for (int r = 0; r < kSecoaReps; ++r) {
+      auto merged = secoa_agg.Merge(secoa_in);
+      if (!merged.ok()) return 1;
+    }
+    double secoa_us = watch.ElapsedMicros() / kSecoaReps;
+
+    std::printf("%-8u %12.2f us %12.2f us %12.1f us\n", f, sies_us, cmt_us,
+                secoa_us);
+  }
+  std::printf(
+      "\nshape check: linear growth in F for all; SIES ~us-scale, SECOA_S "
+      "orders above.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks of the from-scratch crypto substrate (not a paper
+// table; used to validate that the substrate's performance is in a sane
+// range for the cost models to be meaningful).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/biguint.h"
+#include "crypto/hmac.h"
+#include "crypto/hmac_drbg.h"
+#include "crypto/prime.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using sies::Bytes;
+using sies::Xoshiro256;
+using sies::crypto::BigUint;
+
+void BM_Sha1_64B(benchmark::State& state) {
+  Bytes msg(64, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sies::crypto::Sha1::Hash(msg));
+  }
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Sha1_64B);
+
+void BM_Sha256_64B(benchmark::State& state) {
+  Bytes msg(64, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sies::crypto::Sha256::Hash(msg));
+  }
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  Bytes msg(4096, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sies::crypto::Sha256::Hash(msg));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_HmacDrbg_20B(benchmark::State& state) {
+  sies::crypto::HmacDrbg drbg({1, 2, 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drbg.Generate(20));
+  }
+}
+BENCHMARK(BM_HmacDrbg_20B);
+
+void BM_BigUintMul(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  BigUint a = BigUint::RandomWithBits(state.range(0), rng);
+  BigUint b = BigUint::RandomWithBits(state.range(0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUint::Mul(a, b));
+  }
+}
+BENCHMARK(BM_BigUintMul)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BigUintDivMod(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  BigUint a = BigUint::RandomWithBits(2 * state.range(0), rng);
+  BigUint b = BigUint::RandomWithBits(state.range(0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUint::DivMod(a, b).value());
+  }
+}
+BENCHMARK(BM_BigUintDivMod)->Arg(256)->Arg(1024);
+
+void BM_ModExp(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  BigUint m = sies::crypto::GeneratePrime(state.range(0), rng);
+  BigUint a = BigUint::RandomBelow(m, rng);
+  BigUint e = BigUint::RandomWithBits(state.range(0), rng);
+  auto ctx = sies::crypto::MontgomeryCtx::Create(m).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ModExp(a, e));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(256)->Arg(1024);
+
+void BM_MillerRabinPrime(benchmark::State& state) {
+  Xoshiro256 rng(4);
+  BigUint p = sies::crypto::GeneratePrime(state.range(0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sies::crypto::IsProbablePrime(p, 5, rng));
+  }
+}
+BENCHMARK(BM_MillerRabinPrime)->Arg(160)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

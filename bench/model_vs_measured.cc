@@ -1,0 +1,131 @@
+// Consistency check: the Section V cost models, evaluated with THIS
+// host's measured primitives, against directly measured per-party costs
+// of the implementations. Large disagreement would mean the models (or
+// the implementations) do not describe the same algorithm — so this is
+// the bench that validates the cost-model module end to end.
+#include <cstdio>
+
+#include <cmath>
+
+#include "cmt/cmt.h"
+#include "common/timer.h"
+#include "costmodel/models.h"
+#include "sies/aggregator.h"
+#include "sies/querier.h"
+#include "sies/source.h"
+#include "workload/workload.h"
+
+namespace {
+constexpr uint32_t kN = 1024;
+constexpr uint64_t kSeed = 7;
+
+void Row(const char* label, double model_us, double measured_us) {
+  double ratio = measured_us / model_us;
+  std::printf("%-24s %12.2f us %12.2f us %8.2fx\n", label, model_us,
+              measured_us, ratio);
+}
+}  // namespace
+
+int main() {
+  using namespace sies;
+  std::printf("=== Model vs measured (N=%u, F=4, host primitives) ===\n",
+              kN);
+  costmodel::PrimitiveCosts host = costmodel::MeasurePrimitives();
+  costmodel::ModelInputs in;  // defaults N=1024 F=4
+  costmodel::SchemeCosts sies_model = costmodel::SiesModel(host, in);
+  costmodel::SchemeCosts cmt_model = costmodel::CmtModel(host, in);
+
+  workload::TraceConfig tc;
+  tc.num_sources = kN;
+  tc.seed = kSeed;
+  workload::TraceGenerator trace(tc);
+
+  // --- SIES measured ---
+  auto params = core::MakeParams(kN, kSeed).value();
+  auto keys = core::GenerateKeys(params, EncodeUint64(kSeed));
+  core::Source source(params, 0, core::KeysForSource(keys, 0).value());
+  core::Aggregator aggregator(params);
+  core::Querier querier(params, keys);
+  Stopwatch watch;
+  constexpr int kReps = 200;
+  watch.Restart();
+  for (int r = 0; r < kReps; ++r) {
+    if (!source.CreatePsr(3000, r + 1).ok()) return 1;
+  }
+  double sies_src = watch.ElapsedMicros() / kReps;
+
+  std::vector<Bytes> children;
+  for (uint32_t i = 0; i < 4; ++i) {
+    core::Source s(params, i, core::KeysForSource(keys, i).value());
+    children.push_back(s.CreatePsr(3000 + i, 1).value());
+  }
+  watch.Restart();
+  for (int r = 0; r < kReps; ++r) {
+    if (!aggregator.Merge(children).ok()) return 1;
+  }
+  double sies_agg = watch.ElapsedMicros() / kReps;
+
+  Bytes final_psr;
+  for (uint32_t i = 0; i < kN; ++i) {
+    core::Source s(params, i, core::KeysForSource(keys, i).value());
+    Bytes psr = s.CreatePsr(trace.ValueAt(i, 2), 2).value();
+    final_psr =
+        final_psr.empty() ? psr : aggregator.Merge({final_psr, psr}).value();
+  }
+  watch.Restart();
+  for (int r = 0; r < 5; ++r) {
+    auto eval = querier.Evaluate(final_psr, 2);
+    if (!eval.ok() || !eval.value().verified) return 1;
+  }
+  double sies_qry = watch.ElapsedMicros() / 5;
+
+  // --- CMT measured ---
+  auto cparams = cmt::MakeParams(kN, kSeed).value();
+  auto ckeys = cmt::GenerateKeys(cparams, EncodeUint64(kSeed));
+  cmt::Source csource(cparams, ckeys.source_keys[0]);
+  cmt::Aggregator caggregator(cparams);
+  cmt::Querier cquerier(cparams, ckeys);
+  watch.Restart();
+  for (int r = 0; r < kReps; ++r) {
+    if (!csource.CreateCiphertext(3000, r + 1).ok()) return 1;
+  }
+  double cmt_src = watch.ElapsedMicros() / kReps;
+  std::vector<Bytes> cchildren;
+  for (uint32_t i = 0; i < 4; ++i) {
+    cmt::Source s(cparams, ckeys.source_keys[i]);
+    cchildren.push_back(s.CreateCiphertext(3000 + i, 1).value());
+  }
+  watch.Restart();
+  for (int r = 0; r < kReps; ++r) {
+    if (!caggregator.Merge(cchildren).ok()) return 1;
+  }
+  double cmt_agg = watch.ElapsedMicros() / kReps;
+  Bytes cfinal;
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < kN; ++i) {
+    all.push_back(i);
+    cmt::Source s(cparams, ckeys.source_keys[i]);
+    Bytes ct = s.CreateCiphertext(trace.ValueAt(i, 2), 2).value();
+    cfinal = cfinal.empty() ? ct : caggregator.Merge({cfinal, ct}).value();
+  }
+  watch.Restart();
+  for (int r = 0; r < 5; ++r) {
+    if (!cquerier.Decrypt(cfinal, 2, all).ok()) return 1;
+  }
+  double cmt_qry = watch.ElapsedMicros() / 5;
+
+  std::printf("%-24s %12s %12s %8s\n", "quantity", "model", "measured",
+              "ratio");
+  Row("SIES source", sies_model.source_seconds * 1e6, sies_src);
+  Row("SIES aggregator (F=4)", sies_model.aggregator_seconds * 1e6,
+      sies_agg);
+  Row("SIES querier", sies_model.querier_seconds * 1e6, sies_qry);
+  Row("CMT source", cmt_model.source_seconds * 1e6, cmt_src);
+  Row("CMT aggregator (F=4)", cmt_model.aggregator_seconds * 1e6, cmt_agg);
+  Row("CMT querier", cmt_model.querier_seconds * 1e6, cmt_qry);
+  std::printf(
+      "\nshape check: every ratio within a small constant (the models "
+      "omit serialization/allocation, so measured > model by a modest "
+      "factor is expected).\n");
+  return 0;
+}

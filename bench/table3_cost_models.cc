@@ -1,0 +1,25 @@
+// Table III reproduction: the Section V cost models evaluated at the
+// paper's typical values (N=1024, J=300, F=4, D=[1800,5000]) — once with
+// the paper's primitive costs (exact reproduction of Table III) and once
+// with this host's measured primitives (the apples-to-apples numbers the
+// figure benches should approach).
+#include <cstdio>
+
+#include "costmodel/models.h"
+
+int main() {
+  using namespace sies::costmodel;
+  ModelInputs in;  // paper defaults
+
+  std::printf("=== Table III (paper primitive costs) ===\n");
+  std::printf("N=%u J=%u F=%u D=[%llu,%llu]\n\n", in.n, in.j, in.f,
+              static_cast<unsigned long long>(in.d_lower),
+              static_cast<unsigned long long>(in.d_upper));
+  std::printf("%s\n", RenderTable3(PaperPrimitives(), in).c_str());
+
+  std::printf("=== Table III (primitives measured on this host) ===\n");
+  PrimitiveCosts measured = MeasurePrimitives();
+  std::printf("host primitives: %s\n\n", measured.ToString().c_str());
+  std::printf("%s\n", RenderTable3(measured, in).c_str());
+  return 0;
+}

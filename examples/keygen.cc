@@ -1,0 +1,127 @@
+// keygen: the setup-phase provisioning tool.
+//
+// Generates the deployment for N sources and writes the registration
+// blobs a real rollout would install on each device:
+//
+//   ./build/examples/keygen --sources=16 --out=/tmp/deploy
+//
+// produces /tmp/deploy.querier (all keys), /tmp/deploy.aggregator (the
+// public record), and /tmp/deploy.source-<i> (per-source secrets); then
+// reloads every blob and runs one epoch end-to-end to prove the files
+// are sufficient to operate the network.
+#include <cstdio>
+
+#include <fstream>
+#include <string>
+
+#include "common/flags.h"
+#include "sies/aggregator.h"
+#include "sies/provisioning.h"
+#include "sies/querier.h"
+#include "sies/source.h"
+
+namespace {
+
+bool WriteFile(const std::string& path, const sies::Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good();
+}
+
+sies::StatusOr<sies::Bytes> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return sies::Status::NotFound("cannot open " + path);
+  sies::Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sies;
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = flags_or.value();
+  uint32_t n = static_cast<uint32_t>(flags.GetInt("sources", 16).value_or(16));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1).value_or(1));
+  std::string out = flags.GetString("out", "/tmp/sies-deploy");
+  // --hardened: HMAC-SHA256 shares under a 352-bit prime (44-byte PSRs)
+  // for deployments that exclude SHA-1 (see docs/SECURITY.md).
+  bool hardened = flags.GetBool("hardened", false).value_or(false);
+
+  // --- Setup phase. ---
+  core::Deployment deployment;
+  auto params =
+      hardened ? core::MakeParams(n, seed, 4, 352,
+                                  core::SharePrf::kHmacSha256)
+               : core::MakeParams(n, seed);
+  if (!params.ok()) {
+    std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+    return 1;
+  }
+  deployment.params = params.value();
+  deployment.keys = core::GenerateKeys(deployment.params, EncodeUint64(seed));
+
+  // --- Write every registration blob. ---
+  Bytes dep_blob = core::SerializeDeployment(deployment).value();
+  Bytes agg_blob =
+      core::SerializeAggregatorRecord(deployment.params).value();
+  if (!WriteFile(out + ".querier", dep_blob) ||
+      !WriteFile(out + ".aggregator", agg_blob)) {
+    std::fprintf(stderr, "cannot write output files under %s\n",
+                 out.c_str());
+    return 1;
+  }
+  size_t total = dep_blob.size() + agg_blob.size();
+  for (uint32_t i = 0; i < n; ++i) {
+    Bytes blob = core::SerializeSourceRegistration(deployment, i).value();
+    total += blob.size();
+    if (!WriteFile(out + ".source-" + std::to_string(i), blob)) {
+      std::fprintf(stderr, "cannot write source blob %u\n", i);
+      return 1;
+    }
+  }
+  std::printf("wrote %u source registrations + querier + aggregator "
+              "records (%zu bytes total) under %s.*\n",
+              n, total, out.c_str());
+
+  // --- Reload everything from disk and run one epoch. ---
+  auto dep_back = core::ParseDeployment(ReadFile(out + ".querier").value());
+  auto agg_back =
+      core::ParseAggregatorRecord(ReadFile(out + ".aggregator").value());
+  if (!dep_back.ok() || !agg_back.ok()) {
+    std::fprintf(stderr, "reload failed\n");
+    return 1;
+  }
+  core::Querier querier(dep_back.value().params, dep_back.value().keys);
+  core::Aggregator aggregator(agg_back.value());
+  Bytes final_psr;
+  uint64_t expected = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    auto reg = core::ParseSourceRegistration(
+        ReadFile(out + ".source-" + std::to_string(i)).value());
+    if (!reg.ok()) {
+      std::fprintf(stderr, "source blob %u corrupt\n", i);
+      return 1;
+    }
+    core::Source source(reg.value().params, reg.value().index,
+                        reg.value().keys);
+    uint64_t v = 1000 + 13 * i;
+    expected += v;
+    Bytes psr = source.CreatePsr(v, /*epoch=*/1).value();
+    final_psr =
+        final_psr.empty() ? psr : aggregator.Merge({final_psr, psr}).value();
+  }
+  auto eval = querier.Evaluate(final_psr, 1).value();
+  std::printf("self-test from reloaded blobs: SUM=%llu (expected %llu), "
+              "verified=%s\n",
+              static_cast<unsigned long long>(eval.sum),
+              static_cast<unsigned long long>(expected),
+              eval.verified ? "yes" : "NO");
+  return eval.verified && eval.sum == expected ? 0 : 1;
+}

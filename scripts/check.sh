@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local check: configure, build, run every test, example, and bench.
+# Usage: scripts/check.sh [--skip-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+echo "== examples =="
+for e in quickstart factory_monitoring battlefield_audit scheme_comparison \
+         outsourced_aggregation climate_dashboard mixed_aggregates; do
+  echo "-- $e"
+  "./build/examples/$e" > /dev/null
+done
+./build/examples/keygen --sources=4 --out="$(mktemp -u)" > /dev/null
+./build/examples/sies_sim --scheme=sies --sources=64 --epochs=2 > /dev/null
+
+if [[ "${1:-}" != "--skip-bench" ]]; then
+  echo "== benches =="
+  for b in build/bench/*; do
+    echo "-- $b"
+    "$b" > /dev/null
+  done
+fi
+echo "ALL CHECKS PASSED"

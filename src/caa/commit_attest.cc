@@ -1,0 +1,157 @@
+#include "caa/commit_attest.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+#include "crypto/hmac_drbg.h"
+
+namespace sies::caa {
+
+namespace {
+// Wire sizes (bytes).
+constexpr uint64_t kRecordBytes = 12;    // id (4) + value (8)
+constexpr uint64_t kBroadcastBytes = 60; // sum (8) + root (32) + MAC (20)
+constexpr uint64_t kAckBytes = 20;       // XOR-aggregated verdict MAC
+}  // namespace
+
+Keys GenerateKeys(uint32_t num_sources, const Bytes& master_seed) {
+  Bytes personalization = {'c', 'a', 'a', '-', 's', 'e', 't', 'u', 'p'};
+  crypto::HmacDrbg drbg(master_seed, personalization);
+  Keys keys;
+  keys.source_keys.reserve(num_sources);
+  for (uint32_t i = 0; i < num_sources; ++i) {
+    keys.source_keys.push_back(drbg.Generate(20));
+  }
+  return keys;
+}
+
+Bytes MakeLeafPayload(uint32_t source_index, uint64_t value, uint64_t epoch) {
+  Bytes payload(4);
+  StoreBigEndian32(source_index, payload.data());
+  Bytes v = EncodeUint64(value);
+  Bytes e = EncodeUint64(epoch);
+  payload.insert(payload.end(), v.begin(), v.end());
+  payload.insert(payload.end(), e.begin(), e.end());
+  return payload;
+}
+
+Bytes MakeVerdictMac(const Bytes& key, const Bytes& root, uint64_t sum,
+                     uint64_t epoch, bool ok) {
+  Bytes input = root;
+  Bytes s = EncodeUint64(sum);
+  Bytes e = EncodeUint64(epoch);
+  input.insert(input.end(), s.begin(), s.end());
+  input.insert(input.end(), e.begin(), e.end());
+  input.push_back(ok ? 1 : 0);
+  return crypto::HmacSha1(key, input);
+}
+
+namespace {
+
+// Number of source leaves in the subtree rooted at `node`.
+uint64_t SubtreeLeaves(const net::Topology& t, net::NodeId node) {
+  if (t.children(node).empty()) return 1;
+  uint64_t total = 0;
+  for (net::NodeId child : t.children(node)) {
+    total += SubtreeLeaves(t, child);
+  }
+  return total;
+}
+
+}  // namespace
+
+StatusOr<RoundResult> RunRound(const net::Topology& topology,
+                               const Keys& keys,
+                               const std::vector<uint64_t>& values,
+                               uint64_t epoch, SinkTamperFn tamper) {
+  const uint32_t n = topology.num_sources();
+  if (values.size() != n || keys.source_keys.size() != n) {
+    return Status::InvalidArgument("values/keys must match source count");
+  }
+  RoundResult result;
+
+  // --- COMMIT: raw readings flow up; every edge carries its subtree. ---
+  // (The sink sees the honest readings unless tampered.)
+  std::vector<uint64_t> collected = values;
+  if (tamper != nullptr) tamper(collected);
+
+  for (net::NodeId node = 0; node < topology.num_nodes(); ++node) {
+    if (node == topology.root()) continue;  // root talks to the querier
+    uint64_t leaves = SubtreeLeaves(topology, node);
+    uint64_t edge = leaves * kRecordBytes;
+    result.traffic.commit_bytes += edge;
+    result.traffic.max_edge_bytes =
+        std::max(result.traffic.max_edge_bytes, edge);
+  }
+  // Sink -> querier: sum + root + (implicitly) nothing else.
+  result.traffic.commit_bytes += kBroadcastBytes;
+
+  // The sink builds the commitment over the (possibly tampered) readings.
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    leaves.push_back(MakeLeafPayload(i, collected[i], epoch));
+    sum += collected[i];
+  }
+  auto tree = mht::MerkleTree::Build(leaves);
+  if (!tree.ok()) return tree.status();
+  result.sum = sum;
+  const Bytes root = tree.value().root();
+
+  // --- ATTEST: broadcast (sum, root) + deliver every audit path. ---
+  // The broadcast visits every edge once; each source additionally
+  // receives its own membership proof over the edges on its root path —
+  // equivalently, each edge carries the proofs of every leaf below it.
+  uint64_t edge_count = topology.num_nodes();  // incl. querier->root edge
+  result.traffic.attest_bytes += edge_count * kBroadcastBytes;
+  for (net::NodeId node = 0; node < topology.num_nodes(); ++node) {
+    uint64_t below = SubtreeLeaves(topology, node);
+    // Proof size is uniform: ceil(log2 n) steps of 33 bytes + index.
+    auto proof = tree.value().Prove(0);
+    if (!proof.ok()) return proof.status();
+    uint64_t edge = below * proof.value().WireBytes();
+    result.traffic.attest_bytes += edge;
+    result.traffic.max_edge_bytes =
+        std::max(result.traffic.max_edge_bytes, edge);
+    result.broadcast_rounds = std::max(result.broadcast_rounds,
+                                       topology.depth(node) + 1);
+  }
+
+  // Every source audits its own contribution.
+  bool all_ok = true;
+  Bytes aggregate_ack;
+  for (uint32_t i = 0; i < n; ++i) {
+    auto proof = tree.value().Prove(i);
+    if (!proof.ok()) return proof.status();
+    Bytes honest_payload = MakeLeafPayload(i, values[i], epoch);
+    bool ok = mht::VerifyMembership(root, honest_payload, proof.value());
+    all_ok = all_ok && ok;
+    Bytes mac = MakeVerdictMac(keys.source_keys[i], root, sum, epoch, ok);
+    if (aggregate_ack.empty()) {
+      aggregate_ack = mac;
+    } else {
+      SIES_RETURN_IF_ERROR(XorInto(aggregate_ack, mac));
+    }
+  }
+  // --- ACK: verdict MACs aggregate up every edge. ---
+  result.traffic.ack_bytes +=
+      static_cast<uint64_t>(topology.num_nodes()) * kAckBytes;
+  result.broadcast_rounds += topology.height() + 1;  // acks travel back up
+
+  // Querier: recompute the all-OK aggregate and compare.
+  Bytes expected;
+  for (uint32_t i = 0; i < n; ++i) {
+    Bytes mac =
+        MakeVerdictMac(keys.source_keys[i], root, sum, epoch, /*ok=*/true);
+    if (expected.empty()) {
+      expected = mac;
+    } else {
+      SIES_RETURN_IF_ERROR(XorInto(expected, mac));
+    }
+  }
+  result.verified = all_ok && ConstantTimeEqual(aggregate_ack, expected);
+  return result;
+}
+
+}  // namespace sies::caa

@@ -1,0 +1,82 @@
+// Commit-and-attest secure aggregation (the SIA / SDAP / SecureDAV
+// family, paper Section II-B): the scalability baseline SIES is designed
+// to beat.
+//
+// Per epoch:
+//   1. COMMIT  — raw readings flow up the tree to the sink, which sums
+//      them and commits to the multiset with a Merkle hash tree; the
+//      querier receives (sum, root).
+//   2. ATTEST  — the querier broadcasts (sum, root) authenticated with
+//      μTesla; every source receives its membership proof and audits its
+//      own contribution against the root.
+//   3. ACK     — each source MACs its verdict; verdict MACs XOR-aggregate
+//      up the tree; the querier accepts iff the aggregate equals the
+//      all-OK reference.
+//
+// The point of this module is the cost profile, reproduced faithfully:
+// upstream edges near the sink carry O(subtree) raw readings and the
+// attestation floods O(N log N) proof bytes — in contrast to SIES's
+// constant 32 bytes per edge. The ablation bench sweeps N to show it.
+#ifndef SIES_CAA_COMMIT_ATTEST_H_
+#define SIES_CAA_COMMIT_ATTEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "mht/merkle_tree.h"
+#include "net/topology.h"
+
+namespace sies::caa {
+
+/// Long-term keys: one ack-MAC key per source, shared with the querier.
+struct Keys {
+  std::vector<Bytes> source_keys;
+};
+
+/// Derives all keys from a master seed.
+Keys GenerateKeys(uint32_t num_sources, const Bytes& master_seed);
+
+/// Byte counts of one commit-and-attest round.
+struct Traffic {
+  uint64_t commit_bytes = 0;       ///< raw readings flowing up
+  uint64_t attest_bytes = 0;       ///< broadcast + membership proofs down
+  uint64_t ack_bytes = 0;          ///< verdict MACs flowing up
+  uint64_t max_edge_bytes = 0;     ///< busiest single edge (hot spot)
+  uint64_t total() const { return commit_bytes + attest_bytes + ack_bytes; }
+};
+
+/// Result of a full round.
+struct RoundResult {
+  uint64_t sum = 0;
+  bool verified = false;
+  Traffic traffic;
+  uint32_t broadcast_rounds = 0;  ///< latency proxy: tree traversals
+};
+
+/// A hook the tests use to corrupt the sink's behaviour: called with the
+/// readings as collected at the sink; may mutate them (a compromised
+/// sink altering values before committing/summing).
+using SinkTamperFn = void (*)(std::vector<uint64_t>& readings);
+
+/// Runs one commit-and-attest round over `topology` with per-source
+/// readings `values` (indexed by logical source order). `tamper`, if
+/// non-null, corrupts the sink. The leaf payload committed for source i
+/// is (i || value || epoch).
+StatusOr<RoundResult> RunRound(const net::Topology& topology,
+                               const Keys& keys,
+                               const std::vector<uint64_t>& values,
+                               uint64_t epoch,
+                               SinkTamperFn tamper = nullptr);
+
+/// The leaf payload format (exposed for white-box tests).
+Bytes MakeLeafPayload(uint32_t source_index, uint64_t value, uint64_t epoch);
+
+/// A source's verdict MAC over (root, sum, epoch, ok-bit).
+Bytes MakeVerdictMac(const Bytes& key, const Bytes& root, uint64_t sum,
+                     uint64_t epoch, bool ok);
+
+}  // namespace sies::caa
+
+#endif  // SIES_CAA_COMMIT_ATTEST_H_

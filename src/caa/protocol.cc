@@ -1,0 +1,235 @@
+#include "caa/protocol.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sies::caa {
+
+Bytes SerializeRecords(
+    const std::vector<std::pair<uint32_t, uint64_t>>& records) {
+  Bytes wire(4);
+  StoreBigEndian32(static_cast<uint32_t>(records.size()), wire.data());
+  for (const auto& [index, value] : records) {
+    Bytes idx(4);
+    StoreBigEndian32(index, idx.data());
+    wire.insert(wire.end(), idx.begin(), idx.end());
+    Bytes v = EncodeUint64(value);
+    wire.insert(wire.end(), v.begin(), v.end());
+  }
+  return wire;
+}
+
+StatusOr<std::vector<std::pair<uint32_t, uint64_t>>> ParseRecords(
+    const Bytes& wire) {
+  if (wire.size() < 4) return Status::InvalidArgument("truncated records");
+  uint32_t count = LoadBigEndian32(wire.data());
+  if (wire.size() != 4 + static_cast<size_t>(count) * 12) {
+    return Status::InvalidArgument("record list has wrong width");
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> records;
+  records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* base = wire.data() + 4 + i * 12;
+    records.emplace_back(LoadBigEndian32(base), LoadBigEndian64(base + 4));
+  }
+  return records;
+}
+
+Protocol::Protocol(net::Topology topology, Keys keys,
+                   mutesla::Broadcaster broadcaster)
+    : topology_(std::move(topology)),
+      keys_(std::move(keys)),
+      broadcaster_(std::move(broadcaster)),
+      mutesla_commitment_(broadcaster_.commitment()) {}
+
+StatusOr<Protocol> Protocol::Create(net::Topology topology, Keys keys,
+                                    const Bytes& mutesla_seed,
+                                    uint64_t chain_length) {
+  if (keys.source_keys.size() != topology.num_sources()) {
+    return Status::InvalidArgument("key count does not match source count");
+  }
+  auto broadcaster =
+      mutesla::Broadcaster::Create(mutesla_seed, chain_length,
+                                   /*disclosure_delay=*/1);
+  if (!broadcaster.ok()) return broadcaster.status();
+  return Protocol(std::move(topology), std::move(keys),
+                  std::move(broadcaster).value());
+}
+
+StatusOr<RoundOutcome> Protocol::RunRound(
+    const std::vector<uint64_t>& values, uint64_t epoch,
+    const SinkTamper& tamper) {
+  const uint32_t n = topology_.num_sources();
+  if (values.size() != n) {
+    return Status::InvalidArgument("values must match source count");
+  }
+  RoundOutcome outcome;
+  auto account = [&](uint64_t& phase_bytes, uint64_t edge_bytes) {
+    phase_bytes += edge_bytes;
+    outcome.traffic.max_edge_bytes =
+        std::max(outcome.traffic.max_edge_bytes, edge_bytes);
+  };
+
+  // Logical index of each source node.
+  std::map<net::NodeId, uint32_t> source_index;
+  for (net::NodeId node : topology_.sources()) {
+    uint32_t index = static_cast<uint32_t>(source_index.size());
+    source_index[node] = index;
+  }
+
+  // --- COMMIT: records flow up, concatenated at every aggregator. ---
+  std::map<net::NodeId, Bytes> inbox;
+  for (net::NodeId node : topology_.sources()) {
+    uint32_t index = source_index[node];
+    Bytes wire = SerializeRecords({{index, values[index]}});
+    account(outcome.traffic.commit_bytes, wire.size());
+    inbox[node] = std::move(wire);
+  }
+  for (net::NodeId agg : topology_.aggregators_bottom_up()) {
+    std::vector<std::pair<uint32_t, uint64_t>> collected;
+    for (net::NodeId child : topology_.children(agg)) {
+      auto it = inbox.find(child);
+      if (it == inbox.end()) continue;
+      auto records = ParseRecords(it->second);
+      if (!records.ok()) return records.status();
+      collected.insert(collected.end(), records.value().begin(),
+                       records.value().end());
+      inbox.erase(it);
+    }
+    Bytes wire = SerializeRecords(collected);
+    if (agg != topology_.root()) {
+      account(outcome.traffic.commit_bytes, wire.size());
+    }
+    inbox[agg] = std::move(wire);
+  }
+
+  // The sink: (possibly tampered) records -> sum + Merkle commitment.
+  auto sink_records = ParseRecords(inbox[topology_.root()]);
+  if (!sink_records.ok()) return sink_records.status();
+  auto records = std::move(sink_records).value();
+  if (tamper) tamper(records);
+  // Order by source index so every source knows its leaf slot.
+  std::sort(records.begin(), records.end());
+  std::vector<Bytes> leaves;
+  std::map<uint32_t, uint64_t> committed_value;
+  leaves.reserve(records.size());
+  uint64_t sum = 0;
+  for (const auto& [index, value] : records) {
+    leaves.push_back(MakeLeafPayload(index, value, epoch));
+    committed_value[index] = value;
+    sum += value;
+  }
+  auto tree = mht::MerkleTree::Build(leaves);
+  if (!tree.ok()) return tree.status();
+  outcome.sum = sum;
+  const Bytes root = tree.value().root();
+
+  // Sink -> querier: (sum, count, root).
+  account(outcome.traffic.commit_bytes, 16 + root.size());
+
+  // --- ATTEST: μTesla broadcast + proofs down the tree. ---
+  // The broadcast pins (sum, leaf count, root): announcing the count
+  // lets every source pin the tree's shape, closing the leaf-injection
+  // hole (see protocol_test SinkInjection*).
+  Bytes announce = EncodeUint64(sum);
+  Bytes count_bytes = EncodeUint64(records.size());
+  announce.insert(announce.end(), count_bytes.begin(), count_bytes.end());
+  announce.insert(announce.end(), root.begin(), root.end());
+  auto packet = broadcaster_.Broadcast(epoch, announce);
+  if (!packet.ok()) return packet.status();
+  auto disclosure = broadcaster_.Disclose(epoch);
+  if (!disclosure.ok()) return disclosure.status();
+  // The broadcast (payload + MAC + later the disclosed key) crosses
+  // every edge once; each edge also carries the proofs of all leaves
+  // below it.
+  const uint64_t broadcast_bytes =
+      announce.size() + packet.value().mac.size() +
+      disclosure.value().chain_key.size();
+  // Count leaves below each node for proof routing.
+  std::vector<uint64_t> leaves_below(topology_.num_nodes(), 0);
+  for (net::NodeId node = topology_.num_nodes(); node-- > 0;) {
+    if (topology_.children(node).empty()) {
+      leaves_below[node] = 1;
+    } else {
+      for (net::NodeId child : topology_.children(node)) {
+        leaves_below[node] += leaves_below[child];
+      }
+    }
+  }
+  for (net::NodeId node = 0; node < topology_.num_nodes(); ++node) {
+    auto proof = tree.value().Prove(0);
+    if (!proof.ok()) return proof.status();
+    uint64_t edge = broadcast_bytes +
+                    leaves_below[node] * proof.value().WireBytes();
+    account(outcome.traffic.attest_bytes, edge);
+  }
+
+  // Every source authenticates the broadcast, then audits its record.
+  bool all_ok = true;
+  Bytes aggregate_ack;
+  for (net::NodeId node : topology_.sources()) {
+    uint32_t index = source_index[node];
+    // μTesla verification (full receiver flow per source).
+    mutesla::Receiver receiver(mutesla_commitment_, 1);
+    if (!receiver.Accept(packet.value(), epoch).ok()) {
+      return Status::Internal("muTesla accept failed in honest flow");
+    }
+    auto authenticated = receiver.OnDisclosure(disclosure.value());
+    bool broadcast_ok =
+        authenticated.ok() && authenticated.value().size() == 1 &&
+        authenticated.value()[0] == announce;
+
+    // Audit with only public knowledge + the broadcast: the announced
+    // count must equal N, the source's record must sit at its canonical
+    // position (leaf i = source i), the proof must have the canonical
+    // length for (i, count), and membership must verify.
+    bool audit_ok = false;
+    if (broadcast_ok) {
+      uint64_t announced_count = LoadBigEndian64(announce.data() + 8);
+      auto slot = committed_value.find(index);
+      if (announced_count == n && slot != committed_value.end() &&
+          slot->second == values[index]) {
+        uint64_t leaf_pos = static_cast<uint64_t>(
+            std::distance(committed_value.begin(), slot));
+        auto proof = tree.value().Prove(leaf_pos);
+        audit_ok =
+            proof.ok() && leaf_pos == index &&
+            proof.value().steps.size() ==
+                mht::ExpectedProofLength(index, announced_count) &&
+            mht::VerifyMembership(
+                root, MakeLeafPayload(index, values[index], epoch),
+                proof.value());
+      }
+    }
+    if (!audit_ok) ++outcome.complaints;
+    all_ok = all_ok && audit_ok;
+    Bytes mac = MakeVerdictMac(keys_.source_keys[index], root, sum, epoch,
+                               audit_ok);
+    if (aggregate_ack.empty()) {
+      aggregate_ack = mac;
+    } else {
+      SIES_RETURN_IF_ERROR(XorInto(aggregate_ack, mac));
+    }
+  }
+
+  // --- ACK: one aggregated MAC per edge, up to the querier. ---
+  for (net::NodeId node = 0; node < topology_.num_nodes(); ++node) {
+    account(outcome.traffic.ack_bytes, aggregate_ack.size());
+  }
+
+  // Querier decision.
+  Bytes expected;
+  for (uint32_t i = 0; i < n; ++i) {
+    Bytes mac = MakeVerdictMac(keys_.source_keys[i], root, sum, epoch,
+                               /*ok=*/true);
+    if (expected.empty()) {
+      expected = mac;
+    } else {
+      SIES_RETURN_IF_ERROR(XorInto(expected, mac));
+    }
+  }
+  outcome.verified = all_ok && ConstantTimeEqual(aggregate_ack, expected);
+  return outcome;
+}
+
+}  // namespace sies::caa

@@ -1,0 +1,85 @@
+// Message-level commit-and-attest: the full three-round protocol with
+// real serialized messages parsed at every hop, complementing the
+// analytical model in commit_attest.h.
+//
+//   COMMIT  (up)   — each edge carries the serialized (index, value)
+//                    records of its subtree; the sink builds the Merkle
+//                    commitment and forwards (sum, root) to the querier.
+//   ATTEST  (down) — the querier broadcasts (sum, root, epoch) through a
+//                    μTesla-authenticated packet; the sink attaches each
+//                    source's membership proof along its root path.
+//   ACK     (up)   — every source verifies the broadcast authenticity,
+//                    its own record's membership, and MACs its verdict;
+//                    verdicts XOR-aggregate back to the querier.
+//
+// Every byte that would cross a radio link is accounted per edge, so
+// this module measures what the Section II-B schemes actually cost —
+// including the tree-traversal latency SIES avoids.
+#ifndef SIES_CAA_PROTOCOL_H_
+#define SIES_CAA_PROTOCOL_H_
+
+#include <functional>
+#include <optional>
+
+#include "caa/commit_attest.h"
+#include "mutesla/mutesla.h"
+#include "net/topology.h"
+
+namespace sies::caa {
+
+/// Per-phase, per-edge traffic of one message-level round.
+struct PhaseTraffic {
+  uint64_t commit_bytes = 0;
+  uint64_t attest_bytes = 0;
+  uint64_t ack_bytes = 0;
+  uint64_t max_edge_bytes = 0;
+  uint64_t total() const { return commit_bytes + attest_bytes + ack_bytes; }
+};
+
+/// Outcome of one message-level round.
+struct RoundOutcome {
+  uint64_t sum = 0;
+  bool verified = false;
+  PhaseTraffic traffic;
+  uint32_t complaints = 0;  ///< sources whose audit failed
+};
+
+/// Mutates the record list as collected at the sink (a compromised sink).
+using SinkTamper =
+    std::function<void(std::vector<std::pair<uint32_t, uint64_t>>&)>;
+
+/// A long-lived commit-and-attest deployment over a fixed topology.
+class Protocol {
+ public:
+  /// `chain_length` bounds how many epochs the μTesla chain supports.
+  static StatusOr<Protocol> Create(net::Topology topology, Keys keys,
+                                   const Bytes& mutesla_seed,
+                                   uint64_t chain_length = 1024);
+
+  /// Runs one full round for `epoch` (1-based, <= chain_length).
+  /// `values` are the per-source readings in logical source order.
+  StatusOr<RoundOutcome> RunRound(const std::vector<uint64_t>& values,
+                                  uint64_t epoch,
+                                  const SinkTamper& tamper = nullptr);
+
+  const net::Topology& topology() const { return topology_; }
+
+ private:
+  Protocol(net::Topology topology, Keys keys,
+           mutesla::Broadcaster broadcaster);
+
+  net::Topology topology_;
+  Keys keys_;
+  mutesla::Broadcaster broadcaster_;
+  Bytes mutesla_commitment_;
+};
+
+/// Commit-message wire format helpers (exposed for tests).
+Bytes SerializeRecords(
+    const std::vector<std::pair<uint32_t, uint64_t>>& records);
+StatusOr<std::vector<std::pair<uint32_t, uint64_t>>> ParseRecords(
+    const Bytes& wire);
+
+}  // namespace sies::caa
+
+#endif  // SIES_CAA_PROTOCOL_H_

@@ -1,0 +1,97 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace sies {
+
+StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || arg.size() < 3 || arg.substr(0, 2) != "--") {
+      if (arg == "--") {
+        flags_done = true;
+        continue;
+      }
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` if the next token is not a flag; else bare boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).substr(0, 2) != "--") {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.contains(name);
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+StatusOr<int64_t> Flags::GetInt(const std::string& name,
+                                int64_t default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> Flags::GetDouble(const std::string& name,
+                                  double default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+StatusOr<bool> Flags::GetBool(const std::string& name,
+                              bool default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("--" + name + " expects a boolean, got '" +
+                                 v + "'");
+}
+
+std::vector<std::string> Flags::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.contains(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace sies

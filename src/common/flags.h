@@ -1,0 +1,55 @@
+// Minimal command-line flag parsing for the example/tool binaries.
+//
+// Supports --name=value and --name value forms, typed lookups with
+// defaults, and a generated usage string. Not a general-purpose flags
+// library — just enough for reproducible experiment driving.
+#ifndef SIES_COMMON_FLAGS_H_
+#define SIES_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sies {
+
+/// Parsed command line: flag map plus positional arguments.
+class Flags {
+ public:
+  /// Parses argv. Flags are `--key=value` or `--key value`; a bare
+  /// `--key` is recorded with value "true". Everything else is
+  /// positional. `--` ends flag parsing.
+  static StatusOr<Flags> Parse(int argc, const char* const* argv);
+
+  /// True if the flag was present.
+  bool Has(const std::string& name) const;
+
+  /// String flag with default.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  /// Integer flag with default; returns error on malformed values.
+  StatusOr<int64_t> GetInt(const std::string& name,
+                           int64_t default_value) const;
+  /// Double flag with default.
+  StatusOr<double> GetDouble(const std::string& name,
+                             double default_value) const;
+  /// Boolean flag: present with no value / "true" / "1" => true.
+  StatusOr<bool> GetBool(const std::string& name, bool default_value) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags seen but never queried (typo detection). Call after all Get*.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sies
+
+#endif  // SIES_COMMON_FLAGS_H_

@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace sies {
+
+namespace {
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(level); }
+LogLevel GetLogLevel() { return g_min_level.load(); }
+
+namespace internal {
+void LogLine(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level.load())) return;
+  std::cerr << "[sies " << LevelName(level) << "] " << message << "\n";
+}
+}  // namespace internal
+
+}  // namespace sies

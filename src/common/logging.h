@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr; off by default so benchmarks stay quiet.
+#ifndef SIES_COMMON_LOGGING_H_
+#define SIES_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sies {
+
+/// Log severity, ordered.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kWarning).
+void SetLogLevel(LogLevel level);
+/// Currently configured minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+/// Emits one formatted line to stderr if `level` passes the filter.
+void LogLine(LogLevel level, const std::string& message);
+
+/// RAII stream that emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace sies
+
+#define SIES_LOG(level) \
+  ::sies::internal::LogMessage(::sies::LogLevel::k##level).stream()
+
+#endif  // SIES_COMMON_LOGGING_H_

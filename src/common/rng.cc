@@ -1,0 +1,73 @@
+#include "common/rng.h"
+
+#include <cassert>
+
+namespace sies {
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& lane : s_) lane = sm.Next();
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::NextBelow(uint64_t bound) {
+  assert(bound != 0);
+  // Rejection sampling over the largest multiple of `bound` that fits.
+  const uint64_t threshold = -bound % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Xoshiro256::NextInRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = hi - lo;
+  if (span == UINT64_MAX) return Next();
+  return lo + NextBelow(span + 1);
+}
+
+double Xoshiro256::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+Bytes Xoshiro256::NextBytes(size_t n) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    uint64_t r = Next();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<uint8_t>(r >> (8 * b));
+  }
+  if (i < n) {
+    uint64_t r = Next();
+    while (i < n) {
+      out[i++] = static_cast<uint8_t>(r);
+      r >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace sies

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random generators for simulation and tests.
+//
+// These are NOT cryptographic generators: key material in the protocols is
+// produced by crypto::HmacDrbg. The generators here drive reproducible
+// workloads, topologies, and randomized property tests.
+#ifndef SIES_COMMON_RNG_H_
+#define SIES_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sies {
+
+/// SplitMix64: tiny, statistically strong seeder/stepper (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna): the workhorse simulation PRNG.
+class Xoshiro256 {
+ public:
+  /// Seeds the four lanes from a SplitMix64 stream of `seed`.
+  explicit Xoshiro256(uint64_t seed);
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound). `bound` must be nonzero. Uses rejection
+  /// sampling, so the result is exactly uniform.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform value in the closed interval [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// `n` uniformly random bytes.
+  Bytes NextBytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sies
+
+#endif  // SIES_COMMON_RNG_H_

@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sies {
+
+namespace internal {
+void DieOnBadStatusAccess(const Status& status) {
+  std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kVerificationFailed:
+      return "VERIFICATION_FAILED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s(StatusCodeName(code_));
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace sies

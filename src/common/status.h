@@ -1,0 +1,128 @@
+// Status / StatusOr: exception-free error propagation across library
+// boundaries, in the style of Abseil/Arrow.
+#ifndef SIES_COMMON_STATUS_H_
+#define SIES_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sies {
+
+/// Coarse error category attached to a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< caller passed a malformed or out-of-range value
+  kFailedPrecondition, ///< object not in a state that allows the call
+  kVerificationFailed, ///< cryptographic verification rejected the input
+  kNotFound,           ///< a referenced entity (node, key, edge) is unknown
+  kOutOfRange,         ///< arithmetic overflow / value exceeds domain
+  kInternal,           ///< invariant violation inside the library
+};
+
+/// Human-readable name of a StatusCode (e.g. "VERIFICATION_FAILED").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error result. Cheap to copy on the OK path
+/// (no allocation); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs an error status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers mirroring the StatusCode enumerators.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status VerificationFailed(std::string msg) {
+    return Status(StatusCode::kVerificationFailed, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+namespace internal {
+/// Prints the status and aborts; called on value() of an error StatusOr.
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal
+
+/// A value of type T or an error Status. `value()` must only be called
+/// when `ok()`; violating this aborts with the error printed (in every
+/// build type — silent UB is never acceptable in a crypto library).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (success).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!ok()) internal::DieOnBadStatusAccess(status_);
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) internal::DieOnBadStatusAccess(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) internal::DieOnBadStatusAccess(status_);
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sies
+
+/// Propagates an error Status out of the current function.
+#define SIES_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::sies::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#endif  // SIES_COMMON_STATUS_H_

@@ -1,0 +1,66 @@
+// Wall-clock timing helpers used by the experiment runner and benches.
+#ifndef SIES_COMMON_TIMER_H_
+#define SIES_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sies {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates CPU time attributed to one party (source/aggregator/querier)
+/// across the epochs of an experiment.
+class CostAccumulator {
+ public:
+  /// Adds `seconds` of measured work.
+  void Add(double seconds) {
+    total_seconds_ += seconds;
+    ++samples_;
+  }
+
+  /// Total accumulated seconds.
+  double total_seconds() const { return total_seconds_; }
+  /// Number of Add() calls.
+  uint64_t samples() const { return samples_; }
+  /// Mean seconds per sample (0 if empty).
+  double MeanSeconds() const {
+    return samples_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(samples_);
+  }
+
+  /// Clears the accumulator.
+  void Reset() {
+    total_seconds_ = 0.0;
+    samples_ = 0;
+  }
+
+ private:
+  double total_seconds_ = 0.0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace sies
+
+#endif  // SIES_COMMON_TIMER_H_

@@ -1,0 +1,16 @@
+// Library version constants.
+#ifndef SIES_COMMON_VERSION_H_
+#define SIES_COMMON_VERSION_H_
+
+namespace sies {
+
+/// Semantic version of the library.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+/// "major.minor.patch" string.
+inline constexpr char kVersionString[] = "1.0.0";
+
+}  // namespace sies
+
+#endif  // SIES_COMMON_VERSION_H_

@@ -1,0 +1,172 @@
+#include "costmodel/models.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sies::costmodel {
+
+namespace {
+constexpr size_t kSketchBytes = 1;     // S_sk
+constexpr size_t kInflationBytes = 20; // S_inf
+constexpr size_t kSealBytes = 128;     // S_SEAL (RSA-1024)
+constexpr size_t kCmtBytes = 20;       // CMT ciphertext
+}  // namespace
+
+uint32_t ModelInputs::SketchValueBound() const {
+  double product = static_cast<double>(n) * static_cast<double>(d_upper);
+  return static_cast<uint32_t>(std::ceil(std::log2(product)));
+}
+
+SchemeCosts CmtModel(const PrimitiveCosts& c, const ModelInputs& in) {
+  SchemeCosts out;
+  // Eq. 1: key derivation plus one modular addition.
+  out.source_seconds = c.c_hm1 + c.c_a20;
+  // Eq. 4.
+  out.aggregator_seconds = (in.f - 1) * c.c_a20;
+  // Eq. 7.
+  out.querier_seconds = in.n * (c.c_hm1 + c.c_a20);
+  out.source_to_aggregator_bytes = kCmtBytes;
+  out.aggregator_to_aggregator_bytes = kCmtBytes;
+  out.aggregator_to_querier_bytes = kCmtBytes;
+  return out;
+}
+
+SchemeCosts SiesModel(const PrimitiveCosts& c, const ModelInputs& in,
+                      size_t psr_bytes) {
+  SchemeCosts out;
+  // Eq. 3: two HM256 key derivations, one HM1 share, one modular
+  // multiplication and addition at 32 bytes.
+  out.source_seconds = 2 * c.c_hm256 + c.c_hm1 + c.c_m32 + c.c_a32;
+  // Eq. 6.
+  out.aggregator_seconds = (in.f - 1) * c.c_a32;
+  // Eq. 9: N shares (HM1), N+1 keys (HM256), 2N-1 modular additions,
+  // one inverse, one multiplication.
+  out.querier_seconds = in.n * c.c_hm1 + (in.n + 1.0) * c.c_hm256 +
+                        (2.0 * in.n - 1) * c.c_a32 + c.c_mi32 + c.c_m32;
+  out.source_to_aggregator_bytes = psr_bytes;
+  out.aggregator_to_aggregator_bytes = psr_bytes;
+  out.aggregator_to_querier_bytes = psr_bytes;
+  return out;
+}
+
+SchemeCosts SecoaConcrete(const PrimitiveCosts& c, const ModelInputs& in,
+                          uint64_t v, uint64_t sum_x, uint64_t sum_rl,
+                          uint64_t seal_groups, uint64_t x_max) {
+  SchemeCosts out;
+  // Eq. 2: J (v sketch gens + cert HM1 + seed HM1) + Σ x_i RSA rolls.
+  out.source_seconds = in.j * (static_cast<double>(v) * c.c_sk + 2 * c.c_hm1) +
+                       static_cast<double>(sum_x) * c.c_rsa;
+  // Eq. 5: J(F-1) foldings + Σ rl_i rolls.
+  out.aggregator_seconds = static_cast<double>(in.j) * (in.f - 1) * c.c_m128 +
+                           static_cast<double>(sum_rl) * c.c_rsa;
+  // Eq. 8: J·N seed HM1s, (seals + J·N - 2) foldings, (Σ rl + x_max)
+  // rolls, J inflation HM1s. At the querier sum_rl is the rolling over
+  // the collected SEAL groups.
+  double jn = static_cast<double>(in.j) * in.n;
+  uint64_t querier_rl = 0;
+  // The querier rolls each collected group from its position to x_max;
+  // bounded by seal_groups * x_max, passed via sum_rl for concrete runs.
+  querier_rl = sum_rl;
+  out.querier_seconds =
+      jn * c.c_hm1 +
+      (static_cast<double>(seal_groups) + jn - 2) * c.c_m128 +
+      (static_cast<double>(querier_rl) + x_max) * c.c_rsa + in.j * c.c_hm1;
+  // Eq. 10 / 11.
+  out.source_to_aggregator_bytes =
+      in.j * kSketchBytes + in.j * kSealBytes + kInflationBytes;
+  out.aggregator_to_aggregator_bytes = out.source_to_aggregator_bytes;
+  out.aggregator_to_querier_bytes =
+      in.j * kSketchBytes + seal_groups * kSealBytes + kInflationBytes;
+  return out;
+}
+
+SecoaBounds SecoaModel(const PrimitiveCosts& c, const ModelInputs& in) {
+  const uint32_t xb = in.SketchValueBound();
+  SecoaBounds bounds;
+  // Best case: smallest value, all sketch values 0, no rolling, a single
+  // SEAL group at position 0.
+  bounds.best = SecoaConcrete(c, in, in.d_lower, /*sum_x=*/0, /*sum_rl=*/0,
+                              /*seal_groups=*/1, /*x_max=*/0);
+  // Worst case: largest value, every sketch at the bound xb, maximal
+  // rolling (each of J SEALs rolled xb-1 positions at an aggregator),
+  // xb+1 distinct groups each rolled up to x_max at the querier.
+  uint64_t agg_rl = static_cast<uint64_t>(in.j) * (xb - 1);
+  uint64_t querier_rl = 0;
+  for (uint32_t p = 0; p <= xb; ++p) querier_rl += xb - p;
+  bounds.worst = SecoaConcrete(c, in, in.d_upper,
+                               static_cast<uint64_t>(in.j) * xb, agg_rl,
+                               /*seal_groups=*/xb + 1, /*x_max=*/xb);
+  // Aggregator rolling belongs to the aggregator bound; recompute the
+  // querier bound with its own rolling figure.
+  SchemeCosts worst_querier =
+      SecoaConcrete(c, in, in.d_upper, static_cast<uint64_t>(in.j) * xb,
+                    querier_rl, xb + 1, xb);
+  bounds.worst.querier_seconds = worst_querier.querier_seconds;
+  bounds.worst.aggregator_to_querier_bytes =
+      worst_querier.aggregator_to_querier_bytes;
+  return bounds;
+}
+
+namespace {
+std::string HumanBytes(size_t bytes) {
+  char buf[64];
+  if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu bytes", bytes);
+  }
+  return buf;
+}
+
+std::string HumanSeconds(double s) {
+  char buf[64];
+  if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string RenderTable3(const PrimitiveCosts& costs, const ModelInputs& in) {
+  SchemeCosts cmt = CmtModel(costs, in);
+  SchemeCosts sies = SiesModel(costs, in);
+  SecoaBounds secoa = SecoaModel(costs, in);
+  std::string out;
+  char line[256];
+  auto row = [&](const char* label, const std::string& a,
+                 const std::string& b, const std::string& c) {
+    std::snprintf(line, sizeof(line), "%-22s | %-12s | %-24s | %-12s\n",
+                  label, a.c_str(), b.c_str(), c.c_str());
+    out += line;
+  };
+  row("Cost", "CMT", "SECOA_S (min/max)", "SIES");
+  out += std::string(80, '-') + "\n";
+  row("Comput. cost at S", HumanSeconds(cmt.source_seconds),
+      HumanSeconds(secoa.best.source_seconds) + " / " +
+          HumanSeconds(secoa.worst.source_seconds),
+      HumanSeconds(sies.source_seconds));
+  row("Comput. cost at A", HumanSeconds(cmt.aggregator_seconds),
+      HumanSeconds(secoa.best.aggregator_seconds) + " / " +
+          HumanSeconds(secoa.worst.aggregator_seconds),
+      HumanSeconds(sies.aggregator_seconds));
+  row("Comput. cost at Q", HumanSeconds(cmt.querier_seconds),
+      HumanSeconds(secoa.best.querier_seconds) + " / " +
+          HumanSeconds(secoa.worst.querier_seconds),
+      HumanSeconds(sies.querier_seconds));
+  row("Commun. cost S-A", HumanBytes(cmt.source_to_aggregator_bytes),
+      HumanBytes(secoa.best.source_to_aggregator_bytes),
+      HumanBytes(sies.source_to_aggregator_bytes));
+  row("Commun. cost A-A", HumanBytes(cmt.aggregator_to_aggregator_bytes),
+      HumanBytes(secoa.best.aggregator_to_aggregator_bytes),
+      HumanBytes(sies.aggregator_to_aggregator_bytes));
+  row("Commun. cost A-Q", HumanBytes(cmt.aggregator_to_querier_bytes),
+      HumanBytes(secoa.best.aggregator_to_querier_bytes) + " / " +
+          HumanBytes(secoa.worst.aggregator_to_querier_bytes),
+      HumanBytes(sies.aggregator_to_querier_bytes));
+  return out;
+}
+
+}  // namespace sies::costmodel

@@ -1,0 +1,66 @@
+// The analytical cost models of the paper's Section V (Equations 1-11):
+// per-party CPU cost and per-edge communication for CMT, SECOA_S, and
+// SIES, parameterized by the measured primitive costs and the system
+// parameters (N, J, F, D).
+#ifndef SIES_COSTMODEL_MODELS_H_
+#define SIES_COSTMODEL_MODELS_H_
+
+#include <string>
+
+#include "costmodel/primitives.h"
+
+namespace sies::costmodel {
+
+/// System parameters fed into the models (paper Table II, lower half).
+struct ModelInputs {
+  uint32_t n = 1024;        ///< number of sources
+  uint32_t j = 300;         ///< sketch instances (SECOA_S)
+  uint32_t f = 4;           ///< aggregator fanout
+  uint64_t d_lower = 1800;  ///< domain lower bound D_L
+  uint64_t d_upper = 5000;  ///< domain upper bound D_U
+
+  /// Upper bound of a sketch value: ceil(log2(N * D_U)) (paper Section V).
+  uint32_t SketchValueBound() const;
+};
+
+/// One scheme's predicted costs.
+struct SchemeCosts {
+  double source_seconds = 0;
+  double aggregator_seconds = 0;
+  double querier_seconds = 0;
+  size_t source_to_aggregator_bytes = 0;
+  size_t aggregator_to_aggregator_bytes = 0;
+  size_t aggregator_to_querier_bytes = 0;
+};
+
+/// CMT (Equations 1, 4, 7; constant 20-byte edges).
+SchemeCosts CmtModel(const PrimitiveCosts& costs, const ModelInputs& in);
+
+/// SIES (Equations 3, 6, 9; constant 32-byte edges). `psr_bytes` is the
+/// PSR width (32 for the reference configuration).
+SchemeCosts SiesModel(const PrimitiveCosts& costs, const ModelInputs& in,
+                      size_t psr_bytes = 32);
+
+/// SECOA_S best/worst case over any data distribution in [D_L, D_U]
+/// (Equations 2, 5, 8, 10, 11 with the dataset-dependent variables bound
+/// as in Section V "Formulae evaluation").
+struct SecoaBounds {
+  SchemeCosts best;
+  SchemeCosts worst;
+};
+SecoaBounds SecoaModel(const PrimitiveCosts& costs, const ModelInputs& in);
+
+/// SECOA_S cost for a concrete run: `v` the source value, `sum_x` the
+/// sum of a source's J sketch values, `sum_rl` total rolling ops at an
+/// aggregator, `seal_groups` and `x_max` at the querier. Used to check
+/// model-vs-measured agreement.
+SchemeCosts SecoaConcrete(const PrimitiveCosts& costs, const ModelInputs& in,
+                          uint64_t v, uint64_t sum_x, uint64_t sum_rl,
+                          uint64_t seal_groups, uint64_t x_max);
+
+/// Renders a Table III-style comparison of all three schemes.
+std::string RenderTable3(const PrimitiveCosts& costs, const ModelInputs& in);
+
+}  // namespace sies::costmodel
+
+#endif  // SIES_COSTMODEL_MODELS_H_

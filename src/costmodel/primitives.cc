@@ -1,0 +1,119 @@
+#include "costmodel/primitives.h"
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "crypto/biguint.h"
+#include "crypto/hmac.h"
+#include "crypto/prime.h"
+#include "crypto/rsa.h"
+#include "sketch/ams_sketch.h"
+
+namespace sies::costmodel {
+
+namespace {
+
+// Times `op(i)` over `iters` calls, returning seconds per call.
+template <typename Op>
+double TimePerCall(uint64_t iters, Op&& op) {
+  Stopwatch watch;
+  for (uint64_t i = 0; i < iters; ++i) op(i);
+  return watch.ElapsedSeconds() / static_cast<double>(iters);
+}
+
+}  // namespace
+
+PrimitiveCosts MeasurePrimitives(uint64_t iterations) {
+  using crypto::BigUint;
+  PrimitiveCosts costs;
+  Xoshiro256 rng(0x5eed);
+
+  // Sketch generation: one UnitLevel call (one instance, one unit).
+  {
+    uint64_t sink = 0;
+    costs.c_sk = TimePerCall(iterations * 50, [&](uint64_t i) {
+      sink += sketch::UnitLevel(0x1234, i & 1023, i);
+    });
+    volatile uint64_t keep = sink;
+    (void)keep;
+  }
+
+  // HMACs over an 8-byte message with a 20-byte key (the protocols' use).
+  Bytes key = rng.NextBytes(20);
+  costs.c_hm1 = TimePerCall(iterations, [&](uint64_t i) {
+    volatile uint8_t sink = crypto::EpochPrfSha1(key, i)[0];
+    (void)sink;
+  });
+  costs.c_hm256 = TimePerCall(iterations, [&](uint64_t i) {
+    volatile uint8_t sink = crypto::EpochPrfSha256(key, i)[0];
+    (void)sink;
+  });
+
+  // Modular additions/multiplications at the protocol widths.
+  BigUint p160 = crypto::GeneratePrime(160, rng);
+  BigUint p256 = crypto::GeneratePrime(256, rng);
+  BigUint a160 = BigUint::RandomBelow(p160, rng);
+  BigUint b160 = BigUint::RandomBelow(p160, rng);
+  BigUint a256 = BigUint::RandomBelow(p256, rng);
+  BigUint b256 = BigUint::RandomBelow(p256, rng);
+  costs.c_a20 = TimePerCall(iterations * 10, [&](uint64_t) {
+    a160 = BigUint::ModAdd(a160, b160, p160).value();
+  });
+  costs.c_a32 = TimePerCall(iterations * 10, [&](uint64_t) {
+    a256 = BigUint::ModAdd(a256, b256, p256).value();
+  });
+  costs.c_m32 = TimePerCall(iterations * 10, [&](uint64_t) {
+    a256 = BigUint::ModMul(a256, b256, p256).value();
+    if (a256.IsZero()) a256 = b256;
+  });
+  costs.c_mi32 = TimePerCall(iterations / 10 + 1, [&](uint64_t) {
+    volatile bool ok = BigUint::ModInverse(b256, p256).ok();
+    (void)ok;
+  });
+
+  // RSA-1024 with e=3 (the cheap one-way-chain exponent SEALs use) and
+  // 128-byte modular multiplication.
+  auto kp = crypto::GenerateRsaKeyPair(1024, rng, /*public_exponent=*/3)
+                .value();
+  BigUint x = BigUint::RandomBelow(kp.public_key.n(), rng);
+  BigUint y = BigUint::RandomBelow(kp.public_key.n(), rng);
+  costs.c_rsa = TimePerCall(iterations / 10 + 1, [&](uint64_t) {
+    x = kp.public_key.Apply(x).value();
+  });
+  costs.c_m128 = TimePerCall(iterations, [&](uint64_t) {
+    x = kp.public_key.MulMod(x, y).value();
+    if (x.IsZero()) x = y;
+  });
+
+  return costs;
+}
+
+PrimitiveCosts PaperPrimitives() {
+  PrimitiveCosts costs;
+  costs.c_sk = 0.037e-6;
+  costs.c_rsa = 5.36e-6;
+  costs.c_hm1 = 0.46e-6;
+  costs.c_hm256 = 1.02e-6;
+  costs.c_a20 = 0.15e-6;
+  costs.c_a32 = 0.37e-6;
+  costs.c_m32 = 0.45e-6;
+  costs.c_m128 = 1.39e-6;
+  costs.c_mi32 = 3.2e-6;
+  return costs;
+}
+
+std::string PrimitiveCosts::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "C_sk=%.4f us, C_RSA=%.3f us, C_HM1=%.3f us, "
+                "C_HM256=%.3f us, C_A20=%.3f us, C_A32=%.3f us, "
+                "C_M32=%.3f us, C_M128=%.3f us, C_MI32=%.3f us",
+                c_sk * 1e6, c_rsa * 1e6, c_hm1 * 1e6, c_hm256 * 1e6,
+                c_a20 * 1e6, c_a32 * 1e6, c_m32 * 1e6, c_m128 * 1e6,
+                c_mi32 * 1e6);
+  return buf;
+}
+
+}  // namespace sies::costmodel

@@ -1,0 +1,40 @@
+// Measurement of the primitive operation costs in the paper's Table II:
+// C_sk, C_RSA, C_HM1, C_HM256, C_A20, C_A32, C_M32, C_M128, C_MI32.
+//
+// The paper calibrated these on its benchmark CPU and fed them into the
+// Section V cost models; we do the same on the host CPU so that model
+// predictions and measured experiment costs are comparable.
+#ifndef SIES_COSTMODEL_PRIMITIVES_H_
+#define SIES_COSTMODEL_PRIMITIVES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sies::costmodel {
+
+/// Per-operation wall-clock costs in seconds.
+struct PrimitiveCosts {
+  double c_sk = 0;     ///< one sketch unit insertion (one instance)
+  double c_rsa = 0;    ///< one RSA-1024 raw encryption
+  double c_hm1 = 0;    ///< one HMAC-SHA1 over an 8-byte message
+  double c_hm256 = 0;  ///< one HMAC-SHA256 over an 8-byte message
+  double c_a20 = 0;    ///< 20-byte modular addition
+  double c_a32 = 0;    ///< 32-byte modular addition
+  double c_m32 = 0;    ///< 32-byte modular multiplication
+  double c_m128 = 0;   ///< 128-byte modular multiplication
+  double c_mi32 = 0;   ///< 32-byte modular inverse
+
+  /// Formats as a Table II-style listing (microseconds).
+  std::string ToString() const;
+};
+
+/// Runs the calibration microbenchmarks. `iterations` scales the loop
+/// counts (default gives stable numbers in well under a second each).
+PrimitiveCosts MeasurePrimitives(uint64_t iterations = 20000);
+
+/// The paper's Table II reference values (for side-by-side reporting).
+PrimitiveCosts PaperPrimitives();
+
+}  // namespace sies::costmodel
+
+#endif  // SIES_COSTMODEL_PRIMITIVES_H_

@@ -1,0 +1,613 @@
+#include "crypto/biguint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace sies::crypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr size_t kKaratsubaThreshold = 24;  // limbs
+
+// Adds b into a (vectors of limbs), returning the final carry.
+uint64_t AddInto(std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  if (a.size() < b.size()) a.resize(b.size(), 0);
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i < b.size(); ++i) {
+    u128 s = static_cast<u128>(a[i]) + b[i] + carry;
+    a[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  for (; carry && i < a.size(); ++i) {
+    u128 s = static_cast<u128>(a[i]) + carry;
+    a[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  return carry;
+}
+
+// Subtracts b from a in place; requires a >= b. Returns borrow (must be 0).
+uint64_t SubInto(std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  uint64_t borrow = 0;
+  size_t i = 0;
+  for (; i < b.size(); ++i) {
+    u128 d = static_cast<u128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+  for (; borrow && i < a.size(); ++i) {
+    u128 d = static_cast<u128>(a[i]) - borrow;
+    a[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+  return borrow;
+}
+
+int CompareLimbs(const std::vector<uint64_t>& a,
+                 const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+BigUint::BigUint(uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::FromLimbs(std::vector<uint64_t> limbs) {
+  BigUint r;
+  r.limbs_ = std::move(limbs);
+  r.Trim();
+  return r;
+}
+
+BigUint BigUint::FromBytes(const uint8_t* data, size_t len) {
+  BigUint r;
+  r.limbs_.assign((len + 7) / 8, 0);
+  for (size_t i = 0; i < len; ++i) {
+    // data[0] is the most significant byte.
+    size_t byte_from_right = len - 1 - i;
+    r.limbs_[byte_from_right / 8] |= static_cast<uint64_t>(data[i])
+                                     << (8 * (byte_from_right % 8));
+  }
+  r.Trim();
+  return r;
+}
+
+BigUint BigUint::FromBytes(const Bytes& be) {
+  return FromBytes(be.data(), be.size());
+}
+
+StatusOr<BigUint> BigUint::FromHexString(std::string_view hex) {
+  BigUint r;
+  for (char c : hex) {
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return Status::InvalidArgument("non-hex character");
+    }
+    r = Shl(r, 4);
+    if (nibble) r = Add(r, BigUint(nibble));
+  }
+  return r;
+}
+
+StatusOr<BigUint> BigUint::FromDecimalString(std::string_view dec) {
+  if (dec.empty()) return Status::InvalidArgument("empty decimal string");
+  BigUint r;
+  const BigUint ten(10);
+  for (char c : dec) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-decimal character");
+    }
+    r = Add(Mul(r, ten), BigUint(static_cast<uint64_t>(c - '0')));
+  }
+  return r;
+}
+
+BigUint BigUint::RandomWithBits(size_t bits, Xoshiro256& rng) {
+  assert(bits > 0);
+  size_t limbs = (bits + 63) / 64;
+  std::vector<uint64_t> v(limbs);
+  for (auto& limb : v) limb = rng.Next();
+  size_t top_bits = bits - (limbs - 1) * 64;  // 1..64
+  if (top_bits < 64) v.back() &= (uint64_t{1} << top_bits) - 1;
+  v.back() |= uint64_t{1} << (top_bits - 1);  // force exact bit length
+  return FromLimbs(std::move(v));
+}
+
+BigUint BigUint::RandomBelow(const BigUint& bound, Xoshiro256& rng) {
+  assert(!bound.IsZero());
+  size_t bits = bound.BitLength();
+  size_t limbs = (bits + 63) / 64;
+  size_t top_bits = bits - (limbs - 1) * 64;
+  uint64_t mask =
+      top_bits == 64 ? ~uint64_t{0} : (uint64_t{1} << top_bits) - 1;
+  for (;;) {
+    std::vector<uint64_t> v(limbs);
+    for (auto& limb : v) limb = rng.Next();
+    v.back() &= mask;
+    BigUint candidate = FromLimbs(std::move(v));
+    if (candidate < bound) return candidate;
+  }
+}
+
+size_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint64_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 64;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::Bit(size_t i) const {
+  size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+StatusOr<Bytes> BigUint::ToBytes(size_t width) const {
+  Bytes min = ToBytes();
+  if (min.size() > width) {
+    return Status::OutOfRange("value does not fit in requested width");
+  }
+  Bytes out(width - min.size(), 0);
+  out.insert(out.end(), min.begin(), min.end());
+  return out;
+}
+
+Bytes BigUint::ToBytes() const {
+  if (limbs_.empty()) return {};
+  Bytes out;
+  out.reserve(limbs_.size() * 8);
+  // Most significant limb first, skipping its leading zero bytes.
+  uint64_t top = limbs_.back();
+  int top_bytes = 0;
+  for (uint64_t t = top; t; t >>= 8) ++top_bytes;
+  for (int b = top_bytes - 1; b >= 0; --b) {
+    out.push_back(static_cast<uint8_t>(top >> (8 * b)));
+  }
+  for (size_t i = limbs_.size() - 1; i-- > 0;) {
+    for (int b = 7; b >= 0; --b) {
+      out.push_back(static_cast<uint8_t>(limbs_[i] >> (8 * b)));
+    }
+  }
+  return out;
+}
+
+std::string BigUint::ToHexString() const {
+  if (limbs_.empty()) return "0";
+  Bytes be = ToBytes();
+  std::string s = ToHex(be);
+  // Strip a leading zero nibble if present.
+  if (s.size() > 1 && s[0] == '0') s.erase(0, 1);
+  return s;
+}
+
+std::string BigUint::ToDecimalString() const {
+  if (limbs_.empty()) return "0";
+  std::string out;
+  BigUint cur = *this;
+  const BigUint billion(1000000000ull);
+  std::vector<uint32_t> chunks;
+  while (!cur.IsZero()) {
+    auto dm = DivMod(cur, billion);
+    chunks.push_back(static_cast<uint32_t>(dm.value().remainder.Low64()));
+    cur = std::move(dm.value().quotient);
+  }
+  out = std::to_string(chunks.back());
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(9 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  return CompareLimbs(limbs_, other.limbs_);
+}
+
+BigUint BigUint::Add(const BigUint& a, const BigUint& b) {
+  std::vector<uint64_t> r = a.limbs_;
+  uint64_t carry = AddInto(r, b.limbs_);
+  if (carry) r.push_back(carry);
+  return FromLimbs(std::move(r));
+}
+
+BigUint BigUint::Sub(const BigUint& a, const BigUint& b) {
+  assert(a >= b && "BigUint::Sub underflow");
+  std::vector<uint64_t> r = a.limbs_;
+  uint64_t borrow = SubInto(r, b.limbs_);
+  (void)borrow;
+  assert(borrow == 0);
+  return FromLimbs(std::move(r));
+}
+
+BigUint BigUint::MulSchoolbook(const BigUint& a, const BigUint& b) {
+  if (a.IsZero() || b.IsZero()) return BigUint();
+  std::vector<uint64_t> r(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(ai) * b.limbs_[j] + r[i + j] + carry;
+      r[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    r[i + b.limbs_.size()] += carry;
+  }
+  return FromLimbs(std::move(r));
+}
+
+BigUint BigUint::MulKaratsuba(const BigUint& a, const BigUint& b) {
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  if (std::min(a.limbs_.size(), b.limbs_.size()) < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  size_t half = n / 2;
+  auto split = [half](const BigUint& x) {
+    BigUint lo, hi;
+    if (x.limbs_.size() <= half) {
+      lo = x;
+    } else {
+      lo.limbs_.assign(x.limbs_.begin(), x.limbs_.begin() + half);
+      lo.Trim();
+      hi.limbs_.assign(x.limbs_.begin() + half, x.limbs_.end());
+      hi.Trim();
+    }
+    return std::pair<BigUint, BigUint>(std::move(lo), std::move(hi));
+  };
+  auto [a0, a1] = split(a);
+  auto [b0, b1] = split(b);
+  BigUint z0 = MulKaratsuba(a0, b0);
+  BigUint z2 = MulKaratsuba(a1, b1);
+  BigUint z1 = MulKaratsuba(Add(a0, a1), Add(b0, b1));
+  z1 = Sub(Sub(z1, z0), z2);
+  BigUint r = Add(z0, Shl(z1, half * 64));
+  r = Add(r, Shl(z2, 2 * half * 64));
+  return r;
+}
+
+BigUint BigUint::Mul(const BigUint& a, const BigUint& b) {
+  if (std::min(a.limbs_.size(), b.limbs_.size()) >= kKaratsubaThreshold) {
+    return MulKaratsuba(a, b);
+  }
+  return MulSchoolbook(a, b);
+}
+
+BigUint BigUint::Shl(const BigUint& a, size_t bits) {
+  if (a.IsZero() || bits == 0) return a;
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  std::vector<uint64_t> r(a.limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    r[i + limb_shift] |= a.limbs_[i] << bit_shift;
+    if (bit_shift) {
+      r[i + limb_shift + 1] |= a.limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  return FromLimbs(std::move(r));
+}
+
+BigUint BigUint::Shr(const BigUint& a, size_t bits) {
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  if (limb_shift >= a.limbs_.size()) return BigUint();
+  std::vector<uint64_t> r(a.limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < r.size(); ++i) {
+    r[i] = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < a.limbs_.size()) {
+      r[i] |= a.limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  return FromLimbs(std::move(r));
+}
+
+StatusOr<BigUint::DivModResult> BigUint::DivMod(const BigUint& a,
+                                                const BigUint& b) {
+  if (b.IsZero()) return Status::InvalidArgument("division by zero");
+  if (a < b) return DivModResult{BigUint(), a};
+  if (b.limbs_.size() == 1) {
+    // Fast single-limb path.
+    uint64_t d = b.limbs_[0];
+    std::vector<uint64_t> q(a.limbs_.size(), 0);
+    u128 rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | a.limbs_[i];
+      q[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    return DivModResult{FromLimbs(std::move(q)),
+                        BigUint(static_cast<uint64_t>(rem))};
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top bit is set.
+  size_t shift = 64 - (b.BitLength() % 64);
+  if (shift == 64) shift = 0;
+  BigUint u = Shl(a, shift);
+  BigUint v = Shl(b, shift);
+  size_t n = v.limbs_.size();
+  size_t m = u.limbs_.size() - n;
+  std::vector<uint64_t> un = u.limbs_;
+  un.push_back(0);  // u_{m+n}
+  const std::vector<uint64_t>& vn = v.limbs_;
+  std::vector<uint64_t> q(m + 1, 0);
+
+  const uint64_t v_top = vn[n - 1];
+  const uint64_t v_second = vn[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    u128 numerator = (static_cast<u128>(un[j + n]) << 64) | un[j + n - 1];
+    u128 qhat = numerator / v_top;
+    u128 rhat = numerator % v_top;
+    while (qhat >= (static_cast<u128>(1) << 64) ||
+           qhat * v_second > ((rhat << 64) | un[j + n - 2])) {
+      --qhat;
+      rhat += v_top;
+      if (rhat >= (static_cast<u128>(1) << 64)) break;
+    }
+    // Multiply-subtract: un[j..j+n] -= qhat * vn.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      u128 p = qhat * vn[i] + carry;
+      carry = p >> 64;
+      u128 sub = static_cast<u128>(un[i + j]) - static_cast<uint64_t>(p) -
+                 static_cast<uint64_t>(borrow);
+      un[i + j] = static_cast<uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    u128 sub = static_cast<u128>(un[j + n]) - static_cast<uint64_t>(carry) -
+               static_cast<uint64_t>(borrow);
+    un[j + n] = static_cast<uint64_t>(sub);
+    bool negative = (sub >> 64) != 0;
+
+    q[j] = static_cast<uint64_t>(qhat);
+    if (negative) {
+      // qhat was one too large: add back.
+      --q[j];
+      u128 c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        u128 s = static_cast<u128>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<uint64_t>(s);
+        c = s >> 64;
+      }
+      un[j + n] += static_cast<uint64_t>(c);
+    }
+  }
+
+  un.resize(n);
+  BigUint remainder = Shr(FromLimbs(std::move(un)), shift);
+  return DivModResult{FromLimbs(std::move(q)), std::move(remainder)};
+}
+
+StatusOr<BigUint> BigUint::Mod(const BigUint& a, const BigUint& m) {
+  auto dm = DivMod(a, m);
+  if (!dm.ok()) return dm.status();
+  return std::move(dm.value().remainder);
+}
+
+StatusOr<BigUint> BigUint::ModAdd(const BigUint& a, const BigUint& b,
+                                  const BigUint& m) {
+  if (m.IsZero()) return Status::InvalidArgument("division by zero");
+  // Fast path for the aggregation hot loop: both operands already
+  // reduced, so the sum is < 2m and one conditional subtract reduces it.
+  if (a < m && b < m) {
+    BigUint sum = Add(a, b);
+    if (sum >= m) sum = Sub(sum, m);
+    return sum;
+  }
+  return Mod(Add(a, b), m);
+}
+
+StatusOr<BigUint> BigUint::ModSub(const BigUint& a, const BigUint& b,
+                                  const BigUint& m) {
+  auto ra = Mod(a, m);
+  if (!ra.ok()) return ra.status();
+  auto rb = Mod(b, m);
+  if (!rb.ok()) return rb.status();
+  if (ra.value() >= rb.value()) return Sub(ra.value(), rb.value());
+  return Sub(Add(ra.value(), m), rb.value());
+}
+
+StatusOr<BigUint> BigUint::ModMul(const BigUint& a, const BigUint& b,
+                                  const BigUint& m) {
+  return Mod(Mul(a, b), m);
+}
+
+StatusOr<BigUint> BigUint::ModExp(const BigUint& a, const BigUint& e,
+                                  const BigUint& m) {
+  if (m.IsZero()) return Status::InvalidArgument("zero modulus");
+  if (m.IsOne()) return BigUint();
+  if (m.IsOdd()) {
+    auto ctx = MontgomeryCtx::Create(m);
+    if (!ctx.ok()) return ctx.status();
+    return ctx.value().ModExp(a, e);
+  }
+  // Even modulus: plain square-and-multiply with full reductions.
+  auto base_or = Mod(a, m);
+  if (!base_or.ok()) return base_or.status();
+  BigUint base = std::move(base_or).value();
+  BigUint result(1);
+  for (size_t i = e.BitLength(); i-- > 0;) {
+    result = ModMul(result, result, m).value();
+    if (e.Bit(i)) result = ModMul(result, base, m).value();
+  }
+  return result;
+}
+
+StatusOr<BigUint> BigUint::ModInverse(const BigUint& a, const BigUint& m) {
+  if (m.IsZero() || m.IsOne()) {
+    return Status::InvalidArgument("modulus must be > 1");
+  }
+  auto a_red_or = Mod(a, m);
+  if (!a_red_or.ok()) return a_red_or.status();
+  BigUint r_prev = m, r_cur = std::move(a_red_or).value();
+  if (r_cur.IsZero()) {
+    return Status::InvalidArgument("value not invertible (zero mod m)");
+  }
+  // Extended Euclid tracking only the coefficient of `a`, with sign flags.
+  BigUint t_prev, t_cur(1);  // t_prev = 0
+  bool t_prev_neg = false, t_cur_neg = false;
+  while (!r_cur.IsZero()) {
+    auto dm = DivMod(r_prev, r_cur);
+    if (!dm.ok()) return dm.status();
+    const BigUint& q = dm.value().quotient;
+    BigUint r_next = dm.value().remainder;
+
+    // t_next = t_prev - q * t_cur  (signed arithmetic on magnitudes).
+    BigUint qt = Mul(q, t_cur);
+    BigUint t_next;
+    bool t_next_neg;
+    if (t_prev_neg == t_cur_neg) {
+      // Same sign: t_prev - q*t_cur may flip sign.
+      if (t_prev >= qt) {
+        t_next = Sub(t_prev, qt);
+        t_next_neg = t_prev_neg;
+      } else {
+        t_next = Sub(qt, t_prev);
+        t_next_neg = !t_prev_neg;
+      }
+    } else {
+      t_next = Add(t_prev, qt);
+      t_next_neg = t_prev_neg;
+    }
+    if (t_next.IsZero()) t_next_neg = false;
+
+    r_prev = std::move(r_cur);
+    r_cur = std::move(r_next);
+    t_prev = std::move(t_cur);
+    t_prev_neg = t_cur_neg;
+    t_cur = std::move(t_next);
+    t_cur_neg = t_next_neg;
+  }
+  if (!r_prev.IsOne()) {
+    return Status::InvalidArgument("value not invertible (gcd != 1)");
+  }
+  // t_prev is the inverse; normalize into [0, m).
+  BigUint inv = Mod(t_prev, m).value();
+  if (t_prev_neg && !inv.IsZero()) inv = Sub(m, inv);
+  return inv;
+}
+
+StatusOr<uint64_t> BigUint::ToUint64() const {
+  if (!FitsUint64()) {
+    return Status::OutOfRange("value exceeds 64 bits");
+  }
+  return Low64();
+}
+
+std::ostream& operator<<(std::ostream& os, const BigUint& v) {
+  return os << "0x" << v.ToHexString();
+}
+
+BigUint BigUint::Gcd(const BigUint& a, const BigUint& b) {
+  BigUint x = a, y = b;
+  while (!y.IsZero()) {
+    BigUint r = Mod(x, y).value();
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// MontgomeryCtx
+// ---------------------------------------------------------------------------
+
+StatusOr<MontgomeryCtx> MontgomeryCtx::Create(const BigUint& modulus) {
+  if (!modulus.IsOdd() || modulus.IsOne()) {
+    return Status::InvalidArgument("Montgomery modulus must be odd and > 1");
+  }
+  MontgomeryCtx ctx;
+  ctx.modulus_ = modulus;
+  ctx.n_ = modulus.limbs().size();
+
+  // n0inv = -m0^{-1} mod 2^64 via Newton iteration (m0 odd).
+  uint64_t m0 = modulus.limbs()[0];
+  uint64_t inv = m0;  // 3 bits correct
+  for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;  // doubles precision
+  ctx.n0inv_ = ~inv + 1;  // negate mod 2^64
+
+  // R = 2^(64n); compute R mod m and R^2 mod m.
+  BigUint r = BigUint::Shl(BigUint(1), 64 * ctx.n_);
+  ctx.r_mod_ = BigUint::Mod(r, modulus).value();
+  ctx.r2_mod_ = BigUint::ModMul(ctx.r_mod_, ctx.r_mod_, modulus).value();
+  return ctx;
+}
+
+BigUint MontgomeryCtx::Redc(std::vector<uint64_t> t) const {
+  // Word-by-word Montgomery reduction (CIOS-style on an existing product).
+  t.resize(2 * n_ + 1, 0);
+  const auto& m = modulus_.limbs();
+  for (size_t i = 0; i < n_; ++i) {
+    uint64_t u = t[i] * n0inv_;
+    u128 carry = 0;
+    for (size_t j = 0; j < n_; ++j) {
+      u128 s = static_cast<u128>(u) * m[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+    }
+    size_t k = i + n_;
+    while (carry) {
+      u128 s = static_cast<u128>(t[k]) + carry;
+      t[k] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+      ++k;
+    }
+  }
+  std::vector<uint64_t> res(t.begin() + n_, t.end());
+  BigUint r;
+  r = BigUint::FromLimbs(std::move(res));
+  if (r >= modulus_) r = BigUint::Sub(r, modulus_);
+  return r;
+}
+
+BigUint MontgomeryCtx::ToMont(const BigUint& a) const {
+  // a * R mod m == REDC(a * R^2).
+  BigUint prod = BigUint::Mul(a, r2_mod_);
+  return Redc(prod.limbs());
+}
+
+BigUint MontgomeryCtx::FromMont(const BigUint& a) const {
+  return Redc(a.limbs());
+}
+
+BigUint MontgomeryCtx::MulMont(const BigUint& a, const BigUint& b) const {
+  BigUint prod = BigUint::Mul(a, b);
+  return Redc(prod.limbs());
+}
+
+BigUint MontgomeryCtx::ModExp(const BigUint& a, const BigUint& e) const {
+  BigUint base = BigUint::Mod(a, modulus_).value();
+  if (e.IsZero()) return BigUint(1) < modulus_ ? BigUint(1) : BigUint();
+  BigUint base_m = ToMont(base);
+  BigUint acc = r_mod_;  // 1 in Montgomery form
+  for (size_t i = e.BitLength(); i-- > 0;) {
+    acc = MulMont(acc, acc);
+    if (e.Bit(i)) acc = MulMont(acc, base_m);
+  }
+  return FromMont(acc);
+}
+
+}  // namespace sies::crypto

@@ -1,0 +1,188 @@
+// BigUint: arbitrary-precision unsigned integer arithmetic.
+//
+// This is the bignum substrate for the whole library: the SIES homomorphic
+// scheme works modulo a 32-byte prime, CMT modulo a 20-byte integer, and
+// SECOA's SEALs are raw-RSA residues modulo a 128-byte composite. The paper
+// used GNU MP; we implement the needed subset from scratch (see DESIGN.md).
+//
+// Representation: little-endian vector of 64-bit limbs with no trailing
+// zero limbs (zero is the empty vector). All operations are value-semantic.
+#ifndef SIES_CRYPTO_BIGUINT_H_
+#define SIES_CRYPTO_BIGUINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sies::crypto {
+
+/// Arbitrary-precision unsigned integer.
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+  /// From a machine word.
+  explicit BigUint(uint64_t v);
+
+  /// Parses a big-endian byte string (leading zeros allowed).
+  static BigUint FromBytes(const Bytes& be);
+  /// Parses a big-endian raw buffer.
+  static BigUint FromBytes(const uint8_t* data, size_t len);
+  /// Parses a hex string (no "0x" prefix). Empty string parses to zero.
+  static StatusOr<BigUint> FromHexString(std::string_view hex);
+  /// Parses a decimal string.
+  static StatusOr<BigUint> FromDecimalString(std::string_view dec);
+
+  /// Uniformly random integer in [0, bound). `bound` must be nonzero.
+  static BigUint RandomBelow(const BigUint& bound, Xoshiro256& rng);
+  /// Uniformly random integer with exactly `bits` bits (top bit set).
+  static BigUint RandomWithBits(size_t bits, Xoshiro256& rng);
+
+  // --- observers ---
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+  /// Value of bit `i` (false beyond BitLength).
+  bool Bit(size_t i) const;
+  /// Low 64 bits.
+  uint64_t Low64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+  /// True if the value fits in 64 bits.
+  bool FitsUint64() const { return limbs_.size() <= 1; }
+
+  /// Big-endian byte encoding, zero-padded on the left to `width` bytes.
+  /// Fails if the value needs more than `width` bytes.
+  StatusOr<Bytes> ToBytes(size_t width) const;
+  /// Minimal big-endian byte encoding (empty for zero).
+  Bytes ToBytes() const;
+  /// Lowercase hex (no leading zeros; "0" for zero).
+  std::string ToHexString() const;
+  /// Decimal string.
+  std::string ToDecimalString() const;
+
+  // --- comparison ---
+
+  /// Three-way compare: -1, 0, or +1.
+  int Compare(const BigUint& other) const;
+  bool operator==(const BigUint& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return Compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return Compare(o) >= 0; }
+
+  // --- arithmetic ---
+
+  /// a + b.
+  static BigUint Add(const BigUint& a, const BigUint& b);
+  /// a - b; requires a >= b (asserted).
+  static BigUint Sub(const BigUint& a, const BigUint& b);
+  /// a * b. Uses Karatsuba above a limb-count threshold.
+  static BigUint Mul(const BigUint& a, const BigUint& b);
+  /// Quotient and remainder of a / b. `b` must be nonzero.
+  struct DivModResult;
+  static StatusOr<DivModResult> DivMod(const BigUint& a, const BigUint& b);
+  /// a mod m. `m` must be nonzero.
+  static StatusOr<BigUint> Mod(const BigUint& a, const BigUint& m);
+
+  /// Left shift by `bits`.
+  static BigUint Shl(const BigUint& a, size_t bits);
+  /// Right shift by `bits`.
+  static BigUint Shr(const BigUint& a, size_t bits);
+
+  // --- modular arithmetic (all require m nonzero; operands reduced) ---
+
+  /// (a + b) mod m. Operands need not be pre-reduced.
+  static StatusOr<BigUint> ModAdd(const BigUint& a, const BigUint& b,
+                                  const BigUint& m);
+  /// (a - b) mod m.
+  static StatusOr<BigUint> ModSub(const BigUint& a, const BigUint& b,
+                                  const BigUint& m);
+  /// (a * b) mod m.
+  static StatusOr<BigUint> ModMul(const BigUint& a, const BigUint& b,
+                                  const BigUint& m);
+  /// a^e mod m. Uses Montgomery ladder-free left-to-right square&multiply;
+  /// Montgomery multiplication when m is odd, plain reduction otherwise.
+  static StatusOr<BigUint> ModExp(const BigUint& a, const BigUint& e,
+                                  const BigUint& m);
+  /// Multiplicative inverse of a mod m via extended Euclid; fails if
+  /// gcd(a, m) != 1.
+  static StatusOr<BigUint> ModInverse(const BigUint& a, const BigUint& m);
+
+  /// Greatest common divisor.
+  static BigUint Gcd(const BigUint& a, const BigUint& b);
+
+  /// Direct operator sugar (asserting variants of the above).
+  BigUint operator+(const BigUint& o) const { return Add(*this, o); }
+  BigUint operator-(const BigUint& o) const { return Sub(*this, o); }
+  BigUint operator*(const BigUint& o) const { return Mul(*this, o); }
+
+  /// The value as uint64, or OutOfRange if it does not fit.
+  StatusOr<uint64_t> ToUint64() const;
+
+  /// Limb accessors for white-box tests.
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  friend class MontgomeryCtx;
+
+  void Trim();
+  static BigUint FromLimbs(std::vector<uint64_t> limbs);
+
+  // Schoolbook and Karatsuba multiplication cores.
+  static BigUint MulSchoolbook(const BigUint& a, const BigUint& b);
+  static BigUint MulKaratsuba(const BigUint& a, const BigUint& b);
+
+  std::vector<uint64_t> limbs_;  // little-endian, trimmed
+};
+
+/// Result pair of BigUint::DivMod.
+struct BigUint::DivModResult {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+/// Montgomery multiplication context for a fixed odd modulus. Reusable
+/// across many ModExp-style operations with the same modulus (RSA, the
+/// SIES prime); exposed so perf-sensitive callers can amortize setup.
+class MontgomeryCtx {
+ public:
+  /// Creates a context. `modulus` must be odd and > 1.
+  static StatusOr<MontgomeryCtx> Create(const BigUint& modulus);
+
+  /// Converts a (reduced) value into Montgomery form.
+  BigUint ToMont(const BigUint& a) const;
+  /// Converts out of Montgomery form.
+  BigUint FromMont(const BigUint& a) const;
+  /// Montgomery product of two Montgomery-form values.
+  BigUint MulMont(const BigUint& a, const BigUint& b) const;
+  /// a^e mod m computed entirely in Montgomery space (a is a normal value).
+  BigUint ModExp(const BigUint& a, const BigUint& e) const;
+
+  const BigUint& modulus() const { return modulus_; }
+
+ private:
+  MontgomeryCtx() = default;
+
+  BigUint Redc(std::vector<uint64_t> t) const;  // Montgomery reduction
+
+  BigUint modulus_;
+  size_t n_ = 0;        // limb count of modulus
+  uint64_t n0inv_ = 0;  // -modulus^{-1} mod 2^64
+  BigUint r_mod_;       // R mod m
+  BigUint r2_mod_;      // R^2 mod m
+};
+
+/// Streams the value in hex (test-failure messages, logging).
+std::ostream& operator<<(std::ostream& os, const BigUint& v);
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_BIGUINT_H_

@@ -1,0 +1,61 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace sies::crypto {
+
+namespace {
+
+// Generic HMAC over any hasher with kBlockSize/kDigestSize and the
+// streaming Reset/Update/Final interface.
+template <typename Hash>
+Bytes HmacGeneric(const Bytes& key, const Bytes& message) {
+  Bytes k = key;
+  if (k.size() > Hash::kBlockSize) {
+    Hash h;
+    h.Update(k);
+    k.assign(Hash::kDigestSize, 0);
+    h.Final(k.data());
+  }
+  k.resize(Hash::kBlockSize, 0);
+
+  Bytes ipad(Hash::kBlockSize), opad(Hash::kBlockSize);
+  for (size_t i = 0; i < Hash::kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Hash inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest(Hash::kDigestSize);
+  inner.Final(inner_digest.data());
+
+  Hash outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  Bytes tag(Hash::kDigestSize);
+  outer.Final(tag.data());
+  return tag;
+}
+
+}  // namespace
+
+Bytes HmacSha1(const Bytes& key, const Bytes& message) {
+  return HmacGeneric<Sha1>(key, message);
+}
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  return HmacGeneric<Sha256>(key, message);
+}
+
+Bytes EpochPrfSha1(const Bytes& key, uint64_t epoch) {
+  return HmacSha1(key, EncodeUint64(epoch));
+}
+
+Bytes EpochPrfSha256(const Bytes& key, uint64_t epoch) {
+  return HmacSha256(key, EncodeUint64(epoch));
+}
+
+}  // namespace sies::crypto

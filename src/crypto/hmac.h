@@ -1,0 +1,33 @@
+// HMAC (RFC 2104 / FIPS 198-1) over the from-scratch SHA family, plus the
+// paper's two PRF aliases:
+//
+//   HM1(K, t)   = HMAC-SHA1(K, t)    -> 20-byte output (secret shares)
+//   HM256(K, t) = HMAC-SHA256(K, t)  -> 32-byte output (temporal keys)
+//
+// The paper treats HMAC as a PRF keyed by a long-term secret and applied
+// to the epoch number t; EpochPrf* below encode exactly that usage.
+#ifndef SIES_CRYPTO_HMAC_H_
+#define SIES_CRYPTO_HMAC_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sies::crypto {
+
+/// HMAC-SHA1 of `message` under `key` (20-byte tag).
+Bytes HmacSha1(const Bytes& key, const Bytes& message);
+
+/// HMAC-SHA256 of `message` under `key` (32-byte tag).
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// HM1(key, t): the paper's SHA-1 PRF applied to epoch `t`
+/// (t is encoded as an 8-byte big-endian integer).
+Bytes EpochPrfSha1(const Bytes& key, uint64_t epoch);
+
+/// HM256(key, t): the paper's SHA-256 PRF applied to epoch `t`.
+Bytes EpochPrfSha256(const Bytes& key, uint64_t epoch);
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_HMAC_H_

@@ -1,0 +1,44 @@
+#include "crypto/hmac_drbg.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace sies::crypto {
+
+HmacDrbg::HmacDrbg(const Bytes& seed, const Bytes& personalization) {
+  key_.assign(Sha256::kDigestSize, 0x00);
+  v_.assign(Sha256::kDigestSize, 0x01);
+  Update(Concat(seed, personalization));
+}
+
+void HmacDrbg::Update(const Bytes& provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes data = v_;
+  data.push_back(0x00);
+  data.insert(data.end(), provided.begin(), provided.end());
+  key_ = HmacSha256(key_, data);
+  v_ = HmacSha256(key_, v_);
+  if (!provided.empty()) {
+    data = v_;
+    data.push_back(0x01);
+    data.insert(data.end(), provided.begin(), provided.end());
+    key_ = HmacSha256(key_, data);
+    v_ = HmacSha256(key_, v_);
+  }
+}
+
+Bytes HmacDrbg::Generate(size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = HmacSha256(key_, v_);
+    size_t take = std::min(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + take);
+  }
+  Update({});
+  return out;
+}
+
+void HmacDrbg::Reseed(const Bytes& entropy) { Update(entropy); }
+
+}  // namespace sies::crypto

@@ -1,0 +1,34 @@
+// HMAC_DRBG (NIST SP 800-90A) instantiated with SHA-256.
+//
+// Generates the long-term key material of the protocols (K, k_i, RSA
+// primes' candidate bytes). Deterministic given the seed, which keeps
+// experiments reproducible while exercising a real DRBG construction.
+#ifndef SIES_CRYPTO_HMAC_DRBG_H_
+#define SIES_CRYPTO_HMAC_DRBG_H_
+
+#include "common/bytes.h"
+
+namespace sies::crypto {
+
+/// Deterministic random bit generator per SP 800-90A (HMAC_DRBG, SHA-256).
+class HmacDrbg {
+ public:
+  /// Instantiates with entropy input (and optional personalization).
+  explicit HmacDrbg(const Bytes& seed, const Bytes& personalization = {});
+
+  /// Produces `n` pseudorandom bytes and advances the state.
+  Bytes Generate(size_t n);
+
+  /// Mixes additional entropy into the state (SP 800-90A reseed).
+  void Reseed(const Bytes& entropy);
+
+ private:
+  void Update(const Bytes& provided);
+
+  Bytes key_;  // K, 32 bytes
+  Bytes v_;    // V, 32 bytes
+};
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_HMAC_DRBG_H_

@@ -1,0 +1,83 @@
+#include "crypto/paillier.h"
+
+#include "crypto/prime.h"
+
+namespace sies::crypto {
+
+PaillierPublicKey::PaillierPublicKey(BigUint n)
+    : n_(std::move(n)), n_squared_(BigUint::Mul(n_, n_)) {}
+
+StatusOr<BigUint> PaillierPublicKey::Encrypt(const BigUint& m,
+                                             Xoshiro256& rng) const {
+  if (m >= n_) return Status::OutOfRange("plaintext must be < n");
+  // r uniform in [1, n) with gcd(r, n) = 1 (overwhelmingly true for a
+  // semiprime n; retry on the negligible failure).
+  BigUint r;
+  do {
+    r = BigUint::RandomBelow(n_, rng);
+  } while (r.IsZero() || !BigUint::Gcd(r, n_).IsOne());
+  // (1 + m*n) * r^n mod n^2.
+  auto rn = BigUint::ModExp(r, n_, n_squared_);
+  if (!rn.ok()) return rn.status();
+  BigUint one_plus_mn = BigUint::Add(BigUint(1), BigUint::Mul(m, n_));
+  return BigUint::ModMul(one_plus_mn, rn.value(), n_squared_);
+}
+
+StatusOr<BigUint> PaillierPublicKey::AddCiphertexts(const BigUint& c1,
+                                                    const BigUint& c2) const {
+  return BigUint::ModMul(c1, c2, n_squared_);
+}
+
+StatusOr<BigUint> PaillierPublicKey::MulPlain(const BigUint& c,
+                                              const BigUint& k) const {
+  return BigUint::ModExp(c, k, n_squared_);
+}
+
+StatusOr<PaillierKeyPair> PaillierKeyPair::Generate(size_t modulus_bits,
+                                                    Xoshiro256& rng) {
+  if (modulus_bits < 64 || modulus_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "modulus_bits must be an even number >= 64");
+  }
+  for (;;) {
+    BigUint p = GeneratePrime(modulus_bits / 2, rng);
+    BigUint q = GeneratePrime(modulus_bits / 2, rng);
+    if (p == q) continue;
+    BigUint n = BigUint::Mul(p, q);
+    if (n.BitLength() != modulus_bits) continue;
+    // gcd(n, (p-1)(q-1)) must be 1 (holds when p, q have equal length
+    // and neither divides the other's predecessor; check anyway).
+    BigUint p1 = BigUint::Sub(p, BigUint(1));
+    BigUint q1 = BigUint::Sub(q, BigUint(1));
+    BigUint phi = BigUint::Mul(p1, q1);
+    if (!BigUint::Gcd(n, phi).IsOne()) continue;
+    // lambda = lcm(p-1, q-1) = (p-1)(q-1)/gcd(p-1, q-1).
+    BigUint g = BigUint::Gcd(p1, q1);
+    BigUint lambda = BigUint::DivMod(phi, g).value().quotient;
+
+    PaillierPublicKey pub(n);
+    // mu = (L(g^lambda mod n^2))^-1 mod n, with g = n + 1:
+    // (n+1)^lambda = 1 + lambda*n mod n^2, so L(...) = lambda mod n.
+    auto mu = BigUint::ModInverse(lambda, n);
+    if (!mu.ok()) continue;
+    return PaillierKeyPair(std::move(pub), std::move(lambda),
+                           std::move(mu).value());
+  }
+}
+
+StatusOr<BigUint> PaillierKeyPair::Decrypt(const BigUint& c) const {
+  const BigUint& n = public_key_.n();
+  const BigUint& n2 = public_key_.n_squared();
+  if (c >= n2) return Status::OutOfRange("ciphertext must be < n^2");
+  auto clambda = BigUint::ModExp(c, lambda_, n2);
+  if (!clambda.ok()) return clambda.status();
+  // L(x) = (x - 1) / n; x = 1 mod n for valid ciphertexts.
+  BigUint x = clambda.value();
+  if (x.IsZero()) return Status::InvalidArgument("invalid ciphertext");
+  BigUint l = BigUint::DivMod(BigUint::Sub(x, BigUint(1)), n)
+                  .value()
+                  .quotient;
+  return BigUint::ModMul(l, mu_, n);
+}
+
+}  // namespace sies::crypto

@@ -1,0 +1,72 @@
+// Paillier cryptosystem (EUROCRYPT '99): the additively homomorphic
+// public-key scheme behind the Ge-Zdonik ODB aggregation baseline the
+// paper discusses in Section II-C.
+//
+// The paper's argument against it for in-network aggregation is twofold:
+// a single owner key (compromising one sensor compromises the system)
+// and cost — Paillier ciphertexts are 2|n| bytes and encryption is a
+// full modular exponentiation, versus SIES's 32 bytes and one modular
+// multiply-add. The ablation bench quantifies exactly that gap.
+//
+// Construction (with the standard g = n + 1 simplification):
+//   Enc(m; r) = (1 + m·n) · r^n  mod n²
+//   Dec(c)    = L(c^λ mod n²) · μ mod n,   L(x) = (x - 1) / n
+#ifndef SIES_CRYPTO_PAILLIER_H_
+#define SIES_CRYPTO_PAILLIER_H_
+
+#include "common/rng.h"
+#include "crypto/biguint.h"
+
+namespace sies::crypto {
+
+/// Paillier public key (n, n²) with homomorphic operations.
+class PaillierPublicKey {
+ public:
+  explicit PaillierPublicKey(BigUint n);
+
+  /// Encrypts plaintext m < n with fresh randomness from `rng`.
+  StatusOr<BigUint> Encrypt(const BigUint& m, Xoshiro256& rng) const;
+
+  /// Homomorphic addition: Enc(m1) * Enc(m2) mod n² = Enc(m1 + m2).
+  StatusOr<BigUint> AddCiphertexts(const BigUint& c1, const BigUint& c2)
+      const;
+
+  /// Homomorphic scalar multiply: Enc(m)^k = Enc(k * m).
+  StatusOr<BigUint> MulPlain(const BigUint& c, const BigUint& k) const;
+
+  const BigUint& n() const { return n_; }
+  const BigUint& n_squared() const { return n_squared_; }
+  /// Ciphertext width in bytes (2 |n|).
+  size_t CiphertextBytes() const { return (n_squared_.BitLength() + 7) / 8; }
+
+ private:
+  BigUint n_;
+  BigUint n_squared_;
+};
+
+/// A full Paillier keypair.
+class PaillierKeyPair {
+ public:
+  /// Generates a keypair with a modulus of `modulus_bits` bits.
+  static StatusOr<PaillierKeyPair> Generate(size_t modulus_bits,
+                                            Xoshiro256& rng);
+
+  const PaillierPublicKey& public_key() const { return public_key_; }
+
+  /// Decrypts a ciphertext.
+  StatusOr<BigUint> Decrypt(const BigUint& c) const;
+
+ private:
+  PaillierKeyPair(PaillierPublicKey pub, BigUint lambda, BigUint mu)
+      : public_key_(std::move(pub)),
+        lambda_(std::move(lambda)),
+        mu_(std::move(mu)) {}
+
+  PaillierPublicKey public_key_;
+  BigUint lambda_;  // lcm(p-1, q-1)
+  BigUint mu_;      // (L(g^lambda mod n^2))^-1 mod n
+};
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_PAILLIER_H_

@@ -1,0 +1,79 @@
+#include "crypto/prime.h"
+
+namespace sies::crypto {
+
+namespace {
+
+constexpr uint64_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// n mod d for small d without allocating.
+uint64_t ModSmall(const BigUint& n, uint64_t d) {
+  return BigUint::Mod(n, BigUint(d)).value().Low64();
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigUint& n, int rounds, Xoshiro256& rng) {
+  if (n < BigUint(2)) return false;
+  for (uint64_t p : kSmallPrimes) {
+    if (n == BigUint(p)) return true;
+    if (ModSmall(n, p) == 0) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  BigUint n_minus_1 = BigUint::Sub(n, BigUint(1));
+  BigUint d = n_minus_1;
+  size_t r = 0;
+  while (!d.IsOdd()) {
+    d = BigUint::Shr(d, 1);
+    ++r;
+  }
+  auto mont = MontgomeryCtx::Create(n);
+  if (!mont.ok()) return false;  // even n > 2 handled above anyway
+  const MontgomeryCtx& ctx = mont.value();
+
+  const BigUint two(2);
+  BigUint n_minus_3 = BigUint::Sub(n, BigUint(3));
+  for (int i = 0; i < rounds; ++i) {
+    // a uniform in [2, n-2].
+    BigUint a = BigUint::Add(
+        BigUint::RandomBelow(BigUint::Add(n_minus_3, BigUint(1)), rng), two);
+    BigUint x = ctx.ModExp(a, d);
+    if (x.IsOne() || x == n_minus_1) continue;
+    bool witness = true;
+    for (size_t j = 0; j + 1 < r; ++j) {
+      x = BigUint::ModMul(x, x, n).value();
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+bool IsProbablePrime(const BigUint& n, Xoshiro256& rng) {
+  return IsProbablePrime(n, 40, rng);
+}
+
+BigUint GeneratePrime(size_t bits, Xoshiro256& rng) {
+  for (;;) {
+    BigUint candidate = BigUint::RandomWithBits(bits, rng);
+    if (!candidate.IsOdd()) candidate = BigUint::Add(candidate, BigUint(1));
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+BigUint GenerateRsaPrime(size_t bits, const BigUint& e, Xoshiro256& rng) {
+  for (;;) {
+    BigUint p = GeneratePrime(bits, rng);
+    BigUint p_minus_1 = BigUint::Sub(p, BigUint(1));
+    if (BigUint::Gcd(p_minus_1, e).IsOne()) return p;
+  }
+}
+
+}  // namespace sies::crypto

@@ -1,0 +1,30 @@
+// Prime generation: Miller-Rabin probabilistic primality testing and
+// random prime search.
+//
+// Used for (i) the 32-byte public prime modulus p of the SIES homomorphic
+// scheme, and (ii) the RSA primes behind SECOA's SEAL chains.
+#ifndef SIES_CRYPTO_PRIME_H_
+#define SIES_CRYPTO_PRIME_H_
+
+#include "common/rng.h"
+#include "crypto/biguint.h"
+
+namespace sies::crypto {
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases.
+/// False positives occur with probability at most 4^-rounds.
+bool IsProbablePrime(const BigUint& n, int rounds, Xoshiro256& rng);
+
+/// Deterministic wrapper with a small-prime pre-sieve and 40 MR rounds.
+bool IsProbablePrime(const BigUint& n, Xoshiro256& rng);
+
+/// Generates a random prime with exactly `bits` bits (top bit set).
+BigUint GeneratePrime(size_t bits, Xoshiro256& rng);
+
+/// Generates a random `bits`-bit prime p with gcd(p-1, e) == 1, as needed
+/// for an RSA prime compatible with public exponent `e`.
+BigUint GenerateRsaPrime(size_t bits, const BigUint& e, Xoshiro256& rng);
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_PRIME_H_

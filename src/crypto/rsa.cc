@@ -1,0 +1,94 @@
+#include "crypto/rsa.h"
+
+#include "crypto/prime.h"
+
+namespace sies::crypto {
+
+StatusOr<RsaPublicKey> RsaPublicKey::Create(const BigUint& n,
+                                            const BigUint& e) {
+  if (!n.IsOdd() || n <= e) {
+    return Status::InvalidArgument("RSA modulus must be odd and > e");
+  }
+  auto ctx = MontgomeryCtx::Create(n);
+  if (!ctx.ok()) return ctx.status();
+  return RsaPublicKey(n, e, std::move(ctx).value());
+}
+
+StatusOr<BigUint> RsaPublicKey::Apply(const BigUint& x) const {
+  if (x >= n_) return Status::InvalidArgument("RSA input must be < n");
+  return ctx_.ModExp(x, e_);
+}
+
+StatusOr<BigUint> RsaPublicKey::ApplyTimes(const BigUint& x,
+                                           uint64_t times) const {
+  BigUint cur = x;
+  for (uint64_t i = 0; i < times; ++i) {
+    auto next = Apply(cur);
+    if (!next.ok()) return next.status();
+    cur = std::move(next).value();
+  }
+  return cur;
+}
+
+StatusOr<BigUint> RsaPublicKey::MulMod(const BigUint& a,
+                                       const BigUint& b) const {
+  return BigUint::ModMul(a, b, n_);
+}
+
+StatusOr<BigUint> RsaKeyPair::Invert(const BigUint& y) const {
+  if (y >= public_key.n()) {
+    return Status::InvalidArgument("RSA input must be < n");
+  }
+  return BigUint::ModExp(y, d, public_key.n());
+}
+
+StatusOr<BigUint> RsaKeyPair::InvertCrt(const BigUint& y) const {
+  if (y >= public_key.n()) {
+    return Status::InvalidArgument("RSA input must be < n");
+  }
+  // d_p = d mod (p-1), d_q = d mod (q-1), q_inv = q^-1 mod p.
+  BigUint p1 = BigUint::Sub(p, BigUint(1));
+  BigUint q1 = BigUint::Sub(q, BigUint(1));
+  auto dp = BigUint::Mod(d, p1);
+  if (!dp.ok()) return dp.status();
+  auto dq = BigUint::Mod(d, q1);
+  if (!dq.ok()) return dq.status();
+  auto q_inv = BigUint::ModInverse(q, p);
+  if (!q_inv.ok()) return q_inv.status();
+  auto mp = BigUint::ModExp(y, dp.value(), p);
+  if (!mp.ok()) return mp.status();
+  auto mq = BigUint::ModExp(y, dq.value(), q);
+  if (!mq.ok()) return mq.status();
+  // Garner: m = mq + q * ((mp - mq) * q_inv mod p).
+  auto diff = BigUint::ModSub(mp.value(), mq.value(), p);
+  if (!diff.ok()) return diff.status();
+  auto h = BigUint::ModMul(diff.value(), q_inv.value(), p);
+  if (!h.ok()) return h.status();
+  return BigUint::Add(mq.value(), BigUint::Mul(q, h.value()));
+}
+
+StatusOr<RsaKeyPair> GenerateRsaKeyPair(size_t modulus_bits, Xoshiro256& rng,
+                                        uint64_t public_exponent) {
+  if (modulus_bits < 64 || modulus_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "modulus_bits must be an even number >= 64");
+  }
+  const BigUint e(public_exponent);
+  for (;;) {
+    BigUint p = GenerateRsaPrime(modulus_bits / 2, e, rng);
+    BigUint q = GenerateRsaPrime(modulus_bits / 2, e, rng);
+    if (p == q) continue;
+    BigUint n = BigUint::Mul(p, q);
+    if (n.BitLength() != modulus_bits) continue;
+    BigUint phi =
+        BigUint::Mul(BigUint::Sub(p, BigUint(1)), BigUint::Sub(q, BigUint(1)));
+    auto d = BigUint::ModInverse(e, phi);
+    if (!d.ok()) continue;
+    auto pub = RsaPublicKey::Create(n, e);
+    if (!pub.ok()) return pub.status();
+    return RsaKeyPair{std::move(pub).value(), std::move(d).value(),
+                      std::move(p), std::move(q)};
+  }
+}
+
+}  // namespace sies::crypto

@@ -1,0 +1,69 @@
+// RSA keypair generation and raw ("textbook") modular exponentiation.
+//
+// SECOA's SEALs are one-way chains built by repeated application of the
+// raw RSA permutation x -> x^e mod n on a secret seed; no padding is
+// involved by design (the chain must be deterministic and composable under
+// modular multiplication for the fold operation). This module therefore
+// exposes the raw permutation — it is NOT a general-purpose encryption API.
+#ifndef SIES_CRYPTO_RSA_H_
+#define SIES_CRYPTO_RSA_H_
+
+#include "common/rng.h"
+#include "crypto/biguint.h"
+
+namespace sies::crypto {
+
+/// An RSA public key (n, e) with a reusable Montgomery context.
+class RsaPublicKey {
+ public:
+  /// Creates a key. `n` must be odd and > e.
+  static StatusOr<RsaPublicKey> Create(const BigUint& n, const BigUint& e);
+
+  /// Raw RSA permutation: x^e mod n. `x` must be < n.
+  StatusOr<BigUint> Apply(const BigUint& x) const;
+
+  /// Applies the permutation `times` times (SEAL "rolling").
+  StatusOr<BigUint> ApplyTimes(const BigUint& x, uint64_t times) const;
+
+  /// Modular product under n (SEAL "folding").
+  StatusOr<BigUint> MulMod(const BigUint& a, const BigUint& b) const;
+
+  const BigUint& n() const { return n_; }
+  const BigUint& e() const { return e_; }
+  /// Modulus size in bytes (ciphertext/SEAL width).
+  size_t ModulusBytes() const { return (n_.BitLength() + 7) / 8; }
+
+ private:
+  RsaPublicKey(BigUint n, BigUint e, MontgomeryCtx ctx)
+      : n_(std::move(n)), e_(std::move(e)), ctx_(std::move(ctx)) {}
+
+  BigUint n_;
+  BigUint e_;
+  MontgomeryCtx ctx_;
+};
+
+/// A full RSA keypair. Only the public half is used by the SEAL protocol
+/// (one-wayness is the point); the private half exists so tests can verify
+/// that the permutation really is invertible only with the trapdoor.
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  BigUint d;  ///< private exponent
+  BigUint p;  ///< prime factor
+  BigUint q;  ///< prime factor
+
+  /// Inverts the raw permutation: y^d mod n.
+  StatusOr<BigUint> Invert(const BigUint& y) const;
+
+  /// CRT-accelerated inversion (~4x): computes y^d mod p and mod q
+  /// separately and recombines with Garner's formula.
+  StatusOr<BigUint> InvertCrt(const BigUint& y) const;
+};
+
+/// Generates an RSA keypair with a modulus of `modulus_bits` bits and
+/// public exponent `e` (default 65537).
+StatusOr<RsaKeyPair> GenerateRsaKeyPair(size_t modulus_bits, Xoshiro256& rng,
+                                        uint64_t public_exponent = 65537);
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_RSA_H_

@@ -1,0 +1,97 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace sies::crypto {
+
+namespace {
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+}  // namespace
+
+void Sha1::Reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::ProcessBlock(const uint8_t block[kBlockSize]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = LoadBigEndian32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(const uint8_t* data, size_t len) {
+  total_len_ += len;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(len, kBlockSize - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == kBlockSize) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= kBlockSize) {
+    ProcessBlock(data);
+    data += kBlockSize;
+    len -= kBlockSize;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
+  }
+}
+
+void Sha1::Final(uint8_t out[kDigestSize]) {
+  uint64_t bit_len = total_len_ * 8;
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0x00;
+  while (buffer_len_ != 56) Update(&zero, 1);
+  uint8_t len_be[8];
+  StoreBigEndian64(bit_len, len_be);
+  Update(len_be, 8);
+  for (int i = 0; i < 5; ++i) StoreBigEndian32(h_[i], out + 4 * i);
+}
+
+Bytes Sha1::Hash(const Bytes& data) {
+  Sha1 hasher;
+  hasher.Update(data);
+  Bytes digest(kDigestSize);
+  hasher.Final(digest.data());
+  return digest;
+}
+
+}  // namespace sies::crypto

@@ -1,0 +1,52 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// SIES uses HMAC-SHA1 ("HM1") as the PRF that derives 20-byte secret
+// shares and CMT's per-epoch keys; SECOA uses it for inflation
+// certificates. SHA-1 is cryptographically broken for collision
+// resistance but is retained here to reproduce the paper's exact sizes
+// and costs (20-byte digests).
+#ifndef SIES_CRYPTO_SHA1_H_
+#define SIES_CRYPTO_SHA1_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sies::crypto {
+
+/// Streaming SHA-1 hasher.
+class Sha1 {
+ public:
+  /// Digest size in bytes.
+  static constexpr size_t kDigestSize = 20;
+  /// Internal block size in bytes (needed by HMAC).
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1() { Reset(); }
+
+  /// Resets to the initial state.
+  void Reset();
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  /// Absorbs a byte string.
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  /// Finalizes and writes the 20-byte digest. The object must be Reset()
+  /// before reuse.
+  void Final(uint8_t out[kDigestSize]);
+
+  /// One-shot convenience.
+  static Bytes Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  std::array<uint32_t, 5> h_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_SHA1_H_

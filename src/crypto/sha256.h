@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// SIES uses HMAC-SHA256 ("HM256") as the PRF that derives the 32-byte
+// temporal keys K_t and k_{i,t}; the μTesla substrate uses it for its
+// one-way key chain.
+#ifndef SIES_CRYPTO_SHA256_H_
+#define SIES_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sies::crypto {
+
+/// Streaming SHA-256 hasher.
+class Sha256 {
+ public:
+  /// Digest size in bytes.
+  static constexpr size_t kDigestSize = 32;
+  /// Internal block size in bytes (needed by HMAC).
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  /// Resets to the initial state.
+  void Reset();
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  /// Absorbs a byte string.
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  /// Finalizes and writes the 32-byte digest. The object must be Reset()
+  /// before reuse.
+  void Final(uint8_t out[kDigestSize]);
+
+  /// One-shot convenience.
+  static Bytes Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  std::array<uint32_t, 8> h_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_SHA256_H_

@@ -1,0 +1,87 @@
+#include "mht/merkle_tree.h"
+
+#include "crypto/sha256.h"
+
+namespace sies::mht {
+
+Bytes HashLeaf(const Bytes& payload) {
+  Bytes input;
+  input.reserve(payload.size() + 1);
+  input.push_back(0x00);
+  input.insert(input.end(), payload.begin(), payload.end());
+  return crypto::Sha256::Hash(input);
+}
+
+Bytes HashInterior(const Bytes& left, const Bytes& right) {
+  Bytes input;
+  input.reserve(left.size() + right.size() + 1);
+  input.push_back(0x01);
+  input.insert(input.end(), left.begin(), left.end());
+  input.insert(input.end(), right.begin(), right.end());
+  return crypto::Sha256::Hash(input);
+}
+
+StatusOr<MerkleTree> MerkleTree::Build(const std::vector<Bytes>& leaves) {
+  if (leaves.empty()) {
+    return Status::InvalidArgument("Merkle tree needs at least one leaf");
+  }
+  MerkleTree tree;
+  tree.leaf_count_ = leaves.size();
+  std::vector<Bytes> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(HashLeaf(leaf));
+  tree.levels_.push_back(level);
+  while (tree.levels_.back().size() > 1) {
+    const std::vector<Bytes>& prev = tree.levels_.back();
+    std::vector<Bytes> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(HashInterior(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
+    tree.levels_.push_back(std::move(next));
+  }
+  return tree;
+}
+
+StatusOr<MembershipProof> MerkleTree::Prove(uint64_t index) const {
+  if (index >= leaf_count_) return Status::OutOfRange("no such leaf");
+  MembershipProof proof;
+  proof.leaf_index = index;
+  uint64_t pos = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const std::vector<Bytes>& nodes = levels_[level];
+    uint64_t sibling = pos ^ 1;
+    if (sibling < nodes.size()) {
+      proof.steps.push_back(ProofStep{nodes[sibling], (sibling & 1) == 0});
+    }
+    // else: this node was promoted unchanged; no step at this level.
+    pos /= 2;
+  }
+  return proof;
+}
+
+uint64_t ExpectedProofLength(uint64_t index, uint64_t leaf_count) {
+  uint64_t steps = 0;
+  uint64_t pos = index;
+  uint64_t level_size = leaf_count;
+  while (level_size > 1) {
+    uint64_t sibling = pos ^ 1;
+    if (sibling < level_size) ++steps;
+    pos /= 2;
+    level_size = level_size / 2 + level_size % 2;
+  }
+  return steps;
+}
+
+bool VerifyMembership(const Bytes& root, const Bytes& payload,
+                      const MembershipProof& proof) {
+  Bytes digest = HashLeaf(payload);
+  for (const ProofStep& step : proof.steps) {
+    digest = step.sibling_left ? HashInterior(step.sibling, digest)
+                               : HashInterior(digest, step.sibling);
+  }
+  return ConstantTimeEqual(digest, root);
+}
+
+}  // namespace sies::mht

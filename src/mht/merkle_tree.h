@@ -1,0 +1,76 @@
+// Merkle hash tree (Merkle '89): the commitment substrate used by the
+// commit-and-attest family of secure aggregation protocols the paper
+// compares against (SIA, SDAP, SecureDAV — Section II-B) and by the
+// authenticated index structures of the ODB model (Section II-C).
+//
+// We implement the standard construction over SHA-256 with
+// second-preimage-resistant domain separation (leaf vs interior node
+// prefixes, RFC 6962 style), membership proofs, and verification.
+#ifndef SIES_MHT_MERKLE_TREE_H_
+#define SIES_MHT_MERKLE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sies::mht {
+
+/// One step of a membership proof: a sibling digest plus its side.
+struct ProofStep {
+  Bytes sibling;       ///< 32-byte digest of the sibling subtree
+  bool sibling_left;   ///< true if the sibling is the LEFT child
+};
+
+/// A membership (audit) path from a leaf to the root.
+struct MembershipProof {
+  uint64_t leaf_index = 0;
+  std::vector<ProofStep> steps;
+
+  /// Serialized size in bytes (what attestation costs on the wire).
+  size_t WireBytes() const { return steps.size() * 33 + 8; }
+};
+
+/// Hash of a leaf payload (domain-separated with 0x00).
+Bytes HashLeaf(const Bytes& payload);
+/// Hash of an interior node (domain-separated with 0x01).
+Bytes HashInterior(const Bytes& left, const Bytes& right);
+
+/// An immutable Merkle tree over a list of leaf payloads.
+class MerkleTree {
+ public:
+  /// Builds the tree. Odd levels promote the last digest unchanged
+  /// (Bitcoin-style duplication would enable CVE-2012-2459-type mutation;
+  /// promotion does not). Requires at least one leaf.
+  static StatusOr<MerkleTree> Build(const std::vector<Bytes>& leaves);
+
+  /// The 32-byte root digest (the commitment).
+  const Bytes& root() const { return levels_.back()[0]; }
+  /// Number of leaves committed.
+  uint64_t leaf_count() const { return leaf_count_; }
+
+  /// Membership proof for leaf `index`.
+  StatusOr<MembershipProof> Prove(uint64_t index) const;
+
+ private:
+  MerkleTree() = default;
+
+  std::vector<std::vector<Bytes>> levels_;  // levels_[0] = leaf hashes
+  uint64_t leaf_count_ = 0;
+};
+
+/// Verifies that `payload` is the `proof.leaf_index`-th leaf of the tree
+/// committed to by `root`.
+bool VerifyMembership(const Bytes& root, const Bytes& payload,
+                      const MembershipProof& proof);
+
+/// Number of proof steps leaf `index` has in the canonical tree over
+/// `leaf_count` leaves (the promotion construction above). Auditors use
+/// this to pin the tree's shape: a committer who sneaks extra leaves in
+/// changes some honest leaf's expected proof length.
+uint64_t ExpectedProofLength(uint64_t index, uint64_t leaf_count);
+
+}  // namespace sies::mht
+
+#endif  // SIES_MHT_MERKLE_TREE_H_

@@ -1,0 +1,111 @@
+#include "mutesla/mutesla.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace sies::mutesla {
+
+namespace {
+// Domain-separation label for MAC-key derivation.
+const uint8_t kMacLabel[] = {'m', 'u', 't', 'e', 's', 'l', 'a', '-', 'm',
+                             'a', 'c'};
+}  // namespace
+
+Bytes DeriveMacKey(const Bytes& chain_key) {
+  Bytes label(kMacLabel, kMacLabel + sizeof(kMacLabel));
+  return crypto::HmacSha256(chain_key, label);
+}
+
+StatusOr<Broadcaster> Broadcaster::Create(const Bytes& seed,
+                                          uint64_t chain_length,
+                                          uint64_t disclosure_delay) {
+  if (chain_length == 0) {
+    return Status::InvalidArgument("chain_length must be >= 1");
+  }
+  if (disclosure_delay == 0) {
+    return Status::InvalidArgument("disclosure_delay must be >= 1");
+  }
+  Broadcaster b;
+  b.chain_length_ = chain_length;
+  b.disclosure_delay_ = disclosure_delay;
+  b.chain_.resize(chain_length + 1);
+  // K_n = H(seed); K_{i-1} = H(K_i).
+  b.chain_[chain_length] = crypto::Sha256::Hash(seed);
+  for (uint64_t i = chain_length; i-- > 0;) {
+    b.chain_[i] = crypto::Sha256::Hash(b.chain_[i + 1]);
+  }
+  b.commitment_ = b.chain_[0];
+  return b;
+}
+
+StatusOr<BroadcastPacket> Broadcaster::Broadcast(uint64_t interval,
+                                                 const Bytes& payload) const {
+  if (interval == 0 || interval > chain_length_) {
+    return Status::OutOfRange("interval outside the key chain");
+  }
+  BroadcastPacket packet;
+  packet.interval = interval;
+  packet.payload = payload;
+  packet.mac = crypto::HmacSha256(DeriveMacKey(chain_[interval]), payload);
+  return packet;
+}
+
+StatusOr<KeyDisclosure> Broadcaster::Disclose(uint64_t interval) const {
+  if (interval == 0 || interval > chain_length_) {
+    return Status::OutOfRange("interval outside the key chain");
+  }
+  return KeyDisclosure{interval, chain_[interval]};
+}
+
+Status Receiver::Accept(const BroadcastPacket& packet,
+                        uint64_t current_interval) {
+  // Security condition: the key for packet.interval must still be secret,
+  // i.e. its disclosure time must lie in the future.
+  if (packet.interval + disclosure_delay_ <= current_interval) {
+    return Status::VerificationFailed(
+        "packet key may already be disclosed; rejecting (security "
+        "condition)");
+  }
+  if (packet.interval <= last_key_interval_) {
+    return Status::VerificationFailed("packet interval already disclosed");
+  }
+  pending_.emplace(packet.interval, packet);
+  return Status::OK();
+}
+
+StatusOr<std::vector<Bytes>> Receiver::OnDisclosure(
+    const KeyDisclosure& disclosure) {
+  if (disclosure.interval <= last_key_interval_) {
+    return Status::VerificationFailed("stale key disclosure");
+  }
+  // Authenticate: hashing the disclosed key (interval - last) times must
+  // reproduce the last authenticated chain key.
+  Bytes walked = disclosure.chain_key;
+  for (uint64_t i = disclosure.interval; i > last_key_interval_; --i) {
+    walked = crypto::Sha256::Hash(walked);
+  }
+  if (!ConstantTimeEqual(walked, last_key_)) {
+    return Status::VerificationFailed("disclosed key fails chain check");
+  }
+  last_key_ = disclosure.chain_key;
+  last_key_interval_ = disclosure.interval;
+
+  // Verify all buffered packets for this interval.
+  std::vector<Bytes> authenticated;
+  Bytes mac_key = DeriveMacKey(disclosure.chain_key);
+  auto range = pending_.equal_range(disclosure.interval);
+  for (auto it = range.first; it != range.second; ++it) {
+    Bytes expected = crypto::HmacSha256(mac_key, it->second.payload);
+    if (ConstantTimeEqual(expected, it->second.mac)) {
+      authenticated.push_back(it->second.payload);
+    }
+  }
+  pending_.erase(range.first, range.second);
+  // Drop any packets for intervals at or below the new authenticated
+  // point: their keys are public, so they can no longer be trusted.
+  pending_.erase(pending_.begin(),
+                 pending_.upper_bound(disclosure.interval));
+  return authenticated;
+}
+
+}  // namespace sies::mutesla

@@ -1,0 +1,112 @@
+// μTesla (SPINS, Perrig et al. 2001): authenticated broadcast for sensor
+// networks via delayed key disclosure over a one-way key chain.
+//
+// SIES relies on μTesla for data authentication (Theorem 3): the querier
+// broadcasts continuous queries, and every source must be able to verify
+// that a query really originated from the querier. The construction:
+//
+//   * The broadcaster generates a chain K_n -> K_{n-1} -> ... -> K_0 with
+//     K_{i-1} = H(K_i); K_0 is pre-distributed as the commitment.
+//   * A message broadcast in interval i is MACed with a key derived from
+//     K_i. K_i itself is disclosed d intervals later.
+//   * A receiver buffers the message, checks on arrival that K_i cannot
+//     have been disclosed yet (loose time synchronization), and on
+//     disclosure verifies K_i against the commitment by repeated hashing,
+//     then checks the MAC.
+//
+// We implement the full protocol over our from-scratch SHA-256/HMAC.
+#ifndef SIES_MUTESLA_MUTESLA_H_
+#define SIES_MUTESLA_MUTESLA_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sies::mutesla {
+
+/// A broadcast packet: the payload, the MAC under the interval key, and
+/// the interval index in which it was sent.
+struct BroadcastPacket {
+  uint64_t interval = 0;
+  Bytes payload;
+  Bytes mac;  ///< HMAC-SHA256 tag (32 bytes)
+};
+
+/// A key disclosure: interval i's chain key, released d intervals later.
+struct KeyDisclosure {
+  uint64_t interval = 0;
+  Bytes chain_key;
+};
+
+/// The broadcaster (the querier in SIES). Owns the key chain.
+class Broadcaster {
+ public:
+  /// Creates a chain of `chain_length` keys from `seed`, with keys
+  /// disclosed `disclosure_delay` intervals after use (delay >= 1).
+  static StatusOr<Broadcaster> Create(const Bytes& seed,
+                                      uint64_t chain_length,
+                                      uint64_t disclosure_delay);
+
+  /// The commitment K_0, pre-distributed to all receivers.
+  const Bytes& commitment() const { return commitment_; }
+  uint64_t disclosure_delay() const { return disclosure_delay_; }
+  uint64_t chain_length() const { return chain_length_; }
+
+  /// MACs `payload` for broadcast in `interval` (1-based; interval 0 is
+  /// the commitment). Fails beyond the chain length.
+  StatusOr<BroadcastPacket> Broadcast(uint64_t interval,
+                                      const Bytes& payload) const;
+
+  /// Produces the disclosure for `interval` (valid to release at
+  /// interval + disclosure_delay or later).
+  StatusOr<KeyDisclosure> Disclose(uint64_t interval) const;
+
+ private:
+  Broadcaster() = default;
+
+  std::vector<Bytes> chain_;  // chain_[i] = K_i; chain_[0] = commitment
+  Bytes commitment_;
+  uint64_t chain_length_ = 0;
+  uint64_t disclosure_delay_ = 0;
+};
+
+/// A receiver (a source in SIES). Holds only the commitment; buffers
+/// packets until their keys are disclosed.
+class Receiver {
+ public:
+  /// `commitment` is K_0; `disclosure_delay` must match the broadcaster.
+  Receiver(Bytes commitment, uint64_t disclosure_delay)
+      : last_key_(std::move(commitment)),
+        last_key_interval_(0),
+        disclosure_delay_(disclosure_delay) {}
+
+  /// Accepts a packet at local time `current_interval`. Rejects packets
+  /// whose MAC key may already be public (the security condition):
+  /// a packet for interval i is only safe if i + delay > current.
+  Status Accept(const BroadcastPacket& packet, uint64_t current_interval);
+
+  /// Processes a key disclosure: authenticates the chain key against the
+  /// commitment and verifies all buffered packets of that interval.
+  /// Returns the payloads newly authenticated by this disclosure.
+  StatusOr<std::vector<Bytes>> OnDisclosure(const KeyDisclosure& disclosure);
+
+  /// Packets buffered and not yet authenticated.
+  size_t pending_count() const { return pending_.size(); }
+
+ private:
+  Bytes last_key_;               // most recent authenticated chain key
+  uint64_t last_key_interval_;   // its interval index
+  uint64_t disclosure_delay_;
+  std::multimap<uint64_t, BroadcastPacket> pending_;
+};
+
+/// Derives the MAC key for an interval from its chain key (key
+/// separation: the chain key itself is never used as a MAC key).
+Bytes DeriveMacKey(const Bytes& chain_key);
+
+}  // namespace sies::mutesla
+
+#endif  // SIES_MUTESLA_MUTESLA_H_

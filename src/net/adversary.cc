@@ -1,0 +1,37 @@
+#include "net/adversary.h"
+
+namespace sies::net {
+
+bool BitFlipAdversary::OnMessage(Message& msg) {
+  if (target_.has_value() && msg.from != *target_) return true;
+  if (msg.payload.empty()) return true;
+  size_t bit = bit_index_ % (msg.payload.size() * 8);
+  msg.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  ++tampered_;
+  return true;
+}
+
+bool ReplayAdversary::OnMessage(Message& msg) {
+  if (msg.epoch == capture_epoch_) {
+    captured_[msg.from] = msg.payload;
+    return true;
+  }
+  if (msg.epoch > capture_epoch_) {
+    auto it = captured_.find(msg.from);
+    if (it != captured_.end()) {
+      msg.payload = it->second;
+      ++replayed_;
+    }
+  }
+  return true;
+}
+
+bool DropAdversary::OnMessage(Message& msg) {
+  if (msg.from == target_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sies::net

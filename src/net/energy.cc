@@ -1,0 +1,43 @@
+#include "net/energy.h"
+
+namespace sies::net {
+
+double RadioParams::TxJoules(uint64_t bytes) const {
+  double bits = static_cast<double>(bytes) * 8.0;
+  return bits * (e_elec_j_per_bit +
+                 e_amp_j_per_bit_m2 * hop_distance_m * hop_distance_m);
+}
+
+double RadioParams::RxJoules(uint64_t bytes) const {
+  return static_cast<double>(bytes) * 8.0 * e_elec_j_per_bit;
+}
+
+std::vector<double> EpochEnergyJoules(const EpochReport& report,
+                                      const RadioParams& radio) {
+  size_t n = report.node_tx_bytes.size();
+  std::vector<double> joules(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    joules[i] = radio.TxJoules(report.node_tx_bytes[i]) +
+                radio.RxJoules(report.node_rx_bytes[i]);
+  }
+  return joules;
+}
+
+EnergySummary Summarize(const std::vector<double>& per_node_joules) {
+  EnergySummary summary;
+  for (size_t i = 0; i < per_node_joules.size(); ++i) {
+    summary.total_joules += per_node_joules[i];
+    if (per_node_joules[i] > summary.max_node_joules) {
+      summary.max_node_joules = per_node_joules[i];
+      summary.hottest_node = static_cast<NodeId>(i);
+    }
+  }
+  return summary;
+}
+
+double LifetimeEpochs(const EnergySummary& summary, double battery_joules) {
+  if (summary.max_node_joules <= 0.0) return 0.0;
+  return battery_joules / summary.max_node_joules;
+}
+
+}  // namespace sies::net

@@ -1,0 +1,52 @@
+#include "net/latency.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sies::net {
+
+double UpPassLatency(const Topology& topology, const LinkParams& link,
+                     const UpPassCosts& costs, double start_s) {
+  // arrival[i]: when node i's message reaches its parent.
+  std::vector<double> arrival(topology.num_nodes(), 0.0);
+  // Process leaves first, then aggregators bottom-up.
+  for (NodeId src : topology.sources()) {
+    double depart = start_s + costs.proc_seconds(src);
+    arrival[src] = depart + link.HopSeconds(costs.tx_bytes(src));
+  }
+  double final_arrival = 0.0;
+  for (NodeId agg : topology.aggregators_bottom_up()) {
+    double ready = start_s;
+    for (NodeId child : topology.children(agg)) {
+      ready = std::max(ready, arrival[child]);
+    }
+    double depart = ready + costs.proc_seconds(agg);
+    arrival[agg] = depart + link.HopSeconds(costs.tx_bytes(agg));
+    final_arrival = std::max(final_arrival, arrival[agg]);
+  }
+  // The root's "parent" is the querier; its arrival is the answer.
+  return arrival[topology.root()];
+}
+
+double DownPassLatency(const Topology& topology, const LinkParams& link,
+                       const UpPassCosts& costs, double start_s) {
+  // arrival[i]: when node i has received the broadcast copy meant for
+  // its subtree. The querier->root hop uses the root's byte profile.
+  std::vector<double> arrival(topology.num_nodes(), 0.0);
+  arrival[topology.root()] =
+      start_s + link.HopSeconds(costs.tx_bytes(topology.root()));
+  double last = arrival[topology.root()];
+  // Parents forward to children after their processing time; iterate in
+  // id order (parents precede children).
+  for (NodeId node = 0; node < topology.num_nodes(); ++node) {
+    if (node != topology.root()) {
+      NodeId parent = topology.parent(node);
+      double depart = arrival[parent] + costs.proc_seconds(parent);
+      arrival[node] = depart + link.HopSeconds(costs.tx_bytes(node));
+      last = std::max(last, arrival[node] + costs.proc_seconds(node));
+    }
+  }
+  return last;
+}
+
+}  // namespace sies::net

@@ -1,0 +1,52 @@
+// Query latency: critical-path analysis over the aggregation tree.
+//
+// The paper's second argument against commit-and-attest (Section II-B)
+// is "high query latency that increases with the number of sources".
+// This module computes end-to-end epoch latency for any per-edge byte
+// profile: each message departs when its sender finished processing and
+// arrives after transmission + propagation; an aggregator starts merging
+// when its slowest child arrived. The result is the arrival time of the
+// final record at the querier — one tree traversal for SIES/CMT/SECOA,
+// three (up, down, up) for commit-and-attest.
+#ifndef SIES_NET_LATENCY_H_
+#define SIES_NET_LATENCY_H_
+
+#include <functional>
+
+#include "net/topology.h"
+
+namespace sies::net {
+
+/// Link and processing parameters. Defaults model an IEEE 802.15.4-class
+/// sensor radio: 250 kbit/s, 1 ms per-hop MAC/propagation overhead.
+struct LinkParams {
+  double bandwidth_bytes_per_s = 31250.0;  // 250 kbit/s
+  double hop_overhead_s = 1e-3;
+
+  /// Time for `bytes` to cross one hop.
+  double HopSeconds(uint64_t bytes) const {
+    return hop_overhead_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+/// Per-node cost callbacks: bytes a node sends to its parent, and CPU
+/// seconds it spends before sending (both may depend on the node).
+struct UpPassCosts {
+  std::function<uint64_t(NodeId)> tx_bytes;
+  std::function<double(NodeId)> proc_seconds;
+};
+
+/// Arrival time at the querier of one upward aggregation pass starting
+/// at time `start_s` (sources transmit at epoch start + their own
+/// processing time; aggregators wait for their slowest child).
+double UpPassLatency(const Topology& topology, const LinkParams& link,
+                     const UpPassCosts& costs, double start_s = 0.0);
+
+/// Latency of a downward broadcast pass: the time until the LAST source
+/// has received its copy, given per-node received-bytes and processing.
+double DownPassLatency(const Topology& topology, const LinkParams& link,
+                       const UpPassCosts& costs, double start_s = 0.0);
+
+}  // namespace sies::net
+
+#endif  // SIES_NET_LATENCY_H_

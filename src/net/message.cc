@@ -1,0 +1,3 @@
+#include "net/message.h"
+
+// Message is a plain struct; this TU anchors the net library target.

@@ -1,0 +1,38 @@
+// Message: the unit of communication in the simulated sensor network.
+//
+// Every scheme (SIES, CMT, SECOA) serializes its partial state record
+// (PSR) into an opaque payload; the simulator routes payloads up the
+// aggregation tree and accounts bytes per edge, which is exactly the
+// quantity Table V of the paper reports.
+#ifndef SIES_NET_MESSAGE_H_
+#define SIES_NET_MESSAGE_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sies::net {
+
+/// Dense node identifier; nodes are numbered 0..N-1 by the topology,
+/// with kQuerierId reserved for the querier endpoint.
+using NodeId = uint32_t;
+
+/// Reserved id for the querier (not a tree node).
+inline constexpr NodeId kQuerierId = 0xFFFFFFFFu;
+
+/// A payload in flight from `from` to `to` during `epoch`.
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  uint64_t epoch = 0;
+  Bytes payload;
+
+  /// Wire size in bytes. Per the paper's accounting, only the payload
+  /// (ciphertext / PSR / sketches+SEALs) counts: addressing and epoch
+  /// framing are identical across schemes and excluded from comparison.
+  size_t WireSize() const { return payload.size(); }
+};
+
+}  // namespace sies::net
+
+#endif  // SIES_NET_MESSAGE_H_

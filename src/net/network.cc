@@ -1,0 +1,100 @@
+#include "net/network.h"
+
+#include <unordered_map>
+
+namespace sies::net {
+
+Status Network::SetLossRate(double loss_rate, uint64_t seed) {
+  if (loss_rate < 0.0 || loss_rate >= 1.0) {
+    return Status::InvalidArgument("loss rate must be in [0, 1)");
+  }
+  loss_rate_ = loss_rate;
+  loss_rng_ = loss_rate == 0.0 ? nullptr
+                               : std::make_unique<Xoshiro256>(seed);
+  return Status::OK();
+}
+
+StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
+                                        uint64_t epoch) {
+  EpochReport report;
+  report.epoch = epoch;
+  report.node_tx_bytes.assign(topology_.num_nodes(), 0);
+  report.node_rx_bytes.assign(topology_.num_nodes(), 0);
+
+  // Payload arriving at each node's parent slot, keyed by child id.
+  std::unordered_map<NodeId, Bytes> inbox;
+
+  auto deliver = [&](NodeId from, NodeId to, Bytes payload,
+                     EdgeTraffic& traffic) -> bool {
+    Message msg{from, to, epoch, std::move(payload)};
+    if (loss_rng_ != nullptr && loss_rng_->NextDouble() < loss_rate_) {
+      ++lost_messages_;
+      return false;  // lost on the radio channel
+    }
+    if (adversary_ != nullptr && !adversary_->OnMessage(msg)) {
+      return false;  // dropped in flight
+    }
+    traffic.messages += 1;
+    traffic.bytes += msg.WireSize();
+    report.node_tx_bytes[from] += msg.WireSize();
+    if (to != kQuerierId) report.node_rx_bytes[to] += msg.WireSize();
+    inbox[from] = std::move(msg.payload);
+    return true;
+  };
+
+  // --- Initialization phase: every live source emits a PSR. ---
+  Stopwatch watch;
+  for (NodeId src : topology_.sources()) {
+    if (failed_sources_.contains(src)) continue;
+    watch.Restart();
+    auto psr = protocol.SourceInitialize(src, epoch);
+    report.source_cpu.Add(watch.ElapsedSeconds());
+    if (!psr.ok()) return psr.status();
+    NodeId parent = topology_.parent(src);
+    EdgeTraffic& traffic = (parent == kQuerierId)
+                               ? report.aggregator_to_querier
+                               : report.source_to_aggregator;
+    deliver(src, parent, std::move(psr).value(), traffic);
+  }
+
+  // --- Merging phase: aggregators fuse children payloads bottom-up. ---
+  for (NodeId agg : topology_.aggregators_bottom_up()) {
+    std::vector<Bytes> received;
+    for (NodeId child : topology_.children(agg)) {
+      auto it = inbox.find(child);
+      if (it != inbox.end()) {
+        received.push_back(std::move(it->second));
+        inbox.erase(it);
+      }
+    }
+    if (received.empty()) continue;  // all children failed/dropped
+    watch.Restart();
+    auto merged = protocol.AggregatorMerge(agg, epoch, received);
+    report.aggregator_cpu.Add(watch.ElapsedSeconds());
+    if (!merged.ok()) return merged.status();
+    NodeId parent = topology_.parent(agg);
+    EdgeTraffic& traffic = (parent == kQuerierId)
+                               ? report.aggregator_to_querier
+                               : report.aggregator_to_aggregator;
+    deliver(agg, parent, std::move(merged).value(), traffic);
+  }
+
+  // --- Evaluation phase at the querier. ---
+  auto it = inbox.find(topology_.root());
+  if (it == inbox.end()) {
+    return Status::NotFound("no final payload reached the querier");
+  }
+  std::vector<NodeId> participating;
+  participating.reserve(topology_.sources().size());
+  for (NodeId src : topology_.sources()) {
+    if (!failed_sources_.contains(src)) participating.push_back(src);
+  }
+  watch.Restart();
+  auto outcome = protocol.QuerierEvaluate(epoch, it->second, participating);
+  report.querier_cpu.Add(watch.ElapsedSeconds());
+  if (!outcome.ok()) return outcome.status();
+  report.outcome = std::move(outcome).value();
+  return report;
+}
+
+}  // namespace sies::net

@@ -1,0 +1,141 @@
+// Network: epoch-driven simulator of in-network aggregation.
+//
+// Each epoch, every live source produces a payload (its PSR), aggregators
+// merge children payloads bottom-up, and the querier evaluates the final
+// payload. The simulator measures per-party CPU time and per-edge-class
+// bytes — the exact quantities in the paper's Figures 4-6 and Table V —
+// and gives an adversary the chance to tamper with any message in flight.
+#ifndef SIES_NET_NETWORK_H_
+#define SIES_NET_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "net/message.h"
+#include "net/topology.h"
+
+namespace sies::net {
+
+/// Outcome of the querier's evaluation phase.
+struct EvalOutcome {
+  double value = 0.0;    ///< reported aggregate (exact schemes: integer)
+  bool verified = true;  ///< integrity/freshness verification result
+  bool exact = true;     ///< false for sketch-based (SECOA_S) answers
+};
+
+/// Scheme binding: how one protocol (SIES / CMT / SECOA_S) plugs into the
+/// simulator. Implementations hold all key material and per-epoch state.
+class AggregationProtocol {
+ public:
+  virtual ~AggregationProtocol() = default;
+
+  /// Human-readable scheme name ("SIES", "CMT", "SECOA_S").
+  virtual std::string Name() const = 0;
+
+  /// Initialization phase at source `id`: produce the epoch-`epoch` PSR.
+  virtual StatusOr<Bytes> SourceInitialize(NodeId id, uint64_t epoch) = 0;
+
+  /// Merging phase at aggregator `id`: fuse children payloads into one.
+  virtual StatusOr<Bytes> AggregatorMerge(
+      NodeId id, uint64_t epoch, const std::vector<Bytes>& children) = 0;
+
+  /// Evaluation phase at the querier. `participating` lists the sources
+  /// whose PSRs are known to have contributed (all sources minus reported
+  /// failures), which the querier needs to reconstruct keys/shares.
+  virtual StatusOr<EvalOutcome> QuerierEvaluate(
+      uint64_t epoch, const Bytes& final_payload,
+      const std::vector<NodeId>& participating) = 0;
+};
+
+/// In-flight message interceptor. Return value of OnMessage says whether
+/// the (possibly mutated) message is delivered or dropped.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  /// Called for every message; may mutate `msg.payload`. Returns false to
+  /// drop the message entirely.
+  virtual bool OnMessage(Message& msg) = 0;
+};
+
+/// Byte counters for one edge class.
+struct EdgeTraffic {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+
+  /// Mean payload bytes per message (0 when idle).
+  double MeanBytes() const {
+    return messages == 0 ? 0.0 : static_cast<double>(bytes) / messages;
+  }
+};
+
+/// Everything measured during one RunEpoch call.
+struct EpochReport {
+  uint64_t epoch = 0;
+  EvalOutcome outcome;
+
+  /// CPU per party, aggregated over the epoch.
+  CostAccumulator source_cpu;      ///< one sample per live source
+  CostAccumulator aggregator_cpu;  ///< one sample per aggregator
+  CostAccumulator querier_cpu;     ///< exactly one sample
+
+  /// Traffic per edge class (paper Table V rows).
+  EdgeTraffic source_to_aggregator;
+  EdgeTraffic aggregator_to_aggregator;
+  EdgeTraffic aggregator_to_querier;
+
+  /// Per-node radio accounting (indexed by NodeId), feeding the energy
+  /// model: bytes each node transmitted to its parent and received from
+  /// its children this epoch.
+  std::vector<uint64_t> node_tx_bytes;
+  std::vector<uint64_t> node_rx_bytes;
+};
+
+/// The simulator. Owns the topology; borrows protocol and adversary.
+class Network {
+ public:
+  explicit Network(Topology topology) : topology_(std::move(topology)) {}
+
+  const Topology& topology() const { return topology_; }
+
+  /// Installs (or clears, with nullptr) the message interceptor.
+  void SetAdversary(Adversary* adversary) { adversary_ = adversary; }
+
+  /// Enables a lossy radio channel: every message is independently
+  /// dropped with probability `loss_rate` (deterministic per `seed`).
+  /// Unreported losses are indistinguishable from attacks to the querier
+  /// (paper Section IV-B discussion) — the tests demonstrate exactly
+  /// that, which is why real deployments must report failures.
+  Status SetLossRate(double loss_rate, uint64_t seed);
+
+  /// Messages dropped by the loss model so far.
+  uint64_t lost_messages() const { return lost_messages_; }
+
+  /// Marks a source as failed: it produces no PSR and is reported to the
+  /// querier as non-participating (paper Section IV-B "Discussion").
+  void FailSource(NodeId id) { failed_sources_.insert(id); }
+  /// Restores all failed sources.
+  void HealAllSources() { failed_sources_.clear(); }
+
+  /// Runs the three protocol phases for `epoch` and returns measurements.
+  /// A protocol error aborts the epoch; a verification failure does not
+  /// (it is reported in `outcome.verified`).
+  StatusOr<EpochReport> RunEpoch(AggregationProtocol& protocol,
+                                 uint64_t epoch);
+
+ private:
+  Topology topology_;
+  Adversary* adversary_ = nullptr;
+  std::unordered_set<NodeId> failed_sources_;
+  double loss_rate_ = 0.0;
+  std::unique_ptr<Xoshiro256> loss_rng_;
+  uint64_t lost_messages_ = 0;
+};
+
+}  // namespace sies::net
+
+#endif  // SIES_NET_NETWORK_H_

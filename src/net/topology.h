@@ -1,0 +1,126 @@
+// Topology: the aggregation tree connecting sources (leaves), aggregators
+// (internal nodes), and the querier (attached to the root/sink).
+//
+// The paper assumes an arbitrary tree whose construction is orthogonal to
+// the protocols; experiments use a complete F-ary tree over N sources.
+// This module builds both: complete trees via BuildCompleteTree and
+// arbitrary trees via a parent vector.
+#ifndef SIES_NET_TOPOLOGY_H_
+#define SIES_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/message.h"
+
+namespace sies::net {
+
+/// Role of a node in the aggregation tree.
+enum class NodeRole {
+  kSource,      ///< leaf; generates readings and encrypts PSRs
+  kAggregator,  ///< internal node; merges children's PSRs
+};
+
+/// Immutable aggregation tree. Node 0 is always the root (the sink
+/// aggregator that talks to the querier).
+class Topology {
+ public:
+  /// Builds a complete tree with fanout `fanout` whose leaves are exactly
+  /// `num_sources` sources. Internal nodes are aggregators; if
+  /// `num_sources` is not a power of `fanout` the last internal level is
+  /// left-filled (every aggregator has at most `fanout` children, at
+  /// least 1). Requires num_sources >= 1 and fanout >= 2.
+  static StatusOr<Topology> BuildCompleteTree(uint32_t num_sources,
+                                              uint32_t fanout);
+
+  /// Builds an arbitrary tree from a parent vector: parent[0] must be
+  /// kQuerierId (root), and parent[i] < i for i > 0 (topological order).
+  /// Nodes with no children become sources; the rest aggregators.
+  static StatusOr<Topology> FromParentVector(
+      const std::vector<NodeId>& parent);
+
+  /// Builds a random (non-complete) tree with exactly `num_sources`
+  /// leaves: aggregators are grown by attaching each new subtree under a
+  /// uniformly random existing aggregator with spare capacity. Models
+  /// the irregular topologies real deployments produce; the paper's
+  /// protocols must be exact on any tree. `max_fanout` >= 2.
+  static StatusOr<Topology> BuildRandomTree(uint32_t num_sources,
+                                            uint32_t max_fanout,
+                                            Xoshiro256& rng);
+
+  /// Total number of nodes (sources + aggregators).
+  uint32_t num_nodes() const { return static_cast<uint32_t>(parent_.size()); }
+  /// Number of leaf (source) nodes.
+  uint32_t num_sources() const { return num_sources_; }
+  /// Number of internal (aggregator) nodes.
+  uint32_t num_aggregators() const { return num_nodes() - num_sources_; }
+
+  /// Role of node `id`.
+  NodeRole role(NodeId id) const {
+    return children_[id].empty() ? NodeRole::kSource : NodeRole::kAggregator;
+  }
+  /// Parent of node `id`; kQuerierId for the root.
+  NodeId parent(NodeId id) const { return parent_[id]; }
+  /// Children of node `id` (empty for sources).
+  const std::vector<NodeId>& children(NodeId id) const {
+    return children_[id];
+  }
+  /// The root aggregator (sink).
+  NodeId root() const { return 0; }
+
+  /// All source ids, in increasing order.
+  const std::vector<NodeId>& sources() const { return sources_; }
+  /// All aggregator ids in reverse-topological (children-first) order,
+  /// i.e. safe merge order ending at the root.
+  const std::vector<NodeId>& aggregators_bottom_up() const {
+    return aggregators_bottom_up_;
+  }
+
+  /// Depth of node `id` (root is 0).
+  uint32_t depth(NodeId id) const { return depth_[id]; }
+  /// Height of the tree (max depth).
+  uint32_t height() const { return height_; }
+
+  /// Result of RemoveNode: the repaired tree plus the id remapping
+  /// (old id -> new id; the removed node maps to kQuerierId).
+  struct RepairResult;
+
+  /// Removes a failed node and repairs the tree: a removed aggregator's
+  /// children are reattached to its parent; a removed source simply
+  /// disappears. The root cannot be removed (the network would have no
+  /// sink); removing the last source is rejected. Remaining nodes are
+  /// renumbered densely, preserving topological order.
+  StatusOr<RepairResult> RemoveNode(NodeId failed) const;
+
+  /// Graphviz DOT rendering of the tree (sources as boxes, aggregators
+  /// as circles, querier as a double circle) for ops tooling and docs.
+  std::string ToDot() const;
+
+  /// Constructs an empty topology (0 nodes); assign from a factory
+  /// result before use. Public so aggregate results can hold one.
+  Topology() = default;
+
+ private:
+  Status Finalize();  // derives children_, sources_, depths
+
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> aggregators_bottom_up_;
+  std::vector<uint32_t> depth_;
+  uint32_t num_sources_ = 0;
+  uint32_t height_ = 0;
+};
+
+/// See Topology::RemoveNode.
+struct Topology::RepairResult {
+  Topology topology;
+  /// old_to_new[old_id] == new id, or kQuerierId for the removed node.
+  std::vector<NodeId> old_to_new;
+};
+
+}  // namespace sies::net
+
+#endif  // SIES_NET_TOPOLOGY_H_

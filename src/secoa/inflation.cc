@@ -1,0 +1,24 @@
+#include "secoa/inflation.h"
+
+#include "crypto/hmac.h"
+
+namespace sies::secoa {
+
+Bytes MakeInflationCert(const Bytes& source_key, uint64_t value,
+                        uint32_t instance, uint64_t epoch) {
+  Bytes input = EncodeUint64(value);
+  Bytes inst = EncodeUint64(instance);
+  Bytes ep = EncodeUint64(epoch);
+  input.insert(input.end(), inst.begin(), inst.end());
+  input.insert(input.end(), ep.begin(), ep.end());
+  return crypto::HmacSha1(source_key, input);
+}
+
+void XorCertInto(Bytes& aggregate, const Bytes& cert) {
+  if (aggregate.empty()) aggregate.assign(cert.size(), 0);
+  for (size_t i = 0; i < aggregate.size() && i < cert.size(); ++i) {
+    aggregate[i] ^= cert[i];
+  }
+}
+
+}  // namespace sies::secoa

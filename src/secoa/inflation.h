@@ -1,0 +1,30 @@
+// Inflation certificates: HMAC tags proving that a reported (sketch)
+// value was not inflated above what some real source produced.
+//
+// The certificate for value x of sketch instance j at epoch t under
+// source i's key is HM1(K_i, x || j || t). Only the querier and source i
+// can produce it, so an aggregator cannot claim a larger value. Winner
+// certificates of the J sketch instances are XOR-combined into a single
+// aggregate tag (Katz-Lindell aggregate MAC) on the final edge.
+#ifndef SIES_SECOA_INFLATION_H_
+#define SIES_SECOA_INFLATION_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sies::secoa {
+
+/// Width of an inflation certificate (HM1 output).
+inline constexpr size_t kInflationCertBytes = 20;
+
+/// HM1(K_i, value || instance || epoch).
+Bytes MakeInflationCert(const Bytes& source_key, uint64_t value,
+                        uint32_t instance, uint64_t epoch);
+
+/// XORs `cert` into `aggregate` (resizing an empty aggregate).
+void XorCertInto(Bytes& aggregate, const Bytes& cert);
+
+}  // namespace sies::secoa
+
+#endif  // SIES_SECOA_INFLATION_H_

@@ -1,0 +1,56 @@
+#include "secoa/seal.h"
+
+#include "crypto/hmac.h"
+
+namespace sies::secoa {
+
+StatusOr<Seal> SealOps::Create(const crypto::BigUint& seed,
+                               uint64_t position) const {
+  if (seed.IsZero() || seed >= key_.n()) {
+    return Status::InvalidArgument("seed must be in [1, n)");
+  }
+  auto rolled = key_.ApplyTimes(seed, position);
+  if (!rolled.ok()) return rolled.status();
+  return Seal{std::move(rolled).value(), position};
+}
+
+StatusOr<Seal> SealOps::RollTo(const Seal& seal, uint64_t target) const {
+  if (target < seal.position) {
+    return Status::InvalidArgument(
+        "cannot roll a SEAL backwards (one-way chain)");
+  }
+  auto rolled = key_.ApplyTimes(seal.residue, target - seal.position);
+  if (!rolled.ok()) return rolled.status();
+  return Seal{std::move(rolled).value(), target};
+}
+
+StatusOr<Seal> SealOps::Fold(const Seal& a, const Seal& b) const {
+  if (a.position != b.position) {
+    return Status::InvalidArgument("can only fold SEALs at equal positions");
+  }
+  auto product = key_.MulMod(a.residue, b.residue);
+  if (!product.ok()) return product.status();
+  return Seal{std::move(product).value(), a.position};
+}
+
+StatusOr<crypto::BigUint> SealOps::FoldSeeds(const crypto::BigUint& a,
+                                             const crypto::BigUint& b) const {
+  return key_.MulMod(a, b);
+}
+
+crypto::BigUint DeriveTemporalSeed(const Bytes& seed_key, uint32_t instance,
+                                   uint64_t epoch,
+                                   const crypto::BigUint& rsa_modulus) {
+  // PRF input: epoch || instance, so every (instance, epoch) pair gets an
+  // independent seed.
+  Bytes input = EncodeUint64(epoch);
+  Bytes inst = EncodeUint64(instance);
+  input.insert(input.end(), inst.begin(), inst.end());
+  crypto::BigUint seed =
+      crypto::BigUint::FromBytes(crypto::HmacSha1(seed_key, input));
+  seed = crypto::BigUint::Mod(seed, rsa_modulus).value();
+  if (seed.IsZero()) seed = crypto::BigUint(1);
+  return seed;
+}
+
+}  // namespace sies::secoa

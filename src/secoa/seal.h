@@ -1,0 +1,61 @@
+// SEALs: SECOA's deflation certificates (Nath, Yu, Chan — SIGMOD 2009, as
+// described in the ICDE'11 SIES paper, Section II-D).
+//
+// A SEAL for value v over seed sd is the raw-RSA one-way chain
+// E_RSA^v(sd): anyone can extend the chain ("roll" to a larger v), nobody
+// can shorten it. SEALs at the same chain position combine by modular
+// multiplication ("fold"), since E(a)·E(b) = E(a·b) for raw RSA — so an
+// aggregate SEAL attests that NO contributor's value was deflated.
+#ifndef SIES_SECOA_SEAL_H_
+#define SIES_SECOA_SEAL_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/rsa.h"
+
+namespace sies::secoa {
+
+/// A SEAL: an RSA residue plus its chain position.
+struct Seal {
+  crypto::BigUint residue;
+  uint64_t position = 0;  ///< number of RSA applications from the seed
+};
+
+/// Operations on SEALs under a fixed RSA public key.
+class SealOps {
+ public:
+  explicit SealOps(crypto::RsaPublicKey key) : key_(std::move(key)) {}
+
+  /// Creates a SEAL at `position` by rolling `seed` forward. `seed` must
+  /// be a residue in [1, n).
+  StatusOr<Seal> Create(const crypto::BigUint& seed, uint64_t position) const;
+
+  /// Rolls a SEAL forward to `target` >= current position.
+  StatusOr<Seal> RollTo(const Seal& seal, uint64_t target) const;
+
+  /// Folds two SEALs at the same position into one.
+  StatusOr<Seal> Fold(const Seal& a, const Seal& b) const;
+
+  /// Folds seeds directly (position-0 folding at the querier).
+  StatusOr<crypto::BigUint> FoldSeeds(const crypto::BigUint& a,
+                                      const crypto::BigUint& b) const;
+
+  const crypto::RsaPublicKey& key() const { return key_; }
+  /// Wire width of a serialized SEAL residue (paper: 128 bytes).
+  size_t SealBytes() const { return key_.ModulusBytes(); }
+
+ private:
+  crypto::RsaPublicKey key_;
+};
+
+/// Derives the temporal seed sd_{i,j,t} for source `source`, sketch
+/// instance `instance`, epoch `epoch` from the source's long-term seed
+/// key, reduced into [1, n). Both the source and the querier derive these
+/// with HM1 (paper Eq. 2 / Eq. 8 cost terms).
+crypto::BigUint DeriveTemporalSeed(const Bytes& seed_key, uint32_t instance,
+                                   uint64_t epoch,
+                                   const crypto::BigUint& rsa_modulus);
+
+}  // namespace sies::secoa
+
+#endif  // SIES_SECOA_SEAL_H_

@@ -1,0 +1,144 @@
+#include "secoa/secoa_max.h"
+
+#include "crypto/hmac_drbg.h"
+
+namespace sies::secoa {
+
+QuerierKeys GenerateKeys(uint32_t num_sources, const Bytes& master_seed) {
+  Bytes personalization = {'s', 'e', 'c', 'o', 'a', '-', 's', 'e', 't',
+                           'u', 'p'};
+  crypto::HmacDrbg drbg(master_seed, personalization);
+  QuerierKeys keys;
+  keys.sources.reserve(num_sources);
+  for (uint32_t i = 0; i < num_sources; ++i) {
+    SourceKeys sk;
+    sk.inflation_key = drbg.Generate(20);
+    sk.seed_key = drbg.Generate(20);
+    keys.sources.push_back(std::move(sk));
+  }
+  return keys;
+}
+
+Bytes SerializeMaxPsr(const SealOps& ops, const MaxPsr& psr) {
+  Bytes wire;
+  wire.reserve(12 + kInflationCertBytes + ops.SealBytes());
+  Bytes value = EncodeUint64(psr.value);
+  wire.insert(wire.end(), value.begin(), value.end());
+  wire.resize(wire.size() + 4);
+  StoreBigEndian32(psr.winner, wire.data() + 8);
+  wire.insert(wire.end(), psr.inflation_cert.begin(),
+              psr.inflation_cert.end());
+  Bytes residue = psr.seal.residue.ToBytes(ops.SealBytes()).value();
+  wire.insert(wire.end(), residue.begin(), residue.end());
+  return wire;
+}
+
+StatusOr<MaxPsr> ParseMaxPsr(const SealOps& ops, const Bytes& wire) {
+  const size_t expected = 12 + kInflationCertBytes + ops.SealBytes();
+  if (wire.size() != expected) {
+    return Status::InvalidArgument("MaxPsr has wrong width");
+  }
+  MaxPsr psr;
+  psr.value = LoadBigEndian64(wire.data());
+  psr.winner = LoadBigEndian32(wire.data() + 8);
+  psr.inflation_cert.assign(wire.begin() + 12,
+                            wire.begin() + 12 + kInflationCertBytes);
+  psr.seal.residue = crypto::BigUint::FromBytes(
+      wire.data() + 12 + kInflationCertBytes, ops.SealBytes());
+  psr.seal.position = psr.value;
+  if (psr.seal.residue >= ops.key().n()) {
+    return Status::InvalidArgument("SEAL residue not a residue mod n");
+  }
+  return psr;
+}
+
+StatusOr<MaxPsr> MaxSource::CreatePsr(uint64_t value, uint64_t epoch) const {
+  MaxPsr psr;
+  psr.value = value;
+  psr.winner = index_;
+  psr.inflation_cert =
+      MakeInflationCert(keys_.inflation_key, value, /*instance=*/0, epoch);
+  crypto::BigUint seed =
+      DeriveTemporalSeed(keys_.seed_key, /*instance=*/0, epoch, ops_.key().n());
+  auto seal = ops_.Create(seed, value);
+  if (!seal.ok()) return seal.status();
+  psr.seal = std::move(seal).value();
+  return psr;
+}
+
+StatusOr<MaxPsr> MaxAggregator::Merge(
+    const std::vector<MaxPsr>& children) const {
+  if (children.empty()) return Status::InvalidArgument("nothing to merge");
+  // Pick the maximum value; its certificate travels on.
+  size_t best = 0;
+  for (size_t i = 1; i < children.size(); ++i) {
+    if (children[i].value > children[best].value) best = i;
+  }
+  MaxPsr merged;
+  merged.value = children[best].value;
+  merged.winner = children[best].winner;
+  merged.inflation_cert = children[best].inflation_cert;
+
+  // Roll every child SEAL to the max position, then fold them all.
+  auto acc = ops_.RollTo(children[0].seal, merged.value);
+  if (!acc.ok()) return acc.status();
+  Seal folded = std::move(acc).value();
+  for (size_t i = 1; i < children.size(); ++i) {
+    auto rolled = ops_.RollTo(children[i].seal, merged.value);
+    if (!rolled.ok()) return rolled.status();
+    auto next = ops_.Fold(folded, rolled.value());
+    if (!next.ok()) return next.status();
+    folded = std::move(next).value();
+  }
+  merged.seal = std::move(folded);
+  return merged;
+}
+
+StatusOr<MaxEvaluation> MaxQuerier::Evaluate(
+    const MaxPsr& final_psr, uint64_t epoch,
+    const std::vector<uint32_t>& participating) const {
+  if (participating.empty()) {
+    return Status::InvalidArgument("no participating sources");
+  }
+  MaxEvaluation eval;
+  eval.max = final_psr.value;
+
+  // Inflation check: the winner's HMAC must open under the winner's key.
+  bool winner_known = false;
+  for (uint32_t index : participating) {
+    if (index == final_psr.winner) winner_known = true;
+  }
+  if (!winner_known || final_psr.winner >= keys_.sources.size()) {
+    eval.verified = false;
+    return eval;
+  }
+  Bytes expected_cert =
+      MakeInflationCert(keys_.sources[final_psr.winner].inflation_key,
+                        final_psr.value, /*instance=*/0, epoch);
+  if (!ConstantTimeEqual(expected_cert, final_psr.inflation_cert)) {
+    eval.verified = false;
+    return eval;
+  }
+
+  // Deflation check: rebuild the reference SEAL by folding all seeds and
+  // rolling `max` times, then compare against the collected SEAL.
+  crypto::BigUint folded_seed(1);
+  for (uint32_t index : participating) {
+    if (index >= keys_.sources.size()) {
+      return Status::NotFound("participating index out of range");
+    }
+    crypto::BigUint seed = DeriveTemporalSeed(
+        keys_.sources[index].seed_key, /*instance=*/0, epoch, ops_.key().n());
+    auto next = ops_.FoldSeeds(folded_seed, seed);
+    if (!next.ok()) return next.status();
+    folded_seed = std::move(next).value();
+  }
+  auto reference = ops_.Create(folded_seed, final_psr.value);
+  if (!reference.ok()) return reference.status();
+  eval.verified =
+      reference.value().residue == final_psr.seal.residue &&
+      final_psr.seal.position == final_psr.value;
+  return eval;
+}
+
+}  // namespace sies::secoa

@@ -1,0 +1,101 @@
+// SECOA_M: secure in-network MAX with inflation + deflation certificates
+// (paper Section II-D). Exact MAX, integrity only, no confidentiality.
+//
+// Every source sends (v_i, inflation cert, SEAL at position v_i). An
+// aggregator keeps the max value and its winner's certificate, rolls all
+// children's SEALs to the max and folds them. The querier checks the
+// winner's HMAC (no inflation) and compares the collected aggregate SEAL
+// against a reference built from all participating seeds (no deflation).
+#ifndef SIES_SECOA_SECOA_MAX_H_
+#define SIES_SECOA_SECOA_MAX_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "secoa/inflation.h"
+#include "secoa/seal.h"
+
+namespace sies::secoa {
+
+/// Long-term keys of one source: the inflation-HMAC key K_i and the SEAL
+/// seed key, both shared with the querier only.
+struct SourceKeys {
+  Bytes inflation_key;  ///< 20 bytes
+  Bytes seed_key;       ///< 20 bytes
+};
+
+/// All sources' keys, held by the querier.
+struct QuerierKeys {
+  std::vector<SourceKeys> sources;
+};
+
+/// Derives all SECOA long-term keys from a master seed.
+QuerierKeys GenerateKeys(uint32_t num_sources, const Bytes& master_seed);
+
+/// The MAX partial state record.
+struct MaxPsr {
+  uint64_t value = 0;    ///< current maximum
+  uint32_t winner = 0;   ///< source index that produced it
+  Bytes inflation_cert;  ///< winner's HM1 tag (20 bytes)
+  Seal seal;             ///< aggregate SEAL at position == value
+};
+
+/// Serializes a MaxPsr (8 + 4 + 20 + modulus bytes).
+Bytes SerializeMaxPsr(const SealOps& ops, const MaxPsr& psr);
+/// Parses a serialized MaxPsr.
+StatusOr<MaxPsr> ParseMaxPsr(const SealOps& ops, const Bytes& wire);
+
+/// A SECOA_M source.
+class MaxSource {
+ public:
+  MaxSource(SealOps ops, uint32_t index, SourceKeys keys)
+      : ops_(std::move(ops)), index_(index), keys_(std::move(keys)) {}
+
+  /// Produces the PSR for reading `value` at `epoch`. The sketch-instance
+  /// slot of the PRFs is fixed to 0 for the standalone MAX protocol.
+  StatusOr<MaxPsr> CreatePsr(uint64_t value, uint64_t epoch) const;
+
+ private:
+  SealOps ops_;
+  uint32_t index_;
+  SourceKeys keys_;
+};
+
+/// A SECOA_M aggregator (holds only the public RSA key).
+class MaxAggregator {
+ public:
+  explicit MaxAggregator(SealOps ops) : ops_(std::move(ops)) {}
+
+  /// Keeps the max child, rolls every child SEAL to it and folds.
+  StatusOr<MaxPsr> Merge(const std::vector<MaxPsr>& children) const;
+
+ private:
+  SealOps ops_;
+};
+
+/// Result of MAX verification.
+struct MaxEvaluation {
+  uint64_t max = 0;
+  bool verified = false;
+};
+
+/// The SECOA_M querier.
+class MaxQuerier {
+ public:
+  MaxQuerier(SealOps ops, QuerierKeys keys)
+      : ops_(std::move(ops)), keys_(std::move(keys)) {}
+
+  /// Verifies the final PSR against the `participating` sources' keys.
+  StatusOr<MaxEvaluation> Evaluate(
+      const MaxPsr& final_psr, uint64_t epoch,
+      const std::vector<uint32_t>& participating) const;
+
+ private:
+  SealOps ops_;
+  QuerierKeys keys_;
+};
+
+}  // namespace sies::secoa
+
+#endif  // SIES_SECOA_SECOA_MAX_H_

@@ -1,0 +1,403 @@
+#include "secoa/secoa_sum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace sies::secoa {
+
+namespace {
+// Serialized layout. Non-final form:
+//   u8 form=0 | J x u8 value | J x u32 winner | J x 20B cert |
+//   J x SealBytes residue
+// Final form:
+//   u8 form=1 | J x u8 value | J x u32 winner | 20B xor cert |
+//   u16 group count | groups x (u8 position, SealBytes residue)
+constexpr uint8_t kFormInNetwork = 0;
+constexpr uint8_t kFormFinal = 1;
+
+void AppendU32(Bytes& out, uint32_t v) {
+  out.resize(out.size() + 4);
+  StoreBigEndian32(v, out.data() + out.size() - 4);
+}
+}  // namespace
+
+Bytes SerializeSumPsr(const SealOps& ops, const SumPsr& psr) {
+  Bytes wire;
+  const size_t j = psr.values.size();
+  wire.push_back(psr.final_form ? kFormFinal : kFormInNetwork);
+  wire.insert(wire.end(), psr.values.begin(), psr.values.end());
+  for (uint32_t w : psr.winners) AppendU32(wire, w);
+  if (!psr.final_form) {
+    for (const Bytes& cert : psr.certs) {
+      wire.insert(wire.end(), cert.begin(), cert.end());
+    }
+    for (size_t i = 0; i < j; ++i) {
+      Bytes residue = psr.seals[i].residue.ToBytes(ops.SealBytes()).value();
+      wire.insert(wire.end(), residue.begin(), residue.end());
+    }
+  } else {
+    // Positions are sketch levels (<= 63) and groups are distinct, so
+    // these hold for every PSR this library produces; assert rather
+    // than silently truncate.
+    assert(psr.seals.size() <= 0xffff);
+    wire.insert(wire.end(), psr.xor_cert.begin(), psr.xor_cert.end());
+    wire.resize(wire.size() + 2);
+    wire[wire.size() - 2] = static_cast<uint8_t>(psr.seals.size() >> 8);
+    wire[wire.size() - 1] = static_cast<uint8_t>(psr.seals.size());
+    for (const Seal& seal : psr.seals) {
+      assert(seal.position <= 0xff);
+      wire.push_back(static_cast<uint8_t>(seal.position));
+      Bytes residue = seal.residue.ToBytes(ops.SealBytes()).value();
+      wire.insert(wire.end(), residue.begin(), residue.end());
+    }
+  }
+  return wire;
+}
+
+StatusOr<SumPsr> ParseSumPsr(const SealOps& ops, const SumParams& params,
+                             const Bytes& wire) {
+  const size_t j = params.j;
+  const size_t seal_bytes = ops.SealBytes();
+  if (wire.size() < 1 + j * 5) {
+    return Status::InvalidArgument("SumPsr too short");
+  }
+  SumPsr psr;
+  psr.final_form = wire[0] == kFormFinal;
+  size_t off = 1;
+  psr.values.assign(wire.begin() + off, wire.begin() + off + j);
+  off += j;
+  psr.winners.resize(j);
+  for (size_t i = 0; i < j; ++i) {
+    psr.winners[i] = LoadBigEndian32(wire.data() + off);
+    off += 4;
+  }
+  if (!psr.final_form) {
+    const size_t expected =
+        off + j * kInflationCertBytes + j * seal_bytes;
+    if (wire.size() != expected) {
+      return Status::InvalidArgument("SumPsr (in-network) has wrong width");
+    }
+    psr.certs.resize(j);
+    for (size_t i = 0; i < j; ++i) {
+      psr.certs[i].assign(wire.begin() + off,
+                          wire.begin() + off + kInflationCertBytes);
+      off += kInflationCertBytes;
+    }
+    psr.seals.resize(j);
+    for (size_t i = 0; i < j; ++i) {
+      psr.seals[i].residue =
+          crypto::BigUint::FromBytes(wire.data() + off, seal_bytes);
+      psr.seals[i].position = psr.values[i];
+      off += seal_bytes;
+      if (psr.seals[i].residue >= ops.key().n()) {
+        return Status::InvalidArgument("SEAL residue not a residue mod n");
+      }
+    }
+  } else {
+    if (wire.size() < off + kInflationCertBytes + 2) {
+      return Status::InvalidArgument("SumPsr (final) too short");
+    }
+    psr.xor_cert.assign(wire.begin() + off,
+                        wire.begin() + off + kInflationCertBytes);
+    off += kInflationCertBytes;
+    size_t groups = (static_cast<size_t>(wire[off]) << 8) | wire[off + 1];
+    off += 2;
+    if (wire.size() != off + groups * (1 + seal_bytes)) {
+      return Status::InvalidArgument("SumPsr (final) has wrong width");
+    }
+    psr.seals.resize(groups);
+    for (size_t g = 0; g < groups; ++g) {
+      psr.seals[g].position = wire[off];
+      off += 1;
+      // Canonical form: strictly ascending group positions (rejects
+      // duplicated or shuffled groups an adversary might craft).
+      if (g > 0 && psr.seals[g].position <= psr.seals[g - 1].position) {
+        return Status::InvalidArgument(
+            "SEAL groups must have strictly ascending positions");
+      }
+      psr.seals[g].residue =
+          crypto::BigUint::FromBytes(wire.data() + off, seal_bytes);
+      off += seal_bytes;
+      if (psr.seals[g].residue >= ops.key().n()) {
+        return Status::InvalidArgument("SEAL residue not a residue mod n");
+      }
+    }
+  }
+  return psr;
+}
+
+size_t PaperModelEdgeBytes(const SumParams& params, const SealOps& ops) {
+  return params.j * 1 + params.j * ops.SealBytes() + kInflationCertBytes;
+}
+
+size_t PaperModelFinalBytes(const SumParams& params, const SealOps& ops,
+                            size_t seal_groups) {
+  return params.j * 1 + seal_groups * ops.SealBytes() + kInflationCertBytes;
+}
+
+size_t SoundWireEdgeBytes(const SumParams& params, const SealOps& ops) {
+  return 1 + static_cast<size_t>(params.j) *
+                 (1 + 4 + kInflationCertBytes + ops.SealBytes());
+}
+
+size_t SoundWireFinalBytes(const SumParams& params, const SealOps& ops,
+                           size_t seal_groups) {
+  return 1 + static_cast<size_t>(params.j) * (1 + 4) + kInflationCertBytes +
+         2 + seal_groups * (1 + ops.SealBytes());
+}
+
+StatusOr<SumPsr> SumSource::CreatePsr(uint64_t value, uint64_t epoch) const {
+  // J·v sketch generations (Eq. 2's J·v·C_sk term).
+  sketch::SketchSet sketches(params_.j, params_.sketch_seed);
+  sketches.InsertValue(index_, value);
+
+  SumPsr psr;
+  psr.values.resize(params_.j);
+  psr.winners.assign(params_.j, index_);
+  psr.certs.resize(params_.j);
+  psr.seals.resize(params_.j);
+  for (uint32_t j = 0; j < params_.j; ++j) {
+    uint8_t x = sketches.instances()[j].max_level;
+    psr.values[j] = x;
+    psr.certs[j] = MakeInflationCert(keys_.inflation_key, x, j, epoch);
+    crypto::BigUint seed =
+        DeriveTemporalSeed(keys_.seed_key, j, epoch, ops_.key().n());
+    auto seal = ops_.Create(seed, x);
+    if (!seal.ok()) return seal.status();
+    psr.seals[j] = std::move(seal).value();
+  }
+  return psr;
+}
+
+StatusOr<SumPsr> SumAggregator::Merge(
+    const std::vector<SumPsr>& children) const {
+  if (children.empty()) return Status::InvalidArgument("nothing to merge");
+  for (const SumPsr& child : children) {
+    if (child.final_form || child.values.size() != params_.j) {
+      return Status::InvalidArgument(
+          "can only merge in-network PSRs with matching J");
+    }
+  }
+  SumPsr merged;
+  merged.values.resize(params_.j);
+  merged.winners.resize(params_.j);
+  merged.certs.resize(params_.j);
+  merged.seals.resize(params_.j);
+  for (uint32_t j = 0; j < params_.j; ++j) {
+    // MAX selection for instance j.
+    size_t best = 0;
+    for (size_t c = 1; c < children.size(); ++c) {
+      if (children[c].values[j] > children[best].values[j]) best = c;
+    }
+    merged.values[j] = children[best].values[j];
+    merged.winners[j] = children[best].winners[j];
+    merged.certs[j] = children[best].certs[j];
+    // Roll all children's SEALs to the max and fold (Eq. 5 profile).
+    auto acc = ops_.RollTo(children[0].seals[j], merged.values[j]);
+    if (!acc.ok()) return acc.status();
+    Seal folded = std::move(acc).value();
+    for (size_t c = 1; c < children.size(); ++c) {
+      auto rolled = ops_.RollTo(children[c].seals[j], merged.values[j]);
+      if (!rolled.ok()) return rolled.status();
+      auto next = ops_.Fold(folded, rolled.value());
+      if (!next.ok()) return next.status();
+      folded = std::move(next).value();
+    }
+    merged.seals[j] = std::move(folded);
+  }
+  return merged;
+}
+
+StatusOr<SumPsr> SumAggregator::Finalize(const SumPsr& psr) const {
+  if (psr.final_form) return Status::InvalidArgument("already final");
+  SumPsr out;
+  out.final_form = true;
+  out.values = psr.values;
+  out.winners = psr.winners;
+  for (const Bytes& cert : psr.certs) XorCertInto(out.xor_cert, cert);
+  // Fold SEALs at the same chain position (the sink optimization).
+  std::map<uint64_t, Seal> groups;
+  for (const Seal& seal : psr.seals) {
+    auto it = groups.find(seal.position);
+    if (it == groups.end()) {
+      groups.emplace(seal.position, seal);
+    } else {
+      auto folded = ops_.Fold(it->second, seal);
+      if (!folded.ok()) return folded.status();
+      it->second = std::move(folded).value();
+    }
+  }
+  out.seals.reserve(groups.size());
+  for (auto& [pos, seal] : groups) out.seals.push_back(std::move(seal));
+  return out;
+}
+
+StatusOr<SumEvaluation> SumQuerier::Evaluate(
+    const SumPsr& final_psr, uint64_t epoch,
+    const std::vector<uint32_t>& participating) const {
+  if (!final_psr.final_form) {
+    return Status::InvalidArgument("querier expects the final form");
+  }
+  if (final_psr.values.size() != params_.j ||
+      final_psr.winners.size() != params_.j) {
+    return Status::InvalidArgument("PSR has wrong J");
+  }
+  if (participating.empty()) {
+    return Status::InvalidArgument("no participating sources");
+  }
+  SumEvaluation eval;
+
+  // Estimate 2^x̄ regardless of verification (reported only if verified).
+  double mean = 0.0;
+  uint64_t x_max = 0;
+  for (uint8_t x : final_psr.values) {
+    mean += x;
+    x_max = std::max<uint64_t>(x_max, x);
+  }
+  mean /= static_cast<double>(params_.j);
+  eval.estimate = std::exp2(mean);
+
+  // --- Inflation check: XOR of the winners' expected certificates. ---
+  std::vector<bool> is_participating;
+  for (uint32_t index : participating) {
+    if (index >= keys_.sources.size()) {
+      return Status::NotFound("participating index out of range");
+    }
+    if (index >= is_participating.size()) {
+      is_participating.resize(index + 1, false);
+    }
+    is_participating[index] = true;
+  }
+  Bytes expected_xor;
+  for (uint32_t j = 0; j < params_.j; ++j) {
+    uint32_t winner = final_psr.winners[j];
+    if (winner >= is_participating.size() || !is_participating[winner]) {
+      eval.verified = false;
+      return eval;
+    }
+    Bytes cert = MakeInflationCert(keys_.sources[winner].inflation_key,
+                                   final_psr.values[j], j, epoch);
+    XorCertInto(expected_xor, cert);
+  }
+  if (!ConstantTimeEqual(expected_xor, final_psr.xor_cert)) {
+    eval.verified = false;
+    return eval;
+  }
+
+  // --- Deflation check (Eq. 8 profile): ---
+  // reference = roll(fold of all J·N temporal seeds, x_max)
+  crypto::BigUint folded_seed(1);
+  for (uint32_t index : participating) {
+    for (uint32_t j = 0; j < params_.j; ++j) {
+      crypto::BigUint seed = DeriveTemporalSeed(keys_.sources[index].seed_key,
+                                                j, epoch, ops_.key().n());
+      auto next = ops_.FoldSeeds(folded_seed, seed);
+      if (!next.ok()) return next.status();
+      folded_seed = std::move(next).value();
+    }
+  }
+  auto reference = ops_.Create(folded_seed, x_max);
+  if (!reference.ok()) return reference.status();
+
+  // collected = fold of all SEAL groups rolled to x_max
+  if (final_psr.seals.empty()) {
+    eval.verified = false;
+    return eval;
+  }
+  auto acc = ops_.RollTo(final_psr.seals[0], x_max);
+  if (!acc.ok()) {
+    eval.verified = false;  // a group beyond x_max is itself inflation
+    return eval;
+  }
+  Seal collected = std::move(acc).value();
+  for (size_t g = 1; g < final_psr.seals.size(); ++g) {
+    auto rolled = ops_.RollTo(final_psr.seals[g], x_max);
+    if (!rolled.ok()) {
+      eval.verified = false;
+      return eval;
+    }
+    auto next = ops_.Fold(collected, rolled.value());
+    if (!next.ok()) return next.status();
+    collected = std::move(next).value();
+  }
+  eval.verified = collected.residue == reference.value().residue;
+  return eval;
+}
+
+StatusOr<SumPsr> FabricateHonestFinalPsr(
+    const SealOps& ops, const SumParams& params, const QuerierKeys& keys,
+    uint64_t epoch, const std::vector<uint32_t>& participating,
+    const std::vector<uint8_t>& values, const std::vector<uint32_t>& winners) {
+  if (values.size() != params.j || winners.size() != params.j) {
+    return Status::InvalidArgument("need exactly J values and winners");
+  }
+  SumPsr psr;
+  psr.final_form = true;
+  psr.values = values;
+  psr.winners = winners;
+  uint64_t x_max = 0;
+  for (uint8_t x : values) x_max = std::max<uint64_t>(x_max, x);
+
+  for (uint32_t j = 0; j < params.j; ++j) {
+    if (winners[j] >= keys.sources.size()) {
+      return Status::NotFound("winner index out of range");
+    }
+    Bytes cert = MakeInflationCert(keys.sources[winners[j]].inflation_key,
+                                   values[j], j, epoch);
+    XorCertInto(psr.xor_cert, cert);
+  }
+
+  // Fold all participating seeds once, roll to x_max: that residue goes
+  // into the x_max group; every other distinct position gets the neutral
+  // element 1 (E^p(1) = 1 folds away), keeping verification exact while
+  // costing the querier the same roll/fold work as a genuine run.
+  crypto::BigUint folded_seed(1);
+  for (uint32_t index : participating) {
+    if (index >= keys.sources.size()) {
+      return Status::NotFound("participating index out of range");
+    }
+    for (uint32_t j = 0; j < params.j; ++j) {
+      crypto::BigUint seed = DeriveTemporalSeed(keys.sources[index].seed_key,
+                                                j, epoch, ops.key().n());
+      auto next = ops.FoldSeeds(folded_seed, seed);
+      if (!next.ok()) return next.status();
+      folded_seed = std::move(next).value();
+    }
+  }
+  auto full = ops.Create(folded_seed, x_max);
+  if (!full.ok()) return full.status();
+
+  std::map<uint64_t, Seal> groups;
+  for (uint8_t x : values) {
+    if (!groups.contains(x)) {
+      groups.emplace(x, Seal{crypto::BigUint(1), x});
+    }
+  }
+  groups[x_max] = std::move(full).value();
+  psr.seals.reserve(groups.size());
+  for (auto& [pos, seal] : groups) psr.seals.push_back(std::move(seal));
+  return psr;
+}
+
+std::vector<uint8_t> SampleSketchValues(const SumParams& params,
+                                        uint64_t total_units,
+                                        Xoshiro256& rng) {
+  // The max level of M independent geometric(1/2) draws:
+  // P[max < k] = (1 - 2^-k)^M. Invert by sequential search (k <= 64).
+  std::vector<uint8_t> values(params.j);
+  for (auto& value : values) {
+    double u = rng.NextDouble();
+    uint8_t k = 0;
+    while (k < 63) {
+      double cdf = std::pow(1.0 - std::exp2(-(static_cast<double>(k) + 1.0)),
+                            static_cast<double>(total_units));
+      if (u <= cdf) break;
+      ++k;
+    }
+    value = k;
+  }
+  return values;
+}
+
+}  // namespace sies::secoa

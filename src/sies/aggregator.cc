@@ -1,0 +1,22 @@
+#include "sies/aggregator.h"
+
+namespace sies::core {
+
+StatusOr<Bytes> Aggregator::Merge(const std::vector<Bytes>& child_psrs) const {
+  if (child_psrs.empty()) {
+    return Status::InvalidArgument("nothing to merge");
+  }
+  auto acc = ParsePsr(params_, child_psrs[0]);
+  if (!acc.ok()) return acc.status();
+  crypto::BigUint sum = std::move(acc).value();
+  for (size_t i = 1; i < child_psrs.size(); ++i) {
+    auto next = ParsePsr(params_, child_psrs[i]);
+    if (!next.ok()) return next.status();
+    auto merged = crypto::BigUint::ModAdd(sum, next.value(), params_.prime);
+    if (!merged.ok()) return merged.status();
+    sum = std::move(merged).value();
+  }
+  return SerializePsr(params_, sum);
+}
+
+}  // namespace sies::core

@@ -1,0 +1,33 @@
+// The SIES aggregator (paper Section IV-A, merging phase).
+//
+// Aggregators hold no secrets: only the public prime p. Merging is a
+// modular addition of the children's PSRs — the entire reason the scheme
+// is deployable on resource-constrained relay nodes.
+#ifndef SIES_SIES_AGGREGATOR_H_
+#define SIES_SIES_AGGREGATOR_H_
+
+#include <vector>
+
+#include "sies/message_format.h"
+#include "sies/params.h"
+
+namespace sies::core {
+
+/// An aggregator A_j. Stateless apart from the public parameters.
+class Aggregator {
+ public:
+  explicit Aggregator(Params params) : params_(std::move(params)) {}
+
+  /// Merging phase: PSR' = Σ PSR_c mod p over the children's PSRs.
+  /// Cost profile (paper Eq. 6): (F-1) 32-byte modular additions.
+  StatusOr<Bytes> Merge(const std::vector<Bytes>& child_psrs) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_AGGREGATOR_H_

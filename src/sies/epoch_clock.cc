@@ -1,0 +1,33 @@
+#include "sies/epoch_clock.h"
+
+namespace sies::core {
+
+StatusOr<EpochClock> EpochClock::Create(uint64_t epoch_duration_ms,
+                                        uint64_t genesis_ms) {
+  if (epoch_duration_ms == 0) {
+    return Status::InvalidArgument("epoch duration must be positive");
+  }
+  return EpochClock(epoch_duration_ms, genesis_ms);
+}
+
+uint64_t EpochClock::EpochAt(uint64_t now_ms) const {
+  if (now_ms < genesis_ms_) return 0;
+  return (now_ms - genesis_ms_) / epoch_duration_ms_;
+}
+
+uint64_t EpochClock::EpochStartMs(uint64_t epoch) const {
+  return genesis_ms_ + epoch * epoch_duration_ms_;
+}
+
+bool EpochClock::IsPlausible(uint64_t claimed_epoch, uint64_t local_now_ms,
+                             uint64_t max_skew_ms) const {
+  // The claimed epoch's interval, widened by the skew budget, must
+  // contain the local time.
+  uint64_t start = EpochStartMs(claimed_epoch);
+  uint64_t end = start + epoch_duration_ms_;
+  uint64_t lo = start > max_skew_ms ? start - max_skew_ms : 0;
+  uint64_t hi = end + max_skew_ms;
+  return local_now_ms >= lo && local_now_ms < hi;
+}
+
+}  // namespace sies::core

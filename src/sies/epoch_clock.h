@@ -1,0 +1,51 @@
+// EpochClock: maps wall-clock time to the discrete epochs of the
+// push-based query model (paper Section III-B: "All sources, aggregators
+// and the querier are loosely synchronized in time epochs. The epochs
+// are specified by the transmission period T of each source.").
+//
+// Loose synchronization is all the protocol needs: the querier simply
+// rejects PSRs whose claimed epoch is implausible for its local clock,
+// bounding how far a desynchronized (or malicious) node can drift.
+#ifndef SIES_SIES_EPOCH_CLOCK_H_
+#define SIES_SIES_EPOCH_CLOCK_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace sies::core {
+
+/// Converts between milliseconds-since-genesis and epoch numbers.
+class EpochClock {
+ public:
+  /// `epoch_duration_ms` is the transmission period T (> 0);
+  /// `genesis_ms` the agreed network start time.
+  static StatusOr<EpochClock> Create(uint64_t epoch_duration_ms,
+                                     uint64_t genesis_ms);
+
+  /// Epoch containing local time `now_ms`. Times before genesis map to
+  /// epoch 0 (the setup phase).
+  uint64_t EpochAt(uint64_t now_ms) const;
+
+  /// Start of `epoch` in milliseconds.
+  uint64_t EpochStartMs(uint64_t epoch) const;
+
+  /// Loose-synchronization check: is `claimed_epoch` within
+  /// `max_skew_ms` of the epoch the local clock says it should be?
+  bool IsPlausible(uint64_t claimed_epoch, uint64_t local_now_ms,
+                   uint64_t max_skew_ms) const;
+
+  uint64_t epoch_duration_ms() const { return epoch_duration_ms_; }
+  uint64_t genesis_ms() const { return genesis_ms_; }
+
+ private:
+  EpochClock(uint64_t duration, uint64_t genesis)
+      : epoch_duration_ms_(duration), genesis_ms_(genesis) {}
+
+  uint64_t epoch_duration_ms_;
+  uint64_t genesis_ms_;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_EPOCH_CLOCK_H_

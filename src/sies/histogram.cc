@@ -1,0 +1,129 @@
+#include "sies/histogram.h"
+
+#include <cmath>
+
+namespace sies::core {
+
+namespace {
+// Each bucket runs as its own logical query: bucket b of a histogram
+// with base id Q salts PRF inputs with query id Q + b. All buckets use
+// the kCount channel slot.
+uint64_t BucketEpoch(const HistogramQuery& query, uint32_t bucket,
+                     uint64_t epoch) {
+  return SaltedEpoch(epoch, query.query_id + bucket, Channel::kCount);
+}
+}  // namespace
+
+uint32_t HistogramQuery::BucketOf(double value) const {
+  if (value < lower) return 0;  // clamp into the first bucket
+  if (value >= upper) return buckets;
+  double width = (upper - lower) / buckets;
+  uint32_t b = static_cast<uint32_t>((value - lower) / width);
+  return b >= buckets ? buckets - 1 : b;
+}
+
+Status HistogramQuery::Validate() const {
+  if (buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  if (!(lower < upper)) {
+    return Status::InvalidArgument("lower must be < upper");
+  }
+  if (query_id + buckets >= (1u << 14)) {
+    return Status::InvalidArgument("query_id + buckets exceeds salt space");
+  }
+  return Status::OK();
+}
+
+StatusOr<Bytes> HistogramSource::CreatePayload(const SensorReading& reading,
+                                               uint64_t epoch) const {
+  SIES_RETURN_IF_ERROR(query_.Validate());
+  bool matches =
+      !query_.where.has_value() || query_.where->Matches(reading);
+  uint32_t hit_bucket =
+      query_.BucketOf(GetField(reading, query_.attribute));
+  Bytes payload;
+  for (uint32_t b = 0; b < query_.ChannelCount(); ++b) {
+    uint64_t value = (matches && b == hit_bucket) ? 1 : 0;
+    auto psr = source_.CreatePsr(value, BucketEpoch(query_, b, epoch));
+    if (!psr.ok()) return psr.status();
+    payload.insert(payload.end(), psr.value().begin(), psr.value().end());
+  }
+  return payload;
+}
+
+StatusOr<Bytes> HistogramAggregator::Merge(
+    const std::vector<Bytes>& children) const {
+  SIES_RETURN_IF_ERROR(query_.Validate());
+  if (children.empty()) return Status::InvalidArgument("nothing to merge");
+  const size_t width = aggregator_.params().PsrBytes();
+  const size_t expected = query_.ChannelCount() * width;
+  Bytes merged;
+  merged.reserve(expected);
+  for (uint32_t b = 0; b < query_.ChannelCount(); ++b) {
+    std::vector<Bytes> slices;
+    slices.reserve(children.size());
+    for (const Bytes& child : children) {
+      if (child.size() != expected) {
+        return Status::InvalidArgument("histogram payload width mismatch");
+      }
+      slices.emplace_back(child.begin() + b * width,
+                          child.begin() + (b + 1) * width);
+    }
+    auto psr = aggregator_.Merge(slices);
+    if (!psr.ok()) return psr.status();
+    merged.insert(merged.end(), psr.value().begin(), psr.value().end());
+  }
+  return merged;
+}
+
+uint64_t Histogram::Total() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+StatusOr<double> Histogram::Quantile(const HistogramQuery& query,
+                                     double q) const {
+  if (!verified) return Status::FailedPrecondition("histogram unverified");
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile must be in [0, 1]");
+  }
+  uint64_t total = Total();
+  if (total == 0) return Status::FailedPrecondition("empty histogram");
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  double width = (query.upper - query.lower) / query.buckets;
+  for (uint32_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      if (b == query.buckets) return query.upper;  // overflow bucket
+      return query.lower + width * (b + 0.5);      // bucket midpoint
+    }
+  }
+  return query.upper;
+}
+
+StatusOr<Histogram> HistogramQuerier::Evaluate(
+    const Bytes& final_payload, uint64_t epoch,
+    const std::vector<uint32_t>& participating) const {
+  SIES_RETURN_IF_ERROR(query_.Validate());
+  const size_t width = querier_.params().PsrBytes();
+  if (final_payload.size() != query_.ChannelCount() * width) {
+    return Status::InvalidArgument("histogram payload width mismatch");
+  }
+  Histogram histogram;
+  histogram.verified = true;
+  histogram.counts.resize(query_.ChannelCount());
+  for (uint32_t b = 0; b < query_.ChannelCount(); ++b) {
+    Bytes slice(final_payload.begin() + b * width,
+                final_payload.begin() + (b + 1) * width);
+    auto eval = querier_.Evaluate(slice, BucketEpoch(query_, b, epoch),
+                                  participating);
+    if (!eval.ok()) return eval.status();
+    histogram.verified = histogram.verified && eval.value().verified;
+    histogram.counts[b] = eval.value().sum;
+  }
+  return histogram;
+}
+
+}  // namespace sies::core

@@ -1,0 +1,99 @@
+// Verified histograms over SIES — an extension exercising the paper's
+// claim that further aggregates derive from SUM and COUNT (Section
+// III-B): a B-bucket histogram is B parallel COUNT channels, one per
+// bucket, each an ordinary SIES SUM of 0/1 indicators. The querier gets
+// an integrity-verified, confidential histogram per epoch, from which
+// quantiles (median etc.) follow — aggregates SIES cannot answer
+// directly (it has no MAX/MIN), approximated to bucket resolution.
+#ifndef SIES_SIES_HISTOGRAM_H_
+#define SIES_SIES_HISTOGRAM_H_
+
+#include <vector>
+
+#include "sies/aggregator.h"
+#include "sies/querier.h"
+#include "sies/query.h"
+#include "sies/source.h"
+
+namespace sies::core {
+
+/// A histogram query: equal-width buckets of `attribute` over
+/// [lower, upper), plus an overflow bucket for values >= upper.
+struct HistogramQuery {
+  Field attribute = Field::kTemperature;
+  double lower = 18.0;
+  double upper = 50.0;
+  uint32_t buckets = 8;       ///< not counting the overflow bucket
+  uint32_t query_id = 0;      ///< base id; buckets use query_id..+buckets
+  std::optional<Predicate> where;
+
+  /// Total channels on the wire (buckets + overflow).
+  uint32_t ChannelCount() const { return buckets + 1; }
+  /// Bucket index for a reading value (buckets == overflow index).
+  uint32_t BucketOf(double value) const;
+  /// Validates the configuration.
+  Status Validate() const;
+};
+
+/// Source side: emits buckets+1 concatenated PSRs per epoch.
+class HistogramSource {
+ public:
+  HistogramSource(HistogramQuery query, Params params, uint32_t index,
+                  SourceKeys keys)
+      : query_(std::move(query)),
+        source_(std::move(params), index, std::move(keys)) {}
+
+  /// One PSR per bucket: 1 in the reading's bucket (if the predicate
+  /// matches), 0 elsewhere.
+  StatusOr<Bytes> CreatePayload(const SensorReading& reading,
+                                uint64_t epoch) const;
+
+ private:
+  HistogramQuery query_;
+  Source source_;
+};
+
+/// Aggregator side: bucket-wise modular addition.
+class HistogramAggregator {
+ public:
+  HistogramAggregator(HistogramQuery query, Params params)
+      : query_(std::move(query)), aggregator_(std::move(params)) {}
+
+  StatusOr<Bytes> Merge(const std::vector<Bytes>& children) const;
+
+ private:
+  HistogramQuery query_;
+  Aggregator aggregator_;
+};
+
+/// The verified histogram the querier recovers.
+struct Histogram {
+  std::vector<uint64_t> counts;  ///< buckets + 1 entries (last = overflow)
+  bool verified = false;
+
+  /// Total matched readings.
+  uint64_t Total() const;
+  /// The q-quantile's bucket midpoint (bucket-resolution estimate);
+  /// error if the histogram is empty or unverified.
+  StatusOr<double> Quantile(const HistogramQuery& query, double q) const;
+};
+
+/// Querier side: per-bucket evaluation + verification.
+class HistogramQuerier {
+ public:
+  HistogramQuerier(HistogramQuery query, Params params, QuerierKeys keys)
+      : query_(std::move(query)),
+        querier_(std::move(params), std::move(keys)) {}
+
+  StatusOr<Histogram> Evaluate(const Bytes& final_payload, uint64_t epoch,
+                               const std::vector<uint32_t>& participating)
+      const;
+
+ private:
+  HistogramQuery query_;
+  Querier querier_;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_HISTOGRAM_H_

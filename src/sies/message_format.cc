@@ -1,0 +1,74 @@
+#include "sies/message_format.h"
+
+namespace sies::core {
+
+StatusOr<crypto::BigUint> PackMessage(const Params& params, uint64_t value,
+                                      const crypto::BigUint& share) {
+  if (params.value_bytes < 8) {
+    uint64_t field_max = (uint64_t{1} << (8 * params.value_bytes)) - 1;
+    if (value > field_max) {
+      return Status::OutOfRange("value exceeds the value field width");
+    }
+  }
+  if (share.BitLength() > 8 * params.share_bytes) {
+    return Status::OutOfRange("share exceeds the share field width");
+  }
+  crypto::BigUint m = crypto::BigUint::Shl(crypto::BigUint(value),
+                                           params.ValueShiftBits());
+  return crypto::BigUint::Add(m, share);
+}
+
+StatusOr<UnpackedMessage> UnpackMessage(const Params& params,
+                                        const crypto::BigUint& message) {
+  size_t shift = params.ValueShiftBits();
+  crypto::BigUint value = crypto::BigUint::Shr(message, shift);
+  if (value.BitLength() > 8 * params.value_bytes) {
+    return Status::OutOfRange(
+        "summed value overflows the value field; configure value_bytes=8");
+  }
+  crypto::BigUint share_sum =
+      crypto::BigUint::Sub(message, crypto::BigUint::Shl(value, shift));
+  return UnpackedMessage{value.Low64(), std::move(share_sum)};
+}
+
+StatusOr<crypto::BigUint> Encrypt(const Params& params,
+                                  const crypto::BigUint& message,
+                                  const crypto::BigUint& epoch_global_key,
+                                  const crypto::BigUint& epoch_source_key) {
+  if (message >= params.prime) {
+    return Status::OutOfRange("message must be < p");
+  }
+  auto km = crypto::BigUint::ModMul(epoch_global_key, message, params.prime);
+  if (!km.ok()) return km.status();
+  return crypto::BigUint::ModAdd(km.value(), epoch_source_key, params.prime);
+}
+
+StatusOr<crypto::BigUint> Decrypt(const Params& params,
+                                  const crypto::BigUint& ciphertext,
+                                  const crypto::BigUint& epoch_global_key,
+                                  const crypto::BigUint& key_sum) {
+  auto diff =
+      crypto::BigUint::ModSub(ciphertext, key_sum, params.prime);
+  if (!diff.ok()) return diff.status();
+  auto inv = crypto::BigUint::ModInverse(epoch_global_key, params.prime);
+  if (!inv.ok()) return inv.status();
+  return crypto::BigUint::ModMul(diff.value(), inv.value(), params.prime);
+}
+
+StatusOr<Bytes> SerializePsr(const Params& params,
+                             const crypto::BigUint& ciphertext) {
+  return ciphertext.ToBytes(params.PsrBytes());
+}
+
+StatusOr<crypto::BigUint> ParsePsr(const Params& params, const Bytes& psr) {
+  if (psr.size() != params.PsrBytes()) {
+    return Status::InvalidArgument("PSR has wrong width");
+  }
+  crypto::BigUint c = crypto::BigUint::FromBytes(psr);
+  if (c >= params.prime) {
+    return Status::InvalidArgument("PSR is not a residue mod p");
+  }
+  return c;
+}
+
+}  // namespace sies::core

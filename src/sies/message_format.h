@@ -1,0 +1,57 @@
+// The SIES plaintext layout m_{i,t} (paper Figure 2) and the homomorphic
+// encryption of Section III-D.
+//
+//   m_{i,t} = [ v_{i,t} | 0...0 (pad) | ss_{i,t} ]
+//             value_bytes  pad_bits     share_bytes
+//
+// interpreted as the integer  v · 2^(pad + 8·share_bytes) + ss.
+// After summing N such messages, the low (pad + share) bits hold
+// s_t = Σ ss_{i,t} (the pad absorbs the carry), and the top field holds
+// res_t = Σ v_{i,t}.
+#ifndef SIES_SIES_MESSAGE_FORMAT_H_
+#define SIES_SIES_MESSAGE_FORMAT_H_
+
+#include "sies/params.h"
+
+namespace sies::core {
+
+/// Packs a value and a share into the m_{i,t} integer.
+/// Fails if `value` exceeds the value field or `share` the share field.
+StatusOr<crypto::BigUint> PackMessage(const Params& params, uint64_t value,
+                                      const crypto::BigUint& share);
+
+/// Decoded contents of a summed message m_{f,t}.
+struct UnpackedMessage {
+  uint64_t sum = 0;            ///< res_t, the SUM result field
+  crypto::BigUint share_sum;   ///< s_t, the summed-share field (incl. carry)
+};
+
+/// Splits a (possibly summed) message back into (res_t, s_t).
+/// Fails if the value field overflows its width (Σv too large for the
+/// configured value_bytes).
+StatusOr<UnpackedMessage> UnpackMessage(const Params& params,
+                                        const crypto::BigUint& message);
+
+/// E(m, K_t, k_{i,t}, p) = K_t · m + k_{i,t} mod p.
+StatusOr<crypto::BigUint> Encrypt(const Params& params,
+                                  const crypto::BigUint& message,
+                                  const crypto::BigUint& epoch_global_key,
+                                  const crypto::BigUint& epoch_source_key);
+
+/// D(c, K_t, k, p) = (c - k) · K_t^{-1} mod p, where k is the sum of the
+/// epoch source keys of all contributing sources.
+StatusOr<crypto::BigUint> Decrypt(const Params& params,
+                                  const crypto::BigUint& ciphertext,
+                                  const crypto::BigUint& epoch_global_key,
+                                  const crypto::BigUint& key_sum);
+
+/// Serializes a ciphertext as a fixed-width (PsrBytes) big-endian PSR.
+StatusOr<Bytes> SerializePsr(const Params& params,
+                             const crypto::BigUint& ciphertext);
+
+/// Parses a PSR. Fails on wrong width or a value >= p.
+StatusOr<crypto::BigUint> ParsePsr(const Params& params, const Bytes& psr);
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_MESSAGE_FORMAT_H_

@@ -1,0 +1,126 @@
+#include "sies/params.h"
+
+#include <cmath>
+
+#include "crypto/hmac.h"
+#include "crypto/hmac_drbg.h"
+#include "crypto/prime.h"
+
+namespace sies::core {
+
+namespace {
+/// Smallest number of bits that can absorb the carry of summing
+/// `num_sources` share values: ceil(log2 N).
+size_t PadBitsFor(uint32_t num_sources) {
+  size_t bits = 0;
+  while ((uint64_t{1} << bits) < num_sources) ++bits;
+  return bits;
+}
+}  // namespace
+
+uint64_t Params::MaxSafeValue() const {
+  if (num_sources == 0) return 0;
+  uint64_t field_max = value_bytes >= 8
+                           ? UINT64_MAX
+                           : (uint64_t{1} << (8 * value_bytes)) - 1;
+  return field_max / num_sources;
+}
+
+Status Params::Validate() const {
+  if (num_sources == 0) {
+    return Status::InvalidArgument("num_sources must be >= 1");
+  }
+  if (value_bytes != 4 && value_bytes != 8) {
+    return Status::InvalidArgument("value_bytes must be 4 or 8");
+  }
+  size_t expected_share =
+      share_prf == SharePrf::kHmacSha1 ? 20 : 32;
+  if (share_bytes != expected_share) {
+    return Status::InvalidArgument(
+        "share_bytes must match the share PRF's digest size");
+  }
+  if (prime.IsZero()) return Status::InvalidArgument("prime not set");
+  // The whole sum (value field + pad + share field) must stay below p:
+  // Σm_i < 2^(value_bits + pad + share_bits) requires at least one extra
+  // bit of headroom under p.
+  size_t plaintext_bits = 8 * value_bytes + pad_bits + 8 * share_bytes;
+  if (plaintext_bits + 1 > prime.BitLength()) {
+    return Status::InvalidArgument(
+        "message layout does not fit below the prime (reduce N or enlarge "
+        "the prime)");
+  }
+  if ((uint64_t{1} << pad_bits) < num_sources) {
+    return Status::InvalidArgument("pad_bits too small for num_sources");
+  }
+  return Status::OK();
+}
+
+StatusOr<Params> MakeParams(uint32_t num_sources, uint64_t seed,
+                            size_t value_bytes, size_t prime_bits,
+                            SharePrf share_prf) {
+  Params params;
+  params.num_sources = num_sources;
+  params.value_bytes = value_bytes;
+  params.share_prf = share_prf;
+  params.share_bytes = share_prf == SharePrf::kHmacSha1 ? 20 : 32;
+  params.pad_bits = PadBitsFor(num_sources);
+  Xoshiro256 rng(seed);
+  params.prime = crypto::GeneratePrime(prime_bits, rng);
+  SIES_RETURN_IF_ERROR(params.Validate());
+  return params;
+}
+
+QuerierKeys GenerateKeys(const Params& params, const Bytes& master_seed) {
+  Bytes personalization = {'s', 'i', 'e', 's', '-', 's', 'e', 't', 'u', 'p'};
+  crypto::HmacDrbg drbg(master_seed, personalization);
+  QuerierKeys keys;
+  keys.global_key = drbg.Generate(20);
+  keys.source_keys.reserve(params.num_sources);
+  for (uint32_t i = 0; i < params.num_sources; ++i) {
+    keys.source_keys.push_back(drbg.Generate(20));
+  }
+  return keys;
+}
+
+StatusOr<SourceKeys> KeysForSource(const QuerierKeys& keys, uint32_t index) {
+  if (index >= keys.source_keys.size()) {
+    return Status::NotFound("no such source index");
+  }
+  return SourceKeys{keys.global_key, keys.source_keys[index]};
+}
+
+crypto::BigUint DeriveEpochGlobalKey(const Params& params,
+                                     const Bytes& global_key,
+                                     uint64_t epoch) {
+  Bytes prf = crypto::EpochPrfSha256(global_key, epoch);
+  crypto::BigUint k = crypto::BigUint::FromBytes(prf);
+  k = crypto::BigUint::Mod(k, params.prime).value();
+  if (k.IsZero()) k = crypto::BigUint(1);  // K_t must be invertible
+  return k;
+}
+
+crypto::BigUint DeriveEpochSourceKey(const Params& params,
+                                     const Bytes& source_key,
+                                     uint64_t epoch) {
+  Bytes prf = crypto::EpochPrfSha256(source_key, epoch);
+  crypto::BigUint k = crypto::BigUint::FromBytes(prf);
+  return crypto::BigUint::Mod(k, params.prime).value();
+}
+
+crypto::BigUint DeriveEpochShare(const Params& params,
+                                 const Bytes& source_key, uint64_t epoch) {
+  if (params.share_prf == SharePrf::kHmacSha1) {
+    return DeriveEpochShare(source_key, epoch);
+  }
+  // Domain separation from DeriveEpochSourceKey (plain HM256(k_i, t)).
+  Bytes input = {'s', 'h', 'a', 'r', 'e'};
+  Bytes e = EncodeUint64(epoch);
+  input.insert(input.end(), e.begin(), e.end());
+  return crypto::BigUint::FromBytes(crypto::HmacSha256(source_key, input));
+}
+
+crypto::BigUint DeriveEpochShare(const Bytes& source_key, uint64_t epoch) {
+  return crypto::BigUint::FromBytes(crypto::EpochPrfSha1(source_key, epoch));
+}
+
+}  // namespace sies::core

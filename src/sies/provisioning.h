@@ -1,0 +1,48 @@
+// Provisioning: durable serialization of the setup-phase artifacts.
+//
+// The paper's setup phase "manually registers (K, k_i, p) to every
+// source S_i and provides each aggregator with p". This module defines
+// the byte formats for those registration blobs — a deployment file for
+// the querier (all keys), a per-source registration record, and the
+// public aggregator record — with magic numbers, versioning, and a
+// SHA-256 integrity checksum, so key material survives transport intact.
+#ifndef SIES_SIES_PROVISIONING_H_
+#define SIES_SIES_PROVISIONING_H_
+
+#include "sies/params.h"
+
+namespace sies::core {
+
+/// Everything the querier persists: parameters plus all keys.
+struct Deployment {
+  Params params;
+  QuerierKeys keys;
+};
+
+/// What one source is provisioned with: public params, its index, and
+/// its secret keys (K, k_i).
+struct SourceRegistration {
+  Params params;  ///< public parameters (no other parties' secrets)
+  uint32_t index = 0;
+  SourceKeys keys;
+};
+
+/// Serializes the querier's deployment file.
+StatusOr<Bytes> SerializeDeployment(const Deployment& deployment);
+/// Parses and checksum-verifies a deployment file.
+StatusOr<Deployment> ParseDeployment(const Bytes& blob);
+
+/// Serializes the registration record for source `index`.
+StatusOr<Bytes> SerializeSourceRegistration(const Deployment& deployment,
+                                            uint32_t index);
+/// Parses and checksum-verifies a source registration record.
+StatusOr<SourceRegistration> ParseSourceRegistration(const Bytes& blob);
+
+/// Serializes the public record handed to aggregators (p and layout).
+StatusOr<Bytes> SerializeAggregatorRecord(const Params& params);
+/// Parses and checksum-verifies an aggregator record.
+StatusOr<Params> ParseAggregatorRecord(const Bytes& blob);
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_PROVISIONING_H_

@@ -1,0 +1,53 @@
+#include "sies/querier.h"
+
+#include <numeric>
+
+namespace sies::core {
+
+StatusOr<Evaluation> Querier::Evaluate(
+    const Bytes& final_psr, uint64_t epoch,
+    const std::vector<uint32_t>& participating) const {
+  auto ciphertext = ParsePsr(params_, final_psr);
+  if (!ciphertext.ok()) return ciphertext.status();
+
+  crypto::BigUint epoch_global =
+      DeriveEpochGlobalKey(params_, keys_.global_key, epoch);
+
+  // Σ k_{i,t} and Σ ss_{i,t} over the participating sources.
+  crypto::BigUint key_sum;
+  crypto::BigUint share_sum;
+  for (uint32_t index : participating) {
+    if (index >= keys_.source_keys.size()) {
+      return Status::NotFound("participating index out of range");
+    }
+    const Bytes& k_i = keys_.source_keys[index];
+    key_sum = crypto::BigUint::ModAdd(
+                  key_sum, DeriveEpochSourceKey(params_, k_i, epoch),
+                  params_.prime)
+                  .value();
+    share_sum = crypto::BigUint::Add(share_sum, DeriveEpochShare(params_, k_i, epoch));
+  }
+
+  auto message = Decrypt(params_, ciphertext.value(), epoch_global, key_sum);
+  if (!message.ok()) return message.status();
+  auto unpacked = UnpackMessage(params_, message.value());
+  if (!unpacked.ok()) {
+    // A value-field overflow in a genuine run is a configuration error,
+    // but an adversarial PSR can also produce it; report as unverified.
+    return Evaluation{0, false};
+  }
+
+  Evaluation eval;
+  eval.sum = unpacked.value().sum;
+  eval.verified = (unpacked.value().share_sum == share_sum);
+  return eval;
+}
+
+StatusOr<Evaluation> Querier::Evaluate(const Bytes& final_psr,
+                                       uint64_t epoch) const {
+  std::vector<uint32_t> all(params_.num_sources);
+  std::iota(all.begin(), all.end(), 0u);
+  return Evaluate(final_psr, epoch, all);
+}
+
+}  // namespace sies::core

@@ -1,0 +1,51 @@
+// The SIES querier (paper Section IV-A, evaluation phase).
+//
+// Receives the single final PSR from the sink, decrypts it with
+// (K_t, Σ k_{i,t}), splits off res_t and s_t, recomputes every share
+// ss_{i,t} = HM1(k_i, t) and accepts the result iff s_t equals their sum
+// — which simultaneously authenticates integrity and freshness
+// (Theorems 2 and 4).
+#ifndef SIES_SIES_QUERIER_H_
+#define SIES_SIES_QUERIER_H_
+
+#include <vector>
+
+#include "sies/message_format.h"
+#include "sies/params.h"
+
+namespace sies::core {
+
+/// Result of the evaluation phase.
+struct Evaluation {
+  uint64_t sum = 0;      ///< res_t (meaningful only when verified)
+  bool verified = false; ///< integrity + freshness check outcome
+};
+
+/// The querier Q. Holds all key material.
+class Querier {
+ public:
+  Querier(Params params, QuerierKeys keys)
+      : params_(std::move(params)), keys_(std::move(keys)) {}
+
+  /// Evaluation phase over the final PSR for `epoch`. `participating`
+  /// lists the indices of the sources that contributed this epoch (all
+  /// of them unless failures were reported; paper Section IV-B
+  /// "Discussion"). Returns an error for malformed PSRs; a clean
+  /// `verified == false` for well-formed but corrupted/stale ones.
+  StatusOr<Evaluation> Evaluate(const Bytes& final_psr, uint64_t epoch,
+                                const std::vector<uint32_t>& participating)
+      const;
+
+  /// Convenience: evaluation with all N sources participating.
+  StatusOr<Evaluation> Evaluate(const Bytes& final_psr, uint64_t epoch) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  QuerierKeys keys_;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_QUERIER_H_

@@ -1,0 +1,117 @@
+// Query model (paper Section III-B):
+//
+//   SELECT SUM(attr) FROM Sensors WHERE pred EPOCH DURATION T
+//
+// plus the derivatives the paper reduces to SUM/COUNT: COUNT, AVG,
+// VARIANCE, STDDEV. A query compiles to 1-3 parallel SIES channels
+// (SUM(x), SUM(x^2), COUNT), each an ordinary SIES SUM with its epochs
+// salted by the channel id so all channels reuse the same key material
+// with disjoint PRF inputs.
+//
+// Values are positive integers; float attributes are scaled by a
+// configurable power of 10 and truncated, exactly as the paper's domain
+// experiments do (Section VI).
+#ifndef SIES_SIES_QUERY_H_
+#define SIES_SIES_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace sies::core {
+
+/// An Intel-Lab-style sensor record (the dataset's measured channels).
+struct SensorReading {
+  double temperature = 0.0;  ///< degrees Celsius
+  double humidity = 0.0;     ///< relative %
+  double light = 0.0;        ///< lux
+  double voltage = 0.0;      ///< battery volts
+};
+
+/// Attribute selector.
+enum class Field { kTemperature, kHumidity, kLight, kVoltage };
+
+/// Returns the selected field of a reading.
+double GetField(const SensorReading& reading, Field field);
+
+/// Comparison operator of a WHERE predicate.
+enum class CompareOp { kLess, kLessEqual, kGreater, kGreaterEqual, kEqual };
+
+/// WHERE predicate: `field op threshold`. Absent => always true.
+struct Predicate {
+  Field field = Field::kTemperature;
+  CompareOp op = CompareOp::kGreaterEqual;
+  double threshold = 0.0;
+
+  /// Evaluates the predicate on a reading.
+  bool Matches(const SensorReading& reading) const;
+};
+
+/// Aggregate function of the query.
+enum class Aggregate { kSum, kCount, kAvg, kVariance, kStddev };
+
+/// A continuous aggregation query.
+struct Query {
+  Aggregate aggregate = Aggregate::kSum;
+  Field attribute = Field::kTemperature;
+  std::optional<Predicate> where;
+  /// Epoch duration T in milliseconds (push-based model; informational
+  /// for the simulator, which steps epochs logically).
+  uint64_t epoch_duration_ms = 1000;
+  /// Decimal scaling: value = trunc(attr * 10^scale_pow10). Scaling the
+  /// domain this way reproduces the paper's D experiments.
+  uint32_t scale_pow10 = 2;
+  /// Identifier separating concurrently registered queries: each query
+  /// gets disjoint PRF inputs under the same long-term keys, so several
+  /// continuous queries can run at once. Must be < 2^14.
+  uint32_t query_id = 0;
+
+  /// Serializes to the human-readable template of Section III-B.
+  std::string ToSql() const;
+};
+
+/// The SIES channels a query compiles to.
+enum class Channel : uint32_t {
+  kSum = 0,        ///< Σ scaled(attr)
+  kSumSquares = 1, ///< Σ scaled(attr)^2   (variance/stddev only)
+  kCount = 2,      ///< Σ 1{pred}
+};
+
+/// Number of channels the aggregate needs (1 for SUM/COUNT, 2 for AVG,
+/// 3 for VARIANCE/STDDEV).
+uint32_t ChannelCount(Aggregate aggregate);
+
+/// True if `channel` is among the channels `aggregate` needs.
+bool UsesChannel(Aggregate aggregate, Channel channel);
+
+/// The per-source value to feed into the SIES channel for this reading:
+/// 0 when the predicate does not match (the paper's convention), else the
+/// scaled attribute / its square / the constant 1.
+StatusOr<uint64_t> ChannelValue(const Query& query, Channel channel,
+                                const SensorReading& reading);
+
+/// Salts an epoch with a query id and channel id so concurrent queries
+/// and parallel channels all have disjoint PRF inputs under the same
+/// long-term keys. Injective for epoch < 2^48 and query_id < 2^14.
+uint64_t SaltedEpoch(uint64_t epoch, uint32_t query_id, Channel channel);
+
+/// Single-query convenience: SaltedEpoch(epoch, 0, channel).
+uint64_t ChannelEpoch(uint64_t epoch, Channel channel);
+
+/// Final numeric answer assembled from the verified channel sums.
+struct QueryResult {
+  double value = 0.0;
+  uint64_t count = 0;  ///< matched sources (COUNT channel, when present)
+};
+
+/// Combines channel sums into the query answer, undoing the decimal
+/// scaling. `sum`, `sum_squares`, `count` are the decrypted channel
+/// results (pass 0 for unused channels).
+StatusOr<QueryResult> CombineChannels(const Query& query, uint64_t sum,
+                                      uint64_t sum_squares, uint64_t count);
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_QUERY_H_

@@ -1,0 +1,58 @@
+#include "sies/result_log.h"
+
+#include <algorithm>
+
+namespace sies::core {
+
+Status ResultLog::Record(uint64_t epoch, double value, bool verified) {
+  if (last_epoch_.has_value()) {
+    if (epoch <= *last_epoch_) {
+      return Status::InvalidArgument(
+          "epochs must be recorded in increasing order");
+    }
+    missed_ += epoch - *last_epoch_ - 1;
+  }
+  last_epoch_ = epoch;
+  ++recorded_;
+  if (!verified) ++rejected_;
+  recent_.push_back(EpochRecord{epoch, value, verified});
+  while (recent_.size() > window_) recent_.pop_front();
+  return Status::OK();
+}
+
+std::optional<double> ResultLog::LastVerified() const {
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->verified) return it->value;
+  }
+  return std::nullopt;
+}
+
+RollingStats ResultLog::Stats() const {
+  RollingStats stats;
+  double sum = 0.0;
+  for (const EpochRecord& rec : recent_) {
+    if (!rec.verified) continue;
+    if (stats.count == 0) {
+      stats.min = rec.value;
+      stats.max = rec.value;
+    } else {
+      stats.min = std::min(stats.min, rec.value);
+      stats.max = std::max(stats.max, rec.value);
+    }
+    sum += rec.value;
+    ++stats.count;
+  }
+  if (stats.count > 0) stats.mean = sum / static_cast<double>(stats.count);
+  return stats;
+}
+
+bool ResultLog::UnderAttack(double threshold) const {
+  if (recent_.empty()) return false;
+  size_t rejected = 0;
+  for (const EpochRecord& rec : recent_) {
+    if (!rec.verified) ++rejected;
+  }
+  return static_cast<double>(rejected) / recent_.size() > threshold;
+}
+
+}  // namespace sies::core

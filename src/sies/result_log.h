@@ -1,0 +1,71 @@
+// ResultLog: querier-side bookkeeping over a continuous query's epochs.
+//
+// A long-running deployment needs more than a per-epoch verdict: it
+// needs to notice missed epochs (a possible DoS — "such cases are
+// trivially detected if the querier does not receive any data", Section
+// III-C), track the verified-result stream, and maintain rolling
+// statistics over it. This module provides that operational layer.
+#ifndef SIES_SIES_RESULT_LOG_H_
+#define SIES_SIES_RESULT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/status.h"
+
+namespace sies::core {
+
+/// What the querier records for one epoch.
+struct EpochRecord {
+  uint64_t epoch = 0;
+  double value = 0.0;
+  bool verified = false;
+};
+
+/// Rolling statistics over the last verified results.
+struct RollingStats {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// An append-only log of epoch outcomes with gap and tamper accounting.
+class ResultLog {
+ public:
+  /// `window` bounds the rolling-statistics horizon (and memory).
+  explicit ResultLog(size_t window = 64) : window_(window) {}
+
+  /// Records the outcome of `epoch`. Epochs must be recorded in
+  /// strictly increasing order; gaps are detected and counted as missed
+  /// (potential DoS per the paper's threat model).
+  Status Record(uint64_t epoch, double value, bool verified);
+
+  /// Epochs recorded.
+  uint64_t recorded_epochs() const { return recorded_; }
+  /// Epochs skipped between records (no data = suspected DoS).
+  uint64_t missed_epochs() const { return missed_; }
+  /// Records that failed verification (suspected tampering/replay).
+  uint64_t rejected_epochs() const { return rejected_; }
+  /// Most recent verified value, if any.
+  std::optional<double> LastVerified() const;
+  /// Rolling stats over the verified results in the window.
+  RollingStats Stats() const;
+
+  /// True when the rejected fraction over the window exceeds
+  /// `threshold` — the operational "network is under attack" alarm.
+  bool UnderAttack(double threshold = 0.25) const;
+
+ private:
+  size_t window_;
+  std::deque<EpochRecord> recent_;
+  std::optional<uint64_t> last_epoch_;
+  uint64_t recorded_ = 0;
+  uint64_t missed_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_RESULT_LOG_H_

@@ -1,0 +1,99 @@
+#include "sies/session.h"
+
+namespace sies::core {
+
+std::vector<Channel> ActiveChannels(const Query& query) {
+  std::vector<Channel> channels;
+  for (Channel ch :
+       {Channel::kSum, Channel::kSumSquares, Channel::kCount}) {
+    if (UsesChannel(query.aggregate, ch)) channels.push_back(ch);
+  }
+  return channels;
+}
+
+StatusOr<Bytes> SourceSession::CreatePayload(const SensorReading& reading,
+                                             uint64_t epoch) const {
+  Bytes payload;
+  for (Channel ch : ActiveChannels(query_)) {
+    auto value = ChannelValue(query_, ch, reading);
+    if (!value.ok()) return value.status();
+    auto psr = source_.CreatePsr(value.value(), SaltedEpoch(epoch, query_.query_id, ch));
+    if (!psr.ok()) return psr.status();
+    payload.insert(payload.end(), psr.value().begin(), psr.value().end());
+  }
+  return payload;
+}
+
+StatusOr<Bytes> AggregatorSession::Merge(
+    const std::vector<Bytes>& children) const {
+  if (children.empty()) return Status::InvalidArgument("nothing to merge");
+  const size_t width = aggregator_.params().PsrBytes();
+  const size_t channels = ActiveChannels(query_).size();
+  const size_t expected = channels * width;
+  Bytes merged;
+  merged.reserve(expected);
+  for (size_t ch = 0; ch < channels; ++ch) {
+    std::vector<Bytes> slices;
+    slices.reserve(children.size());
+    for (const Bytes& child : children) {
+      if (child.size() != expected) {
+        return Status::InvalidArgument("multi-channel payload width "
+                                       "mismatch");
+      }
+      slices.emplace_back(child.begin() + ch * width,
+                          child.begin() + (ch + 1) * width);
+    }
+    auto psr = aggregator_.Merge(slices);
+    if (!psr.ok()) return psr.status();
+    merged.insert(merged.end(), psr.value().begin(), psr.value().end());
+  }
+  return merged;
+}
+
+StatusOr<QuerierSession::Outcome> QuerierSession::Evaluate(
+    const Bytes& final_payload, uint64_t epoch,
+    const std::vector<uint32_t>& participating) const {
+  const size_t width = querier_.params().PsrBytes();
+  std::vector<Channel> channels = ActiveChannels(query_);
+  if (final_payload.size() != channels.size() * width) {
+    return Status::InvalidArgument("multi-channel payload width mismatch");
+  }
+  uint64_t sum = 0, sum_squares = 0, count = 0;
+  bool verified = true;
+  for (size_t i = 0; i < channels.size(); ++i) {
+    Bytes slice(final_payload.begin() + i * width,
+                final_payload.begin() + (i + 1) * width);
+    auto eval =
+        querier_.Evaluate(slice, SaltedEpoch(epoch, query_.query_id, channels[i]),
+                          participating);
+    if (!eval.ok()) return eval.status();
+    verified = verified && eval.value().verified;
+    switch (channels[i]) {
+      case Channel::kSum:
+        sum = eval.value().sum;
+        break;
+      case Channel::kSumSquares:
+        sum_squares = eval.value().sum;
+        break;
+      case Channel::kCount:
+        count = eval.value().sum;
+        break;
+    }
+  }
+  Outcome outcome;
+  outcome.verified = verified;
+  if (!verified) return outcome;  // result is meaningless if unverified
+  // COUNT-dependent aggregates over zero matches report value 0.
+  if (count == 0 && query_.aggregate != Aggregate::kSum &&
+      query_.aggregate != Aggregate::kCount) {
+    outcome.result.value = 0.0;
+    outcome.result.count = 0;
+    return outcome;
+  }
+  auto result = CombineChannels(query_, sum, sum_squares, count);
+  if (!result.ok()) return result.status();
+  outcome.result = result.value();
+  return outcome;
+}
+
+}  // namespace sies::core

@@ -1,0 +1,81 @@
+// Session: the high-level query-execution layer over the SIES core.
+//
+// A Query (Section III-B) compiles to 1-3 parallel SIES channels
+// (SUM(x), SUM(x²), COUNT); the session classes run all channels of one
+// continuous query per epoch and concatenate their fixed-width PSRs into
+// a single payload, so aggregate queries beyond plain SUM (COUNT, AVG,
+// VARIANCE, STDDEV) are one call at each party.
+#ifndef SIES_SIES_SESSION_H_
+#define SIES_SIES_SESSION_H_
+
+#include <vector>
+
+#include "sies/aggregator.h"
+#include "sies/querier.h"
+#include "sies/query.h"
+#include "sies/source.h"
+
+namespace sies::core {
+
+/// Channels used by `query`, in wire order.
+std::vector<Channel> ActiveChannels(const Query& query);
+
+/// A source's side of one continuous query.
+class SourceSession {
+ public:
+  SourceSession(Query query, Params params, uint32_t index, SourceKeys keys)
+      : query_(std::move(query)),
+        source_(std::move(params), index, std::move(keys)) {}
+
+  /// Initialization phase for this epoch: one fixed-width PSR per active
+  /// channel, concatenated. Payload width = channels * PsrBytes().
+  StatusOr<Bytes> CreatePayload(const SensorReading& reading,
+                                uint64_t epoch) const;
+
+  const Query& query() const { return query_; }
+
+ private:
+  Query query_;
+  Source source_;
+};
+
+/// An aggregator's side: channel-wise modular addition.
+class AggregatorSession {
+ public:
+  AggregatorSession(Query query, Params params)
+      : query_(std::move(query)), aggregator_(std::move(params)) {}
+
+  /// Merges multi-channel payloads (all must have the same width).
+  StatusOr<Bytes> Merge(const std::vector<Bytes>& children) const;
+
+ private:
+  Query query_;
+  Aggregator aggregator_;
+};
+
+/// The querier's side: per-channel evaluation + final combination.
+class QuerierSession {
+ public:
+  QuerierSession(Query query, Params params, QuerierKeys keys)
+      : query_(std::move(query)),
+        querier_(std::move(params), std::move(keys)) {}
+
+  /// Outcome of one epoch.
+  struct Outcome {
+    QueryResult result;
+    bool verified = false;  ///< all channels verified
+  };
+
+  /// Evaluation phase over the final multi-channel payload.
+  StatusOr<Outcome> Evaluate(const Bytes& final_payload, uint64_t epoch,
+                             const std::vector<uint32_t>& participating)
+      const;
+
+ private:
+  Query query_;
+  Querier querier_;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_SESSION_H_

@@ -1,0 +1,24 @@
+// Umbrella header: the complete SIES public API in one include.
+//
+//   #include "sies/sies.h"
+//
+// pulls in parameters/keys, the three protocol parties, the query model
+// and multi-channel sessions, histograms, provisioning, epoch clocks,
+// and the result log. The network simulator, baselines (CMT, SECOA,
+// commit-and-attest), and cost models live in their own headers.
+#ifndef SIES_SIES_SIES_H_
+#define SIES_SIES_SIES_H_
+
+#include "sies/aggregator.h"
+#include "sies/epoch_clock.h"
+#include "sies/histogram.h"
+#include "sies/message_format.h"
+#include "sies/params.h"
+#include "sies/provisioning.h"
+#include "sies/querier.h"
+#include "sies/query.h"
+#include "sies/result_log.h"
+#include "sies/session.h"
+#include "sies/source.h"
+
+#endif  // SIES_SIES_SIES_H_

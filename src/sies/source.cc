@@ -1,0 +1,19 @@
+#include "sies/source.h"
+
+namespace sies::core {
+
+StatusOr<Bytes> Source::CreatePsr(uint64_t value, uint64_t epoch) const {
+  crypto::BigUint epoch_global =
+      DeriveEpochGlobalKey(params_, keys_.global_key, epoch);
+  crypto::BigUint epoch_key =
+      DeriveEpochSourceKey(params_, keys_.source_key, epoch);
+  crypto::BigUint share = DeriveEpochShare(params_, keys_.source_key, epoch);
+
+  auto message = PackMessage(params_, value, share);
+  if (!message.ok()) return message.status();
+  auto ciphertext = Encrypt(params_, message.value(), epoch_global, epoch_key);
+  if (!ciphertext.ok()) return ciphertext.status();
+  return SerializePsr(params_, ciphertext.value());
+}
+
+}  // namespace sies::core

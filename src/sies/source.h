@@ -1,0 +1,36 @@
+// The SIES source (paper Section IV-A, initialization phase).
+//
+// Each epoch, a source derives its temporal keys and share, packs its
+// reading into m_{i,t}, encrypts, and emits a fixed-width PSR.
+#ifndef SIES_SIES_SOURCE_H_
+#define SIES_SIES_SOURCE_H_
+
+#include "sies/message_format.h"
+#include "sies/params.h"
+
+namespace sies::core {
+
+/// A data source S_i. Holds (K, k_i, p); cheap to copy.
+class Source {
+ public:
+  /// `index` is the source's logical id i in [0, N).
+  Source(Params params, uint32_t index, SourceKeys keys)
+      : params_(std::move(params)), index_(index), keys_(std::move(keys)) {}
+
+  /// Initialization phase: produces PSR_{i,t} for reading `value` at
+  /// epoch `epoch`. Cost profile (paper Eq. 3): two HM256, one HM1, one
+  /// 32-byte modular multiplication and one addition.
+  StatusOr<Bytes> CreatePsr(uint64_t value, uint64_t epoch) const;
+
+  uint32_t index() const { return index_; }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  uint32_t index_;
+  SourceKeys keys_;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_SOURCE_H_

@@ -1,0 +1,75 @@
+#include "sketch/ams_sketch.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sies::sketch {
+
+namespace {
+// SplitMix64-style finalizer over the combined identity.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+uint8_t UnitLevel(uint64_t instance_seed, uint64_t source, uint64_t unit) {
+  uint64_t h = Mix(instance_seed ^ Mix(source ^ Mix(unit + 0x9e3779b97f4a7c15ull)));
+  if (h == 0) return 63;
+  int tz = std::countr_zero(h);
+  return static_cast<uint8_t>(tz > 63 ? 63 : tz);
+}
+
+SketchSet::SketchSet(uint32_t j, uint64_t seed) {
+  instances_.resize(j);
+  seeds_.resize(j);
+  SplitMix64 sm(seed);
+  for (auto& s : seeds_) s = sm.Next();
+}
+
+void SketchSet::InsertValue(uint64_t source, uint64_t value) {
+  for (uint64_t unit = 0; unit < value; ++unit) {
+    for (uint32_t j = 0; j < instances_.size(); ++j) {
+      instances_[j].Observe(UnitLevel(seeds_[j], source, unit));
+    }
+  }
+}
+
+Status SketchSet::MergeFrom(const SketchSet& other) {
+  if (other.instances_.size() != instances_.size()) {
+    return Status::InvalidArgument("sketch sets have different J");
+  }
+  for (size_t j = 0; j < instances_.size(); ++j) {
+    instances_[j] = SketchInstance::Merge(instances_[j], other.instances_[j]);
+  }
+  return Status::OK();
+}
+
+double SketchSet::Estimate() const {
+  if (instances_.empty()) return 0.0;
+  double mean = 0.0;
+  for (const auto& inst : instances_) mean += inst.max_level;
+  mean /= static_cast<double>(instances_.size());
+  return std::exp2(mean);
+}
+
+double SketchSet::EstimateCorrected() const {
+  // E[max of M geometric(1/2) levels] = log2(M) + gamma/ln2 - 1/2 (+ a
+  // tiny oscillation), so 2^xbar overshoots by 2^(gamma/ln2 - 1/2)
+  // = e^gamma / sqrt(2) ~= 1.25933.
+  constexpr double kBias = 1.2593285;
+  return Estimate() / kBias;
+}
+
+uint8_t SketchSet::MaxValue() const {
+  uint8_t max = 0;
+  for (const auto& inst : instances_) {
+    if (inst.max_level > max) max = inst.max_level;
+  }
+  return max;
+}
+
+}  // namespace sies::sketch

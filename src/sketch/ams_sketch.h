@@ -1,0 +1,83 @@
+// AMS/FM-style distinct-count sketches, the approximation substrate of
+// SECOA_S (Alon-Matias-Szegedy '99 as used by Proof Sketches and SECOA).
+//
+// A SUM of positive integers is reduced to COUNT-DISTINCT: a source with
+// value v contributes v globally distinct "units" (source_id, unit_idx).
+// Each of J sketch instances hashes every unit and records x = the
+// maximum geometric level (number of trailing zero bits) seen. Instances
+// merge by taking the max, which is exactly the associative/commutative
+// operation SECOA_M can protect. The querier estimates the SUM as 2^x̄
+// over the J instances (paper Section II-D), with J trading bandwidth
+// for accuracy.
+#ifndef SIES_SKETCH_AMS_SKETCH_H_
+#define SIES_SKETCH_AMS_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sies::sketch {
+
+/// Geometric level of a unit under instance seed: the number of trailing
+/// zero bits of a 64-bit mix of (seed, source, unit), capped at 63.
+/// P[level >= k] = 2^-k, the FM/AMS distribution.
+uint8_t UnitLevel(uint64_t instance_seed, uint64_t source, uint64_t unit);
+
+/// One sketch instance: just the max level observed (1 byte on the wire,
+/// matching S_sk = 1 byte in the paper's Table II).
+struct SketchInstance {
+  uint8_t max_level = 0;
+
+  /// Folds one observed level into the instance.
+  void Observe(uint8_t level) {
+    if (level > max_level) max_level = level;
+  }
+  /// Merge = elementwise max (associative, commutative, idempotent).
+  static SketchInstance Merge(SketchInstance a, SketchInstance b) {
+    return SketchInstance{a.max_level > b.max_level ? a.max_level
+                                                    : b.max_level};
+  }
+};
+
+/// A set of J instances sharing public per-instance seeds. All parties
+/// (sources, aggregators, querier) must construct the set with the same
+/// (J, seed) so instance j is comparable network-wide.
+class SketchSet {
+ public:
+  /// Creates J empty instances with seeds derived from `seed`.
+  SketchSet(uint32_t j, uint64_t seed);
+
+  /// Inserts `value` units owned by `source` (the SUM->COUNT-DISTINCT
+  /// reduction). Each unit updates every instance. Cost: J * value calls
+  /// to UnitLevel, matching the paper's J*v*C_sk term (Equation 2).
+  void InsertValue(uint64_t source, uint64_t value);
+
+  /// Merges another set into this one. Sets must be congruent (same J).
+  Status MergeFrom(const SketchSet& other);
+
+  /// The paper's estimator: 2^x̄ with x̄ the mean max level over J.
+  /// Biased high by ~e^γ/√2 ≈ 1.26 (the expectation of the max of M
+  /// geometric levels is log2(M) + γ/ln2 - 1/2).
+  double Estimate() const;
+
+  /// Debiased estimator: 2^x̄ / (e^γ/√2). Converges on the true sum as
+  /// J grows; exposed so the ablation bench can contrast both.
+  double EstimateCorrected() const;
+
+  uint32_t j() const { return static_cast<uint32_t>(instances_.size()); }
+  /// Instance values x_1..x_J (1 byte each on the wire).
+  const std::vector<SketchInstance>& instances() const { return instances_; }
+  /// Mutable access for deserialization.
+  std::vector<SketchInstance>& mutable_instances() { return instances_; }
+  /// Largest instance value (the x_max that bounds SEAL rolling).
+  uint8_t MaxValue() const;
+
+ private:
+  std::vector<SketchInstance> instances_;
+  std::vector<uint64_t> seeds_;
+};
+
+}  // namespace sies::sketch
+
+#endif  // SIES_SKETCH_AMS_SKETCH_H_

@@ -1,0 +1,83 @@
+#include "workload/workload.h"
+
+#include <cmath>
+
+namespace sies::workload {
+
+TraceGenerator::TraceGenerator(TraceConfig config)
+    : config_(std::move(config)) {}
+
+Xoshiro256 TraceGenerator::RngFor(uint32_t index, uint64_t epoch) const {
+  // Mix (seed, index, epoch) into one 64-bit stream seed.
+  SplitMix64 mixer(config_.seed ^ (static_cast<uint64_t>(index) << 32) ^
+                   (epoch * 0x9e3779b97f4a7c15ull));
+  return Xoshiro256(mixer.Next());
+}
+
+core::SensorReading TraceGenerator::ReadingAt(uint32_t index,
+                                              uint64_t epoch) {
+  Xoshiro256 rng = RngFor(index, epoch);
+  core::SensorReading reading;
+  double span = config_.max_temperature - config_.min_temperature;
+  double t;
+  if (config_.temporal_model == TemporalModel::kIid) {
+    t = config_.min_temperature + span * rng.NextDouble();
+  } else {
+    // Random walk: deterministic per (source, epoch) without storing
+    // state — start from a per-source base and accumulate the bounded
+    // steps of all epochs up to this one, reflecting at the domain
+    // edges. O(epoch) but epochs in experiments are small.
+    Xoshiro256 base_rng = RngFor(index, 0);
+    t = config_.min_temperature + span * base_rng.NextDouble();
+    for (uint64_t e = 1; e <= epoch; ++e) {
+      Xoshiro256 step_rng = RngFor(index, e);
+      t += config_.walk_step * (2.0 * step_rng.NextDouble() - 1.0);
+      if (t < config_.min_temperature) {
+        t = 2 * config_.min_temperature - t;
+      }
+      if (t > config_.max_temperature) {
+        t = 2 * config_.max_temperature - t;
+      }
+      // A pathological walk_step could bounce outside; clamp.
+      t = std::min(std::max(t, config_.min_temperature),
+                   config_.max_temperature);
+    }
+  }
+  // Four decimal digits of precision, like the Intel Lab trace.
+  reading.temperature = std::round(t * 1e4) / 1e4;
+  // Correlated companion channels (plausible lab ranges).
+  reading.humidity = 30.0 + 40.0 * rng.NextDouble();
+  reading.light = 100.0 + 900.0 * rng.NextDouble();
+  reading.voltage = 2.0 + 0.8 * rng.NextDouble();
+  return reading;
+}
+
+uint64_t TraceGenerator::ValueAt(uint32_t index, uint64_t epoch) {
+  core::SensorReading reading = ReadingAt(index, epoch);
+  double scaled =
+      std::trunc(reading.temperature * std::pow(10.0, config_.scale_pow10));
+  return static_cast<uint64_t>(scaled);
+}
+
+uint64_t TraceGenerator::DomainLower() const {
+  return static_cast<uint64_t>(std::trunc(
+      config_.min_temperature * std::pow(10.0, config_.scale_pow10)));
+}
+
+uint64_t TraceGenerator::DomainUpper() const {
+  return static_cast<uint64_t>(std::trunc(
+      config_.max_temperature * std::pow(10.0, config_.scale_pow10)));
+}
+
+EpochSnapshot Snapshot(TraceGenerator& gen, uint64_t epoch) {
+  EpochSnapshot snap;
+  snap.values.reserve(gen.config().num_sources);
+  for (uint32_t i = 0; i < gen.config().num_sources; ++i) {
+    uint64_t v = gen.ValueAt(i, epoch);
+    snap.values.push_back(v);
+    snap.exact_sum += v;
+  }
+  return snap;
+}
+
+}  // namespace sies::workload

@@ -1,0 +1,114 @@
+#include "caa/commit_attest.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sies::caa {
+namespace {
+
+std::vector<uint64_t> MakeValues(uint32_t n) {
+  std::vector<uint64_t> values(n);
+  for (uint32_t i = 0; i < n; ++i) values[i] = 1800 + 50 * i;
+  return values;
+}
+
+TEST(CommitAttestTest, HonestRoundVerifiesAndIsExact) {
+  auto topology = net::Topology::BuildCompleteTree(16, 4).value();
+  Keys keys = GenerateKeys(16, {1});
+  auto values = MakeValues(16);
+  auto result = RunRound(topology, keys, values, /*epoch=*/1).value();
+  EXPECT_TRUE(result.verified);
+  EXPECT_EQ(result.sum,
+            std::accumulate(values.begin(), values.end(), 0ull));
+}
+
+TEST(CommitAttestTest, InputValidation) {
+  auto topology = net::Topology::BuildCompleteTree(8, 2).value();
+  Keys keys = GenerateKeys(8, {1});
+  EXPECT_FALSE(RunRound(topology, keys, MakeValues(7), 1).ok());
+  Keys short_keys = GenerateKeys(7, {1});
+  EXPECT_FALSE(RunRound(topology, short_keys, MakeValues(8), 1).ok());
+}
+
+namespace {
+void TamperFirstReading(std::vector<uint64_t>& readings) {
+  readings[0] += 100000;  // a compromised sink inflating a value
+}
+void DropLastReading(std::vector<uint64_t>& readings) {
+  readings.back() = 0;  // a compromised sink zeroing a contribution
+}
+}  // namespace
+
+TEST(CommitAttestTest, SinkTamperingDetectedByAttestation) {
+  auto topology = net::Topology::BuildCompleteTree(16, 4).value();
+  Keys keys = GenerateKeys(16, {1});
+  auto values = MakeValues(16);
+  auto result =
+      RunRound(topology, keys, values, 2, &TamperFirstReading).value();
+  EXPECT_FALSE(result.verified) << "source 0's audit must fail";
+  // The falsified sum is indeed different from the honest one.
+  EXPECT_NE(result.sum, std::accumulate(values.begin(), values.end(), 0ull));
+}
+
+TEST(CommitAttestTest, SinkDroppingDetected) {
+  auto topology = net::Topology::BuildCompleteTree(16, 4).value();
+  Keys keys = GenerateKeys(16, {1});
+  auto result =
+      RunRound(topology, keys, MakeValues(16), 3, &DropLastReading).value();
+  EXPECT_FALSE(result.verified);
+}
+
+TEST(CommitAttestTest, LeafPayloadBindsAllFields) {
+  Bytes p = MakeLeafPayload(3, 1000, 7);
+  EXPECT_NE(p, MakeLeafPayload(4, 1000, 7));
+  EXPECT_NE(p, MakeLeafPayload(3, 1001, 7));
+  EXPECT_NE(p, MakeLeafPayload(3, 1000, 8));  // replay across epochs
+  EXPECT_EQ(p, MakeLeafPayload(3, 1000, 7));
+}
+
+TEST(CommitAttestTest, VerdictMacBindsVerdict) {
+  Bytes key(20, 0x44);
+  Bytes root(32, 0x11);
+  Bytes ok_mac = MakeVerdictMac(key, root, 5000, 1, true);
+  Bytes bad_mac = MakeVerdictMac(key, root, 5000, 1, false);
+  EXPECT_NE(ok_mac, bad_mac) << "a complaint must be distinguishable";
+  EXPECT_NE(ok_mac, MakeVerdictMac(key, root, 5001, 1, true));
+  EXPECT_NE(ok_mac, MakeVerdictMac(key, root, 5000, 2, true));
+}
+
+TEST(CommitAttestTest, TrafficGrowsSuperlinearlyWithN) {
+  // The paper's scalability argument: commit-and-attest traffic per
+  // round is O(N log N) while SIES is O(N) with constant per-edge cost.
+  Keys keys64 = GenerateKeys(64, {1});
+  Keys keys1024 = GenerateKeys(1024, {1});
+  auto t64 = net::Topology::BuildCompleteTree(64, 4).value();
+  auto t1024 = net::Topology::BuildCompleteTree(1024, 4).value();
+  auto r64 = RunRound(t64, keys64, MakeValues(64), 1).value();
+  auto r1024 = RunRound(t1024, keys1024, MakeValues(1024), 1).value();
+  // 16x more sources -> more than 16x total traffic.
+  EXPECT_GT(r1024.traffic.total(), 16 * r64.traffic.total());
+  // The hot edge near the sink grows ~linearly with N.
+  EXPECT_GT(r1024.traffic.max_edge_bytes,
+            10 * r64.traffic.max_edge_bytes);
+}
+
+TEST(CommitAttestTest, LatencyGrowsWithHeight) {
+  Keys keys = GenerateKeys(256, {1});
+  auto shallow = net::Topology::BuildCompleteTree(256, 16).value();
+  auto deep = net::Topology::BuildCompleteTree(256, 2).value();
+  auto r_shallow = RunRound(shallow, keys, MakeValues(256), 1).value();
+  auto r_deep = RunRound(deep, keys, MakeValues(256), 1).value();
+  EXPECT_GT(r_deep.broadcast_rounds, r_shallow.broadcast_rounds);
+}
+
+TEST(CommitAttestTest, SingleSourceDegenerateCase) {
+  auto topology = net::Topology::BuildCompleteTree(1, 4).value();
+  Keys keys = GenerateKeys(1, {1});
+  auto result = RunRound(topology, keys, {4242}, 1).value();
+  EXPECT_TRUE(result.verified);
+  EXPECT_EQ(result.sum, 4242u);
+}
+
+}  // namespace
+}  // namespace sies::caa

@@ -1,0 +1,171 @@
+#include "caa/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sies::caa {
+namespace {
+
+std::vector<uint64_t> MakeValues(uint32_t n) {
+  std::vector<uint64_t> values(n);
+  for (uint32_t i = 0; i < n; ++i) values[i] = 2000 + 31 * i;
+  return values;
+}
+
+Protocol MakeProtocol(uint32_t n, uint32_t fanout = 4) {
+  auto topology = net::Topology::BuildCompleteTree(n, fanout).value();
+  Keys keys = GenerateKeys(n, {1, 2});
+  return Protocol::Create(std::move(topology), std::move(keys), {3, 4})
+      .value();
+}
+
+TEST(RecordWireTest, RoundTrip) {
+  std::vector<std::pair<uint32_t, uint64_t>> records = {
+      {0, 100}, {7, 42}, {1000000, UINT64_MAX}};
+  Bytes wire = SerializeRecords(records);
+  EXPECT_EQ(wire.size(), 4u + 3 * 12);
+  EXPECT_EQ(ParseRecords(wire).value(), records);
+}
+
+TEST(RecordWireTest, EmptyList) {
+  Bytes wire = SerializeRecords({});
+  EXPECT_EQ(ParseRecords(wire).value().size(), 0u);
+}
+
+TEST(RecordWireTest, MalformedRejected) {
+  EXPECT_FALSE(ParseRecords({}).ok());
+  EXPECT_FALSE(ParseRecords(Bytes(3, 0)).ok());
+  Bytes wire = SerializeRecords({{1, 2}});
+  wire.pop_back();
+  EXPECT_FALSE(ParseRecords(wire).ok());
+  wire.push_back(0);
+  wire.push_back(0);
+  EXPECT_FALSE(ParseRecords(wire).ok());
+}
+
+TEST(CaaProtocolTest, HonestRoundExactAndVerified) {
+  Protocol protocol = MakeProtocol(16);
+  auto values = MakeValues(16);
+  auto outcome = protocol.RunRound(values, /*epoch=*/1).value();
+  EXPECT_TRUE(outcome.verified);
+  EXPECT_EQ(outcome.complaints, 0u);
+  EXPECT_EQ(outcome.sum,
+            std::accumulate(values.begin(), values.end(), 0ull));
+}
+
+TEST(CaaProtocolTest, MultipleEpochsOnOneChain) {
+  Protocol protocol = MakeProtocol(8, 2);
+  auto values = MakeValues(8);
+  for (uint64_t epoch = 1; epoch <= 10; ++epoch) {
+    auto outcome = protocol.RunRound(values, epoch).value();
+    EXPECT_TRUE(outcome.verified) << "epoch " << epoch;
+  }
+}
+
+TEST(CaaProtocolTest, SinkInflationDetected) {
+  Protocol protocol = MakeProtocol(16);
+  auto values = MakeValues(16);
+  auto outcome =
+      protocol
+          .RunRound(values, 1,
+                    [](std::vector<std::pair<uint32_t, uint64_t>>& recs) {
+                      recs[3].second += 5000;
+                    })
+          .value();
+  EXPECT_FALSE(outcome.verified);
+  EXPECT_EQ(outcome.complaints, 1u);
+}
+
+TEST(CaaProtocolTest, SinkDropDetected) {
+  Protocol protocol = MakeProtocol(16);
+  auto values = MakeValues(16);
+  auto outcome =
+      protocol
+          .RunRound(values, 2,
+                    [](std::vector<std::pair<uint32_t, uint64_t>>& recs) {
+                      recs.erase(recs.begin() + 5);
+                    })
+          .value();
+  EXPECT_FALSE(outcome.verified);
+  EXPECT_GE(outcome.complaints, 1u);
+}
+
+TEST(CaaProtocolTest, SinkInjectionAppendedDetected) {
+  // Appending a forged record with a high index leaves every honest
+  // rank intact — the announced leaf count and canonical proof lengths
+  // are what catch it.
+  Protocol protocol = MakeProtocol(16);
+  auto values = MakeValues(16);
+  auto outcome =
+      protocol
+          .RunRound(values, 3,
+                    [](std::vector<std::pair<uint32_t, uint64_t>>& recs) {
+                      recs.emplace_back(999, 77777);
+                    })
+          .value();
+  EXPECT_FALSE(outcome.verified);
+}
+
+TEST(CaaProtocolTest, SinkInjectionMidTreeDetected) {
+  // Replacing one source's record with a forged one (keeping the count)
+  // fails that source's audit directly.
+  Protocol protocol = MakeProtocol(16);
+  auto values = MakeValues(16);
+  auto outcome =
+      protocol
+          .RunRound(values, 4,
+                    [](std::vector<std::pair<uint32_t, uint64_t>>& recs) {
+                      recs[8] = {8, 1};  // source 8's value forged
+                    })
+          .value();
+  EXPECT_FALSE(outcome.verified);
+  EXPECT_GE(outcome.complaints, 1u);
+}
+
+TEST(CaaProtocolTest, TrafficDwarfsSies) {
+  Protocol small = MakeProtocol(64);
+  Protocol big = MakeProtocol(1024);
+  auto small_outcome = small.RunRound(MakeValues(64), 1).value();
+  auto big_outcome = big.RunRound(MakeValues(1024), 1).value();
+  // Per-round traffic far above SIES's 32 B/edge (= 32*(nodes) total).
+  EXPECT_GT(small_outcome.traffic.total(),
+            32ull * small.topology().num_nodes() * 10);
+  // Super-linear growth in N.
+  EXPECT_GT(big_outcome.traffic.total(),
+            16 * small_outcome.traffic.total());
+  // Hot edge near the sink carries O(N) records.
+  EXPECT_GT(big_outcome.traffic.max_edge_bytes,
+            10 * small_outcome.traffic.max_edge_bytes);
+}
+
+TEST(CaaProtocolTest, InputValidation) {
+  Protocol protocol = MakeProtocol(8);
+  EXPECT_FALSE(protocol.RunRound(MakeValues(7), 1).ok());
+  // Epoch beyond the μTesla chain.
+  EXPECT_FALSE(protocol.RunRound(MakeValues(8), 5000).ok());
+  // Key/source count mismatch at construction.
+  auto topology = net::Topology::BuildCompleteTree(8, 2).value();
+  EXPECT_FALSE(
+      Protocol::Create(topology, GenerateKeys(7, {1}), {2}).ok());
+}
+
+TEST(CaaProtocolTest, AnalyticalModelAgreesOnShape) {
+  // The message-level traffic and the analytical RunRound estimate must
+  // agree within a small factor (they count slightly different framing).
+  uint32_t n = 256;
+  auto topology = net::Topology::BuildCompleteTree(n, 4).value();
+  Keys keys = GenerateKeys(n, {1});
+  Protocol protocol =
+      Protocol::Create(topology, keys, {9}).value();
+  auto message_level =
+      protocol.RunRound(MakeValues(n), 1).value();
+  auto analytical = RunRound(topology, keys, MakeValues(n), 1).value();
+  double ratio = static_cast<double>(message_level.traffic.total()) /
+                 static_cast<double>(analytical.traffic.total());
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace sies::caa

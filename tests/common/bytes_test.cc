@@ -1,0 +1,124 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace sies {
+namespace {
+
+TEST(HexTest, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  std::string hex = ToHex(data);
+  EXPECT_EQ(hex, "00017f80ff");
+  auto back = FromHex(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(HexTest, EmptyInput) {
+  EXPECT_EQ(ToHex(Bytes{}), "");
+  auto empty = FromHex("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(HexTest, UppercaseAccepted) {
+  auto v = FromHex("DEADBEEF");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ToHex(v.value()), "deadbeef");
+}
+
+TEST(HexTest, OddLengthRejected) {
+  EXPECT_FALSE(FromHex("abc").ok());
+}
+
+TEST(HexTest, NonHexRejected) {
+  EXPECT_FALSE(FromHex("zz").ok());
+  EXPECT_FALSE(FromHex("0g").ok());
+}
+
+TEST(ConstantTimeEqualTest, EqualAndUnequal) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+}
+
+TEST(ConstantTimeEqualTest, LengthMismatchIsFalse) {
+  EXPECT_FALSE(ConstantTimeEqual({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(XorIntoTest, XorsElementwise) {
+  Bytes dst = {0xff, 0x0f, 0x00};
+  Bytes src = {0x0f, 0x0f, 0xaa};
+  ASSERT_TRUE(XorInto(dst, src).ok());
+  EXPECT_EQ(dst, (Bytes{0xf0, 0x00, 0xaa}));
+}
+
+TEST(XorIntoTest, SelfInverse) {
+  Bytes dst = {0x12, 0x34, 0x56};
+  Bytes orig = dst;
+  Bytes key = {0xaa, 0xbb, 0xcc};
+  ASSERT_TRUE(XorInto(dst, key).ok());
+  ASSERT_TRUE(XorInto(dst, key).ok());
+  EXPECT_EQ(dst, orig);
+}
+
+TEST(XorIntoTest, LengthMismatchFails) {
+  Bytes dst = {1, 2};
+  EXPECT_FALSE(XorInto(dst, {1, 2, 3}).ok());
+}
+
+TEST(EndianTest, Store32LoadRoundTrip) {
+  uint8_t buf[4];
+  StoreBigEndian32(0x01020304u, buf);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(LoadBigEndian32(buf), 0x01020304u);
+}
+
+TEST(EndianTest, Store64LoadRoundTrip) {
+  uint8_t buf[8];
+  StoreBigEndian64(0x0102030405060708ull, buf);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(LoadBigEndian64(buf), 0x0102030405060708ull);
+}
+
+TEST(EndianTest, ExtremesRoundTrip) {
+  uint8_t buf[8];
+  for (uint64_t v : {uint64_t{0}, UINT64_MAX, uint64_t{1} << 63}) {
+    StoreBigEndian64(v, buf);
+    EXPECT_EQ(LoadBigEndian64(buf), v);
+  }
+}
+
+TEST(EncodeUint64Test, BigEndianEightBytes) {
+  Bytes e = EncodeUint64(0x0a0b0c0d0e0f1011ull);
+  ASSERT_EQ(e.size(), 8u);
+  EXPECT_EQ(e[0], 0x0a);
+  EXPECT_EQ(e[7], 0x11);
+}
+
+TEST(SecureWipeTest, ZeroesAndClears) {
+  Bytes secret = {0xde, 0xad, 0xbe, 0xef};
+  SecureWipe(secret);
+  EXPECT_TRUE(secret.empty());
+  EXPECT_EQ(secret.capacity(), 0u);
+}
+
+TEST(SecureWipeTest, EmptyIsFine) {
+  Bytes empty;
+  SecureWipe(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ConcatTest, JoinsInOrder) {
+  EXPECT_EQ(Concat({1, 2}, {3}), (Bytes{1, 2, 3}));
+  EXPECT_EQ(Concat({}, {3}), (Bytes{3}));
+  EXPECT_EQ(Concat({1}, {}), (Bytes{1}));
+}
+
+}  // namespace
+}  // namespace sies

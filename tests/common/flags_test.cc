@@ -1,0 +1,94 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace sies {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  auto flags = Flags::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(flags.ok());
+  return flags.value();
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags f = ParseArgs({"--scheme=sies", "--sources=1024"});
+  EXPECT_EQ(f.GetString("scheme", ""), "sies");
+  EXPECT_EQ(f.GetInt("sources", 0).value(), 1024);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  Flags f = ParseArgs({"--scheme", "cmt", "--epochs", "5"});
+  EXPECT_EQ(f.GetString("scheme", ""), "cmt");
+  EXPECT_EQ(f.GetInt("epochs", 0).value(), 5);
+}
+
+TEST(FlagsTest, BareBoolean) {
+  Flags f = ParseArgs({"--csv", "--verbose"});
+  EXPECT_TRUE(f.GetBool("csv", false).value());
+  EXPECT_TRUE(f.GetBool("verbose", false).value());
+  EXPECT_FALSE(f.GetBool("absent", false).value());
+  EXPECT_TRUE(f.GetBool("absent", true).value());
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  Flags f = ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=false",
+                       "--e=0", "--g=no"});
+  EXPECT_TRUE(f.GetBool("a", false).value());
+  EXPECT_TRUE(f.GetBool("b", false).value());
+  EXPECT_TRUE(f.GetBool("c", false).value());
+  EXPECT_FALSE(f.GetBool("d", true).value());
+  EXPECT_FALSE(f.GetBool("e", true).value());
+  EXPECT_FALSE(f.GetBool("g", true).value());
+  Flags bad = ParseArgs({"--x=maybe"});
+  EXPECT_FALSE(bad.GetBool("x", false).ok());
+}
+
+TEST(FlagsTest, Defaults) {
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(f.GetInt("missing", 42).value(), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5).value(), 2.5);
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, MalformedNumbersRejected) {
+  Flags f = ParseArgs({"--n=12abc", "--d=1.2.3"});
+  EXPECT_FALSE(f.GetInt("n", 0).ok());
+  EXPECT_FALSE(f.GetDouble("d", 0).ok());
+}
+
+TEST(FlagsTest, NegativeAndDoubleValues) {
+  Flags f = ParseArgs({"--delta=-7", "--ratio=0.125"});
+  EXPECT_EQ(f.GetInt("delta", 0).value(), -7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio", 0).value(), 0.125);
+}
+
+TEST(FlagsTest, Positional) {
+  Flags f = ParseArgs({"input.bin", "--k=v", "output.bin"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"input.bin", "output.bin"}));
+}
+
+TEST(FlagsTest, DoubleDashEndsFlags) {
+  Flags f = ParseArgs({"--k=v", "--", "--not-a-flag"});
+  EXPECT_EQ(f.GetString("k", ""), "v");
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(FlagsTest, UnusedFlagDetection) {
+  Flags f = ParseArgs({"--used=1", "--typo=2"});
+  (void)f.GetInt("used", 0);
+  auto unused = f.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags f = ParseArgs({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetInt("n", 0).value(), 2);
+}
+
+}  // namespace
+}  // namespace sies

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace sies {
+namespace {
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // silence output during the test
+  SIES_LOG(Debug) << "debug " << 1;
+  SIES_LOG(Info) << "info " << 2.5;
+  SIES_LOG(Warning) << "warn " << "text";
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  double ms = watch.ElapsedMillis();
+  EXPECT_GE(ms, 9.0);
+  EXPECT_LT(ms, 1000.0);
+  EXPECT_NEAR(watch.ElapsedMicros(), watch.ElapsedMillis() * 1000.0,
+              watch.ElapsedMicros() * 0.5);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 5.0);
+}
+
+TEST(StopwatchTest, Monotonic) {
+  Stopwatch watch;
+  double a = watch.ElapsedSeconds();
+  double b = watch.ElapsedSeconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(CostAccumulatorTest, AccumulatesAndAverages) {
+  CostAccumulator acc;
+  EXPECT_EQ(acc.samples(), 0u);
+  EXPECT_DOUBLE_EQ(acc.MeanSeconds(), 0.0);
+  acc.Add(1.0);
+  acc.Add(3.0);
+  EXPECT_EQ(acc.samples(), 2u);
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.MeanSeconds(), 2.0);
+  acc.Reset();
+  EXPECT_EQ(acc.samples(), 0u);
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace sies

@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sies {
+namespace {
+
+TEST(SplitMix64Test, KnownSequence) {
+  // Reference values for seed 0 (Vigna's splitmix64 test vector).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(sm.Next(), 0x06c45d188009454full);
+}
+
+TEST(SplitMix64Test, DeterministicPerSeed) {
+  SplitMix64 a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, NextBelowStaysBelow) {
+  Xoshiro256 rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, (1ull << 60)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, NextBelowOneAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Xoshiro256Test, NextInRangeInclusive) {
+  Xoshiro256 rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "all 4 values should appear in 2000 draws";
+}
+
+TEST(Xoshiro256Test, NextInRangeFullSpanDoesNotHang) {
+  Xoshiro256 rng(11);
+  (void)rng.NextInRange(0, UINT64_MAX);
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(13);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Xoshiro256Test, NextBytesLengthAndVariety) {
+  Xoshiro256 rng(17);
+  for (size_t n : {0ul, 1ul, 7ul, 8ul, 9ul, 20ul, 32ul, 100ul}) {
+    Bytes b = rng.NextBytes(n);
+    EXPECT_EQ(b.size(), n);
+  }
+  Bytes big = rng.NextBytes(1000);
+  std::set<uint8_t> distinct(big.begin(), big.end());
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+TEST(Xoshiro256Test, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(21);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(kBuckets)];
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace sies

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/models.h"
+#include "costmodel/primitives.h"
+
+namespace sies::costmodel {
+namespace {
+
+// The paper's own primitive values: with them our formulas must
+// reproduce Table III within rounding.
+class PaperModelTest : public ::testing::Test {
+ protected:
+  PaperModelTest() : costs_(PaperPrimitives()) {}
+  PrimitiveCosts costs_;
+  ModelInputs in_;  // defaults = the paper's defaults
+};
+
+TEST_F(PaperModelTest, SketchValueBound) {
+  // ceil(log2(1024 * 5000)) = ceil(22.29) = 23, matching x_i in [0,23].
+  EXPECT_EQ(in_.SketchValueBound(), 23u);
+}
+
+TEST_F(PaperModelTest, CmtMatchesTable3) {
+  SchemeCosts cmt = CmtModel(costs_, in_);
+  EXPECT_NEAR(cmt.source_seconds * 1e6, 0.61, 0.01);   // C_HM1 + C_A20
+  EXPECT_NEAR(cmt.aggregator_seconds * 1e6, 0.45, 0.01);
+  EXPECT_NEAR(cmt.querier_seconds * 1e3, 0.62, 0.01);  // 0.62 ms
+  EXPECT_EQ(cmt.source_to_aggregator_bytes, 20u);
+  EXPECT_EQ(cmt.aggregator_to_querier_bytes, 20u);
+}
+
+TEST_F(PaperModelTest, SiesMatchesTable3) {
+  SchemeCosts sies = SiesModel(costs_, in_);
+  // 2*1.02 + 0.46 + 0.45 + 0.37 = 3.32 us (paper prints 3.46).
+  EXPECT_NEAR(sies.source_seconds * 1e6, 3.32, 0.05);
+  EXPECT_NEAR(sies.aggregator_seconds * 1e6, 1.11, 0.01);
+  EXPECT_NEAR(sies.querier_seconds * 1e3, 2.28, 0.05);  // 2.28 ms
+  EXPECT_EQ(sies.source_to_aggregator_bytes, 32u);
+  EXPECT_EQ(sies.aggregator_to_querier_bytes, 32u);
+}
+
+TEST_F(PaperModelTest, SecoaBoundsMatchTable3) {
+  SecoaBounds secoa = SecoaModel(costs_, in_);
+  // Source: 20.26 ms best, 92.75 ms worst.
+  EXPECT_NEAR(secoa.best.source_seconds * 1e3, 20.26, 0.1);
+  EXPECT_NEAR(secoa.worst.source_seconds * 1e3, 92.75, 0.5);
+  // Aggregator: 1.25 ms best, 36.63 ms worst.
+  EXPECT_NEAR(secoa.best.aggregator_seconds * 1e3, 1.25, 0.05);
+  EXPECT_NEAR(secoa.worst.aggregator_seconds * 1e3, 36.63, 0.5);
+  // Querier: ~568.5 ms both ends (dominated by J*N terms).
+  EXPECT_NEAR(secoa.best.querier_seconds * 1e3, 568.46, 1.0);
+  EXPECT_NEAR(secoa.worst.querier_seconds * 1e3, 568.63, 2.5);
+  // Edges: 38,720 bytes (= 37.8 KiB, printed as 38.72 KB in the paper).
+  EXPECT_EQ(secoa.best.source_to_aggregator_bytes, 38720u);
+  EXPECT_EQ(secoa.worst.aggregator_to_aggregator_bytes, 38720u);
+  // A-Q: best 448 B (1 SEAL), worst 300 + 24*128 + 20 = 3392 B.
+  EXPECT_EQ(secoa.best.aggregator_to_querier_bytes, 448u);
+  EXPECT_EQ(secoa.worst.aggregator_to_querier_bytes, 3392u);
+}
+
+TEST_F(PaperModelTest, SiesBeatsSecoaEverywhere) {
+  SchemeCosts sies = SiesModel(costs_, in_);
+  SecoaBounds secoa = SecoaModel(costs_, in_);
+  // SIES outperforms even SECOA_S's best case on all metrics (the
+  // paper's headline claim, up to 4 orders of magnitude).
+  EXPECT_LT(sies.source_seconds * 100, secoa.best.source_seconds);
+  EXPECT_LT(sies.aggregator_seconds * 100, secoa.best.aggregator_seconds);
+  EXPECT_LT(sies.querier_seconds * 10, secoa.best.querier_seconds);
+  EXPECT_LT(sies.source_to_aggregator_bytes * 100,
+            secoa.best.source_to_aggregator_bytes);
+}
+
+TEST_F(PaperModelTest, CmtOnlyMarginallyCheaperThanSies) {
+  SchemeCosts cmt = CmtModel(costs_, in_);
+  SchemeCosts sies = SiesModel(costs_, in_);
+  EXPECT_LT(sies.source_seconds, cmt.source_seconds * 10);
+  EXPECT_LT(sies.querier_seconds, cmt.querier_seconds * 10);
+}
+
+TEST_F(PaperModelTest, ScalingBehaviours) {
+  // Querier costs linear in N for all schemes.
+  ModelInputs big = in_;
+  big.n = 4096;
+  EXPECT_NEAR(CmtModel(costs_, big).querier_seconds /
+                  CmtModel(costs_, in_).querier_seconds,
+              4.0, 0.05);
+  EXPECT_NEAR(SiesModel(costs_, big).querier_seconds /
+                  SiesModel(costs_, in_).querier_seconds,
+              4.0, 0.05);
+  // Aggregator cost linear in F-1.
+  ModelInputs f6 = in_;
+  f6.f = 6;
+  EXPECT_NEAR(SiesModel(costs_, f6).aggregator_seconds /
+                  SiesModel(costs_, in_).aggregator_seconds,
+              5.0 / 3.0, 0.01);
+  // SECOA source cost grows with the domain; SIES does not.
+  ModelInputs big_domain = in_;
+  big_domain.d_lower = 180000;
+  big_domain.d_upper = 500000;
+  EXPECT_GT(SecoaModel(costs_, big_domain).best.source_seconds,
+            SecoaModel(costs_, in_).best.source_seconds * 50);
+  EXPECT_EQ(SiesModel(costs_, big_domain).source_seconds,
+            SiesModel(costs_, in_).source_seconds);
+}
+
+TEST_F(PaperModelTest, SecoaConcreteInterpolatesBounds) {
+  SecoaBounds bounds = SecoaModel(costs_, in_);
+  SchemeCosts mid = SecoaConcrete(costs_, in_, /*v=*/3400,
+                                  /*sum_x=*/300 * 12, /*sum_rl=*/300 * 6,
+                                  /*seal_groups=*/8, /*x_max=*/20);
+  EXPECT_GT(mid.source_seconds, bounds.best.source_seconds);
+  EXPECT_LT(mid.source_seconds, bounds.worst.source_seconds);
+  EXPECT_GT(mid.aggregator_seconds, bounds.best.aggregator_seconds);
+  EXPECT_LT(mid.aggregator_seconds, bounds.worst.aggregator_seconds);
+}
+
+TEST_F(PaperModelTest, RenderTable3ContainsAllRows) {
+  std::string table = RenderTable3(costs_, in_);
+  EXPECT_NE(table.find("Comput. cost at S"), std::string::npos);
+  EXPECT_NE(table.find("Comput. cost at A"), std::string::npos);
+  EXPECT_NE(table.find("Comput. cost at Q"), std::string::npos);
+  EXPECT_NE(table.find("Commun. cost S-A"), std::string::npos);
+  EXPECT_NE(table.find("SIES"), std::string::npos);
+  EXPECT_NE(table.find("SECOA_S"), std::string::npos);
+}
+
+TEST(MeasurePrimitivesTest, AllPositiveAndOrdered) {
+  // A small calibration run: sanity of relative magnitudes, not
+  // absolutes. Only orderings with order-of-magnitude margins are
+  // asserted — this test shares the machine with parallel ctest jobs.
+  PrimitiveCosts costs = MeasurePrimitives(/*iterations=*/2000);
+  EXPECT_GT(costs.c_sk, 0.0);
+  EXPECT_GT(costs.c_rsa, 0.0);
+  EXPECT_GT(costs.c_hm1, 0.0);
+  EXPECT_GT(costs.c_hm256, 0.0);
+  EXPECT_GT(costs.c_a20, 0.0);
+  EXPECT_GT(costs.c_a32, 0.0);
+  EXPECT_GT(costs.c_m32, 0.0);
+  EXPECT_GT(costs.c_m128, 0.0);
+  EXPECT_GT(costs.c_mi32, 0.0);
+  EXPECT_GT(costs.c_rsa, costs.c_sk);   // RSA-1024 >> one 64-bit hash mix
+  EXPECT_GT(costs.c_rsa, costs.c_a20);  // RSA-1024 >> 20-byte add
+  EXPECT_GT(costs.c_mi32, costs.c_a32); // ext-Euclid >> one addition
+}
+
+TEST(MeasurePrimitivesTest, ToStringListsAllNine) {
+  std::string s = PaperPrimitives().ToString();
+  for (const char* name : {"C_sk", "C_RSA", "C_HM1", "C_HM256", "C_A20",
+                           "C_A32", "C_M32", "C_M128", "C_MI32"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sies::costmodel

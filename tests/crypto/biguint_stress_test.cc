@@ -1,0 +1,104 @@
+// Heavy randomized cross-checks of the bignum engine: algebraic
+// identities that combine several operations, at sizes spanning the
+// schoolbook/Karatsuba and plain/Montgomery regimes.
+#include <gtest/gtest.h>
+
+#include "crypto/biguint.h"
+#include "crypto/prime.h"
+#include "crypto/rsa.h"
+
+namespace sies::crypto {
+namespace {
+
+class BigUintStress : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BigUintStress, DistributiveLaw) {
+  size_t bits = GetParam();
+  Xoshiro256 rng(bits);
+  for (int t = 0; t < 20; ++t) {
+    BigUint a = BigUint::RandomWithBits(bits, rng);
+    BigUint b = BigUint::RandomWithBits(bits / 2 + 1, rng);
+    BigUint c = BigUint::RandomWithBits(bits / 3 + 1, rng);
+    // a*(b+c) == a*b + a*c
+    EXPECT_EQ(BigUint::Mul(a, BigUint::Add(b, c)),
+              BigUint::Add(BigUint::Mul(a, b), BigUint::Mul(a, c)));
+  }
+}
+
+TEST_P(BigUintStress, DivModReconstruction) {
+  size_t bits = GetParam();
+  Xoshiro256 rng(bits + 1);
+  for (int t = 0; t < 20; ++t) {
+    BigUint a = BigUint::RandomWithBits(2 * bits, rng);
+    BigUint b = BigUint::RandomWithBits(1 + rng.NextBelow(bits), rng);
+    auto dm = BigUint::DivMod(a, b).value();
+    EXPECT_EQ(BigUint::Add(BigUint::Mul(dm.quotient, b), dm.remainder), a);
+    EXPECT_LT(dm.remainder, b);
+    // (a / b) * b <= a < (a / b + 1) * b
+    EXPECT_LE(BigUint::Mul(dm.quotient, b), a);
+    EXPECT_GT(BigUint::Mul(BigUint::Add(dm.quotient, BigUint(1)), b), a);
+  }
+}
+
+TEST_P(BigUintStress, ModExpLaws) {
+  size_t bits = GetParam();
+  Xoshiro256 rng(bits + 2);
+  BigUint m = GeneratePrime(bits, rng);
+  for (int t = 0; t < 5; ++t) {
+    BigUint a = BigUint::RandomBelow(m, rng);
+    BigUint e1 = BigUint::RandomWithBits(32, rng);
+    BigUint e2 = BigUint::RandomWithBits(32, rng);
+    // a^(e1+e2) == a^e1 * a^e2 (mod m)
+    BigUint lhs = BigUint::ModExp(a, BigUint::Add(e1, e2), m).value();
+    BigUint rhs = BigUint::ModMul(BigUint::ModExp(a, e1, m).value(),
+                                  BigUint::ModExp(a, e2, m).value(), m)
+                      .value();
+    EXPECT_EQ(lhs, rhs);
+    // (a^e1)^e2 == a^(e1*e2) (mod m)
+    EXPECT_EQ(BigUint::ModExp(BigUint::ModExp(a, e1, m).value(), e2, m)
+                  .value(),
+              BigUint::ModExp(a, BigUint::Mul(e1, e2), m).value());
+  }
+}
+
+TEST_P(BigUintStress, FermatAndInverseAgree) {
+  size_t bits = GetParam();
+  Xoshiro256 rng(bits + 3);
+  BigUint p = GeneratePrime(bits, rng);
+  BigUint p2 = BigUint::Sub(p, BigUint(2));
+  for (int t = 0; t < 5; ++t) {
+    BigUint a = BigUint::RandomBelow(p, rng);
+    if (a.IsZero()) continue;
+    // a^(p-2) == a^-1 (mod p)
+    EXPECT_EQ(BigUint::ModExp(a, p2, p).value(),
+              BigUint::ModInverse(a, p).value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BigUintStress,
+                         ::testing::Values(64, 160, 256, 512, 1024, 2048));
+
+TEST(RsaCrtTest, MatchesPlainInversion) {
+  Xoshiro256 rng(99);
+  auto kp = GenerateRsaKeyPair(512, rng).value();
+  for (int t = 0; t < 10; ++t) {
+    BigUint m = BigUint::RandomBelow(kp.public_key.n(), rng);
+    BigUint c = kp.public_key.Apply(m).value();
+    EXPECT_EQ(kp.InvertCrt(c).value(), kp.Invert(c).value());
+    EXPECT_EQ(kp.InvertCrt(c).value(), m);
+  }
+  EXPECT_FALSE(kp.InvertCrt(kp.public_key.n()).ok());
+}
+
+TEST(RsaCrtTest, FasterThanPlain) {
+  // Not a strict timing assert (flaky under load); just a smoke check
+  // that both paths work at 1024 bits.
+  Xoshiro256 rng(100);
+  auto kp = GenerateRsaKeyPair(1024, rng, 3).value();
+  BigUint m(123456789);
+  BigUint c = kp.public_key.Apply(m).value();
+  EXPECT_EQ(kp.InvertCrt(c).value(), m);
+}
+
+}  // namespace
+}  // namespace sies::crypto

@@ -1,0 +1,140 @@
+// RFC 2202 (HMAC-SHA1) and RFC 4231 (HMAC-SHA256) test vectors, plus the
+// paper's epoch-PRF usage.
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::crypto {
+namespace {
+
+Bytes Ascii(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+TEST(HmacSha1Test, Rfc2202Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(ToHex(HmacSha1(key, Ascii("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1Test, Rfc2202Case2) {
+  EXPECT_EQ(ToHex(HmacSha1(Ascii("Jefe"),
+                           Ascii("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1Test, Rfc2202Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(ToHex(HmacSha1(key, msg)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1Test, Rfc2202Case6LongKey) {
+  Bytes key(80, 0xaa);  // key longer than block size -> hashed first
+  EXPECT_EQ(
+      ToHex(HmacSha1(key, Ascii("Test Using Larger Than Block-Size Key - "
+                                "Hash Key First"))),
+      "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(ToHex(HmacSha256(key, Ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(ToHex(HmacSha256(Ascii("Jefe"),
+                             Ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(ToHex(HmacSha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      ToHex(HmacSha256(key, Ascii("Test Using Larger Than Block-Size Key - "
+                                  "Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha1Test, Rfc2202Case4) {
+  // 25-byte key 0x0102..19, 50 x 0xcd.
+  Bytes key(25);
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(i + 1);
+  }
+  Bytes msg(50, 0xcd);
+  EXPECT_EQ(ToHex(HmacSha1(key, msg)),
+            "4c9007f4026250c6bc8414f9bf50c86c2d7235da");
+}
+
+TEST(HmacSha256Test, Rfc4231Case4) {
+  Bytes key(25);
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(i + 1);
+  }
+  Bytes msg(50, 0xcd);
+  EXPECT_EQ(ToHex(HmacSha256(key, msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256Test, Rfc4231Case7LongKeyLongData) {
+  Bytes key(131, 0xaa);
+  std::string data_str =
+      "This is a test using a larger than block-size key and a larger "
+      "than block-size data. The key needs to be hashed before being "
+      "used by the HMAC algorithm.";
+  Bytes data(data_str.begin(), data_str.end());
+  EXPECT_EQ(ToHex(HmacSha256(key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacTest, OutputSizes) {
+  EXPECT_EQ(HmacSha1(Ascii("k"), Ascii("m")).size(), 20u);
+  EXPECT_EQ(HmacSha256(Ascii("k"), Ascii("m")).size(), 32u);
+}
+
+TEST(HmacTest, KeySeparation) {
+  Bytes msg = Ascii("same message");
+  EXPECT_NE(HmacSha1(Ascii("key1"), msg), HmacSha1(Ascii("key2"), msg));
+  EXPECT_NE(HmacSha256(Ascii("key1"), msg), HmacSha256(Ascii("key2"), msg));
+}
+
+TEST(HmacTest, EmptyKeyAndMessageSupported) {
+  EXPECT_EQ(HmacSha1({}, {}).size(), 20u);
+  EXPECT_EQ(HmacSha256({}, {}).size(), 32u);
+}
+
+TEST(EpochPrfTest, SizesMatchPaper) {
+  Bytes key(20, 0x42);
+  // HM1 -> 20-byte shares, HM256 -> 32-byte temporal keys (Table I).
+  EXPECT_EQ(EpochPrfSha1(key, 7).size(), 20u);
+  EXPECT_EQ(EpochPrfSha256(key, 7).size(), 32u);
+}
+
+TEST(EpochPrfTest, DistinctEpochsDistinctOutputs) {
+  Bytes key(20, 0x42);
+  EXPECT_NE(EpochPrfSha1(key, 1), EpochPrfSha1(key, 2));
+  EXPECT_NE(EpochPrfSha256(key, 1), EpochPrfSha256(key, 2));
+}
+
+TEST(EpochPrfTest, DeterministicPerKeyEpoch) {
+  Bytes key(20, 0x42);
+  EXPECT_EQ(EpochPrfSha1(key, 99), EpochPrfSha1(key, 99));
+  EXPECT_EQ(EpochPrfSha256(key, 99), EpochPrfSha256(key, 99));
+}
+
+TEST(EpochPrfTest, MatchesExplicitEncoding) {
+  Bytes key(20, 0x42);
+  EXPECT_EQ(EpochPrfSha1(key, 7), HmacSha1(key, EncodeUint64(7)));
+  EXPECT_EQ(EpochPrfSha256(key, 7), HmacSha256(key, EncodeUint64(7)));
+}
+
+}  // namespace
+}  // namespace sies::crypto

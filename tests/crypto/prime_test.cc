@@ -1,0 +1,92 @@
+#include "crypto/prime.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::crypto {
+namespace {
+
+TEST(MillerRabinTest, SmallPrimesAccepted) {
+  Xoshiro256 rng(1);
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 97ull, 251ull,
+                     257ull, 65537ull, 1000000007ull}) {
+    EXPECT_TRUE(IsProbablePrime(BigUint(p), rng)) << p;
+  }
+}
+
+TEST(MillerRabinTest, SmallCompositesRejected) {
+  Xoshiro256 rng(2);
+  for (uint64_t c : {0ull, 1ull, 4ull, 6ull, 9ull, 15ull, 91ull, 341ull,
+                     561ull, 1000000008ull}) {
+    EXPECT_FALSE(IsProbablePrime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(MillerRabinTest, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes that fool a^(n-1) tests; MR must reject them.
+  Xoshiro256 rng(3);
+  for (uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull,
+                     8911ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(IsProbablePrime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(MillerRabinTest, KnownLargePrimes) {
+  Xoshiro256 rng(4);
+  // 2^127 - 1 (Mersenne) and 2^255 - 19.
+  BigUint m127 = BigUint::Sub(BigUint::Shl(BigUint(1), 127), BigUint(1));
+  EXPECT_TRUE(IsProbablePrime(m127, rng));
+  BigUint p25519 = BigUint::Sub(BigUint::Shl(BigUint(1), 255), BigUint(19));
+  EXPECT_TRUE(IsProbablePrime(p25519, rng));
+  // 2^128 - 1 is composite (divisible by 3).
+  BigUint m128 = BigUint::Sub(BigUint::Shl(BigUint(1), 128), BigUint(1));
+  EXPECT_FALSE(IsProbablePrime(m128, rng));
+}
+
+TEST(MillerRabinTest, ProductOfTwoPrimesRejected) {
+  Xoshiro256 rng(5);
+  BigUint p = GeneratePrime(64, rng);
+  BigUint q = GeneratePrime(64, rng);
+  EXPECT_FALSE(IsProbablePrime(BigUint::Mul(p, q), rng));
+}
+
+class PrimeGenSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PrimeGenSweep, GeneratesOddPrimeOfExactBitLength) {
+  size_t bits = GetParam();
+  Xoshiro256 rng(600 + bits);
+  BigUint p = GeneratePrime(bits, rng);
+  EXPECT_EQ(p.BitLength(), bits);
+  EXPECT_TRUE(p.IsOdd());
+  EXPECT_TRUE(IsProbablePrime(p, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimeGenSweep,
+                         ::testing::Values(32, 64, 128, 160, 256, 512));
+
+TEST(PrimeGenTest, DistinctCallsDistinctPrimes) {
+  Xoshiro256 rng(7);
+  BigUint a = GeneratePrime(128, rng);
+  BigUint b = GeneratePrime(128, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(RsaPrimeTest, CoprimeToPublicExponent) {
+  Xoshiro256 rng(8);
+  BigUint e(65537);
+  for (int i = 0; i < 5; ++i) {
+    BigUint p = GenerateRsaPrime(128, e, rng);
+    EXPECT_TRUE(
+        BigUint::Gcd(BigUint::Sub(p, BigUint(1)), e).IsOne());
+    EXPECT_TRUE(IsProbablePrime(p, rng));
+  }
+}
+
+TEST(RsaPrimeTest, WorksWithSmallExponent) {
+  Xoshiro256 rng(9);
+  BigUint e(3);
+  BigUint p = GenerateRsaPrime(96, e, rng);
+  EXPECT_TRUE(BigUint::Gcd(BigUint::Sub(p, BigUint(1)), e).IsOne());
+}
+
+}  // namespace
+}  // namespace sies::crypto

@@ -1,0 +1,118 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::crypto {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // 512-bit keys keep the suite fast; SEAL benches use 1024.
+  RsaTest() : rng_(42), kp_(GenerateRsaKeyPair(512, rng_).value()) {}
+
+  Xoshiro256 rng_;
+  RsaKeyPair kp_;
+};
+
+TEST_F(RsaTest, KeyStructure) {
+  EXPECT_EQ(kp_.public_key.n().BitLength(), 512u);
+  EXPECT_EQ(kp_.public_key.e(), BigUint(65537));
+  EXPECT_EQ(kp_.public_key.ModulusBytes(), 64u);
+  EXPECT_EQ(BigUint::Mul(kp_.p, kp_.q), kp_.public_key.n());
+  EXPECT_NE(kp_.p, kp_.q);
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  for (int i = 0; i < 10; ++i) {
+    BigUint m = BigUint::RandomBelow(kp_.public_key.n(), rng_);
+    BigUint c = kp_.public_key.Apply(m).value();
+    EXPECT_EQ(kp_.Invert(c).value(), m);
+  }
+}
+
+TEST_F(RsaTest, PermutationIsDeterministic) {
+  BigUint m(123456789);
+  EXPECT_EQ(kp_.public_key.Apply(m).value(), kp_.public_key.Apply(m).value());
+}
+
+TEST_F(RsaTest, InputMustBeBelowModulus) {
+  EXPECT_FALSE(kp_.public_key.Apply(kp_.public_key.n()).ok());
+  EXPECT_FALSE(kp_.Invert(kp_.public_key.n()).ok());
+}
+
+TEST_F(RsaTest, ApplyTimesComposes) {
+  BigUint m(987654321);
+  BigUint three_then_two =
+      kp_.public_key
+          .ApplyTimes(kp_.public_key.ApplyTimes(m, 3).value(), 2)
+          .value();
+  EXPECT_EQ(three_then_two, kp_.public_key.ApplyTimes(m, 5).value());
+  EXPECT_EQ(kp_.public_key.ApplyTimes(m, 0).value(), m);
+  EXPECT_EQ(kp_.public_key.ApplyTimes(m, 1).value(),
+            kp_.public_key.Apply(m).value());
+}
+
+TEST_F(RsaTest, MultiplicativeHomomorphism) {
+  // E(a) * E(b) mod n == E(a * b mod n): the folding property that makes
+  // SEAL aggregation work.
+  for (int i = 0; i < 10; ++i) {
+    BigUint a = BigUint::RandomBelow(kp_.public_key.n(), rng_);
+    BigUint b = BigUint::RandomBelow(kp_.public_key.n(), rng_);
+    BigUint lhs = kp_.public_key
+                      .MulMod(kp_.public_key.Apply(a).value(),
+                              kp_.public_key.Apply(b).value())
+                      .value();
+    BigUint rhs = kp_.public_key
+                      .Apply(kp_.public_key.MulMod(a, b).value())
+                      .value();
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_F(RsaTest, RollingCommutesWithFolding) {
+  // E^k(a) * E^k(b) == E^k(a*b): rolling then folding equals folding
+  // then rolling — the SEAL verification identity.
+  BigUint a(1111), b(2222);
+  for (uint64_t k : {0ull, 1ull, 3ull, 7ull}) {
+    BigUint rolled_then_folded =
+        kp_.public_key
+            .MulMod(kp_.public_key.ApplyTimes(a, k).value(),
+                    kp_.public_key.ApplyTimes(b, k).value())
+            .value();
+    BigUint folded_then_rolled =
+        kp_.public_key
+            .ApplyTimes(kp_.public_key.MulMod(a, b).value(), k)
+            .value();
+    EXPECT_EQ(rolled_then_folded, folded_then_rolled) << "k=" << k;
+  }
+}
+
+TEST(RsaKeyGenTest, RejectsBadParameters) {
+  Xoshiro256 rng(1);
+  EXPECT_FALSE(GenerateRsaKeyPair(32, rng).ok());   // too small
+  EXPECT_FALSE(GenerateRsaKeyPair(129, rng).ok());  // odd bit count
+}
+
+TEST(RsaKeyGenTest, DifferentSeedsDifferentKeys) {
+  Xoshiro256 rng1(10), rng2(11);
+  auto k1 = GenerateRsaKeyPair(256, rng1).value();
+  auto k2 = GenerateRsaKeyPair(256, rng2).value();
+  EXPECT_NE(k1.public_key.n(), k2.public_key.n());
+}
+
+TEST(RsaPublicKeyTest, CreateValidation) {
+  EXPECT_FALSE(RsaPublicKey::Create(BigUint(100), BigUint(3)).ok());  // even
+  EXPECT_FALSE(RsaPublicKey::Create(BigUint(3), BigUint(65537)).ok());
+  EXPECT_TRUE(RsaPublicKey::Create(BigUint(3233), BigUint(17)).ok());
+}
+
+TEST(RsaPublicKeyTest, TextbookExample) {
+  // The classic (n=3233=61*53, e=17, d=2753) example.
+  auto pub = RsaPublicKey::Create(BigUint(3233), BigUint(17)).value();
+  EXPECT_EQ(pub.Apply(BigUint(65)).value(), BigUint(2790));
+  RsaKeyPair kp{pub, BigUint(2753), BigUint(61), BigUint(53)};
+  EXPECT_EQ(kp.Invert(BigUint(2790)).value(), BigUint(65));
+}
+
+}  // namespace
+}  // namespace sies::crypto

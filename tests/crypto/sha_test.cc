@@ -1,0 +1,159 @@
+// FIPS 180-4 test vectors plus structural tests for the streaming API.
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace sies::crypto {
+namespace {
+
+Bytes Ascii(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Sha1Test, FipsVectorEmpty) {
+  EXPECT_EQ(ToHex(Sha1::Hash({})),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, FipsVectorAbc) {
+  EXPECT_EQ(ToHex(Sha1::Hash(Ascii("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, FipsVectorTwoBlocks) {
+  EXPECT_EQ(ToHex(Sha1::Hash(Ascii(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  Bytes digest(Sha1::kDigestSize);
+  h.Final(digest.data());
+  EXPECT_EQ(ToHex(digest), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, StreamingMatchesOneShot) {
+  Bytes msg = Ascii("the quick brown fox jumps over the lazy dog etc etc");
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 h;
+    h.Update(msg.data(), split);
+    h.Update(msg.data() + split, msg.size() - split);
+    Bytes digest(Sha1::kDigestSize);
+    h.Final(digest.data());
+    EXPECT_EQ(digest, Sha1::Hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha1Test, ResetAllowsReuse) {
+  Sha1 h;
+  h.Update(Ascii("garbage"));
+  h.Reset();
+  h.Update(Ascii("abc"));
+  Bytes digest(Sha1::kDigestSize);
+  h.Final(digest.data());
+  EXPECT_EQ(ToHex(digest), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, LengthBoundaryInputs) {
+  // Exercise padding around the 55/56/64-byte boundaries.
+  for (size_t len : {55ul, 56ul, 57ul, 63ul, 64ul, 65ul, 119ul, 128ul}) {
+    Bytes msg(len, 0x5a);
+    Bytes d1 = Sha1::Hash(msg);
+    Sha1 h;
+    for (uint8_t b : msg) h.Update(&b, 1);
+    Bytes d2(Sha1::kDigestSize);
+    h.Final(d2.data());
+    EXPECT_EQ(d1, d2) << "len " << len;
+  }
+}
+
+TEST(Sha256Test, FipsVectorEmpty) {
+  EXPECT_EQ(ToHex(Sha256::Hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, FipsVectorAbc) {
+  EXPECT_EQ(ToHex(Sha256::Hash(Ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, FipsVectorTwoBlocks) {
+  EXPECT_EQ(ToHex(Sha256::Hash(Ascii(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(10000, 'a');
+  for (int i = 0; i < 100; ++i) h.Update(chunk);
+  Bytes digest(Sha256::kDigestSize);
+  h.Final(digest.data());
+  EXPECT_EQ(ToHex(digest),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  Bytes msg(300);
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<uint8_t>(i);
+  for (size_t split : {0ul, 1ul, 63ul, 64ul, 65ul, 150ul, 300ul}) {
+    Sha256 h;
+    h.Update(msg.data(), split);
+    h.Update(msg.data() + split, msg.size() - split);
+    Bytes digest(Sha256::kDigestSize);
+    h.Final(digest.data());
+    EXPECT_EQ(digest, Sha256::Hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  Bytes a = Sha256::Hash(Ascii("message A"));
+  Bytes b = Sha256::Hash(Ascii("message B"));
+  EXPECT_NE(a, b);
+  // One-bit difference flips roughly half the digest bits.
+  Bytes m1 = {0x00}, m2 = {0x01};
+  Bytes d1 = Sha256::Hash(m1), d2 = Sha256::Hash(m2);
+  int flipped = 0;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    flipped += __builtin_popcount(d1[i] ^ d2[i]);
+  }
+  EXPECT_GT(flipped, 80);
+  EXPECT_LT(flipped, 176);
+}
+
+TEST(Sha256Test, LengthBoundaryInputs) {
+  for (size_t len : {55ul, 56ul, 57ul, 63ul, 64ul, 65ul, 119ul, 128ul}) {
+    Bytes msg(len, 0xa5);
+    Bytes d1 = Sha256::Hash(msg);
+    Sha256 h;
+    for (uint8_t b : msg) h.Update(&b, 1);
+    Bytes d2(Sha256::kDigestSize);
+    h.Final(d2.data());
+    EXPECT_EQ(d1, d2) << "len " << len;
+  }
+}
+
+// NIST-style sweep: digest size invariants at many message lengths.
+class ShaLengthSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ShaLengthSweep, DigestSizesAreFixed) {
+  Bytes msg(GetParam(), 0x33);
+  EXPECT_EQ(Sha1::Hash(msg).size(), Sha1::kDigestSize);
+  EXPECT_EQ(Sha256::Hash(msg).size(), Sha256::kDigestSize);
+}
+
+TEST_P(ShaLengthSweep, AppendingOneByteChangesDigest) {
+  Bytes msg(GetParam(), 0x33);
+  Bytes extended = msg;
+  extended.push_back(0x00);
+  EXPECT_NE(Sha1::Hash(msg), Sha1::Hash(extended));
+  EXPECT_NE(Sha256::Hash(msg), Sha256::Hash(extended));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ShaLengthSweep,
+                         ::testing::Values(0, 1, 3, 55, 56, 64, 100, 1000));
+
+}  // namespace
+}  // namespace sies::crypto

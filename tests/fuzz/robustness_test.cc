@@ -1,0 +1,212 @@
+// Randomized robustness ("poor man's fuzzing"): every wire-format parser
+// and verifier in the library is fed random and mutated inputs. The
+// invariants: no crash, no false acceptance, errors not aborts.
+#include <gtest/gtest.h>
+
+#include "cmt/cmt.h"
+#include "common/rng.h"
+#include "crypto/prime.h"
+#include "crypto/rsa.h"
+#include "mht/merkle_tree.h"
+#include "mutesla/mutesla.h"
+#include "secoa/secoa_max.h"
+#include "secoa/secoa_sum.h"
+#include "sies/message_format.h"
+#include "sies/provisioning.h"
+#include "sies/querier.h"
+
+namespace sies {
+namespace {
+
+constexpr int kTrials = 200;
+
+TEST(FuzzTest, FromHexNeverCrashes) {
+  Xoshiro256 rng(1);
+  for (int t = 0; t < kTrials; ++t) {
+    size_t len = rng.NextBelow(64);
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    auto parsed = FromHex(s);
+    if (parsed.ok()) {
+      EXPECT_EQ(ToHex(parsed.value()).size(), s.size());
+    }
+  }
+}
+
+TEST(FuzzTest, SiesParsePsrRandomBytes) {
+  auto params = core::MakeParams(8, 1).value();
+  Xoshiro256 rng(2);
+  for (int t = 0; t < kTrials; ++t) {
+    size_t len = rng.NextBelow(64);
+    Bytes random = rng.NextBytes(len);
+    auto parsed = core::ParsePsr(params, random);
+    if (parsed.ok()) {
+      // Whatever parsed must re-serialize identically.
+      EXPECT_EQ(core::SerializePsr(params, parsed.value()).value(), random);
+    }
+  }
+}
+
+TEST(FuzzTest, SiesQuerierRandomPsrsNeverVerify) {
+  // A 32-byte forgery passes verification with probability ~2^-224;
+  // seeing even one in 200 random trials means the verifier is broken.
+  auto params = core::MakeParams(4, 1).value();
+  auto keys = core::GenerateKeys(params, {1});
+  core::Querier querier(params, keys);
+  Xoshiro256 rng(3);
+  int verified_count = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Bytes random = rng.NextBytes(params.PsrBytes());
+    auto eval = querier.Evaluate(random, t);
+    if (eval.ok() && eval.value().verified) ++verified_count;
+  }
+  EXPECT_EQ(verified_count, 0);
+}
+
+TEST(FuzzTest, SecoaParsersRandomAndTruncated) {
+  Xoshiro256 rng(4);
+  auto kp = crypto::GenerateRsaKeyPair(256, rng).value();
+  secoa::SealOps ops(kp.public_key);
+  secoa::SumParams params{4, 8, 1};
+  auto keys = secoa::GenerateKeys(4, {1});
+  secoa::SumSource source(ops, params, 0, keys.sources[0]);
+  Bytes honest = SerializeSumPsr(ops, source.CreatePsr(100, 1).value());
+
+  for (int t = 0; t < kTrials; ++t) {
+    // Random truncation, extension, and mutation of an honest wire blob.
+    Bytes mutated = honest;
+    switch (t % 3) {
+      case 0:
+        mutated.resize(rng.NextBelow(mutated.size() + 1));
+        break;
+      case 1:
+        mutated.push_back(static_cast<uint8_t>(rng.Next()));
+        break;
+      case 2:
+        mutated[rng.NextBelow(mutated.size())] ^=
+            static_cast<uint8_t>(1 + rng.NextBelow(255));
+        break;
+    }
+    auto parsed = ParseSumPsr(ops, params, mutated);
+    (void)parsed;  // must not crash; either outcome is acceptable
+  }
+  // Pure random bytes of the right length.
+  for (int t = 0; t < kTrials; ++t) {
+    Bytes random = rng.NextBytes(honest.size());
+    auto parsed = ParseSumPsr(ops, params, random);
+    (void)parsed;
+  }
+}
+
+TEST(FuzzTest, SecoaMaxParserRandom) {
+  Xoshiro256 rng(5);
+  auto kp = crypto::GenerateRsaKeyPair(256, rng).value();
+  secoa::SealOps ops(kp.public_key);
+  auto keys = secoa::GenerateKeys(2, {1});
+  secoa::MaxSource source(ops, 0, keys.sources[0]);
+  Bytes honest = SerializeMaxPsr(ops, source.CreatePsr(5, 1).value());
+  for (int t = 0; t < kTrials; ++t) {
+    Bytes mutated = honest;
+    if (t % 2 == 0) {
+      mutated[rng.NextBelow(mutated.size())] ^= 0xff;
+    } else {
+      mutated.resize(rng.NextBelow(mutated.size() + 1));
+    }
+    auto parsed = ParseMaxPsr(ops, mutated);
+    (void)parsed;
+  }
+}
+
+TEST(FuzzTest, ProvisioningParsersRandomBytes) {
+  Xoshiro256 rng(6);
+  for (int t = 0; t < kTrials; ++t) {
+    Bytes random = rng.NextBytes(rng.NextBelow(256));
+    EXPECT_FALSE(core::ParseDeployment(random).ok());
+    EXPECT_FALSE(core::ParseSourceRegistration(random).ok());
+    EXPECT_FALSE(core::ParseAggregatorRecord(random).ok());
+  }
+}
+
+TEST(FuzzTest, MerkleProofsResistMutation) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 16; ++i) leaves.push_back(EncodeUint64(i));
+  auto tree = mht::MerkleTree::Build(leaves).value();
+  Xoshiro256 rng(7);
+  for (int t = 0; t < kTrials; ++t) {
+    auto proof = tree.Prove(rng.NextBelow(16)).value();
+    uint64_t leaf = proof.leaf_index;
+    // Mutate one random byte in one random step.
+    if (!proof.steps.empty()) {
+      auto& step = proof.steps[rng.NextBelow(proof.steps.size())];
+      if (rng.NextBelow(2) == 0) {
+        step.sibling[rng.NextBelow(step.sibling.size())] ^=
+            static_cast<uint8_t>(1 + rng.NextBelow(255));
+      } else {
+        step.sibling_left = !step.sibling_left;
+      }
+      EXPECT_FALSE(mht::VerifyMembership(tree.root(), leaves[leaf], proof))
+          << "mutated proof accepted (trial " << t << ")";
+    }
+  }
+}
+
+TEST(FuzzTest, MuTeslaRandomDisclosuresRejected) {
+  auto broadcaster = mutesla::Broadcaster::Create({1}, 10, 1).value();
+  Xoshiro256 rng(8);
+  for (int t = 0; t < kTrials; ++t) {
+    mutesla::Receiver receiver(broadcaster.commitment(), 1);
+    mutesla::KeyDisclosure bogus{1 + rng.NextBelow(10), rng.NextBytes(32)};
+    auto result = receiver.OnDisclosure(bogus);
+    EXPECT_FALSE(result.ok()) << "random chain key accepted";
+  }
+}
+
+TEST(FuzzTest, CmtParserWidthsEnforced) {
+  auto params = cmt::MakeParams(4, 1).value();
+  auto keys = cmt::GenerateKeys(params, {1});
+  cmt::Aggregator aggregator(params);
+  cmt::Querier querier(params, keys);
+  Xoshiro256 rng(9);
+  for (int t = 0; t < kTrials; ++t) {
+    Bytes random = rng.NextBytes(rng.NextBelow(64));
+    if (random.size() != params.CiphertextBytes()) {
+      EXPECT_FALSE(aggregator.Merge({random}).ok());
+      EXPECT_FALSE(querier.Decrypt(random, 1, {0}).ok());
+    }
+  }
+}
+
+TEST(FuzzTest, BigUintDifferentialAgainstNativeArithmetic) {
+  // Cross-check BigUint against unsigned __int128 on random operands.
+  Xoshiro256 rng(10);
+  using u128 = unsigned __int128;
+  for (int t = 0; t < 2000; ++t) {
+    uint64_t a = rng.Next() >> (rng.NextBelow(64));
+    uint64_t b = rng.Next() >> (rng.NextBelow(64));
+    crypto::BigUint ba(a), bb(b);
+    // add
+    u128 sum = static_cast<u128>(a) + b;
+    crypto::BigUint bsum = crypto::BigUint::Add(ba, bb);
+    EXPECT_EQ(bsum.Low64(), static_cast<uint64_t>(sum));
+    EXPECT_EQ(bsum.BitLength() > 64, sum >> 64 ? true : false);
+    // mul
+    u128 prod = static_cast<u128>(a) * b;
+    crypto::BigUint bprod = crypto::BigUint::Mul(ba, bb);
+    EXPECT_EQ(bprod.Low64(), static_cast<uint64_t>(prod));
+    // divmod
+    if (b != 0) {
+      auto dm = crypto::BigUint::DivMod(ba, bb).value();
+      EXPECT_EQ(dm.quotient.Low64(), a / b);
+      EXPECT_EQ(dm.remainder.Low64(), a % b);
+    }
+    // sub (ordered)
+    if (a >= b) {
+      EXPECT_EQ(crypto::BigUint::Sub(ba, bb).Low64(), a - b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sies

@@ -1,0 +1,157 @@
+#include "mht/merkle_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace sies::mht {
+namespace {
+
+std::vector<Bytes> MakeLeaves(size_t n) {
+  std::vector<Bytes> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(EncodeUint64(1000 + i));
+  }
+  return leaves;
+}
+
+TEST(MerkleTreeTest, SingleLeaf) {
+  auto leaves = MakeLeaves(1);
+  auto tree = MerkleTree::Build(leaves).value();
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.root(), HashLeaf(leaves[0]));
+  auto proof = tree.Prove(0).value();
+  EXPECT_TRUE(proof.steps.empty());
+  EXPECT_TRUE(VerifyMembership(tree.root(), leaves[0], proof));
+}
+
+TEST(MerkleTreeTest, TwoLeavesRootIsInteriorHash) {
+  auto leaves = MakeLeaves(2);
+  auto tree = MerkleTree::Build(leaves).value();
+  EXPECT_EQ(tree.root(),
+            HashInterior(HashLeaf(leaves[0]), HashLeaf(leaves[1])));
+}
+
+TEST(MerkleTreeTest, EmptyRejected) {
+  EXPECT_FALSE(MerkleTree::Build({}).ok());
+}
+
+TEST(MerkleTreeTest, DomainSeparation) {
+  // A leaf hash of X must differ from an interior hash over anything:
+  // prefixes 0x00 / 0x01 prevent leaf-as-node forgeries.
+  Bytes x(64, 0xaa);
+  Bytes left(x.begin(), x.begin() + 32);
+  Bytes right(x.begin() + 32, x.end());
+  EXPECT_NE(HashLeaf(x), HashInterior(left, right));
+}
+
+TEST(MerkleTreeTest, ProofBoundsChecked) {
+  auto tree = MerkleTree::Build(MakeLeaves(5)).value();
+  EXPECT_TRUE(tree.Prove(4).ok());
+  EXPECT_FALSE(tree.Prove(5).ok());
+}
+
+TEST(MerkleTreeTest, WrongPayloadFailsVerification) {
+  auto leaves = MakeLeaves(8);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto proof = tree.Prove(3).value();
+  EXPECT_TRUE(VerifyMembership(tree.root(), leaves[3], proof));
+  EXPECT_FALSE(VerifyMembership(tree.root(), leaves[4], proof));
+  Bytes tampered = leaves[3];
+  tampered[0] ^= 1;
+  EXPECT_FALSE(VerifyMembership(tree.root(), tampered, proof));
+}
+
+TEST(MerkleTreeTest, WrongRootFailsVerification) {
+  auto leaves = MakeLeaves(8);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto proof = tree.Prove(2).value();
+  Bytes bad_root = tree.root();
+  bad_root[10] ^= 0x80;
+  EXPECT_FALSE(VerifyMembership(bad_root, leaves[2], proof));
+}
+
+TEST(MerkleTreeTest, TamperedProofStepFails) {
+  auto leaves = MakeLeaves(16);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto proof = tree.Prove(7).value();
+  proof.steps[1].sibling[0] ^= 1;
+  EXPECT_FALSE(VerifyMembership(tree.root(), leaves[7], proof));
+}
+
+TEST(MerkleTreeTest, SwappedSideFails) {
+  auto leaves = MakeLeaves(4);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto proof = tree.Prove(1).value();
+  proof.steps[0].sibling_left = !proof.steps[0].sibling_left;
+  EXPECT_FALSE(VerifyMembership(tree.root(), leaves[1], proof));
+}
+
+TEST(MerkleTreeTest, LeafOrderMatters) {
+  auto a = MakeLeaves(4);
+  auto b = a;
+  std::swap(b[0], b[1]);
+  EXPECT_NE(MerkleTree::Build(a).value().root(),
+            MerkleTree::Build(b).value().root());
+}
+
+TEST(MerkleTreeTest, ProofSizeLogarithmic) {
+  auto tree = MerkleTree::Build(MakeLeaves(1024)).value();
+  auto proof = tree.Prove(512).value();
+  EXPECT_EQ(proof.steps.size(), 10u);  // log2(1024)
+  EXPECT_EQ(proof.WireBytes(), 10u * 33 + 8);
+}
+
+TEST(MerkleTreeTest, ExpectedProofLengthMatchesActual) {
+  for (size_t n : {1ul, 2ul, 3ul, 5ul, 8ul, 13ul, 16ul, 31ul, 64ul}) {
+    auto tree = MerkleTree::Build(MakeLeaves(n)).value();
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(tree.Prove(i).value().steps.size(),
+                ExpectedProofLength(i, n))
+          << "leaf " << i << " of " << n;
+    }
+  }
+}
+
+TEST(MerkleTreeTest, ProofLengthPinsTreeSize) {
+  // Growing the leaf count changes the expected proof length of at
+  // least one of the original leaves — the property the commit-and-
+  // attest audit relies on to catch injected leaves.
+  for (size_t n : {2ul, 3ul, 4ul, 5ul, 8ul, 16ul, 17ul}) {
+    bool some_leaf_changes = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (ExpectedProofLength(i, n) != ExpectedProofLength(i, n + 1)) {
+        some_leaf_changes = true;
+      }
+    }
+    EXPECT_TRUE(some_leaf_changes) << "n=" << n;
+  }
+}
+
+class MerkleSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleSweep, EveryLeafProvableNoCrossAcceptance) {
+  size_t n = GetParam();
+  auto leaves = MakeLeaves(n);
+  auto tree = MerkleTree::Build(leaves).value();
+  EXPECT_EQ(tree.leaf_count(), n);
+  for (size_t i = 0; i < n; ++i) {
+    auto proof = tree.Prove(i).value();
+    EXPECT_TRUE(VerifyMembership(tree.root(), leaves[i], proof))
+        << "leaf " << i << " of " << n;
+    // The proof for i must not authenticate a different leaf payload.
+    size_t other = (i + 1) % n;
+    if (other != i) {
+      EXPECT_FALSE(VerifyMembership(tree.root(), leaves[other], proof))
+          << "cross-acceptance at " << i << "/" << other;
+    }
+  }
+}
+
+// Odd sizes exercise the promotion rule; powers of two the perfect case.
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 31, 33, 64, 100));
+
+}  // namespace
+}  // namespace sies::mht

@@ -1,0 +1,151 @@
+#include "mutesla/mutesla.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace sies::mutesla {
+namespace {
+
+Bytes Ascii(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+class MuTeslaTest : public ::testing::Test {
+ protected:
+  MuTeslaTest()
+      : broadcaster_(Broadcaster::Create(Ascii("seed"), /*chain_length=*/20,
+                                         /*disclosure_delay=*/2)
+                         .value()),
+        receiver_(broadcaster_.commitment(), 2) {}
+
+  Broadcaster broadcaster_;
+  Receiver receiver_;
+};
+
+TEST_F(MuTeslaTest, HonestBroadcastAuthenticates) {
+  Bytes query = Ascii("SELECT SUM(temp) FROM Sensors");
+  auto packet = broadcaster_.Broadcast(1, query).value();
+  ASSERT_TRUE(receiver_.Accept(packet, /*current_interval=*/1).ok());
+  EXPECT_EQ(receiver_.pending_count(), 1u);
+
+  auto disclosure = broadcaster_.Disclose(1).value();
+  auto authenticated = receiver_.OnDisclosure(disclosure);
+  ASSERT_TRUE(authenticated.ok());
+  ASSERT_EQ(authenticated.value().size(), 1u);
+  EXPECT_EQ(authenticated.value()[0], query);
+  EXPECT_EQ(receiver_.pending_count(), 0u);
+}
+
+TEST_F(MuTeslaTest, ChainIsOneWay) {
+  // K_{i-1} = H(K_i): walking the disclosed key for interval 2 once must
+  // produce the key for interval 1.
+  auto k1 = broadcaster_.Disclose(1).value();
+  auto k2 = broadcaster_.Disclose(2).value();
+  EXPECT_EQ(crypto::Sha256::Hash(k2.chain_key), k1.chain_key);
+  // ...and hashing K_1 gives the commitment.
+  EXPECT_EQ(crypto::Sha256::Hash(k1.chain_key), broadcaster_.commitment());
+}
+
+TEST_F(MuTeslaTest, ForgedMacRejected) {
+  Bytes query = Ascii("legit query");
+  auto packet = broadcaster_.Broadcast(1, query).value();
+  packet.payload = Ascii("evil query");  // MAC no longer matches
+  ASSERT_TRUE(receiver_.Accept(packet, 1).ok());
+  auto authenticated =
+      receiver_.OnDisclosure(broadcaster_.Disclose(1).value());
+  ASSERT_TRUE(authenticated.ok());
+  EXPECT_TRUE(authenticated.value().empty()) << "forged packet authenticated";
+}
+
+TEST_F(MuTeslaTest, WrongChainKeyRejected) {
+  auto packet = broadcaster_.Broadcast(1, Ascii("q")).value();
+  ASSERT_TRUE(receiver_.Accept(packet, 1).ok());
+  KeyDisclosure bogus{1, Bytes(32, 0x42)};
+  auto result = receiver_.OnDisclosure(bogus);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(MuTeslaTest, LatePacketRejectedBySecurityCondition) {
+  // A packet for interval 1 arriving at local time 3 could have been
+  // forged with the already-disclosed key: must be rejected on arrival.
+  auto packet = broadcaster_.Broadcast(1, Ascii("q")).value();
+  Status s = receiver_.Accept(packet, /*current_interval=*/3);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(MuTeslaTest, PacketAtDisclosureBoundaryRejected) {
+  // interval + delay == current is exactly the disclosure instant.
+  auto packet = broadcaster_.Broadcast(1, Ascii("q")).value();
+  EXPECT_FALSE(receiver_.Accept(packet, 3).ok());
+  EXPECT_TRUE(receiver_.Accept(packet, 2).ok());
+}
+
+TEST_F(MuTeslaTest, StaleDisclosureRejected) {
+  auto p1 = broadcaster_.Broadcast(1, Ascii("a")).value();
+  ASSERT_TRUE(receiver_.Accept(p1, 1).ok());
+  ASSERT_TRUE(receiver_.OnDisclosure(broadcaster_.Disclose(1).value()).ok());
+  // Replaying the same (or an older) disclosure must fail.
+  auto replay = receiver_.OnDisclosure(broadcaster_.Disclose(1).value());
+  EXPECT_FALSE(replay.ok());
+}
+
+TEST_F(MuTeslaTest, SkippedIntervalsStillAuthenticate) {
+  // Disclose interval 5 directly: the receiver walks the chain 5 steps.
+  auto packet = broadcaster_.Broadcast(5, Ascii("jump")).value();
+  ASSERT_TRUE(receiver_.Accept(packet, 5).ok());
+  auto authenticated =
+      receiver_.OnDisclosure(broadcaster_.Disclose(5).value());
+  ASSERT_TRUE(authenticated.ok());
+  ASSERT_EQ(authenticated.value().size(), 1u);
+  EXPECT_EQ(authenticated.value()[0], Ascii("jump"));
+}
+
+TEST_F(MuTeslaTest, MultiplePacketsPerInterval) {
+  auto p1 = broadcaster_.Broadcast(2, Ascii("query A")).value();
+  auto p2 = broadcaster_.Broadcast(2, Ascii("query B")).value();
+  ASSERT_TRUE(receiver_.Accept(p1, 2).ok());
+  ASSERT_TRUE(receiver_.Accept(p2, 2).ok());
+  auto authenticated =
+      receiver_.OnDisclosure(broadcaster_.Disclose(2).value());
+  ASSERT_TRUE(authenticated.ok());
+  EXPECT_EQ(authenticated.value().size(), 2u);
+}
+
+TEST_F(MuTeslaTest, PendingPacketsBelowDisclosureAreDropped) {
+  // Packet buffered for interval 2, but the next disclosure we see is 3:
+  // interval 2's key is now public, so the packet must be discarded.
+  auto p2 = broadcaster_.Broadcast(2, Ascii("late")).value();
+  ASSERT_TRUE(receiver_.Accept(p2, 2).ok());
+  auto authenticated =
+      receiver_.OnDisclosure(broadcaster_.Disclose(3).value());
+  ASSERT_TRUE(authenticated.ok());
+  EXPECT_TRUE(authenticated.value().empty());
+  EXPECT_EQ(receiver_.pending_count(), 0u);
+}
+
+TEST(MuTeslaCreateTest, ParameterValidation) {
+  EXPECT_FALSE(Broadcaster::Create(Bytes{1}, 0, 1).ok());
+  EXPECT_FALSE(Broadcaster::Create(Bytes{1}, 10, 0).ok());
+  EXPECT_TRUE(Broadcaster::Create(Bytes{1}, 10, 1).ok());
+}
+
+TEST(MuTeslaBroadcastTest, IntervalBounds) {
+  auto b = Broadcaster::Create(Bytes{1}, 5, 1).value();
+  EXPECT_FALSE(b.Broadcast(0, Bytes{}).ok());
+  EXPECT_FALSE(b.Broadcast(6, Bytes{}).ok());
+  EXPECT_TRUE(b.Broadcast(5, Bytes{}).ok());
+  EXPECT_FALSE(b.Disclose(0).ok());
+  EXPECT_FALSE(b.Disclose(6).ok());
+}
+
+TEST(MuTeslaKeyTest, MacKeyDiffersFromChainKey) {
+  Bytes chain_key(32, 0x11);
+  Bytes mac_key = DeriveMacKey(chain_key);
+  EXPECT_NE(mac_key, chain_key);
+  EXPECT_EQ(mac_key.size(), 32u);
+  EXPECT_EQ(DeriveMacKey(chain_key), mac_key);  // deterministic
+}
+
+}  // namespace
+}  // namespace sies::mutesla

@@ -1,0 +1,102 @@
+#include "net/adversary.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::net {
+namespace {
+
+Message MakeMessage(NodeId from, uint64_t epoch, Bytes payload) {
+  Message msg;
+  msg.from = from;
+  msg.to = 99;
+  msg.epoch = epoch;
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+TEST(BitFlipAdversaryTest, FlipsExactlyOneBit) {
+  BitFlipAdversary adv(std::nullopt, 5);
+  Message msg = MakeMessage(1, 1, {0x00, 0x00});
+  EXPECT_TRUE(adv.OnMessage(msg));
+  EXPECT_EQ(msg.payload, (Bytes{0x20, 0x00}));
+  EXPECT_EQ(adv.tampered_count(), 1u);
+}
+
+TEST(BitFlipAdversaryTest, TargetsOnlyNamedNode) {
+  BitFlipAdversary adv(NodeId{7}, 0);
+  Message hit = MakeMessage(7, 1, {0x00});
+  Message miss = MakeMessage(8, 1, {0x00});
+  adv.OnMessage(hit);
+  adv.OnMessage(miss);
+  EXPECT_EQ(hit.payload[0], 0x01);
+  EXPECT_EQ(miss.payload[0], 0x00);
+  EXPECT_EQ(adv.tampered_count(), 1u);
+}
+
+TEST(BitFlipAdversaryTest, BitIndexWrapsModuloSize) {
+  BitFlipAdversary adv(std::nullopt, 8);  // == bit 0 of a 1-byte payload
+  Message msg = MakeMessage(1, 1, {0x00});
+  adv.OnMessage(msg);
+  EXPECT_EQ(msg.payload[0], 0x01);
+}
+
+TEST(BitFlipAdversaryTest, EmptyPayloadUntouched) {
+  BitFlipAdversary adv;
+  Message msg = MakeMessage(1, 1, {});
+  EXPECT_TRUE(adv.OnMessage(msg));
+  EXPECT_EQ(adv.tampered_count(), 0u);
+}
+
+TEST(ReplayAdversaryTest, CapturesThenReplays) {
+  ReplayAdversary adv(/*capture_epoch=*/1);
+  Message original = MakeMessage(3, 1, {0xaa, 0xbb});
+  EXPECT_TRUE(adv.OnMessage(original));
+  EXPECT_EQ(original.payload, (Bytes{0xaa, 0xbb}));  // capture is passive
+
+  Message later = MakeMessage(3, 2, {0xcc, 0xdd});
+  EXPECT_TRUE(adv.OnMessage(later));
+  EXPECT_EQ(later.payload, (Bytes{0xaa, 0xbb}));  // stale payload injected
+  EXPECT_EQ(adv.replayed_count(), 1u);
+}
+
+TEST(ReplayAdversaryTest, UncapturedSendersPassThrough) {
+  ReplayAdversary adv(1);
+  Message captured = MakeMessage(3, 1, {0xaa});
+  adv.OnMessage(captured);
+  Message other = MakeMessage(4, 2, {0xcc});
+  adv.OnMessage(other);
+  EXPECT_EQ(other.payload, (Bytes{0xcc}));
+  EXPECT_EQ(adv.replayed_count(), 0u);
+}
+
+TEST(ReplayAdversaryTest, EarlierEpochsUntouched) {
+  ReplayAdversary adv(5);
+  Message early = MakeMessage(3, 2, {0x11});
+  adv.OnMessage(early);
+  EXPECT_EQ(early.payload, (Bytes{0x11}));
+}
+
+TEST(DropAdversaryTest, DropsOnlyTarget) {
+  DropAdversary adv(3);
+  Message target = MakeMessage(3, 1, {0x01});
+  Message other = MakeMessage(4, 1, {0x02});
+  EXPECT_FALSE(adv.OnMessage(target));
+  EXPECT_TRUE(adv.OnMessage(other));
+  EXPECT_EQ(adv.dropped_count(), 1u);
+}
+
+TEST(CallbackAdversaryTest, ForwardsVerdict) {
+  int calls = 0;
+  CallbackAdversary adv([&](Message& msg) {
+    ++calls;
+    return msg.epoch != 13;
+  });
+  Message ok = MakeMessage(1, 1, {});
+  Message doomed = MakeMessage(1, 13, {});
+  EXPECT_TRUE(adv.OnMessage(ok));
+  EXPECT_FALSE(adv.OnMessage(doomed));
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace sies::net

@@ -1,0 +1,123 @@
+#include "net/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::net {
+namespace {
+
+UpPassCosts UniformCosts(uint64_t bytes, double proc_s) {
+  UpPassCosts costs;
+  costs.tx_bytes = [bytes](NodeId) { return bytes; };
+  costs.proc_seconds = [proc_s](NodeId) { return proc_s; };
+  return costs;
+}
+
+TEST(LinkParamsTest, HopSeconds) {
+  LinkParams link;
+  link.bandwidth_bytes_per_s = 1000.0;
+  link.hop_overhead_s = 0.01;
+  EXPECT_DOUBLE_EQ(link.HopSeconds(0), 0.01);
+  EXPECT_DOUBLE_EQ(link.HopSeconds(100), 0.01 + 0.1);
+}
+
+TEST(UpPassLatencyTest, SingleSourceChain) {
+  // querier <- root(A0) <- source(S1): two hops.
+  auto t = Topology::FromParentVector({kQuerierId, 0}).value();
+  LinkParams link;
+  link.bandwidth_bytes_per_s = 3200.0;  // 32 bytes = 10 ms
+  link.hop_overhead_s = 0.001;
+  auto costs = UniformCosts(32, 0.002);
+  // source: proc 2ms, hop 11ms -> 13ms at root; root: +2ms proc,
+  // +11ms hop -> 26ms.
+  EXPECT_NEAR(UpPassLatency(t, link, costs), 0.026, 1e-9);
+}
+
+TEST(UpPassLatencyTest, AggregatorWaitsForSlowestChild) {
+  // Root with two children: a direct source and a deeper subtree.
+  // 0=root, 1=source, 2=agg, 3=source under 2.
+  auto t = Topology::FromParentVector({kQuerierId, 0, 0, 2}).value();
+  LinkParams link;
+  link.bandwidth_bytes_per_s = 3200.0;
+  link.hop_overhead_s = 0.0;
+  auto costs = UniformCosts(32, 0.0);
+  // Deep path: S3 (10ms) -> A2 (+10ms) -> arrives 20ms; shallow path
+  // arrives 10ms. Root departs at 20ms, +10ms hop = 30ms.
+  EXPECT_NEAR(UpPassLatency(t, link, costs), 0.030, 1e-9);
+}
+
+TEST(UpPassLatencyTest, GrowsWithHeightNotN) {
+  // SIES's key latency property: constant payloads mean latency tracks
+  // tree HEIGHT, not source count.
+  LinkParams link;
+  auto costs = UniformCosts(32, 1e-5);
+  auto shallow = Topology::BuildCompleteTree(4096, 16).value();   // h=3
+  auto deep = Topology::BuildCompleteTree(4096, 2).value();       // h=12
+  double shallow_latency = UpPassLatency(shallow, link, costs);
+  double deep_latency = UpPassLatency(deep, link, costs);
+  EXPECT_GT(deep_latency, 3 * shallow_latency);
+  // Same fanout, 16x more sources: only +2 levels of latency.
+  auto small = Topology::BuildCompleteTree(256, 4).value();     // h=4
+  auto big = Topology::BuildCompleteTree(256 * 16, 4).value();  // h=6
+  double ratio = UpPassLatency(big, link, costs) /
+                 UpPassLatency(small, link, costs);
+  EXPECT_LT(ratio, 1.6);
+  EXPECT_GT(ratio, 1.0);
+}
+
+TEST(UpPassLatencyTest, ProportionalToPayloadWidth) {
+  auto t = Topology::BuildCompleteTree(64, 4).value();
+  LinkParams link;
+  link.hop_overhead_s = 0.0;
+  auto thin = UniformCosts(32, 0.0);
+  auto fat = UniformCosts(32 * 100, 0.0);
+  EXPECT_NEAR(UpPassLatency(t, link, fat) / UpPassLatency(t, link, thin),
+              100.0, 0.01);
+}
+
+TEST(UpPassLatencyTest, PerNodeBytesRespected) {
+  // Commit-and-attest profile: edges near the root carry O(subtree)
+  // bytes; latency must reflect the fattest path, not the average.
+  auto t = Topology::BuildCompleteTree(64, 4).value();
+  LinkParams link;
+  UpPassCosts caa;
+  caa.proc_seconds = [](NodeId) { return 0.0; };
+  caa.tx_bytes = [&t](NodeId node) -> uint64_t {
+    // crude subtree size: sources below * 12 bytes
+    if (t.role(node) == NodeRole::kSource) return 12;
+    uint64_t leaves = 0;
+    std::vector<NodeId> stack = {node};
+    while (!stack.empty()) {
+      NodeId cur = stack.back();
+      stack.pop_back();
+      if (t.children(cur).empty()) {
+        ++leaves;
+      } else {
+        for (NodeId c : t.children(cur)) stack.push_back(c);
+      }
+    }
+    return leaves * 12;
+  };
+  auto sies = UniformCosts(32, 0.0);
+  EXPECT_GT(UpPassLatency(t, link, caa),
+            UpPassLatency(t, link, sies));
+}
+
+TEST(DownPassLatencyTest, BroadcastReachesDeepestLast) {
+  auto shallow = Topology::BuildCompleteTree(64, 8).value();
+  auto deep = Topology::BuildCompleteTree(64, 2).value();
+  LinkParams link;
+  auto costs = UniformCosts(60, 1e-4);
+  EXPECT_GT(DownPassLatency(deep, link, costs),
+            DownPassLatency(shallow, link, costs));
+}
+
+TEST(DownPassLatencyTest, StartOffsetShifts) {
+  auto t = Topology::BuildCompleteTree(16, 4).value();
+  LinkParams link;
+  auto costs = UniformCosts(60, 0.0);
+  double base = DownPassLatency(t, link, costs, 0.0);
+  EXPECT_NEAR(DownPassLatency(t, link, costs, 1.5), base + 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace sies::net

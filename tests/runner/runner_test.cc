@@ -1,0 +1,107 @@
+#include "runner/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::runner {
+namespace {
+
+ExperimentConfig SmallConfig(Scheme scheme) {
+  ExperimentConfig c;
+  c.scheme = scheme;
+  c.num_sources = 16;
+  c.fanout = 4;
+  c.epochs = 3;
+  c.secoa_j = 8;
+  c.rsa_modulus_bits = 512;
+  c.seed = 11;
+  return c;
+}
+
+TEST(SourceIndexMapTest, DenseAndInvertible) {
+  auto topology = net::Topology::BuildCompleteTree(16, 4).value();
+  SourceIndexMap map(topology);
+  EXPECT_EQ(map.num_sources(), 16u);
+  for (uint32_t i = 0; i < 16; ++i) {
+    net::NodeId node = map.NodeOf(i);
+    EXPECT_EQ(map.IndexOf(node).value(), i);
+  }
+  // The root is not a source.
+  EXPECT_FALSE(map.IndexOf(topology.root()).ok());
+}
+
+TEST(SourceIndexMapTest, TranslatesLists) {
+  auto topology = net::Topology::BuildCompleteTree(8, 2).value();
+  SourceIndexMap map(topology);
+  std::vector<net::NodeId> nodes = {map.NodeOf(3), map.NodeOf(1)};
+  auto indices = map.ToIndices(nodes).value();
+  EXPECT_EQ(indices, (std::vector<uint32_t>{3, 1}));
+  EXPECT_FALSE(map.ToIndices({topology.root()}).ok());
+}
+
+TEST(RunExperimentTest, SiesExactAndVerified) {
+  auto result = RunExperiment(SmallConfig(Scheme::kSies)).value();
+  EXPECT_EQ(result.scheme_name, "SIES");
+  EXPECT_TRUE(result.all_verified);
+  EXPECT_DOUBLE_EQ(result.mean_relative_error, 0.0) << "SIES must be exact";
+  // PSR width: 32 bytes on every edge class.
+  EXPECT_DOUBLE_EQ(result.source_to_aggregator_bytes, 32.0);
+  EXPECT_DOUBLE_EQ(result.aggregator_to_aggregator_bytes, 32.0);
+  EXPECT_DOUBLE_EQ(result.aggregator_to_querier_bytes, 32.0);
+}
+
+TEST(RunExperimentTest, CmtExact) {
+  auto result = RunExperiment(SmallConfig(Scheme::kCmt)).value();
+  EXPECT_EQ(result.scheme_name, "CMT");
+  EXPECT_DOUBLE_EQ(result.mean_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(result.source_to_aggregator_bytes, 20.0);
+}
+
+TEST(RunExperimentTest, SecoaVerifiedButApproximate) {
+  auto result = RunExperiment(SmallConfig(Scheme::kSecoa)).value();
+  EXPECT_EQ(result.scheme_name, "SECOA_S");
+  EXPECT_TRUE(result.all_verified);
+  EXPECT_GT(result.mean_relative_error, 0.0) << "sketches approximate";
+  // J=8 is very coarse; just require the right order of magnitude window.
+  EXPECT_LT(result.mean_relative_error, 20.0);
+  // SECOA edges dwarf SIES edges even at J=8 with 512-bit SEALs.
+  EXPECT_GT(result.source_to_aggregator_bytes, 500.0);
+}
+
+TEST(RunExperimentTest, SecoaCostsDwarfSiesCosts) {
+  // The true ratio is >10x even at J=8; the 2x asserted here leaves
+  // headroom for noisy parallel-ctest timing.
+  auto sies = RunExperiment(SmallConfig(Scheme::kSies)).value();
+  auto secoa = RunExperiment(SmallConfig(Scheme::kSecoa)).value();
+  EXPECT_GT(secoa.source_cpu_seconds, sies.source_cpu_seconds * 2);
+  EXPECT_GT(secoa.aggregator_cpu_seconds, sies.aggregator_cpu_seconds * 2);
+}
+
+TEST(RunExperimentTest, DeterministicAcrossRuns) {
+  auto a = RunExperiment(SmallConfig(Scheme::kSies)).value();
+  auto b = RunExperiment(SmallConfig(Scheme::kSies)).value();
+  EXPECT_EQ(a.all_verified, b.all_verified);
+  EXPECT_DOUBLE_EQ(a.mean_relative_error, b.mean_relative_error);
+}
+
+TEST(RunExperimentTest, FanoutSweepRuns) {
+  for (uint32_t f = 2; f <= 6; ++f) {
+    ExperimentConfig c = SmallConfig(Scheme::kSies);
+    c.fanout = f;
+    auto result = RunExperiment(c).value();
+    EXPECT_TRUE(result.all_verified) << "fanout " << f;
+    EXPECT_DOUBLE_EQ(result.mean_relative_error, 0.0) << "fanout " << f;
+  }
+}
+
+TEST(RunExperimentTest, DomainSweepLeavesSiesExact) {
+  for (uint32_t k = 0; k <= 4; ++k) {
+    ExperimentConfig c = SmallConfig(Scheme::kSies);
+    c.scale_pow10 = k;
+    auto result = RunExperiment(c).value();
+    EXPECT_TRUE(result.all_verified) << "scale 10^" << k;
+    EXPECT_DOUBLE_EQ(result.mean_relative_error, 0.0) << "scale 10^" << k;
+  }
+}
+
+}  // namespace
+}  // namespace sies::runner

@@ -1,0 +1,141 @@
+#include "secoa/seal.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prime.h"
+
+namespace sies::secoa {
+namespace {
+
+class SealTest : public ::testing::Test {
+ protected:
+  SealTest()
+      : rng_(77),
+        kp_(crypto::GenerateRsaKeyPair(512, rng_).value()),
+        ops_(kp_.public_key) {}
+
+  Xoshiro256 rng_;
+  crypto::RsaKeyPair kp_;
+  SealOps ops_;
+};
+
+TEST_F(SealTest, CreateAtPositionZeroIsSeed) {
+  crypto::BigUint seed(12345);
+  Seal seal = ops_.Create(seed, 0).value();
+  EXPECT_EQ(seal.residue, seed);
+  EXPECT_EQ(seal.position, 0u);
+}
+
+TEST_F(SealTest, CreateRollsSeedForward) {
+  crypto::BigUint seed(999);
+  Seal s3 = ops_.Create(seed, 3).value();
+  EXPECT_EQ(s3.position, 3u);
+  EXPECT_EQ(s3.residue, kp_.public_key.ApplyTimes(seed, 3).value());
+}
+
+TEST_F(SealTest, CreateValidatesSeed) {
+  EXPECT_FALSE(ops_.Create(crypto::BigUint(), 1).ok());       // zero
+  EXPECT_FALSE(ops_.Create(kp_.public_key.n(), 1).ok());      // >= n
+}
+
+TEST_F(SealTest, RollForwardComposes) {
+  crypto::BigUint seed(4242);
+  Seal s2 = ops_.Create(seed, 2).value();
+  Seal s5 = ops_.RollTo(s2, 5).value();
+  EXPECT_EQ(s5.position, 5u);
+  EXPECT_EQ(s5.residue, ops_.Create(seed, 5).value().residue);
+}
+
+TEST_F(SealTest, RollToSamePositionIsIdentity) {
+  Seal s = ops_.Create(crypto::BigUint(7), 4).value();
+  Seal same = ops_.RollTo(s, 4).value();
+  EXPECT_EQ(same.residue, s.residue);
+}
+
+TEST_F(SealTest, CannotRollBackwards) {
+  Seal s = ops_.Create(crypto::BigUint(7), 4).value();
+  EXPECT_FALSE(ops_.RollTo(s, 3).ok());
+}
+
+TEST_F(SealTest, FoldRequiresEqualPositions) {
+  Seal a = ops_.Create(crypto::BigUint(11), 2).value();
+  Seal b = ops_.Create(crypto::BigUint(13), 3).value();
+  EXPECT_FALSE(ops_.Fold(a, b).ok());
+}
+
+TEST_F(SealTest, FoldIsSealOfSeedProduct) {
+  // E^k(a) * E^k(b) = E^k(a*b): the verification identity.
+  crypto::BigUint sa(111), sb(222);
+  for (uint64_t k : {0ull, 1ull, 4ull}) {
+    Seal a = ops_.Create(sa, k).value();
+    Seal b = ops_.Create(sb, k).value();
+    Seal folded = ops_.Fold(a, b).value();
+    crypto::BigUint product = ops_.FoldSeeds(sa, sb).value();
+    EXPECT_EQ(folded.residue, ops_.Create(product, k).value().residue)
+        << "position " << k;
+  }
+}
+
+TEST_F(SealTest, RollThenFoldEqualsFoldThenRoll) {
+  crypto::BigUint sa(333), sb(444);
+  Seal a = ops_.Create(sa, 1).value();
+  Seal b = ops_.Create(sb, 3).value();
+  // Roll a to 3, fold, then roll to 6.
+  Seal path1 = ops_.RollTo(
+                       ops_.Fold(ops_.RollTo(a, 3).value(), b).value(), 6)
+                   .value();
+  // Fold seeds first, roll to 6 directly.
+  Seal path2 =
+      ops_.Create(ops_.FoldSeeds(kp_.public_key.ApplyTimes(sa, 1).value(),
+                                 crypto::BigUint(1))
+                      .value(),
+                  0)
+          .value();
+  // Simpler independent check: E^6(E^1(sa) * sb') where sb' = E^3(sb)
+  // rolled appropriately — compute expected directly.
+  crypto::BigUint expected =
+      kp_.public_key
+          .ApplyTimes(kp_.public_key
+                          .MulMod(kp_.public_key.ApplyTimes(sa, 3).value(),
+                                  kp_.public_key.ApplyTimes(sb, 3).value())
+                          .value(),
+                      3)
+          .value();
+  EXPECT_EQ(path1.residue, expected);
+  (void)path2;
+}
+
+TEST_F(SealTest, OneWayness) {
+  // Without the private key, a rolled SEAL cannot be matched to a lower
+  // position: check that rolling a *different* residue never collides.
+  crypto::BigUint seed(5555);
+  Seal high = ops_.Create(seed, 5).value();
+  // An adversary claiming position 4 would need E^4(seed); verify that
+  // hashing forward from the true position-5 value diverges.
+  Seal four = ops_.Create(seed, 4).value();
+  EXPECT_NE(high.residue, four.residue);
+  // But the trapdoor holder CAN unroll (sanity of the RSA inverse).
+  EXPECT_EQ(kp_.Invert(high.residue).value(), four.residue);
+}
+
+TEST_F(SealTest, TemporalSeedProperties) {
+  Bytes key(20, 0x3c);
+  crypto::BigUint n = kp_.public_key.n();
+  crypto::BigUint s1 = DeriveTemporalSeed(key, 0, 1, n);
+  EXPECT_FALSE(s1.IsZero());
+  EXPECT_LT(s1, n);
+  // Instance and epoch separation.
+  EXPECT_NE(s1, DeriveTemporalSeed(key, 1, 1, n));
+  EXPECT_NE(s1, DeriveTemporalSeed(key, 0, 2, n));
+  // Determinism.
+  EXPECT_EQ(s1, DeriveTemporalSeed(key, 0, 1, n));
+  // Key separation.
+  EXPECT_NE(s1, DeriveTemporalSeed(Bytes(20, 0x3d), 0, 1, n));
+}
+
+TEST_F(SealTest, SealBytesMatchesModulus) {
+  EXPECT_EQ(ops_.SealBytes(), 64u);  // 512-bit test key
+}
+
+}  // namespace
+}  // namespace sies::secoa

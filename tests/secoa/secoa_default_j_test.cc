@@ -1,0 +1,34 @@
+// SECOA_S at the paper's default J = 300: a full network epoch at small
+// N to prove the protocol operates at paper-scale sketch counts (the
+// other SECOA tests use small J for speed).
+#include <gtest/gtest.h>
+
+#include "runner/runner.h"
+
+namespace sies::runner {
+namespace {
+
+TEST(SecoaDefaultJTest, FullEpochAtJ300) {
+  ExperimentConfig config;
+  config.scheme = Scheme::kSecoa;
+  config.num_sources = 8;
+  config.fanout = 4;
+  config.scale_pow10 = 2;  // D = [1800, 5000]
+  config.epochs = 1;
+  config.secoa_j = 300;    // the paper's accuracy calibration
+  config.rsa_modulus_bits = 512;
+  config.seed = 4;
+  auto result = RunExperiment(config).value();
+  EXPECT_TRUE(result.all_verified);
+  // Accuracy: J=300 bounds the raw estimator within its known envelope.
+  EXPECT_LT(result.mean_relative_error, 0.6);
+  // Edge bytes: J * (1 sketch + 4 winner + 20 cert + 64 seal) + 1 form
+  // byte = 300 * 89 + 1 = 26701.
+  EXPECT_DOUBLE_EQ(result.source_to_aggregator_bytes, 26701.0);
+  // Final edge is the compact form: far smaller than in-network.
+  EXPECT_LT(result.aggregator_to_querier_bytes,
+            result.source_to_aggregator_bytes / 5);
+}
+
+}  // namespace
+}  // namespace sies::runner

@@ -1,0 +1,167 @@
+#include "secoa/secoa_max.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "crypto/prime.h"
+
+namespace sies::secoa {
+namespace {
+
+class SecoaMaxTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kN = 6;
+
+  SecoaMaxTest()
+      : rng_(123),
+        kp_(crypto::GenerateRsaKeyPair(512, rng_).value()),
+        ops_(kp_.public_key),
+        keys_(GenerateKeys(kN, {9, 9, 9})),
+        aggregator_(ops_),
+        querier_(ops_, keys_) {
+    for (uint32_t i = 0; i < kN; ++i) {
+      sources_.emplace_back(ops_, i, keys_.sources[i]);
+    }
+    all_.resize(kN);
+    std::iota(all_.begin(), all_.end(), 0u);
+  }
+
+  MaxPsr RunNetwork(const std::vector<uint64_t>& values, uint64_t epoch) {
+    std::vector<MaxPsr> psrs;
+    for (uint32_t i = 0; i < values.size(); ++i) {
+      psrs.push_back(sources_[i].CreatePsr(values[i], epoch).value());
+    }
+    // Two-level aggregation: halves, then root.
+    size_t half = psrs.size() / 2;
+    MaxPsr left = aggregator_
+                      .Merge(std::vector<MaxPsr>(psrs.begin(),
+                                                 psrs.begin() + half))
+                      .value();
+    MaxPsr right = aggregator_
+                       .Merge(std::vector<MaxPsr>(psrs.begin() + half,
+                                                  psrs.end()))
+                       .value();
+    return aggregator_.Merge({left, right}).value();
+  }
+
+  Xoshiro256 rng_;
+  crypto::RsaKeyPair kp_;
+  SealOps ops_;
+  QuerierKeys keys_;
+  std::vector<MaxSource> sources_;
+  MaxAggregator aggregator_;
+  MaxQuerier querier_;
+  std::vector<uint32_t> all_;
+};
+
+TEST_F(SecoaMaxTest, KeyGeneration) {
+  EXPECT_EQ(keys_.sources.size(), kN);
+  for (const auto& sk : keys_.sources) {
+    EXPECT_EQ(sk.inflation_key.size(), 20u);
+    EXPECT_EQ(sk.seed_key.size(), 20u);
+    EXPECT_NE(sk.inflation_key, sk.seed_key);
+  }
+}
+
+TEST_F(SecoaMaxTest, HonestMaxVerifies) {
+  MaxPsr final_psr = RunNetwork({3, 9, 1, 7, 9, 2}, /*epoch=*/1);
+  EXPECT_EQ(final_psr.value, 9u);
+  auto eval = querier_.Evaluate(final_psr, 1, all_).value();
+  EXPECT_TRUE(eval.verified);
+  EXPECT_EQ(eval.max, 9u);
+}
+
+TEST_F(SecoaMaxTest, WinnerIdentityPropagates) {
+  MaxPsr final_psr = RunNetwork({3, 9, 1, 7, 5, 2}, 1);
+  EXPECT_EQ(final_psr.winner, 1u);
+}
+
+TEST_F(SecoaMaxTest, AllEqualValues) {
+  MaxPsr final_psr = RunNetwork({4, 4, 4, 4, 4, 4}, 2);
+  EXPECT_EQ(final_psr.value, 4u);
+  EXPECT_TRUE(querier_.Evaluate(final_psr, 2, all_).value().verified);
+}
+
+TEST_F(SecoaMaxTest, ZeroValuesSupported) {
+  MaxPsr final_psr = RunNetwork({0, 0, 0, 0, 0, 0}, 3);
+  EXPECT_EQ(final_psr.value, 0u);
+  EXPECT_TRUE(querier_.Evaluate(final_psr, 3, all_).value().verified);
+}
+
+TEST_F(SecoaMaxTest, InflatedValueDetected) {
+  MaxPsr final_psr = RunNetwork({3, 9, 1, 7, 5, 2}, 4);
+  // A compromised sink claims max = 12 (keeps everything else).
+  MaxPsr attacked = final_psr;
+  attacked.value = 12;
+  attacked.seal = ops_.RollTo(attacked.seal, 12).value();  // rolling is easy
+  // ...but the inflation certificate cannot be forged.
+  EXPECT_FALSE(querier_.Evaluate(attacked, 4, all_).value().verified);
+}
+
+TEST_F(SecoaMaxTest, DeflatedValueDetected) {
+  MaxPsr final_psr = RunNetwork({3, 9, 1, 7, 5, 2}, 5);
+  // Claim max = 7 with source 3 (a real value + valid certificate!)...
+  MaxPsr attacked = final_psr;
+  attacked.value = 7;
+  attacked.winner = 3;
+  attacked.inflation_cert =
+      MakeInflationCert(keys_.sources[3].inflation_key, 7, 0, 5);
+  // ...but the SEAL cannot be unrolled from 9 back to 7.
+  // The best the adversary can do is present the position-9 aggregate.
+  EXPECT_FALSE(querier_.Evaluate(attacked, 5, all_).value().verified);
+}
+
+TEST_F(SecoaMaxTest, ReplayedEpochDetected) {
+  MaxPsr old_psr = RunNetwork({3, 9, 1, 7, 5, 2}, 6);
+  // Replay epoch-6 result at epoch 7: temporal seeds and certs differ.
+  EXPECT_TRUE(querier_.Evaluate(old_psr, 6, all_).value().verified);
+  EXPECT_FALSE(querier_.Evaluate(old_psr, 7, all_).value().verified);
+}
+
+TEST_F(SecoaMaxTest, UnknownWinnerRejected) {
+  MaxPsr final_psr = RunNetwork({3, 9, 1, 7, 5, 2}, 8);
+  MaxPsr attacked = final_psr;
+  attacked.winner = 99;  // not a real source
+  EXPECT_FALSE(querier_.Evaluate(attacked, 8, all_).value().verified);
+}
+
+TEST_F(SecoaMaxTest, SerializationRoundTrip) {
+  MaxPsr psr = sources_[2].CreatePsr(5, 9).value();
+  Bytes wire = SerializeMaxPsr(ops_, psr);
+  EXPECT_EQ(wire.size(), 12 + kInflationCertBytes + ops_.SealBytes());
+  MaxPsr back = ParseMaxPsr(ops_, wire).value();
+  EXPECT_EQ(back.value, psr.value);
+  EXPECT_EQ(back.winner, psr.winner);
+  EXPECT_EQ(back.inflation_cert, psr.inflation_cert);
+  EXPECT_EQ(back.seal.residue, psr.seal.residue);
+  EXPECT_EQ(back.seal.position, psr.seal.position);
+}
+
+TEST_F(SecoaMaxTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseMaxPsr(ops_, Bytes(10, 0)).ok());
+  // Residue >= n rejected.
+  MaxPsr psr = sources_[0].CreatePsr(3, 1).value();
+  Bytes wire = SerializeMaxPsr(ops_, psr);
+  for (size_t i = 12 + kInflationCertBytes; i < wire.size(); ++i) {
+    wire[i] = 0xff;
+  }
+  EXPECT_FALSE(ParseMaxPsr(ops_, wire).ok());
+}
+
+TEST_F(SecoaMaxTest, MergeValidatesInput) {
+  EXPECT_FALSE(aggregator_.Merge({}).ok());
+}
+
+TEST_F(SecoaMaxTest, PartialParticipation) {
+  // Sources 0 and 2 report; querier verifies with just those seeds.
+  std::vector<MaxPsr> psrs = {sources_[0].CreatePsr(5, 10).value(),
+                              sources_[2].CreatePsr(8, 10).value()};
+  MaxPsr merged = aggregator_.Merge(psrs).value();
+  EXPECT_TRUE(querier_.Evaluate(merged, 10, {0, 2}).value().verified);
+  // With the wrong participation list the reference SEAL mismatches.
+  EXPECT_FALSE(querier_.Evaluate(merged, 10, all_).value().verified);
+}
+
+}  // namespace
+}  // namespace sies::secoa

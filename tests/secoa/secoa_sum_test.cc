@@ -1,0 +1,274 @@
+#include "secoa/secoa_sum.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "crypto/prime.h"
+
+namespace sies::secoa {
+namespace {
+
+class SecoaSumTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kN = 4;
+  static constexpr uint32_t kJ = 16;  // small J keeps the suite fast
+
+  SecoaSumTest()
+      : rng_(321),
+        kp_(crypto::GenerateRsaKeyPair(512, rng_).value()),
+        ops_(kp_.public_key),
+        keys_(GenerateKeys(kN, {7})),
+        aggregator_(ops_, Params()),
+        querier_(ops_, Params(), keys_) {
+    for (uint32_t i = 0; i < kN; ++i) {
+      sources_.emplace_back(ops_, Params(), i, keys_.sources[i]);
+    }
+    all_.resize(kN);
+    std::iota(all_.begin(), all_.end(), 0u);
+  }
+
+  static SumParams Params() {
+    SumParams p;
+    p.num_sources = kN;
+    p.j = kJ;
+    p.sketch_seed = 99;
+    return p;
+  }
+
+  // Full honest run: sources -> one aggregator -> finalize at the sink.
+  SumPsr RunNetwork(const std::vector<uint64_t>& values, uint64_t epoch) {
+    std::vector<SumPsr> psrs;
+    for (uint32_t i = 0; i < values.size(); ++i) {
+      psrs.push_back(sources_[i].CreatePsr(values[i], epoch).value());
+    }
+    SumPsr merged = aggregator_.Merge(psrs).value();
+    return aggregator_.Finalize(merged).value();
+  }
+
+  Xoshiro256 rng_;
+  crypto::RsaKeyPair kp_;
+  SealOps ops_;
+  QuerierKeys keys_;
+  std::vector<SumSource> sources_;
+  SumAggregator aggregator_;
+  SumQuerier querier_;
+  std::vector<uint32_t> all_;
+};
+
+TEST_F(SecoaSumTest, SourcePsrShape) {
+  SumPsr psr = sources_[0].CreatePsr(100, 1).value();
+  EXPECT_FALSE(psr.final_form);
+  EXPECT_EQ(psr.values.size(), kJ);
+  EXPECT_EQ(psr.winners.size(), kJ);
+  EXPECT_EQ(psr.certs.size(), kJ);
+  EXPECT_EQ(psr.seals.size(), kJ);
+  for (uint32_t j = 0; j < kJ; ++j) {
+    EXPECT_EQ(psr.winners[j], 0u);
+    EXPECT_EQ(psr.seals[j].position, psr.values[j]);
+  }
+}
+
+TEST_F(SecoaSumTest, HonestRunVerifies) {
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 1);
+  EXPECT_TRUE(final_psr.final_form);
+  auto eval = querier_.Evaluate(final_psr, 1, all_).value();
+  EXPECT_TRUE(eval.verified);
+  // 2^x̄ estimate within a loose envelope of the truth (small J).
+  EXPECT_GT(eval.estimate, 2400.0 / 16);
+  EXPECT_LT(eval.estimate, 2400.0 * 16);
+}
+
+TEST_F(SecoaSumTest, MergeTakesPerInstanceMax) {
+  SumPsr a = sources_[0].CreatePsr(500, 2).value();
+  SumPsr b = sources_[1].CreatePsr(800, 2).value();
+  SumPsr merged = aggregator_.Merge({a, b}).value();
+  for (uint32_t j = 0; j < kJ; ++j) {
+    EXPECT_EQ(merged.values[j], std::max(a.values[j], b.values[j]));
+    uint32_t expect_winner =
+        a.values[j] >= b.values[j] ? 0u : 1u;
+    // Tie keeps the first child (our deterministic convention).
+    EXPECT_EQ(merged.winners[j], expect_winner) << "instance " << j;
+  }
+}
+
+TEST_F(SecoaSumTest, MergeOrderIndependentValues) {
+  SumPsr a = sources_[0].CreatePsr(400, 3).value();
+  SumPsr b = sources_[1].CreatePsr(600, 3).value();
+  SumPsr c = sources_[2].CreatePsr(800, 3).value();
+  SumPsr abc = aggregator_.Merge({a, b, c}).value();
+  SumPsr cab = aggregator_.Merge({c, a, b}).value();
+  EXPECT_EQ(abc.values, cab.values);
+  // SEAL residues also match (folding is commutative).
+  for (uint32_t j = 0; j < kJ; ++j) {
+    EXPECT_EQ(abc.seals[j].residue, cab.seals[j].residue);
+  }
+}
+
+TEST_F(SecoaSumTest, FinalizeGroupsSealsByPosition) {
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 4);
+  std::set<uint64_t> positions;
+  for (const Seal& seal : final_psr.seals) {
+    EXPECT_TRUE(positions.insert(seal.position).second)
+        << "duplicate SEAL group position";
+  }
+  std::set<uint8_t> distinct_values(final_psr.values.begin(),
+                                    final_psr.values.end());
+  EXPECT_EQ(positions.size(), distinct_values.size());
+}
+
+TEST_F(SecoaSumTest, EstimateTracksMagnitude) {
+  auto estimate_for = [&](uint64_t v) {
+    SumPsr f = RunNetwork({v, v, v, v}, 5);
+    return querier_.Evaluate(f, 5, all_).value().estimate;
+  };
+  EXPECT_LT(estimate_for(100), estimate_for(100000));
+}
+
+TEST_F(SecoaSumTest, TamperedSketchValueDetected) {
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 6);
+  SumPsr attacked = final_psr;
+  attacked.values[0] += 3;  // inflate one instance's value
+  EXPECT_FALSE(querier_.Evaluate(attacked, 6, all_).value().verified);
+}
+
+TEST_F(SecoaSumTest, TamperedXorCertDetected) {
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 7);
+  SumPsr attacked = final_psr;
+  attacked.xor_cert[0] ^= 0x01;
+  EXPECT_FALSE(querier_.Evaluate(attacked, 7, all_).value().verified);
+}
+
+TEST_F(SecoaSumTest, TamperedSealDetected) {
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 8);
+  SumPsr attacked = final_psr;
+  attacked.seals[0].residue =
+      ops_.key().MulMod(attacked.seals[0].residue, crypto::BigUint(2)).value();
+  EXPECT_FALSE(querier_.Evaluate(attacked, 8, all_).value().verified);
+}
+
+TEST_F(SecoaSumTest, ReplayedEpochDetected) {
+  SumPsr old_psr = RunNetwork({500, 700, 300, 900}, 9);
+  EXPECT_TRUE(querier_.Evaluate(old_psr, 9, all_).value().verified);
+  EXPECT_FALSE(querier_.Evaluate(old_psr, 10, all_).value().verified);
+}
+
+TEST_F(SecoaSumTest, ForeignWinnerRejected) {
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 11);
+  SumPsr attacked = final_psr;
+  attacked.winners[0] = 77;  // not a participating source
+  EXPECT_FALSE(querier_.Evaluate(attacked, 11, all_).value().verified);
+}
+
+TEST_F(SecoaSumTest, SerializationRoundTripInNetwork) {
+  SumPsr psr = sources_[1].CreatePsr(650, 12).value();
+  Bytes wire = SerializeSumPsr(ops_, psr);
+  SumPsr back = ParseSumPsr(ops_, Params(), wire).value();
+  EXPECT_FALSE(back.final_form);
+  EXPECT_EQ(back.values, psr.values);
+  EXPECT_EQ(back.winners, psr.winners);
+  EXPECT_EQ(back.certs, psr.certs);
+  for (uint32_t j = 0; j < kJ; ++j) {
+    EXPECT_EQ(back.seals[j].residue, psr.seals[j].residue);
+    EXPECT_EQ(back.seals[j].position, psr.seals[j].position);
+  }
+}
+
+TEST_F(SecoaSumTest, SerializationRoundTripFinal) {
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 13);
+  Bytes wire = SerializeSumPsr(ops_, final_psr);
+  SumPsr back = ParseSumPsr(ops_, Params(), wire).value();
+  EXPECT_TRUE(back.final_form);
+  EXPECT_EQ(back.values, final_psr.values);
+  EXPECT_EQ(back.xor_cert, final_psr.xor_cert);
+  EXPECT_EQ(back.seals.size(), final_psr.seals.size());
+  // Round-tripped PSR still verifies.
+  EXPECT_TRUE(querier_.Evaluate(back, 13, all_).value().verified);
+}
+
+TEST_F(SecoaSumTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseSumPsr(ops_, Params(), Bytes(3, 0)).ok());
+  SumPsr psr = sources_[0].CreatePsr(100, 1).value();
+  Bytes wire = SerializeSumPsr(ops_, psr);
+  wire.pop_back();
+  EXPECT_FALSE(ParseSumPsr(ops_, Params(), wire).ok());
+}
+
+TEST_F(SecoaSumTest, ParseRejectsNonCanonicalGroups) {
+  // A final-form PSR whose SEAL groups repeat or descend is rejected at
+  // parse time (canonical encoding).
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 16);
+  ASSERT_GE(final_psr.seals.size(), 2u);
+  SumPsr shuffled = final_psr;
+  std::swap(shuffled.seals[0], shuffled.seals[1]);  // descending pair
+  Bytes wire = SerializeSumPsr(ops_, shuffled);
+  EXPECT_FALSE(ParseSumPsr(ops_, Params(), wire).ok());
+  SumPsr duplicated = final_psr;
+  duplicated.seals[1] = duplicated.seals[0];  // duplicate position
+  wire = SerializeSumPsr(ops_, duplicated);
+  EXPECT_FALSE(ParseSumPsr(ops_, Params(), wire).ok());
+}
+
+TEST_F(SecoaSumTest, PaperModelByteFormulas) {
+  SumParams p;
+  p.j = 300;
+  // RSA-1024 SEALs are 128 bytes; here the test key is 512-bit (64B).
+  EXPECT_EQ(PaperModelEdgeBytes(p, ops_), 300u + 300u * 64 + 20);
+  EXPECT_EQ(PaperModelFinalBytes(p, ops_, 4), 300u + 4u * 64 + 20);
+}
+
+TEST_F(SecoaSumTest, SoundWireFormulasMatchSerializedBytesExactly) {
+  // The predicted wire widths must equal actual serialization, byte for
+  // byte — the numbers Table V's "measured" rows rest on.
+  SumPsr psr = sources_[0].CreatePsr(700, 17).value();
+  EXPECT_EQ(SerializeSumPsr(ops_, psr).size(),
+            SoundWireEdgeBytes(Params(), ops_));
+  SumPsr final_psr = RunNetwork({500, 700, 300, 900}, 17);
+  EXPECT_EQ(SerializeSumPsr(ops_, final_psr).size(),
+            SoundWireFinalBytes(Params(), ops_, final_psr.seals.size()));
+}
+
+TEST_F(SecoaSumTest, FabricatedFinalPsrVerifies) {
+  // The large-N bench helper must produce PSRs indistinguishable (to the
+  // querier's verification) from honest ones.
+  Xoshiro256 rng(5);
+  std::vector<uint8_t> values = SampleSketchValues(Params(), 2400, rng);
+  std::vector<uint32_t> winners(kJ);
+  for (auto& w : winners) w = static_cast<uint32_t>(rng.NextBelow(kN));
+  SumPsr psr = FabricateHonestFinalPsr(ops_, Params(), keys_, 14, all_,
+                                       values, winners)
+                   .value();
+  EXPECT_TRUE(querier_.Evaluate(psr, 14, all_).value().verified);
+  // And a tampered fabricated PSR still fails.
+  psr.values[0] += 1;
+  EXPECT_FALSE(querier_.Evaluate(psr, 14, all_).value().verified);
+}
+
+TEST_F(SecoaSumTest, SampleSketchValuesDistribution) {
+  Xoshiro256 rng(6);
+  SumParams p = Params();
+  p.j = 300;
+  std::vector<uint8_t> values = SampleSketchValues(p, 1 << 20, rng);
+  ASSERT_EQ(values.size(), 300u);
+  double mean = 0;
+  for (uint8_t v : values) mean += v;
+  mean /= 300.0;
+  // max of 2^20 geometric draws has mean ~ log2(2^20) = 20 +- ~2.
+  EXPECT_NEAR(mean, 20.0, 3.0);
+}
+
+TEST_F(SecoaSumTest, MergeValidation) {
+  EXPECT_FALSE(aggregator_.Merge({}).ok());
+  SumPsr final_form = RunNetwork({1, 2, 3, 4}, 15);
+  EXPECT_FALSE(aggregator_.Merge({final_form}).ok());
+  EXPECT_FALSE(aggregator_.Finalize(final_form).ok());  // already final
+}
+
+TEST_F(SecoaSumTest, QuerierRequiresFinalForm) {
+  SumPsr psr = sources_[0].CreatePsr(100, 1).value();
+  EXPECT_FALSE(querier_.Evaluate(psr, 1, all_).ok());
+}
+
+}  // namespace
+}  // namespace sies::secoa

@@ -1,0 +1,56 @@
+#include "sies/epoch_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::core {
+namespace {
+
+TEST(EpochClockTest, CreateValidation) {
+  EXPECT_FALSE(EpochClock::Create(0, 0).ok());
+  EXPECT_TRUE(EpochClock::Create(1000, 0).ok());
+}
+
+TEST(EpochClockTest, EpochBoundaries) {
+  auto clock = EpochClock::Create(1000, 5000).value();
+  EXPECT_EQ(clock.EpochAt(5000), 0u);
+  EXPECT_EQ(clock.EpochAt(5999), 0u);
+  EXPECT_EQ(clock.EpochAt(6000), 1u);
+  EXPECT_EQ(clock.EpochAt(15000), 10u);
+}
+
+TEST(EpochClockTest, BeforeGenesisIsEpochZero) {
+  auto clock = EpochClock::Create(1000, 5000).value();
+  EXPECT_EQ(clock.EpochAt(0), 0u);
+  EXPECT_EQ(clock.EpochAt(4999), 0u);
+}
+
+TEST(EpochClockTest, StartInvertsEpochAt) {
+  auto clock = EpochClock::Create(250, 1234).value();
+  for (uint64_t epoch : {0ull, 1ull, 7ull, 1000ull}) {
+    uint64_t start = clock.EpochStartMs(epoch);
+    EXPECT_EQ(clock.EpochAt(start), epoch);
+    EXPECT_EQ(clock.EpochAt(start + 249), epoch);
+    EXPECT_EQ(clock.EpochAt(start + 250), epoch + 1);
+  }
+}
+
+TEST(EpochClockTest, PlausibilityWindow) {
+  auto clock = EpochClock::Create(1000, 0).value();
+  // Epoch 10 spans [10000, 11000); skew budget 100 ms.
+  EXPECT_TRUE(clock.IsPlausible(10, 10500, 100));
+  EXPECT_TRUE(clock.IsPlausible(10, 9950, 100));   // slightly early
+  EXPECT_TRUE(clock.IsPlausible(10, 11050, 100));  // slightly late
+  EXPECT_FALSE(clock.IsPlausible(10, 9800, 100));
+  EXPECT_FALSE(clock.IsPlausible(10, 11200, 100));
+  // A whole-epoch replay is far outside any reasonable skew.
+  EXPECT_FALSE(clock.IsPlausible(5, 10500, 100));
+}
+
+TEST(EpochClockTest, PlausibilityNearZeroClamps) {
+  auto clock = EpochClock::Create(1000, 0).value();
+  EXPECT_TRUE(clock.IsPlausible(0, 0, 100));
+  EXPECT_TRUE(clock.IsPlausible(0, 50, 5000));  // wide skew, early time
+}
+
+}  // namespace
+}  // namespace sies::core

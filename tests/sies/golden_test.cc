@@ -1,0 +1,65 @@
+// Golden regression vectors: fixed-seed protocol outputs captured from a
+// verified build. Any change to the PRF stack, message layout, key
+// derivation, prime search, or serialization will break these — by
+// design. If a change is intentional, regenerate by printing the same
+// quantities (MakeParams(4, 99), GenerateKeys({9, 9})) and updating the
+// constants below.
+#include <gtest/gtest.h>
+
+#include "sies/aggregator.h"
+#include "sies/querier.h"
+#include "sies/source.h"
+
+namespace sies::core {
+namespace {
+
+constexpr char kGoldenPrimeHex[] =
+    "83b458c65e6efd48654b8dde286c1859202c3580b12883a5263450261e06eb67";
+constexpr char kGoldenGlobalKeyHex[] =
+    "61e62eb134e7239e7ad105a4808f6761b243aa6f";
+constexpr char kGoldenSourceKey0Hex[] =
+    "f41d4d78e961c2bc0ea6bc2b8ed51e7702fafeef";
+constexpr char kGoldenPsrHex[] =
+    "6bd442e7b98a6606655160f2f5724def538bc0c04463070d154e7ba0b3c41b8b";
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  GoldenTest()
+      : params_(MakeParams(4, 99).value()),
+        keys_(GenerateKeys(params_, {9, 9})) {}
+
+  Params params_;
+  QuerierKeys keys_;
+};
+
+TEST_F(GoldenTest, PrimeIsStable) {
+  EXPECT_EQ(params_.prime.ToHexString(), kGoldenPrimeHex);
+}
+
+TEST_F(GoldenTest, KeysAreStable) {
+  EXPECT_EQ(ToHex(keys_.global_key), kGoldenGlobalKeyHex);
+  EXPECT_EQ(ToHex(keys_.source_keys[0]), kGoldenSourceKey0Hex);
+}
+
+TEST_F(GoldenTest, PsrIsStable) {
+  Source source(params_, 0, KeysForSource(keys_, 0).value());
+  Bytes psr = source.CreatePsr(2301, /*epoch=*/1).value();
+  EXPECT_EQ(ToHex(psr), kGoldenPsrHex);
+}
+
+TEST_F(GoldenTest, GoldenRunStillVerifies) {
+  Aggregator aggregator(params_);
+  Querier querier(params_, keys_);
+  Bytes sum;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Source source(params_, i, KeysForSource(keys_, i).value());
+    Bytes psr = source.CreatePsr(1000 + i, 1).value();
+    sum = sum.empty() ? psr : aggregator.Merge({sum, psr}).value();
+  }
+  auto eval = querier.Evaluate(sum, 1).value();
+  EXPECT_TRUE(eval.verified);
+  EXPECT_EQ(eval.sum, 4006u);
+}
+
+}  // namespace
+}  // namespace sies::core

@@ -1,0 +1,171 @@
+#include "sies/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sies::core {
+namespace {
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kN = 10;
+
+  HistogramTest()
+      : params_(MakeParams(kN, /*seed=*/21).value()),
+        keys_(GenerateKeys(params_, {2, 1})) {
+    all_.resize(kN);
+    std::iota(all_.begin(), all_.end(), 0u);
+    // Temperatures spread over [18, 50): buckets of width 4 (8 buckets).
+    double temps[kN] = {18.5, 19.0, 23.0, 27.5, 27.9,
+                        36.0, 42.0, 49.9, 50.0, 75.0};
+    for (uint32_t i = 0; i < kN; ++i) {
+      SensorReading r;
+      r.temperature = temps[i];
+      readings_.push_back(r);
+    }
+  }
+
+  static HistogramQuery DefaultQuery() {
+    HistogramQuery q;
+    q.attribute = Field::kTemperature;
+    q.lower = 18.0;
+    q.upper = 50.0;
+    q.buckets = 8;
+    return q;
+  }
+
+  StatusOr<Histogram> Run(const HistogramQuery& query, uint64_t epoch) {
+    HistogramAggregator aggregator(query, params_);
+    HistogramQuerier querier(query, params_, keys_);
+    std::vector<Bytes> payloads;
+    for (uint32_t i = 0; i < kN; ++i) {
+      HistogramSource src(query, params_, i,
+                          KeysForSource(keys_, i).value());
+      auto payload = src.CreatePayload(readings_[i], epoch);
+      if (!payload.ok()) return payload.status();
+      payloads.push_back(std::move(payload).value());
+    }
+    auto merged = aggregator.Merge(payloads);
+    if (!merged.ok()) return merged.status();
+    last_payload_ = merged.value();
+    return querier.Evaluate(merged.value(), epoch, all_);
+  }
+
+  Params params_;
+  QuerierKeys keys_;
+  std::vector<SensorReading> readings_;
+  std::vector<uint32_t> all_;
+  Bytes last_payload_;
+};
+
+TEST_F(HistogramTest, BucketOfMapsCorrectly) {
+  HistogramQuery q = DefaultQuery();  // width 4: [18,22) [22,26) ...
+  EXPECT_EQ(q.BucketOf(18.0), 0u);
+  EXPECT_EQ(q.BucketOf(21.99), 0u);
+  EXPECT_EQ(q.BucketOf(22.0), 1u);
+  EXPECT_EQ(q.BucketOf(49.99), 7u);
+  EXPECT_EQ(q.BucketOf(50.0), 8u);   // overflow
+  EXPECT_EQ(q.BucketOf(100.0), 8u);  // overflow
+  EXPECT_EQ(q.BucketOf(10.0), 0u);   // clamped below
+}
+
+TEST_F(HistogramTest, Validation) {
+  HistogramQuery q = DefaultQuery();
+  EXPECT_TRUE(q.Validate().ok());
+  q.buckets = 0;
+  EXPECT_FALSE(q.Validate().ok());
+  q = DefaultQuery();
+  q.lower = q.upper;
+  EXPECT_FALSE(q.Validate().ok());
+  q = DefaultQuery();
+  q.query_id = (1u << 14) - 4;
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST_F(HistogramTest, ExactVerifiedCounts) {
+  auto histogram = Run(DefaultQuery(), 1).value();
+  EXPECT_TRUE(histogram.verified);
+  // temps: 18.5,19.0->b0; 23.0->b1; 27.5,27.9->b2; 36.0->b4; 42.0->b6;
+  // 49.9->b7; 50.0,75.0->overflow.
+  std::vector<uint64_t> expected = {2, 1, 2, 0, 1, 0, 1, 1, 2};
+  EXPECT_EQ(histogram.counts, expected);
+  EXPECT_EQ(histogram.Total(), kN);
+  EXPECT_EQ(last_payload_.size(), 9 * params_.PsrBytes());
+}
+
+TEST_F(HistogramTest, PredicateFilters) {
+  HistogramQuery q = DefaultQuery();
+  q.where = Predicate{Field::kTemperature, CompareOp::kLess, 30.0};
+  auto histogram = Run(q, 2).value();
+  EXPECT_TRUE(histogram.verified);
+  EXPECT_EQ(histogram.Total(), 5u);  // the readings below 30
+  EXPECT_EQ(histogram.counts[0], 2u);
+  EXPECT_EQ(histogram.counts[8], 0u);
+}
+
+TEST_F(HistogramTest, QuantileEstimates) {
+  auto histogram = Run(DefaultQuery(), 3).value();
+  // Median (q=0.5): rank 5 of 10 -> cumulative 2,3,5 -> bucket 2
+  // midpoint = 18 + 4*2.5 = 28.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(DefaultQuery(), 0.5).value(), 28.0);
+  // Min-ish (q=0): rank 1 -> bucket 0 midpoint 20.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(DefaultQuery(), 0.0).value(), 20.0);
+  // Max-ish (q=1): overflow bucket -> upper bound 50.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(DefaultQuery(), 1.0).value(), 50.0);
+  EXPECT_FALSE(histogram.Quantile(DefaultQuery(), 1.5).ok());
+}
+
+TEST_F(HistogramTest, QuantileRequiresVerifiedNonEmpty) {
+  Histogram unverified;
+  unverified.counts = {1, 2};
+  unverified.verified = false;
+  EXPECT_FALSE(unverified.Quantile(DefaultQuery(), 0.5).ok());
+  Histogram empty;
+  empty.counts = std::vector<uint64_t>(9, 0);
+  empty.verified = true;
+  EXPECT_FALSE(empty.Quantile(DefaultQuery(), 0.5).ok());
+}
+
+TEST_F(HistogramTest, TamperedBucketDetected) {
+  ASSERT_TRUE(Run(DefaultQuery(), 4).value().verified);
+  HistogramQuerier querier(DefaultQuery(), params_, keys_);
+  Bytes tampered = last_payload_;
+  tampered[3 * params_.PsrBytes() + 7] ^= 0x40;  // corrupt bucket 3
+  auto histogram = querier.Evaluate(tampered, 4, all_);
+  if (histogram.ok()) {
+    EXPECT_FALSE(histogram.value().verified);
+  }
+}
+
+TEST_F(HistogramTest, ReplayDetected) {
+  ASSERT_TRUE(Run(DefaultQuery(), 5).value().verified);
+  HistogramQuerier querier(DefaultQuery(), params_, keys_);
+  auto replayed = querier.Evaluate(last_payload_, 6, all_).value();
+  EXPECT_FALSE(replayed.verified);
+}
+
+TEST_F(HistogramTest, DisjointFromOtherQueries) {
+  // A histogram with base id 5 and a plain query with id 5 must not
+  // collide: histogram buckets occupy ids 5..13 but use the COUNT
+  // channel slot with their own epochs — cross-evaluating fails cleanly.
+  HistogramQuery q = DefaultQuery();
+  q.query_id = 5;
+  ASSERT_TRUE(Run(q, 7).value().verified);
+  HistogramQuery other = DefaultQuery();
+  other.query_id = 6;
+  HistogramQuerier wrong(other, params_, keys_);
+  auto crossed = wrong.Evaluate(last_payload_, 7, all_).value();
+  EXPECT_FALSE(crossed.verified);
+}
+
+TEST_F(HistogramTest, WidthValidation) {
+  HistogramAggregator aggregator(DefaultQuery(), params_);
+  HistogramQuerier querier(DefaultQuery(), params_, keys_);
+  EXPECT_FALSE(aggregator.Merge({Bytes(5, 0)}).ok());
+  EXPECT_FALSE(aggregator.Merge({}).ok());
+  EXPECT_FALSE(querier.Evaluate(Bytes(5, 0), 1, all_).ok());
+}
+
+}  // namespace
+}  // namespace sies::core

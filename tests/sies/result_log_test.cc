@@ -1,0 +1,100 @@
+#include "sies/result_log.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::core {
+namespace {
+
+TEST(ResultLogTest, RecordsInOrder) {
+  ResultLog log;
+  EXPECT_TRUE(log.Record(1, 100.0, true).ok());
+  EXPECT_TRUE(log.Record(2, 110.0, true).ok());
+  EXPECT_EQ(log.recorded_epochs(), 2u);
+  EXPECT_EQ(log.missed_epochs(), 0u);
+  EXPECT_EQ(log.rejected_epochs(), 0u);
+}
+
+TEST(ResultLogTest, OutOfOrderRejected) {
+  ResultLog log;
+  ASSERT_TRUE(log.Record(5, 1.0, true).ok());
+  EXPECT_FALSE(log.Record(5, 1.0, true).ok());
+  EXPECT_FALSE(log.Record(3, 1.0, true).ok());
+  EXPECT_TRUE(log.Record(6, 1.0, true).ok());
+}
+
+TEST(ResultLogTest, GapsCountAsMissed) {
+  ResultLog log;
+  ASSERT_TRUE(log.Record(1, 1.0, true).ok());
+  ASSERT_TRUE(log.Record(4, 1.0, true).ok());  // 2 and 3 missing
+  EXPECT_EQ(log.missed_epochs(), 2u);
+  ASSERT_TRUE(log.Record(10, 1.0, true).ok());
+  EXPECT_EQ(log.missed_epochs(), 7u);
+}
+
+TEST(ResultLogTest, RejectedCounted) {
+  ResultLog log;
+  ASSERT_TRUE(log.Record(1, 1.0, true).ok());
+  ASSERT_TRUE(log.Record(2, 2.0, false).ok());
+  ASSERT_TRUE(log.Record(3, 3.0, false).ok());
+  EXPECT_EQ(log.rejected_epochs(), 2u);
+}
+
+TEST(ResultLogTest, LastVerifiedSkipsRejected) {
+  ResultLog log;
+  EXPECT_FALSE(log.LastVerified().has_value());
+  ASSERT_TRUE(log.Record(1, 100.0, true).ok());
+  ASSERT_TRUE(log.Record(2, 999.0, false).ok());
+  ASSERT_EQ(log.LastVerified().value(), 100.0);
+  ASSERT_TRUE(log.Record(3, 120.0, true).ok());
+  EXPECT_EQ(log.LastVerified().value(), 120.0);
+}
+
+TEST(ResultLogTest, StatsOverVerifiedOnly) {
+  ResultLog log;
+  ASSERT_TRUE(log.Record(1, 10.0, true).ok());
+  ASSERT_TRUE(log.Record(2, 1000.0, false).ok());  // excluded
+  ASSERT_TRUE(log.Record(3, 20.0, true).ok());
+  ASSERT_TRUE(log.Record(4, 30.0, true).ok());
+  RollingStats stats = log.Stats();
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean, 20.0);
+  EXPECT_DOUBLE_EQ(stats.min, 10.0);
+  EXPECT_DOUBLE_EQ(stats.max, 30.0);
+}
+
+TEST(ResultLogTest, WindowBoundsStats) {
+  ResultLog log(/*window=*/3);
+  for (uint64_t e = 1; e <= 10; ++e) {
+    ASSERT_TRUE(log.Record(e, static_cast<double>(e), true).ok());
+  }
+  RollingStats stats = log.Stats();
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.min, 8.0);
+  EXPECT_DOUBLE_EQ(stats.max, 10.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 9.0);
+}
+
+TEST(ResultLogTest, UnderAttackAlarm) {
+  ResultLog log(/*window=*/4);
+  ASSERT_TRUE(log.Record(1, 1.0, true).ok());
+  EXPECT_FALSE(log.UnderAttack());
+  ASSERT_TRUE(log.Record(2, 1.0, false).ok());
+  ASSERT_TRUE(log.Record(3, 1.0, false).ok());
+  EXPECT_TRUE(log.UnderAttack(0.25));   // 2/3 rejected
+  EXPECT_FALSE(log.UnderAttack(0.75));  // but below a lax threshold
+  // Recovery: verified epochs push the rejects out of the window.
+  for (uint64_t e = 4; e <= 8; ++e) {
+    ASSERT_TRUE(log.Record(e, 1.0, true).ok());
+  }
+  EXPECT_FALSE(log.UnderAttack(0.25));
+}
+
+TEST(ResultLogTest, EmptyLogBehaviour) {
+  ResultLog log;
+  EXPECT_FALSE(log.UnderAttack());
+  EXPECT_EQ(log.Stats().count, 0u);
+  EXPECT_FALSE(log.LastVerified().has_value());
+}
+
+}  // namespace
+}  // namespace sies::core

@@ -1,0 +1,173 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace sies::workload {
+namespace {
+
+TraceConfig SmallConfig() {
+  TraceConfig c;
+  c.num_sources = 32;
+  c.scale_pow10 = 2;
+  c.seed = 42;
+  return c;
+}
+
+TEST(TraceGeneratorTest, TemperatureWithinIntelLabEnvelope) {
+  TraceGenerator gen(SmallConfig());
+  for (uint32_t i = 0; i < 32; ++i) {
+    for (uint64_t epoch = 0; epoch < 10; ++epoch) {
+      double t = gen.ReadingAt(i, epoch).temperature;
+      EXPECT_GE(t, 18.0);
+      EXPECT_LE(t, 50.0);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, FourDecimalPrecision) {
+  TraceGenerator gen(SmallConfig());
+  for (uint32_t i = 0; i < 10; ++i) {
+    double t = gen.ReadingAt(i, 0).temperature;
+    double scaled = t * 1e4;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-6)
+        << "temperature should have 4 decimal digits";
+  }
+}
+
+TEST(TraceGeneratorTest, Deterministic) {
+  TraceGenerator a(SmallConfig()), b(SmallConfig());
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.ValueAt(i, 5), b.ValueAt(i, 5));
+    EXPECT_DOUBLE_EQ(a.ReadingAt(i, 5).humidity, b.ReadingAt(i, 5).humidity);
+  }
+}
+
+TEST(TraceGeneratorTest, SeedsSeparateTraces) {
+  TraceConfig c1 = SmallConfig(), c2 = SmallConfig();
+  c2.seed = 43;
+  TraceGenerator a(c1), b(c2);
+  int same = 0;
+  for (uint32_t i = 0; i < 20; ++i) {
+    if (a.ValueAt(i, 0) == b.ValueAt(i, 0)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(TraceGeneratorTest, EpochsAndSourcesVary) {
+  TraceGenerator gen(SmallConfig());
+  std::set<uint64_t> values;
+  for (uint32_t i = 0; i < 16; ++i) values.insert(gen.ValueAt(i, 0));
+  EXPECT_GT(values.size(), 10u) << "sources should differ";
+  values.clear();
+  for (uint64_t e = 0; e < 16; ++e) values.insert(gen.ValueAt(0, e));
+  EXPECT_GT(values.size(), 10u) << "epochs should differ";
+}
+
+TEST(TraceGeneratorTest, DomainScaling) {
+  for (uint32_t k = 0; k <= 4; ++k) {
+    TraceConfig c = SmallConfig();
+    c.scale_pow10 = k;
+    TraceGenerator gen(c);
+    uint64_t lo = gen.DomainLower(), hi = gen.DomainUpper();
+    EXPECT_EQ(lo, 18 * static_cast<uint64_t>(std::pow(10, k)));
+    EXPECT_EQ(hi, 50 * static_cast<uint64_t>(std::pow(10, k)));
+    for (uint32_t i = 0; i < 8; ++i) {
+      uint64_t v = gen.ValueAt(i, 1);
+      EXPECT_GE(v, lo);
+      EXPECT_LE(v, hi);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, ScalingIsTruncationOfSameReading) {
+  // D = [18,50] x 10^k: value at k+1 begins with the digits of value at
+  // k (truncation, not re-rounding) — the paper's scaling semantics.
+  TraceConfig c2 = SmallConfig();
+  TraceConfig c3 = SmallConfig();
+  c3.scale_pow10 = 3;
+  TraceGenerator g2(c2), g3(c3);
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(g3.ValueAt(i, 2) / 10, g2.ValueAt(i, 2));
+  }
+}
+
+TEST(TraceGeneratorTest, CompanionChannelsPlausible) {
+  TraceGenerator gen(SmallConfig());
+  core::SensorReading r = gen.ReadingAt(3, 3);
+  EXPECT_GE(r.humidity, 30.0);
+  EXPECT_LE(r.humidity, 70.0);
+  EXPECT_GE(r.light, 100.0);
+  EXPECT_LE(r.light, 1000.0);
+  EXPECT_GE(r.voltage, 2.0);
+  EXPECT_LE(r.voltage, 2.8);
+}
+
+TEST(RandomWalkTest, StaysInDomainAndDrifts) {
+  TraceConfig c = SmallConfig();
+  c.temporal_model = TemporalModel::kRandomWalk;
+  c.walk_step = 0.5;
+  TraceGenerator gen(c);
+  for (uint32_t i = 0; i < 8; ++i) {
+    double prev = gen.ReadingAt(i, 0).temperature;
+    for (uint64_t e = 1; e <= 20; ++e) {
+      double t = gen.ReadingAt(i, e).temperature;
+      EXPECT_GE(t, 18.0);
+      EXPECT_LE(t, 50.0);
+      // Smoothness: consecutive epochs differ by at most the step
+      // (plus reflection, bounded by 2 steps).
+      EXPECT_LE(std::abs(t - prev), 1.0 + 1e-9)
+          << "source " << i << " epoch " << e;
+      prev = t;
+    }
+  }
+}
+
+TEST(RandomWalkTest, DeterministicAndDistinctFromIid) {
+  TraceConfig walk = SmallConfig();
+  walk.temporal_model = TemporalModel::kRandomWalk;
+  TraceGenerator a(walk), b(walk);
+  EXPECT_EQ(a.ValueAt(3, 7), b.ValueAt(3, 7));
+  TraceGenerator iid(SmallConfig());
+  int same = 0;
+  for (uint64_t e = 1; e <= 10; ++e) {
+    if (a.ValueAt(0, e) == iid.ValueAt(0, e)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomWalkTest, WalkActuallyMoves) {
+  TraceConfig c = SmallConfig();
+  c.temporal_model = TemporalModel::kRandomWalk;
+  TraceGenerator gen(c);
+  std::set<uint64_t> values;
+  for (uint64_t e = 0; e <= 20; ++e) values.insert(gen.ValueAt(0, e));
+  EXPECT_GT(values.size(), 5u);
+}
+
+TEST(SnapshotTest, SumMatchesValues) {
+  TraceGenerator gen(SmallConfig());
+  EpochSnapshot snap = Snapshot(gen, 7);
+  ASSERT_EQ(snap.values.size(), 32u);
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(snap.values[i], gen.ValueAt(i, 7));
+    sum += snap.values[i];
+  }
+  EXPECT_EQ(snap.exact_sum, sum);
+}
+
+TEST(SnapshotTest, MeanNearDomainCenter) {
+  TraceConfig c = SmallConfig();
+  c.num_sources = 1024;
+  TraceGenerator gen(c);
+  EpochSnapshot snap = Snapshot(gen, 1);
+  double mean = static_cast<double>(snap.exact_sum) / 1024.0;
+  // Uniform over [1800, 5000]: mean ~3400.
+  EXPECT_NEAR(mean, 3400.0, 120.0);
+}
+
+}  // namespace
+}  // namespace sies::workload
