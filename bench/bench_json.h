@@ -1,0 +1,128 @@
+// Minimal machine-readable output for the bench binaries.
+//
+// Every bench that feeds the perf trajectory writes one flat JSON file
+// named BENCH_<bench>.json next to the working directory it was run
+// from (see docs/REPRODUCING.md for the schema).  The format is a
+// single object:
+//
+//   {
+//     "bench": "<name>",
+//     "schema": 1,
+//     "config": { ... },        // flat scalars describing the run
+//     "rows": [ { ... }, ... ]  // one flat object per measured point
+//   }
+//
+// Hand-rolled on purpose: the repo builds against no JSON library, and
+// the emitted subset (flat objects of strings/numbers/bools) does not
+// justify one.
+#ifndef SIES_BENCH_BENCH_JSON_H_
+#define SIES_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sies::bench {
+
+/// One flat JSON object: ordered key -> already-encoded JSON value.
+class JsonObject {
+ public:
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, uint32_t value) {
+    Add(key, static_cast<uint64_t>(value));
+  }
+  void Add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+
+  /// Encodes as {"k": v, ...} with keys in insertion order.
+  std::string Encode() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates bench results and writes BENCH_<name>.json.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  JsonObject& config() { return config_; }
+  void AddRow(JsonObject row) { rows_.push_back(std::move(row)); }
+
+  /// Writes BENCH_<name>.json into the current directory; returns the
+  /// path on success, "" on I/O failure (already reported to stderr).
+  std::string Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::string out = "{\n  \"bench\": \"" + name_ + "\",\n  \"schema\": 1,\n";
+    out += "  \"config\": " + config_.Encode() + ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += "    " + rows_[i].Encode();
+      out += (i + 1 < rows_.size()) ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+      std::fprintf(stderr, "short write to %s\n", path.c_str());
+      return "";
+    }
+    return path;
+  }
+
+ private:
+  std::string name_;
+  JsonObject config_;
+  std::vector<JsonObject> rows_;
+};
+
+}  // namespace sies::bench
+
+#endif  // SIES_BENCH_BENCH_JSON_H_

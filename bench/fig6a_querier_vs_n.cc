@@ -8,13 +8,24 @@
 // the querier identical work) because running 16k sources at J=300 full
 // fidelity would take hours without changing what is measured here.
 //
-// Expected shape: all linear in N; SIES > CMT by a small factor
-// (share verification); SECOA_S 1-2 orders above both.
+// SIES is timed twice: "cold" clears the querier's EpochKeyCache before
+// every evaluation (the first query of an epoch — all N k_{i,t}/ss_{i,t}
+// derivations plus the K_t inverse are paid), "warm" reuses the cached
+// epoch keys (every subsequent query).  Results also land in
+// BENCH_fig6a_querier_vs_n.json (schema in docs/REPRODUCING.md).
+//
+// Expected shape: all linear in N; warm SIES well under cold SIES; SIES
+// within a small factor of CMT; SECOA_S 1-2 orders above both.
+//
+//   ./build/bench/fig6a_querier_vs_n            # full run
+//   ./build/bench/fig6a_querier_vs_n --smoke    # tiny grid, JSON only
 #include <cstdio>
+#include <cstring>
 
 #include <numeric>
 #include <vector>
 
+#include "bench_json.h"
 #include "cmt/cmt.h"
 #include "common/timer.h"
 #include "crypto/rsa.h"
@@ -25,25 +36,42 @@
 #include "workload/workload.h"
 
 namespace {
-constexpr uint32_t kJ = 300;
 constexpr uint64_t kSeed = 7;
-const uint32_t kSizes[] = {64, 256, 1024, 4096, 16384};
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sies;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // The smoke grid only exercises the measurement + JSON plumbing.
+  const uint32_t j = smoke ? 20 : 300;
+  const size_t rsa_bits = smoke ? 512 : 1024;
+  const std::vector<uint32_t> sizes =
+      smoke ? std::vector<uint32_t>{64, 256}
+            : std::vector<uint32_t>{64, 256, 1024, 4096, 16384};
 
   std::printf(
       "=== Figure 6(a): querier CPU vs N (F=4, D=[1800,5000], J=%u) ===\n",
-      kJ);
-  std::printf("%-8s %14s %14s %14s\n", "N", "SIES", "CMT", "SECOA_S");
+      j);
+  std::printf("%-8s %14s %14s %14s %14s\n", "N", "SIES cold", "SIES warm",
+              "CMT", "SECOA_S");
+
+  bench::BenchReport report("fig6a_querier_vs_n");
+  report.config().Add("j", j);
+  report.config().Add("rsa_bits", static_cast<uint64_t>(rsa_bits));
+  report.config().Add("seed", kSeed);
+  report.config().Add("smoke", smoke);
 
   Xoshiro256 rsa_rng(kSeed);
-  auto kp = crypto::GenerateRsaKeyPair(1024, rsa_rng, /*public_exponent=*/3)
+  auto kp = crypto::GenerateRsaKeyPair(rsa_bits, rsa_rng,
+                                       /*public_exponent=*/3)
                 .value();
   secoa::SealOps ops(kp.public_key);
 
-  for (uint32_t n : kSizes) {
+  for (uint32_t n : sizes) {
     workload::TraceConfig tc;
     tc.num_sources = n;
     tc.scale_pow10 = 2;
@@ -68,16 +96,24 @@ int main() {
           sies_final.empty() ? psr : sies_agg.Merge({sies_final, psr}).value();
     }
     Stopwatch watch;
-    int reps = n <= 1024 ? 10 : 3;
-    watch.Restart();
-    for (int r = 0; r < reps; ++r) {
+    int reps = smoke ? 2 : (n <= 1024 ? 10 : 3);
+    auto evaluate_or_die = [&] {
       auto eval = sies_querier.Evaluate(sies_final, 1, all);
       if (!eval.ok() || !eval.value().verified) {
         std::fprintf(stderr, "SIES verification failed!\n");
-        return 1;
+        std::exit(1);
       }
+    };
+    watch.Restart();
+    for (int r = 0; r < reps; ++r) {
+      sies_querier.ClearEpochKeyCache();
+      evaluate_or_die();
     }
-    double sies_ms = watch.ElapsedMillis() / reps;
+    double sies_cold_ms = watch.ElapsedMillis() / reps;
+    evaluate_or_die();  // prime the cache outside the timed region
+    watch.Restart();
+    for (int r = 0; r < reps; ++r) evaluate_or_die();
+    double sies_warm_ms = watch.ElapsedMillis() / reps;
 
     // --- CMT ---
     auto cmt_params = cmt::MakeParams(n, kSeed).value();
@@ -99,13 +135,13 @@ int main() {
     double cmt_ms = watch.ElapsedMillis() / reps;
 
     // --- SECOA_S (fabricated honest final PSR; see header comment) ---
-    secoa::SumParams sum_params{n, kJ, kSeed};
+    secoa::SumParams sum_params{n, j, kSeed};
     auto secoa_keys = secoa::GenerateKeys(n, EncodeUint64(kSeed));
     secoa::SumQuerier secoa_querier(ops, sum_params, secoa_keys);
     Xoshiro256 sketch_rng(kSeed + n);
     std::vector<uint8_t> values =
         secoa::SampleSketchValues(sum_params, snap.exact_sum, sketch_rng);
-    std::vector<uint32_t> winners(kJ);
+    std::vector<uint32_t> winners(j);
     for (auto& w : winners) {
       w = static_cast<uint32_t>(sketch_rng.NextBelow(n));
     }
@@ -121,11 +157,23 @@ int main() {
     }
     double secoa_ms = watch.ElapsedMillis();
 
-    std::printf("%-8u %12.3f ms %12.3f ms %12.1f ms\n", n, sies_ms, cmt_ms,
-                secoa_ms);
+    std::printf("%-8u %11.3f ms %11.3f ms %11.3f ms %11.1f ms\n", n,
+                sies_cold_ms, sies_warm_ms, cmt_ms, secoa_ms);
+    bench::JsonObject row;
+    row.Add("n", n);
+    row.Add("sies_cold_ms", sies_cold_ms);
+    row.Add("sies_warm_ms", sies_warm_ms);
+    row.Add("cmt_ms", cmt_ms);
+    row.Add("secoa_ms", secoa_ms);
+    row.Add("reps", reps);
+    report.AddRow(std::move(row));
   }
+  std::string path = report.Write();
+  if (path.empty()) return 1;
   std::printf(
-      "\nshape check: all linear in N; SIES within a small factor of CMT; "
-      "SECOA_S 1-2 orders above.\n");
+      "\nshape check: all linear in N; warm SIES under cold SIES; SIES "
+      "within a small factor of CMT; SECOA_S 1-2 orders above.\n"
+      "wrote %s\n",
+      path.c_str());
   return 0;
 }

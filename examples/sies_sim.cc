@@ -25,6 +25,10 @@ void PrintUsage() {
       "  --j=J                     SECOA sketch instances (default 300)\n"
       "  --rsa-bits=B              SECOA SEAL modulus bits (default 1024)\n"
       "  --seed=S                  deterministic seed (default 7)\n"
+      "  --threads=T               simulator lanes: 0 = hardware "
+      "concurrency,\n"
+      "                            1 = serial; results are identical for "
+      "any T\n"
       "  --csv                     emit one CSV row instead of text\n"
       "  --dot                     print the topology as Graphviz DOT "
       "and exit\n");
@@ -74,6 +78,7 @@ int main(int argc, char** argv) {
   config.secoa_j = static_cast<uint32_t>(get("j", 300));
   config.rsa_modulus_bits = static_cast<size_t>(get("rsa-bits", 1024));
   config.seed = static_cast<uint64_t>(get("seed", 7));
+  config.threads = static_cast<uint32_t>(get("threads", 0));
   bool csv = flags.GetBool("csv", false).value_or(false);
 
   bool dot = flags.GetBool("dot", false).value_or(false);

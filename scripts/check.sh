@@ -1,27 +1,63 @@
 #!/usr/bin/env bash
 # Full local check: configure, build, run every test, example, and bench.
-# Usage: scripts/check.sh [--skip-bench]
+# Usage: scripts/check.sh [--skip-bench] [--sanitize]
+#   --skip-bench  skip the full (slow) bench binaries; the JSON smoke
+#                 pass below always runs
+#   --sanitize    build + test under ASan/UBSan (-DSIES_SANITIZE=ON) in
+#                 a separate build-sanitize/ tree; implies --skip-bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build -j"$(nproc)" --output-on-failure
+SKIP_BENCH=0
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-bench) SKIP_BENCH=1 ;;
+    --sanitize) SANITIZE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+BUILD=build
+EXTRA=()
+if [[ $SANITIZE -eq 1 ]]; then
+  # Sanitized objects live in their own tree so the fast build stays warm.
+  BUILD=build-sanitize
+  EXTRA+=(-DSIES_SANITIZE=ON)
+fi
+
+cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
 
 echo "== examples =="
 for e in quickstart factory_monitoring battlefield_audit scheme_comparison \
          outsourced_aggregation climate_dashboard mixed_aggregates; do
   echo "-- $e"
-  "./build/examples/$e" > /dev/null
+  "./$BUILD/examples/$e" > /dev/null
 done
-./build/examples/keygen --sources=4 --out="$(mktemp -u)" > /dev/null
-./build/examples/sies_sim --scheme=sies --sources=64 --epochs=2 > /dev/null
+"./$BUILD/examples/keygen" --sources=4 --out="$(mktemp -u)" > /dev/null
+"./$BUILD/examples/sies_sim" --scheme=sies --sources=64 --epochs=2 > /dev/null
+"./$BUILD/examples/sies_sim" --scheme=sies --sources=64 --epochs=2 \
+    --threads=1 > /dev/null
 
-if [[ "${1:-}" != "--skip-bench" ]]; then
+echo "== bench smoke (JSON output) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+for b in micro_crypto fig6a_querier_vs_n; do
+  echo "-- $b --smoke"
+  (cd "$SMOKE_DIR" && "$OLDPWD/$BUILD/bench/$b" --smoke > /dev/null)
+done
+for j in "$SMOKE_DIR"/BENCH_*.json; do
+  echo "-- validating $(basename "$j")"
+  python3 -m json.tool "$j" > /dev/null
+done
+
+if [[ $SKIP_BENCH -eq 0 && $SANITIZE -eq 0 ]]; then
   echo "== benches =="
-  for b in build/bench/*; do
+  for b in "$BUILD"/bench/*; do
     echo "-- $b"
-    "$b" > /dev/null
+    (cd "$SMOKE_DIR" && "$OLDPWD/$b" > /dev/null)
   done
 fi
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+namespace sies::common {
+
+namespace {
+// True while the current thread is executing a ParallelFor lane; nested
+// ParallelFor calls detect this and run inline.
+thread_local bool t_in_parallel = false;
+}  // namespace
+
+unsigned HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = HardwareConcurrency();
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_in_parallel) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  t_in_parallel = true;
+  for (size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;) {
+    fn(i);
+  }
+  t_in_parallel = false;
+
+  // Wait for every worker to drain: stragglers that wake after all
+  // indices are claimed still pass through the decrement below.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  job_ = nullptr;
+  job_size_ = 0;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job;
+    size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      n = job_size_;
+    }
+    t_in_parallel = true;
+    for (size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;) {
+      (*job)(i);
+    }
+    t_in_parallel = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace sies::common

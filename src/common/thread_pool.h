@@ -1,0 +1,71 @@
+// Minimal fork-join thread pool for the simulator's embarrassingly
+// parallel phases (per-source PSR creation, the querier's N-way share
+// recomputation).
+//
+// Design constraints, in order:
+//   1. Determinism: ParallelFor(n, fn) only partitions loop *indices*;
+//      callers write results to disjoint slots and reduce serially, so
+//      output is bit-identical for any thread count (including 1).
+//   2. Caller participation: the invoking thread works too, so a pool of
+//      `threads` gives `threads` lanes total and `threads = 1` runs the
+//      loop inline with zero synchronization — exactly today's behavior.
+//   3. Nesting safety: a ParallelFor issued from inside a worker lane
+//      runs inline instead of deadlocking on the pool's own lanes.
+#ifndef SIES_COMMON_THREAD_POOL_H_
+#define SIES_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sies::common {
+
+/// Returns the number of hardware threads (>= 1 even when unknown).
+unsigned HardwareConcurrency();
+
+/// Fixed-size fork-join pool. Not copyable; destruction joins all workers.
+class ThreadPool {
+ public:
+  /// `threads` = total lanes including the caller; 0 means
+  /// HardwareConcurrency(). A pool of 1 spawns no workers at all.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (worker threads + the calling thread).
+  unsigned concurrency() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Invokes fn(i) once for every i in [0, n), distributing indices over
+  /// all lanes, and blocks until every call returned. fn must tolerate
+  /// concurrent invocation for distinct i and must not throw. Calls from
+  /// inside a lane (nested parallelism) run the whole loop inline.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;  // signals a new job generation
+  std::condition_variable done_cv_;   // signals all workers drained
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  size_t job_size_ = 0;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t active_workers_ = 0;
+
+  std::atomic<size_t> next_{0};  // next unclaimed loop index
+};
+
+}  // namespace sies::common
+
+#endif  // SIES_COMMON_THREAD_POOL_H_

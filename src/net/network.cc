@@ -43,19 +43,42 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
   };
 
   // --- Initialization phase: every live source emits a PSR. ---
-  Stopwatch watch;
+  //
+  // PSR creation is independent per source, so it fans out over the pool
+  // when the protocol allows it. Accounting and delivery stay serial and
+  // in source order below — the loss RNG consumes one draw per delivered
+  // message in a fixed sequence, so the epoch's results are bit-identical
+  // for any thread count.
+  std::vector<NodeId> live;
+  live.reserve(topology_.sources().size());
   for (NodeId src : topology_.sources()) {
-    if (failed_sources_.contains(src)) continue;
-    watch.Restart();
-    auto psr = protocol.SourceInitialize(src, epoch);
-    report.source_cpu.Add(watch.ElapsedSeconds());
-    if (!psr.ok()) return psr.status();
+    if (!failed_sources_.contains(src)) live.push_back(src);
+  }
+  std::vector<StatusOr<Bytes>> psrs(live.size(),
+                                    Status::Internal("psr not produced"));
+  std::vector<double> psr_seconds(live.size(), 0.0);
+  auto create_one = [&](size_t i) {
+    Stopwatch psr_watch;
+    psrs[i] = protocol.SourceInitialize(live[i], epoch);
+    psr_seconds[i] = psr_watch.ElapsedSeconds();
+  };
+  if (pool_ != nullptr && protocol.ParallelSourceInitSafe()) {
+    pool_->ParallelFor(live.size(), create_one);
+  } else {
+    for (size_t i = 0; i < live.size(); ++i) create_one(i);
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    report.source_cpu.Add(psr_seconds[i]);
+    if (!psrs[i].ok()) return psrs[i].status();
+    NodeId src = live[i];
     NodeId parent = topology_.parent(src);
     EdgeTraffic& traffic = (parent == kQuerierId)
                                ? report.aggregator_to_querier
                                : report.source_to_aggregator;
-    deliver(src, parent, std::move(psr).value(), traffic);
+    deliver(src, parent, std::move(psrs[i]).value(), traffic);
   }
+
+  Stopwatch watch;
 
   // --- Merging phase: aggregators fuse children payloads bottom-up. ---
   for (NodeId agg : topology_.aggregators_bottom_up()) {

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "net/message.h"
 #include "net/topology.h"
@@ -50,6 +51,18 @@ class AggregationProtocol {
   virtual StatusOr<EvalOutcome> QuerierEvaluate(
       uint64_t epoch, const Bytes& final_payload,
       const std::vector<NodeId>& participating) = 0;
+
+  /// True when SourceInitialize may run concurrently for distinct source
+  /// ids (implementation is stateless per source or internally
+  /// synchronized). The simulator only fans the source phase out over a
+  /// thread pool when this holds; the conservative default keeps
+  /// protocols serial until they opt in.
+  virtual bool ParallelSourceInitSafe() const { return false; }
+
+  /// Lends the protocol a pool for intra-party parallelism (e.g. the
+  /// querier's N-way share recomputation). Default: ignore it. The pool
+  /// outlives the protocol's use of it.
+  virtual void SetThreadPool(common::ThreadPool* pool) { (void)pool; }
 };
 
 /// In-flight message interceptor. Return value of OnMessage says whether
@@ -105,6 +118,13 @@ class Network {
   /// Installs (or clears, with nullptr) the message interceptor.
   void SetAdversary(Adversary* adversary) { adversary_ = adversary; }
 
+  /// Lends (or clears, with nullptr) a thread pool. When set and the
+  /// protocol reports ParallelSourceInitSafe(), the source phase fans out
+  /// across lanes; PSRs are still accounted and delivered serially in
+  /// source order, so reports, the loss-RNG sequence, and all results are
+  /// bit-identical to the serial run. The pool must outlive the network.
+  void SetThreadPool(common::ThreadPool* pool) { pool_ = pool; }
+
   /// Enables a lossy radio channel: every message is independently
   /// dropped with probability `loss_rate` (deterministic per `seed`).
   /// Unreported losses are indistinguishable from attacks to the querier
@@ -130,6 +150,7 @@ class Network {
  private:
   Topology topology_;
   Adversary* adversary_ = nullptr;
+  common::ThreadPool* pool_ = nullptr;
   std::unordered_set<NodeId> failed_sources_;
   double loss_rate_ = 0.0;
   std::unique_ptr<Xoshiro256> loss_rng_;

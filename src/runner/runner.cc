@@ -40,10 +40,14 @@ SiesProtocol::SiesProtocol(core::Params params, core::QuerierKeys keys,
       aggregator_(params),
       querier_(params, keys),
       values_(std::move(values)) {
+  // All simulated sources share one epoch-key cache: K_t is derived once
+  // per epoch for the whole network instead of once per source.
+  auto source_cache = std::make_shared<core::EpochKeyCache>();
   sources_.reserve(index_map_.num_sources());
   for (uint32_t i = 0; i < index_map_.num_sources(); ++i) {
     sources_.emplace_back(params_, i,
                           core::KeysForSource(keys, i).value());
+    sources_.back().SetEpochKeyCache(source_cache);
   }
 }
 
@@ -297,6 +301,10 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       break;
     }
   }
+
+  common::ThreadPool pool(config.threads);
+  network.SetThreadPool(&pool);
+  protocol->SetThreadPool(&pool);
 
   ExperimentResult result;
   result.scheme_name = protocol->Name();

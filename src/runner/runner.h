@@ -62,6 +62,14 @@ class SiesProtocol : public net::AggregationProtocol {
       uint64_t epoch, const Bytes& final_payload,
       const std::vector<net::NodeId>& participating) override;
 
+  /// Sources are independent; they share only a mutex-guarded
+  /// EpochKeyCache, so per-source PSR creation may fan out.
+  bool ParallelSourceInitSafe() const override { return true; }
+  /// Forwards the pool to the querier's N-way share recomputation.
+  void SetThreadPool(common::ThreadPool* pool) override {
+    querier_.SetThreadPool(pool);
+  }
+
  private:
   core::Params params_;
   SourceIndexMap index_map_;
@@ -84,6 +92,9 @@ class CmtProtocol : public net::AggregationProtocol {
   StatusOr<net::EvalOutcome> QuerierEvaluate(
       uint64_t epoch, const Bytes& final_payload,
       const std::vector<net::NodeId>& participating) override;
+
+  /// CMT sources are stateless per call.
+  bool ParallelSourceInitSafe() const override { return true; }
 
  private:
   cmt::Params params_;
@@ -158,6 +169,11 @@ struct ExperimentConfig {
   uint32_t epochs = 20;
   uint32_t secoa_j = 300;       ///< J (SECOA_S only)
   uint64_t seed = 7;
+  /// Simulator lanes: 0 = hardware concurrency, 1 = fully serial.
+  /// Results are bit-identical regardless of the value; only wall-clock
+  /// changes. (Per-party CPU figures are measured per call and therefore
+  /// unaffected by the fan-out.)
+  uint32_t threads = 0;
   size_t rsa_modulus_bits = 1024;  ///< SECOA SEAL modulus
   /// SECOA RSA public exponent. One-way chains want the cheapest
   /// permutation, so e=3 (the paper's C_RSA = 5.36 us is consistent with

@@ -6,6 +6,17 @@ StatusOr<Bytes> Aggregator::Merge(const std::vector<Bytes>& child_psrs) const {
   if (child_psrs.empty()) {
     return Status::InvalidArgument("nothing to merge");
   }
+  if (const crypto::Fp256* fp = params_.Fp()) {
+    auto acc = ParsePsrFp(params_, *fp, child_psrs[0]);
+    if (!acc.ok()) return acc.status();
+    crypto::U256 sum = acc.value();
+    for (size_t i = 1; i < child_psrs.size(); ++i) {
+      auto next = ParsePsrFp(params_, *fp, child_psrs[i]);
+      if (!next.ok()) return next.status();
+      sum = fp->Add(sum, next.value());
+    }
+    return sum.ToBytes32();
+  }
   auto acc = ParsePsr(params_, child_psrs[0]);
   if (!acc.ok()) return acc.status();
   crypto::BigUint sum = std::move(acc).value();

@@ -16,7 +16,9 @@ namespace sies::core {
 /// An aggregator A_j. Stateless apart from the public parameters.
 class Aggregator {
  public:
-  explicit Aggregator(Params params) : params_(std::move(params)) {}
+  explicit Aggregator(Params params) : params_(std::move(params)) {
+    params_.Fp();  // warm the fixed-width context before any sharing
+  }
 
   /// Merging phase: PSR' = Σ PSR_c mod p over the children's PSRs.
   /// Cost profile (paper Eq. 6): (F-1) 32-byte modular additions.

@@ -1,0 +1,99 @@
+#include "sies/epoch_key_cache.h"
+
+namespace sies::core {
+
+EpochKeyCache::EpochKeyCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+template <typename Entry>
+std::shared_ptr<const Entry> EpochKeyCache::Find(const Table<Entry>& table,
+                                                 uint64_t epoch) {
+  for (const auto& [e, entry] : table) {
+    if (e == epoch) return entry;
+  }
+  return nullptr;
+}
+
+template <typename Entry>
+void EpochKeyCache::Insert(Table<Entry>& table, uint64_t epoch,
+                           std::shared_ptr<const Entry> entry) {
+  while (table.size() >= capacity_) table.pop_front();
+  table.emplace_back(epoch, std::move(entry));
+}
+
+std::shared_ptr<const EpochKeyCache::GlobalEntry> EpochKeyCache::Global(
+    const Params& params, const Bytes& global_key, uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = Find(global_, epoch)) return hit;
+  }
+
+  auto entry = std::make_shared<GlobalEntry>();
+  entry->key = DeriveEpochGlobalKey(params, global_key, epoch);
+  // K_t is in [1, p) and p is prime, so the inverse always exists.
+  entry->key_inv =
+      crypto::BigUint::ModInverse(entry->key, params.prime).value();
+  if (params.Fp() != nullptr) {
+    entry->fast = true;
+    entry->key_fp = crypto::U256::FromBigUint(entry->key).value();
+    entry->key_inv_fp = crypto::U256::FromBigUint(entry->key_inv).value();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // A racing thread may have derived the same epoch; keep the first so
+  // every caller shares one snapshot.
+  if (auto hit = Find(global_, epoch)) return hit;
+  Insert<GlobalEntry>(global_, epoch, entry);
+  return entry;
+}
+
+std::shared_ptr<const EpochKeyCache::SourceEntry> EpochKeyCache::Sources(
+    const Params& params, const std::vector<Bytes>& keys, uint64_t epoch,
+    common::ThreadPool* pool) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = Find(sources_, epoch)) return hit;
+  }
+
+  auto entry = std::make_shared<SourceEntry>();
+  const size_t n = keys.size();
+  // The fixed-width share derivation exists only for the HM1 profile (the
+  // only one whose layout fits under a 256-bit prime).
+  const crypto::Fp256* fp =
+      params.share_prf == SharePrf::kHmacSha1 ? params.Fp() : nullptr;
+  entry->fast = fp != nullptr;
+  auto derive_one = [&](size_t i) {
+    if (fp != nullptr) {
+      entry->keys_fp[i] = DeriveEpochSourceKeyFp(*fp, keys[i], epoch);
+      entry->shares_fp[i] = DeriveEpochShareFp(keys[i], epoch);
+    } else {
+      entry->keys[i] = DeriveEpochSourceKey(params, keys[i], epoch);
+      entry->shares[i] = DeriveEpochShare(params, keys[i], epoch);
+    }
+  };
+  if (fp != nullptr) {
+    entry->keys_fp.resize(n);
+    entry->shares_fp.resize(n);
+  } else {
+    entry->keys.resize(n);
+    entry->shares.resize(n);
+  }
+  if (pool != nullptr) {
+    pool->ParallelFor(n, derive_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) derive_one(i);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto hit = Find(sources_, epoch)) return hit;
+  Insert<SourceEntry>(sources_, epoch, entry);
+  return entry;
+}
+
+void EpochKeyCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  global_.clear();
+  sources_.clear();
+}
+
+}  // namespace sies::core

@@ -1,0 +1,92 @@
+// Per-epoch temporal-key cache shared by the SIES parties.
+//
+// The temporal material of an epoch t — K_t, K_t^{-1}, and the querier's
+// per-source k_{i,t} / ss_{i,t} — is a pure function of the long-term
+// keys, yet the naive protocol re-derives it at every use: each of N
+// sources pays one HM256 for the same K_t, and the querier pays an
+// extended-Euclid inverse on every channel of every evaluation. This
+// cache computes each epoch's material exactly once and hands out shared
+// immutable snapshots. Entries are keyed by the (salted) epoch, so
+// multi-channel queries — whose channels deliberately use distinct PRF
+// inputs via SaltedEpoch — occupy distinct entries.
+//
+// Eviction is FIFO with a small capacity: the simulator advances epochs
+// monotonically, and a histogram query touches B+1 salted epochs per
+// real epoch, so a few dozen entries cover every workload in the repo.
+#ifndef SIES_SIES_EPOCH_KEY_CACHE_H_
+#define SIES_SIES_EPOCH_KEY_CACHE_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sies/params.h"
+
+namespace sies::core {
+
+/// Thread-safe cache of per-epoch derived key material. One instance is
+/// typically shared by all co-located parties (every simulated Source in
+/// a run, or one per Querier).
+class EpochKeyCache {
+ public:
+  /// `capacity` bounds the number of retained epochs per table.
+  explicit EpochKeyCache(size_t capacity = 32);
+
+  /// Global-key material of one epoch.
+  struct GlobalEntry {
+    crypto::BigUint key;      ///< K_t in [1, p)
+    crypto::BigUint key_inv;  ///< K_t^{-1} mod p
+    bool fast = false;        ///< fixed-width mirrors below are valid
+    crypto::U256 key_fp;
+    crypto::U256 key_inv_fp;
+  };
+
+  /// Per-source material of one epoch, index-aligned with the querier's
+  /// source_keys. Either the BigUint vectors or the U256 vectors are
+  /// populated, never both (`fast` says which).
+  struct SourceEntry {
+    bool fast = false;
+    std::vector<crypto::BigUint> keys;    ///< k_{i,t}
+    std::vector<crypto::BigUint> shares;  ///< ss_{i,t}
+    std::vector<crypto::U256> keys_fp;
+    std::vector<crypto::U256> shares_fp;
+  };
+
+  /// K_t and K_t^{-1} for `epoch`, derived (and memoized) on first use.
+  std::shared_ptr<const GlobalEntry> Global(const Params& params,
+                                            const Bytes& global_key,
+                                            uint64_t epoch);
+
+  /// All sources' k_{i,t} / ss_{i,t} for `epoch`, derived once. `pool`
+  /// (optional) fans the N derivations out across lanes; the result is
+  /// identical for any thread count since every index writes its own slot.
+  std::shared_ptr<const SourceEntry> Sources(const Params& params,
+                                             const std::vector<Bytes>& keys,
+                                             uint64_t epoch,
+                                             common::ThreadPool* pool);
+
+  /// Drops every entry (benchmarks use this to measure cold evaluations).
+  void Clear();
+
+ private:
+  template <typename Entry>
+  using Table = std::deque<std::pair<uint64_t, std::shared_ptr<const Entry>>>;
+
+  template <typename Entry>
+  static std::shared_ptr<const Entry> Find(const Table<Entry>& table,
+                                           uint64_t epoch);
+  template <typename Entry>
+  void Insert(Table<Entry>& table, uint64_t epoch,
+              std::shared_ptr<const Entry> entry);
+
+  const size_t capacity_;
+  std::mutex mu_;
+  Table<GlobalEntry> global_;
+  Table<SourceEntry> sources_;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_EPOCH_KEY_CACHE_H_

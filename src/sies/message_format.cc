@@ -47,12 +47,17 @@ StatusOr<crypto::BigUint> Decrypt(const Params& params,
                                   const crypto::BigUint& ciphertext,
                                   const crypto::BigUint& epoch_global_key,
                                   const crypto::BigUint& key_sum) {
-  auto diff =
-      crypto::BigUint::ModSub(ciphertext, key_sum, params.prime);
-  if (!diff.ok()) return diff.status();
   auto inv = crypto::BigUint::ModInverse(epoch_global_key, params.prime);
   if (!inv.ok()) return inv.status();
-  return crypto::BigUint::ModMul(diff.value(), inv.value(), params.prime);
+  return DecryptWithInverse(params, ciphertext, inv.value(), key_sum);
+}
+
+StatusOr<crypto::BigUint> DecryptWithInverse(
+    const Params& params, const crypto::BigUint& ciphertext,
+    const crypto::BigUint& global_key_inv, const crypto::BigUint& key_sum) {
+  auto diff = crypto::BigUint::ModSub(ciphertext, key_sum, params.prime);
+  if (!diff.ok()) return diff.status();
+  return crypto::BigUint::ModMul(diff.value(), global_key_inv, params.prime);
 }
 
 StatusOr<Bytes> SerializePsr(const Params& params,
@@ -66,6 +71,66 @@ StatusOr<crypto::BigUint> ParsePsr(const Params& params, const Bytes& psr) {
   }
   crypto::BigUint c = crypto::BigUint::FromBytes(psr);
   if (c >= params.prime) {
+    return Status::InvalidArgument("PSR is not a residue mod p");
+  }
+  return c;
+}
+
+StatusOr<crypto::U256> PackMessageFp(const Params& params, uint64_t value,
+                                     const crypto::U256& share) {
+  if (params.value_bytes < 8) {
+    uint64_t field_max = (uint64_t{1} << (8 * params.value_bytes)) - 1;
+    if (value > field_max) {
+      return Status::OutOfRange("value exceeds the value field width");
+    }
+  }
+  if (share.BitLength() > 8 * params.share_bytes) {
+    return Status::OutOfRange("share exceeds the share field width");
+  }
+  // Value and share fields are disjoint (Validate guarantees the layout
+  // fits in the prime's 256 bits), so the add cannot carry.
+  crypto::U256 m;
+  crypto::U256::Add(crypto::U256::FromUint64(value).Shl(params.ValueShiftBits()),
+                    share, &m);
+  return m;
+}
+
+StatusOr<UnpackedMessageFp> UnpackMessageFp(const Params& params,
+                                            const crypto::U256& message) {
+  size_t shift = params.ValueShiftBits();
+  crypto::U256 value = message.Shr(shift);
+  if (value.BitLength() > 8 * params.value_bytes) {
+    return Status::OutOfRange(
+        "summed value overflows the value field; configure value_bytes=8");
+  }
+  crypto::U256 share_sum;
+  crypto::U256::Sub(message, value.Shl(shift), &share_sum);
+  return UnpackedMessageFp{value.Low64(), share_sum};
+}
+
+StatusOr<crypto::U256> EncryptFp(const crypto::Fp256& fp,
+                                 const crypto::U256& message,
+                                 const crypto::U256& epoch_global_key,
+                                 const crypto::U256& epoch_source_key) {
+  if (message.Compare(fp.prime_u256()) >= 0) {
+    return Status::OutOfRange("message must be < p");
+  }
+  return fp.Add(fp.Mul(epoch_global_key, message), epoch_source_key);
+}
+
+crypto::U256 DecryptFp(const crypto::Fp256& fp, const crypto::U256& ciphertext,
+                       const crypto::U256& global_key_inv,
+                       const crypto::U256& key_sum) {
+  return fp.Mul(fp.Sub(ciphertext, key_sum), global_key_inv);
+}
+
+StatusOr<crypto::U256> ParsePsrFp(const Params& params,
+                                  const crypto::Fp256& fp, const Bytes& psr) {
+  if (psr.size() != params.PsrBytes()) {
+    return Status::InvalidArgument("PSR has wrong width");
+  }
+  crypto::U256 c = crypto::U256::FromBytesBE(psr.data(), psr.size());
+  if (c.Compare(fp.prime_u256()) >= 0) {
     return Status::InvalidArgument("PSR is not a residue mod p");
   }
   return c;

@@ -45,12 +45,57 @@ StatusOr<crypto::BigUint> Decrypt(const Params& params,
                                   const crypto::BigUint& epoch_global_key,
                                   const crypto::BigUint& key_sum);
 
+/// Decrypt with K_t^{-1} already in hand: the querier derives the inverse
+/// once per epoch (EpochKeyCache) instead of paying an extended Euclid on
+/// every channel of every evaluation.
+StatusOr<crypto::BigUint> DecryptWithInverse(
+    const Params& params, const crypto::BigUint& ciphertext,
+    const crypto::BigUint& global_key_inv, const crypto::BigUint& key_sum);
+
 /// Serializes a ciphertext as a fixed-width (PsrBytes) big-endian PSR.
 StatusOr<Bytes> SerializePsr(const Params& params,
                              const crypto::BigUint& ciphertext);
 
 /// Parses a PSR. Fails on wrong width or a value >= p.
 StatusOr<crypto::BigUint> ParsePsr(const Params& params, const Bytes& psr);
+
+// --- Fixed-width fast path ------------------------------------------------
+//
+// Mirrors of the operations above over crypto::U256, used by every party
+// when params.Fp() is non-null (prime of exactly 256 bits, the reference
+// configuration). Semantics, wire bytes, and error messages are identical
+// to the BigUint path; only the arithmetic substrate changes.
+
+/// Fast-path PackMessage. The share must fit its field (HM1 shares are 20
+/// bytes, so on the fast path this holds by construction).
+StatusOr<crypto::U256> PackMessageFp(const Params& params, uint64_t value,
+                                     const crypto::U256& share);
+
+/// Fast-path UnpackMessage result.
+struct UnpackedMessageFp {
+  uint64_t sum = 0;         ///< res_t
+  crypto::U256 share_sum;   ///< s_t
+};
+
+/// Fast-path UnpackMessage. Fails on value-field overflow like the
+/// generic variant.
+StatusOr<UnpackedMessageFp> UnpackMessageFp(const Params& params,
+                                            const crypto::U256& message);
+
+/// Fast-path Encrypt: E(m) = K_t · m + k_{i,t} mod p.
+StatusOr<crypto::U256> EncryptFp(const crypto::Fp256& fp,
+                                 const crypto::U256& message,
+                                 const crypto::U256& epoch_global_key,
+                                 const crypto::U256& epoch_source_key);
+
+/// Fast-path Decrypt; the caller supplies the cached K_t^{-1}.
+crypto::U256 DecryptFp(const crypto::Fp256& fp, const crypto::U256& ciphertext,
+                       const crypto::U256& global_key_inv,
+                       const crypto::U256& key_sum);
+
+/// Fast-path ParsePsr (width + residue checks, same error messages).
+StatusOr<crypto::U256> ParsePsrFp(const Params& params,
+                                  const crypto::Fp256& fp, const Bytes& psr);
 
 }  // namespace sies::core
 

@@ -26,6 +26,21 @@ uint64_t Params::MaxSafeValue() const {
   return field_max / num_sources;
 }
 
+const crypto::Fp256* Params::Fp() const {
+  std::shared_ptr<const FpSlot> slot = fp_slot_;
+  if (slot == nullptr || slot->prime != prime) {
+    auto fresh = std::make_shared<FpSlot>();
+    fresh->prime = prime;
+    if (prime.BitLength() == 256) {
+      auto fp = crypto::Fp256::Create(prime);
+      if (fp.ok()) fresh->fp.emplace(std::move(fp).value());
+    }
+    fp_slot_ = fresh;
+    slot = std::move(fresh);
+  }
+  return slot->fp ? &*slot->fp : nullptr;
+}
+
 Status Params::Validate() const {
   if (num_sources == 0) {
     return Status::InvalidArgument("num_sources must be >= 1");
@@ -121,6 +136,26 @@ crypto::BigUint DeriveEpochShare(const Params& params,
 
 crypto::BigUint DeriveEpochShare(const Bytes& source_key, uint64_t epoch) {
   return crypto::BigUint::FromBytes(crypto::EpochPrfSha1(source_key, epoch));
+}
+
+crypto::U256 DeriveEpochGlobalKeyFp(const crypto::Fp256& fp,
+                                    const Bytes& global_key, uint64_t epoch) {
+  Bytes prf = crypto::EpochPrfSha256(global_key, epoch);
+  crypto::U256 k =
+      fp.Reduce(crypto::U256::FromBytesBE(prf.data(), prf.size()));
+  if (k.IsZero()) k = crypto::U256::FromUint64(1);  // K_t must be invertible
+  return k;
+}
+
+crypto::U256 DeriveEpochSourceKeyFp(const crypto::Fp256& fp,
+                                    const Bytes& source_key, uint64_t epoch) {
+  Bytes prf = crypto::EpochPrfSha256(source_key, epoch);
+  return fp.Reduce(crypto::U256::FromBytesBE(prf.data(), prf.size()));
+}
+
+crypto::U256 DeriveEpochShareFp(const Bytes& source_key, uint64_t epoch) {
+  Bytes prf = crypto::EpochPrfSha1(source_key, epoch);
+  return crypto::U256::FromBytesBE(prf.data(), prf.size());
 }
 
 }  // namespace sies::core

@@ -8,11 +8,14 @@
 #define SIES_SIES_PARAMS_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
 #include "crypto/biguint.h"
+#include "crypto/fp256.h"
 
 namespace sies::core {
 
@@ -53,6 +56,22 @@ struct Params {
 
   /// Checks internal consistency (field layout fits under p, etc.).
   Status Validate() const;
+
+  /// Fixed-width fast-path context for `prime`, or nullptr when the prime
+  /// is not exactly 256 bits (then all parties stay on the generic BigUint
+  /// path; see DESIGN.md "Two-tier arithmetic"). The context (Barrett
+  /// constant) is computed on first call and cached; copies of a Params
+  /// share the cached context. The first call is not thread-safe — parties
+  /// that share a Params across threads call Fp() once at construction.
+  const crypto::Fp256* Fp() const;
+
+  /// Internal Fp() cache slot; tracks the prime it was computed for so a
+  /// post-construction `params.prime = ...` assignment invalidates it.
+  struct FpSlot {
+    crypto::BigUint prime;
+    std::optional<crypto::Fp256> fp;
+  };
+  mutable std::shared_ptr<const FpSlot> fp_slot_;
 };
 
 /// Creates parameters for `num_sources` sources: computes the padding and
@@ -104,6 +123,23 @@ crypto::BigUint DeriveEpochShare(const Params& params,
 
 /// Paper-configuration convenience (HM1 shares).
 crypto::BigUint DeriveEpochShare(const Bytes& source_key, uint64_t epoch);
+
+// --- Fixed-width derivation (the Fp256 fast path). Bit-identical to the
+// --- BigUint derivations above: same PRF bytes, same reduction (a single
+// --- conditional subtract, since the PRF output is < 2^256 <= 2p).
+
+/// K_t as a U256, reduced into [1, p).
+crypto::U256 DeriveEpochGlobalKeyFp(const crypto::Fp256& fp,
+                                    const Bytes& global_key, uint64_t epoch);
+
+/// k_{i,t} as a U256, reduced into [0, p).
+crypto::U256 DeriveEpochSourceKeyFp(const crypto::Fp256& fp,
+                                    const Bytes& source_key, uint64_t epoch);
+
+/// ss_{i,t} as a U256. Only valid for the HM1 profile (20-byte shares) —
+/// the only share PRF whose layout fits under a 256-bit prime, hence the
+/// only one the fast path ever sees.
+crypto::U256 DeriveEpochShareFp(const Bytes& source_key, uint64_t epoch);
 
 }  // namespace sies::core
 

@@ -7,28 +7,70 @@ namespace sies::core {
 StatusOr<Evaluation> Querier::Evaluate(
     const Bytes& final_psr, uint64_t epoch,
     const std::vector<uint32_t>& participating) const {
+  const crypto::Fp256* fp =
+      params_.share_prf == SharePrf::kHmacSha1 ? params_.Fp() : nullptr;
+
+  if (fp != nullptr) {
+    auto ciphertext = ParsePsrFp(params_, *fp, final_psr);
+    if (!ciphertext.ok()) return ciphertext.status();
+    for (uint32_t index : participating) {
+      if (index >= keys_.source_keys.size()) {
+        return Status::NotFound("participating index out of range");
+      }
+    }
+
+    auto global = cache_->Global(params_, keys_.global_key, epoch);
+    auto per_source =
+        cache_->Sources(params_, keys_.source_keys, epoch, pool_);
+
+    // Σ k_{i,t} mod p and the plain integer Σ ss_{i,t} over the
+    // participants. Shares are < 2^160 and N < 2^32, so the share sum
+    // stays below 2^192 — no carry out of a U256.
+    crypto::U256 key_sum;
+    crypto::U256 share_sum;
+    for (uint32_t index : participating) {
+      key_sum = fp->Add(key_sum, per_source->keys_fp[index]);
+      crypto::U256::Add(share_sum, per_source->shares_fp[index], &share_sum);
+    }
+
+    crypto::U256 message =
+        DecryptFp(*fp, ciphertext.value(), global->key_inv_fp, key_sum);
+    auto unpacked = UnpackMessageFp(params_, message);
+    if (!unpacked.ok()) {
+      // A value-field overflow in a genuine run is a configuration error,
+      // but an adversarial PSR can also produce it; report as unverified.
+      return Evaluation{0, false};
+    }
+    Evaluation eval;
+    eval.sum = unpacked.value().sum;
+    eval.verified = (unpacked.value().share_sum == share_sum);
+    return eval;
+  }
+
   auto ciphertext = ParsePsr(params_, final_psr);
   if (!ciphertext.ok()) return ciphertext.status();
+  for (uint32_t index : participating) {
+    if (index >= keys_.source_keys.size()) {
+      return Status::NotFound("participating index out of range");
+    }
+  }
 
-  crypto::BigUint epoch_global =
-      DeriveEpochGlobalKey(params_, keys_.global_key, epoch);
+  auto global = cache_->Global(params_, keys_.global_key, epoch);
+  auto per_source =
+      cache_->Sources(params_, keys_.source_keys, epoch, pool_);
 
   // Σ k_{i,t} and Σ ss_{i,t} over the participating sources.
   crypto::BigUint key_sum;
   crypto::BigUint share_sum;
   for (uint32_t index : participating) {
-    if (index >= keys_.source_keys.size()) {
-      return Status::NotFound("participating index out of range");
-    }
-    const Bytes& k_i = keys_.source_keys[index];
-    key_sum = crypto::BigUint::ModAdd(
-                  key_sum, DeriveEpochSourceKey(params_, k_i, epoch),
-                  params_.prime)
+    key_sum = crypto::BigUint::ModAdd(key_sum, per_source->keys[index],
+                                      params_.prime)
                   .value();
-    share_sum = crypto::BigUint::Add(share_sum, DeriveEpochShare(params_, k_i, epoch));
+    share_sum = crypto::BigUint::Add(share_sum, per_source->shares[index]);
   }
 
-  auto message = Decrypt(params_, ciphertext.value(), epoch_global, key_sum);
+  auto message = DecryptWithInverse(params_, ciphertext.value(),
+                                    global->key_inv, key_sum);
   if (!message.ok()) return message.status();
   auto unpacked = UnpackMessage(params_, message.value());
   if (!unpacked.ok()) {

@@ -5,11 +5,19 @@
 // ss_{i,t} = HM1(k_i, t) and accepts the result iff s_t equals their sum
 // — which simultaneously authenticates integrity and freshness
 // (Theorems 2 and 4).
+//
+// Per-epoch material (K_t, K_t^{-1}, all k_{i,t} and ss_{i,t}) is derived
+// exactly once per (salted) epoch through an EpochKeyCache, so repeated
+// evaluations and the extra channels of AVG/VARIANCE/histogram queries
+// skip both the N PRF invocations and the extended-Euclid inverse.
 #ifndef SIES_SIES_QUERIER_H_
 #define SIES_SIES_QUERIER_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "sies/epoch_key_cache.h"
 #include "sies/message_format.h"
 #include "sies/params.h"
 
@@ -25,7 +33,11 @@ struct Evaluation {
 class Querier {
  public:
   Querier(Params params, QuerierKeys keys)
-      : params_(std::move(params)), keys_(std::move(keys)) {}
+      : params_(std::move(params)),
+        keys_(std::move(keys)),
+        cache_(std::make_shared<EpochKeyCache>()) {
+    params_.Fp();  // warm the fixed-width context before any sharing
+  }
 
   /// Evaluation phase over the final PSR for `epoch`. `participating`
   /// lists the indices of the sources that contributed this epoch (all
@@ -39,11 +51,22 @@ class Querier {
   /// Convenience: evaluation with all N sources participating.
   StatusOr<Evaluation> Evaluate(const Bytes& final_psr, uint64_t epoch) const;
 
+  /// Optional: fan the N per-source derivations of a cold epoch out over
+  /// `pool`. Results are bit-identical for any thread count. The pool must
+  /// outlive the querier (the runner owns it).
+  void SetThreadPool(common::ThreadPool* pool) { pool_ = pool; }
+
+  /// Drops all cached epoch material; the next Evaluate re-derives from
+  /// scratch. Benchmarks use this to time cold evaluations honestly.
+  void ClearEpochKeyCache() { cache_->Clear(); }
+
   const Params& params() const { return params_; }
 
  private:
   Params params_;
   QuerierKeys keys_;
+  std::shared_ptr<EpochKeyCache> cache_;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace sies::core

@@ -3,8 +3,28 @@
 namespace sies::core {
 
 StatusOr<Bytes> Source::CreatePsr(uint64_t value, uint64_t epoch) const {
+  const crypto::Fp256* fp =
+      params_.share_prf == SharePrf::kHmacSha1 ? params_.Fp() : nullptr;
+  if (fp != nullptr) {
+    crypto::U256 epoch_global =
+        cache_ != nullptr
+            ? cache_->Global(params_, keys_.global_key, epoch)->key_fp
+            : DeriveEpochGlobalKeyFp(*fp, keys_.global_key, epoch);
+    crypto::U256 epoch_key =
+        DeriveEpochSourceKeyFp(*fp, keys_.source_key, epoch);
+    crypto::U256 share = DeriveEpochShareFp(keys_.source_key, epoch);
+
+    auto message = PackMessageFp(params_, value, share);
+    if (!message.ok()) return message.status();
+    auto ciphertext = EncryptFp(*fp, message.value(), epoch_global, epoch_key);
+    if (!ciphertext.ok()) return ciphertext.status();
+    return ciphertext.value().ToBytes32();  // PsrBytes() == 32 on this path
+  }
+
   crypto::BigUint epoch_global =
-      DeriveEpochGlobalKey(params_, keys_.global_key, epoch);
+      cache_ != nullptr
+          ? cache_->Global(params_, keys_.global_key, epoch)->key
+          : DeriveEpochGlobalKey(params_, keys_.global_key, epoch);
   crypto::BigUint epoch_key =
       DeriveEpochSourceKey(params_, keys_.source_key, epoch);
   crypto::BigUint share = DeriveEpochShare(params_, keys_.source_key, epoch);

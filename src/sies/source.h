@@ -5,6 +5,9 @@
 #ifndef SIES_SIES_SOURCE_H_
 #define SIES_SIES_SOURCE_H_
 
+#include <memory>
+
+#include "sies/epoch_key_cache.h"
 #include "sies/message_format.h"
 #include "sies/params.h"
 
@@ -15,12 +18,22 @@ class Source {
  public:
   /// `index` is the source's logical id i in [0, N).
   Source(Params params, uint32_t index, SourceKeys keys)
-      : params_(std::move(params)), index_(index), keys_(std::move(keys)) {}
+      : params_(std::move(params)), index_(index), keys_(std::move(keys)) {
+    params_.Fp();  // warm the fixed-width context before any sharing
+  }
 
   /// Initialization phase: produces PSR_{i,t} for reading `value` at
   /// epoch `epoch`. Cost profile (paper Eq. 3): two HM256, one HM1, one
   /// 32-byte modular multiplication and one addition.
   StatusOr<Bytes> CreatePsr(uint64_t value, uint64_t epoch) const;
+
+  /// Optional: share an EpochKeyCache with co-located sources so K_t is
+  /// derived once per epoch instead of once per source. The simulator's
+  /// SiesProtocol wires one cache into all N sources; a real deployment
+  /// (one process per source) simply skips this.
+  void SetEpochKeyCache(std::shared_ptr<EpochKeyCache> cache) {
+    cache_ = std::move(cache);
+  }
 
   uint32_t index() const { return index_; }
   const Params& params() const { return params_; }
@@ -29,6 +42,7 @@ class Source {
   Params params_;
   uint32_t index_;
   SourceKeys keys_;
+  std::shared_ptr<EpochKeyCache> cache_;
 };
 
 }  // namespace sies::core

@@ -1,0 +1,73 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sies::common {
+namespace {
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleLaneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DisjointSlotWritesAreDeterministic) {
+  auto compute = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(257);
+    pool.ParallelFor(out.size(), [&](size_t i) { out[i] = i * i + 7; });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(3));
+}
+
+TEST(ThreadPoolTest, ZeroAndOneSizedLoops) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(100, [&](size_t i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 50u * (99u * 100u / 2));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_calls{0};
+  pool.ParallelFor(6, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_calls.load(), 24);
+}
+
+}  // namespace
+}  // namespace sies::common

@@ -59,6 +59,45 @@ TEST(BigUintTest, ToBytesFixedWidthOverflowFails) {
   EXPECT_FALSE(BigUint(0x123456).ToBytes(2).ok());
 }
 
+TEST(BigUintTest, FromBytesAllZeroIsZero) {
+  // Any run of zero bytes decodes to zero, whose minimal encoding is
+  // empty — and the round trip through that empty encoding holds.
+  for (size_t len : {size_t{1}, size_t{8}, size_t{32}}) {
+    BigUint v = BigUint::FromBytes(Bytes(len, 0x00));
+    EXPECT_TRUE(v.IsZero()) << len;
+    EXPECT_TRUE(v.ToBytes().empty()) << len;
+    EXPECT_EQ(BigUint::FromBytes(v.ToBytes()), v) << len;
+  }
+  EXPECT_TRUE(BigUint::FromBytes(Bytes{}).IsZero());
+}
+
+TEST(BigUintTest, FixedWidthRoundTripPreservesLeadingZeros) {
+  // ToBytes(width) pads on the left, FromBytes strips again — the value
+  // survives even when most of the encoding is zeros (the PSR wire
+  // format always writes fixed-width fields).
+  BigUint v(0xabcd);
+  for (size_t width : {size_t{2}, size_t{3}, size_t{8}, size_t{32}}) {
+    auto enc = v.ToBytes(width);
+    ASSERT_TRUE(enc.ok()) << width;
+    EXPECT_EQ(enc.value().size(), width) << width;
+    EXPECT_EQ(BigUint::FromBytes(enc.value()), v) << width;
+  }
+}
+
+TEST(BigUintTest, ToBytesNarrowWidthBoundary) {
+  // A 3-byte value fits width 3 exactly and fails at width 2; zero fits
+  // every width including zero.
+  BigUint v = BigUint::FromBytes({0xff, 0x00, 0x01});
+  auto exact = v.ToBytes(3);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(BigUint::FromBytes(exact.value()), v);
+  EXPECT_FALSE(v.ToBytes(2).ok());
+  EXPECT_FALSE(v.ToBytes(0).ok());
+  auto zero = BigUint(0).ToBytes(0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero.value().empty());
+}
+
 TEST(BigUintTest, BytesRoundTripRandom) {
   Xoshiro256 rng(3);
   for (int i = 0; i < 50; ++i) {

@@ -93,6 +93,56 @@ TEST(RunExperimentTest, FanoutSweepRuns) {
   }
 }
 
+// The parallel source phase must not change a single bit of the
+// simulation: PSRs are delivered serially in source order, so traffic,
+// the loss-RNG sequence, and the evaluated results all match the serial
+// run exactly.
+TEST(RunExperimentTest, ResultsBitIdenticalAcrossThreadCounts) {
+  struct EpochResult {
+    uint64_t epoch = 0;
+    double value = -1.0;
+    bool verified = false;
+    uint64_t lost = 0;
+    uint64_t sa_bytes = 0;
+    bool operator==(const EpochResult&) const = default;
+  };
+  auto run = [](uint32_t threads) {
+    std::vector<EpochResult> results;
+    net::Network network(net::Topology::BuildCompleteTree(16, 4).value());
+    EXPECT_TRUE(network.SetLossRate(0.15, 99).ok());
+    common::ThreadPool pool(threads);
+    network.SetThreadPool(&pool);
+    auto params = core::MakeParams(16, 11).value();
+    core::QuerierKeys keys = core::GenerateKeys(params, EncodeUint64(11));
+    ValueFn values = [](uint32_t index, uint64_t epoch) {
+      return 1800 + 13 * index + epoch;
+    };
+    SiesProtocol protocol(params, std::move(keys), network.topology(),
+                          values);
+    protocol.SetThreadPool(&pool);
+    for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+      auto report = network.RunEpoch(protocol, epoch);
+      if (!report.ok()) {
+        // Losses can starve the querier of a final payload; that must
+        // happen identically for every thread count.
+        results.push_back({epoch, -1.0, false, network.lost_messages(), 0});
+        continue;
+      }
+      const net::EpochReport& r = report.value();
+      results.push_back({epoch, r.outcome.value, r.outcome.verified,
+                         network.lost_messages(),
+                         r.source_to_aggregator.bytes});
+    }
+    return results;
+  };
+  std::vector<EpochResult> serial = run(1);
+  std::vector<EpochResult> parallel = run(3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == parallel[i]) << "epoch " << serial[i].epoch;
+  }
+}
+
 TEST(RunExperimentTest, DomainSweepLeavesSiesExact) {
   for (uint32_t k = 0; k <= 4; ++k) {
     ExperimentConfig c = SmallConfig(Scheme::kSies);

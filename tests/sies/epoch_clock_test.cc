@@ -46,6 +46,35 @@ TEST(EpochClockTest, PlausibilityWindow) {
   EXPECT_FALSE(clock.IsPlausible(5, 10500, 100));
 }
 
+TEST(EpochClockTest, PlausibilityExactSkewBoundaries) {
+  auto clock = EpochClock::Create(1000, 0).value();
+  // Epoch 10 spans [10000, 11000); skew 100 widens it to [9900, 11100):
+  // the low edge is inclusive, the high edge exclusive.
+  EXPECT_TRUE(clock.IsPlausible(10, 9900, 100));
+  EXPECT_FALSE(clock.IsPlausible(10, 9899, 100));
+  EXPECT_TRUE(clock.IsPlausible(10, 11099, 100));
+  EXPECT_FALSE(clock.IsPlausible(10, 11100, 100));
+  // Zero skew degenerates to the epoch interval itself.
+  EXPECT_TRUE(clock.IsPlausible(10, 10000, 0));
+  EXPECT_FALSE(clock.IsPlausible(10, 9999, 0));
+  EXPECT_TRUE(clock.IsPlausible(10, 10999, 0));
+  EXPECT_FALSE(clock.IsPlausible(10, 11000, 0));
+}
+
+TEST(EpochClockTest, PlausibilityEpochZeroAndPreGenesis) {
+  auto clock = EpochClock::Create(1000, 5000).value();
+  // Epoch 0 spans [5000, 6000). A skew reaching back exactly to time 0
+  // keeps pre-genesis clocks plausible; the subtraction clamps at 0
+  // instead of wrapping when the skew exceeds genesis.
+  EXPECT_TRUE(clock.IsPlausible(0, 4900, 100));
+  EXPECT_FALSE(clock.IsPlausible(0, 4899, 100));
+  EXPECT_TRUE(clock.IsPlausible(0, 0, 5000));
+  EXPECT_FALSE(clock.IsPlausible(0, 0, 4999));
+  EXPECT_TRUE(clock.IsPlausible(0, 0, 6000));
+  // Claims about later epochs stay implausible for a pre-genesis clock.
+  EXPECT_FALSE(clock.IsPlausible(3, 0, 100));
+}
+
 TEST(EpochClockTest, PlausibilityNearZeroClamps) {
   auto clock = EpochClock::Create(1000, 0).value();
   EXPECT_TRUE(clock.IsPlausible(0, 0, 100));

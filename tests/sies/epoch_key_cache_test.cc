@@ -1,0 +1,102 @@
+#include "sies/epoch_key_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "sies/message_format.h"
+
+namespace sies::core {
+namespace {
+
+struct Fixture {
+  Params params = MakeParams(8, 42).value();
+  QuerierKeys keys = GenerateKeys(params, EncodeUint64(42));
+};
+
+TEST(EpochKeyCacheTest, GlobalMatchesDirectDerivationAndInverse) {
+  Fixture f;
+  EpochKeyCache cache;
+  auto entry = cache.Global(f.params, f.keys.global_key, 5);
+  EXPECT_EQ(entry->key, DeriveEpochGlobalKey(f.params, f.keys.global_key, 5));
+  EXPECT_EQ(entry->key_inv,
+            crypto::BigUint::ModInverse(entry->key, f.params.prime).value());
+  // The reference configuration has a 256-bit prime -> fast mirrors set.
+  ASSERT_TRUE(entry->fast);
+  EXPECT_EQ(entry->key_fp.ToBigUint(), entry->key);
+  EXPECT_EQ(entry->key_inv_fp.ToBigUint(), entry->key_inv);
+}
+
+TEST(EpochKeyCacheTest, GlobalIsMemoizedPerEpoch) {
+  Fixture f;
+  EpochKeyCache cache;
+  auto a = cache.Global(f.params, f.keys.global_key, 7);
+  auto b = cache.Global(f.params, f.keys.global_key, 7);
+  EXPECT_EQ(a.get(), b.get()) << "same epoch must share one snapshot";
+  auto c = cache.Global(f.params, f.keys.global_key, 8);
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(EpochKeyCacheTest, SourcesMatchDirectDerivation) {
+  Fixture f;
+  EpochKeyCache cache;
+  auto entry = cache.Sources(f.params, f.keys.source_keys, 3, nullptr);
+  ASSERT_TRUE(entry->fast);
+  ASSERT_EQ(entry->keys_fp.size(), f.keys.source_keys.size());
+  for (size_t i = 0; i < f.keys.source_keys.size(); ++i) {
+    EXPECT_EQ(entry->keys_fp[i].ToBigUint(),
+              DeriveEpochSourceKey(f.params, f.keys.source_keys[i], 3));
+    EXPECT_EQ(entry->shares_fp[i].ToBigUint(),
+              DeriveEpochShare(f.params, f.keys.source_keys[i], 3));
+  }
+}
+
+TEST(EpochKeyCacheTest, SourcesIdenticalWithAndWithoutPool) {
+  Fixture f;
+  EpochKeyCache with_pool, without_pool;
+  common::ThreadPool pool(3);
+  auto a = with_pool.Sources(f.params, f.keys.source_keys, 9, &pool);
+  auto b = without_pool.Sources(f.params, f.keys.source_keys, 9, nullptr);
+  ASSERT_EQ(a->keys_fp.size(), b->keys_fp.size());
+  for (size_t i = 0; i < a->keys_fp.size(); ++i) {
+    EXPECT_EQ(a->keys_fp[i], b->keys_fp[i]);
+    EXPECT_EQ(a->shares_fp[i], b->shares_fp[i]);
+  }
+}
+
+TEST(EpochKeyCacheTest, GenericPathForNon256BitPrime) {
+  // A 384-bit prime keeps every party on the BigUint path.
+  Params params = MakeParams(8, 42, 4, 384).value();
+  QuerierKeys keys = GenerateKeys(params, EncodeUint64(42));
+  EpochKeyCache cache;
+  auto global = cache.Global(params, keys.global_key, 2);
+  EXPECT_FALSE(global->fast);
+  EXPECT_EQ(global->key, DeriveEpochGlobalKey(params, keys.global_key, 2));
+  auto sources = cache.Sources(params, keys.source_keys, 2, nullptr);
+  EXPECT_FALSE(sources->fast);
+  ASSERT_EQ(sources->keys.size(), keys.source_keys.size());
+  EXPECT_EQ(sources->keys[0],
+            DeriveEpochSourceKey(params, keys.source_keys[0], 2));
+}
+
+TEST(EpochKeyCacheTest, EvictionBoundsRetainedEpochs) {
+  Fixture f;
+  EpochKeyCache cache(/*capacity=*/2);
+  auto e1 = cache.Global(f.params, f.keys.global_key, 1);
+  cache.Global(f.params, f.keys.global_key, 2);
+  cache.Global(f.params, f.keys.global_key, 3);  // evicts epoch 1
+  auto e1_again = cache.Global(f.params, f.keys.global_key, 1);
+  EXPECT_NE(e1.get(), e1_again.get()) << "epoch 1 was evicted, re-derived";
+  EXPECT_EQ(e1->key, e1_again->key) << "re-derivation is deterministic";
+}
+
+TEST(EpochKeyCacheTest, ClearDropsEverything) {
+  Fixture f;
+  EpochKeyCache cache;
+  auto a = cache.Global(f.params, f.keys.global_key, 4);
+  cache.Clear();
+  auto b = cache.Global(f.params, f.keys.global_key, 4);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->key, b->key);
+}
+
+}  // namespace
+}  // namespace sies::core
