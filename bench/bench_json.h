@@ -7,10 +7,16 @@
 //
 //   {
 //     "bench": "<name>",
-//     "schema": 1,
+//     "schema": 2,
 //     "config": { ... },        // flat scalars describing the run
 //     "rows": [ { ... }, ... ]  // one flat object per measured point
 //   }
+//
+// Schema history:
+//   1  initial flat format
+//   2  rows may carry spread fields (min/max/stddev via CostAccumulator)
+//      and telemetry-derived fields (cache hit/miss, thread-pool stats);
+//      consumers must ignore keys they do not know
 //
 // Hand-rolled on purpose: the repo builds against no JSON library, and
 // the emitted subset (flat objects of strings/numbers/bools) does not
@@ -101,7 +107,7 @@ class BenchReport {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return "";
     }
-    std::string out = "{\n  \"bench\": \"" + name_ + "\",\n  \"schema\": 1,\n";
+    std::string out = "{\n  \"bench\": \"" + name_ + "\",\n  \"schema\": 2,\n";
     out += "  \"config\": " + config_.Encode() + ",\n  \"rows\": [\n";
     for (size_t i = 0; i < rows_.size(); ++i) {
       out += "    " + rows_[i].Encode();

@@ -5,8 +5,11 @@
 // of SIES, CMT, and SECOA_S, plus the SECOA_S model min/max (the paper's
 // error bars). Expected shape: SIES and CMT flat (a few microseconds);
 // SECOA_S grows ~linearly with the domain and sits 2+ orders above.
+// Results also land in BENCH_fig4_source_cpu.json, with per-scheme
+// epoch-to-epoch spread (min/max/stddev) alongside each mean.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "cmt/cmt.h"
 #include "common/timer.h"
 #include "costmodel/models.h"
@@ -24,12 +27,21 @@ constexpr uint64_t kSeed = 7;
 
 struct Row {
   uint32_t scale;
-  double sies_us;
-  double cmt_us;
-  double secoa_us;
+  sies::CostAccumulator sies;
+  sies::CostAccumulator cmt;
+  sies::CostAccumulator secoa;
   double secoa_model_min_us;
   double secoa_model_max_us;
 };
+
+/// Adds `<prefix>_us` plus its min/max/stddev companions to `row`.
+void AddSpread(sies::bench::JsonObject& row, const std::string& prefix,
+               const sies::CostAccumulator& acc) {
+  row.Add(prefix + "_us", acc.MeanSeconds() * 1e6);
+  row.Add(prefix + "_min_us", acc.MinSeconds() * 1e6);
+  row.Add(prefix + "_max_us", acc.MaxSeconds() * 1e6);
+  row.Add(prefix + "_stddev_us", acc.StdDevSeconds() * 1e6);
+}
 
 }  // namespace
 
@@ -63,6 +75,11 @@ int main() {
   std::printf("%-10s %12s %12s %14s %26s\n", "domain", "SIES", "CMT",
               "SECOA_S", "SECOA_S model min/max");
 
+  bench::BenchReport report("fig4_source_cpu");
+  report.config().Add("n", kN);
+  report.config().Add("j", kJ);
+  report.config().Add("seed", kSeed);
+
   for (uint32_t k = 0; k <= 4; ++k) {
     workload::TraceConfig tc;
     tc.num_sources = kN;
@@ -74,31 +91,32 @@ int main() {
     row.scale = k;
     Stopwatch watch;
 
-    // SIES & CMT: 20 epochs each (cheap).
+    // SIES & CMT: 20 epochs each (cheap), timed per epoch so the JSON
+    // can report the spread, not just the mean.
     constexpr int kEpochs = 20;
-    watch.Restart();
     for (int e = 1; e <= kEpochs; ++e) {
+      watch.Restart();
       auto psr = sies_source.CreatePsr(trace.ValueAt(0, e), e);
+      row.sies.Add(watch.ElapsedSeconds());
       if (!psr.ok()) return 1;
     }
-    row.sies_us = watch.ElapsedMicros() / kEpochs;
 
-    watch.Restart();
     for (int e = 1; e <= kEpochs; ++e) {
+      watch.Restart();
       auto ct = cmt_source.CreateCiphertext(trace.ValueAt(0, e), e);
+      row.cmt.Add(watch.ElapsedSeconds());
       if (!ct.ok()) return 1;
     }
-    row.cmt_us = watch.ElapsedMicros() / kEpochs;
 
     // SECOA: scale the sample count down as the domain grows (each PSR
     // performs J*v sketch generations).
     int secoa_epochs = k <= 2 ? 10 : (k == 3 ? 4 : 2);
-    watch.Restart();
     for (int e = 1; e <= secoa_epochs; ++e) {
+      watch.Restart();
       auto psr = secoa_source.CreatePsr(trace.ValueAt(0, e), e);
+      row.secoa.Add(watch.ElapsedSeconds());
       if (!psr.ok()) return 1;
     }
-    row.secoa_us = watch.ElapsedMicros() / secoa_epochs;
 
     // Model error bars with host primitives.
     costmodel::ModelInputs in;
@@ -111,11 +129,24 @@ int main() {
     row.secoa_model_max_us = bounds.worst.source_seconds * 1e6;
 
     std::printf("x10^%-6u %10.2f us %10.2f us %12.1f us %12.1f / %-12.1f\n",
-                row.scale, row.sies_us, row.cmt_us, row.secoa_us,
+                row.scale, row.sies.MeanSeconds() * 1e6,
+                row.cmt.MeanSeconds() * 1e6, row.secoa.MeanSeconds() * 1e6,
                 row.secoa_model_min_us, row.secoa_model_max_us);
+
+    bench::JsonObject json_row;
+    json_row.Add("scale_pow10", row.scale);
+    AddSpread(json_row, "sies", row.sies);
+    AddSpread(json_row, "cmt", row.cmt);
+    AddSpread(json_row, "secoa", row.secoa);
+    json_row.Add("secoa_model_min_us", row.secoa_model_min_us);
+    json_row.Add("secoa_model_max_us", row.secoa_model_max_us);
+    report.AddRow(std::move(json_row));
   }
+  std::string path = report.Write();
+  if (path.empty()) return 1;
   std::printf(
       "\nshape check: SIES/CMT flat across domains; SECOA_S grows with "
-      "the domain and is orders of magnitude above.\n");
+      "the domain and is orders of magnitude above.\nwrote %s\n",
+      path.c_str());
   return 0;
 }

@@ -4,13 +4,16 @@
 // machine-readable summary (and optionally CSV) — the tool behind "try
 // the paper's experiment grid yourself".
 //
-//   ./build/examples/sies_sim --scheme=sies --sources=1024 --fanout=4 \
+//   ./build/examples/sies_sim --scheme=sies --sources=1024 --fanout=4
 //       --scale=2 --epochs=20
 //   ./build/examples/sies_sim --scheme=secoa --sources=64 --j=300 --csv
+//   ./build/examples/sies_sim --adversary=tamper --audit-out=audit.json
 #include <cstdio>
+#include <string>
 
 #include "common/flags.h"
 #include "runner/runner.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -29,9 +32,40 @@ void PrintUsage() {
       "concurrency,\n"
       "                            1 = serial; results are identical for "
       "any T\n"
+      "  --adversary=none|tamper|replay|drop\n"
+      "                            in-flight attack to run under "
+      "(default none)\n"
+      "  --metrics-out=PATH        write the metrics registry as JSON "
+      "(.prom\n"
+      "                            suffix: Prometheus text format)\n"
+      "  --trace-out=PATH          write a Chrome trace_event JSON "
+      "(load in\n"
+      "                            about://tracing or ui.perfetto.dev)\n"
+      "  --audit-out=PATH          write the security audit trail as "
+      "JSON\n"
       "  --csv                     emit one CSV row instead of text\n"
       "  --dot                     print the topology as Graphviz DOT "
       "and exit\n");
+}
+
+/// Writes `contents` to `path`; returns false (with a message) on error.
+bool WriteFileOrComplain(const std::string& path,
+                         const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -83,6 +117,30 @@ int main(int argc, char** argv) {
 
   bool dot = flags.GetBool("dot", false).value_or(false);
 
+  std::string adversary = flags.GetString("adversary", "none");
+  if (adversary == "none") {
+    config.adversary = runner::AdversaryKind::kNone;
+  } else if (adversary == "tamper") {
+    config.adversary = runner::AdversaryKind::kTamper;
+  } else if (adversary == "replay") {
+    config.adversary = runner::AdversaryKind::kReplay;
+  } else if (adversary == "drop") {
+    config.adversary = runner::AdversaryKind::kDrop;
+  } else {
+    std::fprintf(stderr, "unknown --adversary '%s'\n", adversary.c_str());
+    PrintUsage();
+    return 2;
+  }
+
+  std::string metrics_out = flags.GetString("metrics-out", "");
+  std::string trace_out = flags.GetString("trace-out", "");
+  std::string audit_out = flags.GetString("audit-out", "");
+  // Metrics are always collected (relaxed atomics, effectively free);
+  // tracing and auditing are opt-in because they record real payload
+  // comparisons and timeline entries.
+  if (!trace_out.empty()) sies::telemetry::Tracer::Global().Enable();
+  if (!audit_out.empty()) sies::telemetry::AuditTrail::Global().Enable();
+
   for (const std::string& unused : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", unused.c_str());
   }
@@ -114,6 +172,26 @@ int main(int argc, char** argv) {
   }
   const runner::ExperimentResult& r = result.value();
 
+  // Telemetry exports. `--metrics-out=foo.prom` selects the Prometheus
+  // text format; any other suffix gets the JSON export.
+  bool exports_ok = true;
+  if (!metrics_out.empty()) {
+    const auto& registry = sies::telemetry::MetricsRegistry::Global();
+    exports_ok &= WriteFileOrComplain(metrics_out,
+                                      EndsWith(metrics_out, ".prom")
+                                          ? registry.ToPrometheus()
+                                          : registry.ToJson());
+  }
+  if (!trace_out.empty()) {
+    exports_ok &= WriteFileOrComplain(
+        trace_out, sies::telemetry::Tracer::Global().ToChromeTrace());
+  }
+  if (!audit_out.empty()) {
+    exports_ok &= WriteFileOrComplain(
+        audit_out, sies::telemetry::AuditTrail::Global().ToJson());
+  }
+  if (!exports_ok) return 1;
+
   if (csv) {
     std::printf(
         "scheme,sources,fanout,scale,epochs,src_us,agg_us,qry_ms,"
@@ -133,17 +211,35 @@ int main(int argc, char** argv) {
   std::printf("network           : N=%u, F=%u, D=[18,50]x10^%u, %u epochs\n",
               config.num_sources, config.fanout, config.scale_pow10,
               r.epochs);
-  std::printf("source CPU        : %.3f us/epoch\n",
-              r.source_cpu_seconds * 1e6);
-  std::printf("aggregator CPU    : %.3f us/epoch\n",
-              r.aggregator_cpu_seconds * 1e6);
-  std::printf("querier CPU       : %.3f ms/epoch\n",
-              r.querier_cpu_seconds * 1e3);
+  std::printf("source CPU        : %.3f us/epoch (min %.3f, max %.3f, "
+              "sd %.3f)\n",
+              r.source_cpu_seconds * 1e6, r.source_cpu_spread.min_seconds * 1e6,
+              r.source_cpu_spread.max_seconds * 1e6,
+              r.source_cpu_spread.stddev_seconds * 1e6);
+  std::printf("aggregator CPU    : %.3f us/epoch (min %.3f, max %.3f, "
+              "sd %.3f)\n",
+              r.aggregator_cpu_seconds * 1e6,
+              r.aggregator_cpu_spread.min_seconds * 1e6,
+              r.aggregator_cpu_spread.max_seconds * 1e6,
+              r.aggregator_cpu_spread.stddev_seconds * 1e6);
+  std::printf("querier CPU       : %.3f ms/epoch (min %.3f, max %.3f, "
+              "sd %.3f)\n",
+              r.querier_cpu_seconds * 1e3, r.querier_cpu_spread.min_seconds * 1e3,
+              r.querier_cpu_spread.max_seconds * 1e3,
+              r.querier_cpu_spread.stddev_seconds * 1e3);
   std::printf("edge bytes        : S-A %.0f, A-A %.0f, A-Q %.0f\n",
               r.source_to_aggregator_bytes,
               r.aggregator_to_aggregator_bytes,
               r.aggregator_to_querier_bytes);
-  std::printf("all verified      : %s\n", r.all_verified ? "yes" : "NO");
+  std::printf("all verified      : %s (%u/%u epochs unverified)\n",
+              r.all_verified ? "yes" : "NO", r.unverified_epochs, r.epochs);
+  if (config.adversary != runner::AdversaryKind::kNone) {
+    std::printf("adversary         : %s, %llu events\n", adversary.c_str(),
+                static_cast<unsigned long long>(r.adversary_events));
+  }
   std::printf("mean relative err : %.4f%%\n", r.mean_relative_error * 100);
+  // Under a deliberate attack, unverified epochs are the expected
+  // outcome, not a failure of the tool.
+  if (config.adversary != runner::AdversaryKind::kNone) return 0;
   return r.all_verified ? 0 : 1;
 }

@@ -1,22 +1,60 @@
 #!/usr/bin/env bash
 # Full local check: configure, build, run every test, example, and bench.
-# Usage: scripts/check.sh [--skip-bench] [--sanitize]
-#   --skip-bench  skip the full (slow) bench binaries; the JSON smoke
-#                 pass below always runs
-#   --sanitize    build + test under ASan/UBSan (-DSIES_SANITIZE=ON) in
-#                 a separate build-sanitize/ tree; implies --skip-bench
+# Usage: scripts/check.sh [--skip-bench] [--sanitize] [--telemetry-smoke]
+#   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
+#                      pass below always runs
+#   --sanitize         build + test under ASan/UBSan (-DSIES_SANITIZE=ON) in
+#                      a separate build-sanitize/ tree; implies --skip-bench
+#   --telemetry-smoke  ONLY run the telemetry smoke (sies_sim with
+#                      --metrics-out/--trace-out/--audit-out on a tiny
+#                      topology, outputs validated with python3); the
+#                      smoke also runs as part of the full check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_BENCH=0
 SANITIZE=0
+TELEMETRY_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
     --sanitize) SANITIZE=1 ;;
+    --telemetry-smoke) TELEMETRY_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+# Runs sies_sim on a tiny 2-level/8-source topology under a tampering
+# adversary with all three telemetry exports, then validates that the
+# metrics/trace/audit files parse and contain what the run implies.
+telemetry_smoke() {
+  local build="$1" dir
+  dir="$(mktemp -d)"
+  echo "== telemetry smoke =="
+  "./$build/examples/sies_sim" --scheme=sies --sources=8 --fanout=2 \
+      --epochs=3 --threads=2 --adversary=tamper \
+      --metrics-out="$dir/metrics.json" --trace-out="$dir/trace.json" \
+      --audit-out="$dir/audit.json" > /dev/null
+  python3 - "$dir" <<'PYEOF'
+import json, sys
+d = sys.argv[1]
+m = json.load(open(d + "/metrics.json"))
+hists = {(h["name"], h["labels"].get("phase")): h for h in m["histograms"]}
+for phase in ("source_init", "merge", "evaluate"):
+    assert hists[("sies_phase_seconds", phase)]["count"] > 0, phase
+t = json.load(open(d + "/trace.json"))
+names = {e["name"] for e in t["traceEvents"]}
+assert {"source-init", "merge", "evaluate", "epoch"} <= names, names
+assert len({e["tid"] for e in t["traceEvents"]}) > 1, "expected >1 thread"
+a = json.load(open(d + "/audit.json"))
+kinds = [e["kind"] for e in a["events"]]
+assert kinds.count("tamper") > 0, "no tamper events recorded"
+assert kinds.count("verification_failure") == 3, kinds
+print(f"telemetry smoke OK: {len(m['counters'])} counters, "
+      f"{len(t['traceEvents'])} spans, {len(a['events'])} audit events")
+PYEOF
+  rm -rf "$dir"
+}
 
 BUILD=build
 EXTRA=()
@@ -24,6 +62,14 @@ if [[ $SANITIZE -eq 1 ]]; then
   # Sanitized objects live in their own tree so the fast build stays warm.
   BUILD=build-sanitize
   EXTRA+=(-DSIES_SANITIZE=ON)
+fi
+
+if [[ $TELEMETRY_ONLY -eq 1 ]]; then
+  cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
+  cmake --build "$BUILD" --target sies_sim
+  telemetry_smoke "$BUILD"
+  echo "TELEMETRY SMOKE PASSED"
+  exit 0
 fi
 
 cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
@@ -41,10 +87,12 @@ done
 "./$BUILD/examples/sies_sim" --scheme=sies --sources=64 --epochs=2 \
     --threads=1 > /dev/null
 
+telemetry_smoke "$BUILD"
+
 echo "== bench smoke (JSON output) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-for b in micro_crypto fig6a_querier_vs_n; do
+for b in micro_crypto fig6a_querier_vs_n telemetry_overhead; do
   echo "-- $b --smoke"
   (cd "$SMOKE_DIR" && "$OLDPWD/$BUILD/bench/$b" --smoke > /dev/null)
 done

@@ -1,7 +1,12 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <iostream>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "telemetry/trace.h"
 
 namespace sies {
 
@@ -21,6 +26,21 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// Monotonic microseconds since the first log line of the process —
+// cheap to read, and directly comparable with the tracer's timeline.
+uint64_t MonotonicMicros() {
+  static const auto base = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - base)
+          .count());
+}
+
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_min_level.store(level); }
@@ -29,7 +49,25 @@ LogLevel GetLogLevel() { return g_min_level.load(); }
 namespace internal {
 void LogLine(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_min_level.load())) return;
-  std::cerr << "[sies " << LevelName(level) << "] " << message << "\n";
+  // One fully formatted line written under a mutex in a single fwrite:
+  // `--threads` runs interleave whole lines, never characters. The tag
+  // carries a dense thread id and a monotonic timestamp so interleaved
+  // output can still be ordered and attributed after the fact.
+  const uint64_t us = MonotonicMicros();
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[sies %-5s t%u %llu.%06llus] ",
+                LevelName(level),
+                telemetry::Tracer::CurrentThreadId(),
+                static_cast<unsigned long long>(us / 1000000),
+                static_cast<unsigned long long>(us % 1000000));
+  std::string line;
+  line.reserve(sizeof(prefix) + message.size() + 1);
+  line += prefix;
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 }  // namespace internal
 

@@ -1,5 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+
+#include "telemetry/metrics.h"
+
 namespace sies::common {
 
 namespace {
@@ -36,6 +40,19 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Queue depth = indices outstanding at dispatch. The gauge's Peak()
+  // survives the Set(0) below, so exports show the largest fan-out.
+  static telemetry::Gauge* queue_depth =
+      telemetry::MetricsRegistry::Global().GetGauge(
+          "sies_thread_pool_queue_depth");
+  static telemetry::Counter* jobs =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "sies_thread_pool_jobs_total");
+  queue_depth->Set(static_cast<double>(n));
+  jobs->Increment();
+  max_job_size_.store(
+      std::max(max_job_size_.load(std::memory_order_relaxed), n),
+      std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
@@ -58,6 +75,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   done_cv_.wait(lock, [this] { return active_workers_ == 0; });
   job_ = nullptr;
   job_size_ = 0;
+  queue_depth->Set(0.0);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -49,6 +49,12 @@ class ThreadPool {
   /// inside a lane (nested parallelism) run the whole loop inline.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Largest n ever dispatched to the workers (inline runs excluded).
+  /// Mirrored in the `sies_thread_pool_queue_depth` gauge's peak.
+  size_t max_job_size() const {
+    return max_job_size_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -64,6 +70,7 @@ class ThreadPool {
   size_t active_workers_ = 0;
 
   std::atomic<size_t> next_{0};  // next unclaimed loop index
+  std::atomic<size_t> max_job_size_{0};
 };
 
 }  // namespace sies::common

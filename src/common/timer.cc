@@ -1,3 +1,11 @@
 #include "common/timer.h"
 
-// Header-only for now; this TU anchors the library target.
+#include <cmath>
+
+namespace sies {
+
+double CostAccumulator::StdDevSeconds() const {
+  return std::sqrt(VarianceSeconds());
+}
+
+}  // namespace sies

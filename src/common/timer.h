@@ -32,13 +32,20 @@ class Stopwatch {
 };
 
 /// Accumulates CPU time attributed to one party (source/aggregator/querier)
-/// across the epochs of an experiment.
+/// across the epochs of an experiment. Tracks mean, extremes, and running
+/// variance (Welford's algorithm, numerically stable in one pass) so
+/// reports can show the spread of per-epoch costs, not just the average.
 class CostAccumulator {
  public:
   /// Adds `seconds` of measured work.
   void Add(double seconds) {
     total_seconds_ += seconds;
     ++samples_;
+    if (seconds < min_seconds_) min_seconds_ = seconds;
+    if (seconds > max_seconds_) max_seconds_ = seconds;
+    const double delta = seconds - welford_mean_;
+    welford_mean_ += delta / static_cast<double>(samples_);
+    welford_m2_ += delta * (seconds - welford_mean_);
   }
 
   /// Total accumulated seconds.
@@ -49,16 +56,37 @@ class CostAccumulator {
   double MeanSeconds() const {
     return samples_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(samples_);
   }
+  /// Smallest sample (0 if empty).
+  double MinSeconds() const { return samples_ == 0 ? 0.0 : min_seconds_; }
+  /// Largest sample (0 if empty).
+  double MaxSeconds() const { return samples_ == 0 ? 0.0 : max_seconds_; }
+  /// Population variance of the samples (0 with fewer than 2 samples).
+  double VarianceSeconds() const {
+    return samples_ < 2 ? 0.0
+                        : welford_m2_ / static_cast<double>(samples_);
+  }
+  /// Population standard deviation (0 with fewer than 2 samples).
+  double StdDevSeconds() const;
 
   /// Clears the accumulator.
   void Reset() {
     total_seconds_ = 0.0;
     samples_ = 0;
+    min_seconds_ = kNoSample;
+    max_seconds_ = -kNoSample;
+    welford_mean_ = 0.0;
+    welford_m2_ = 0.0;
   }
 
  private:
+  static constexpr double kNoSample = 1e300;  // sentinel before first Add
+
   double total_seconds_ = 0.0;
   uint64_t samples_ = 0;
+  double min_seconds_ = kNoSample;
+  double max_seconds_ = -kNoSample;
+  double welford_mean_ = 0.0;
+  double welford_m2_ = 0.0;
 };
 
 }  // namespace sies

@@ -2,6 +2,7 @@
 
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "telemetry/audit.h"
 
 namespace sies::mutesla {
 
@@ -62,11 +63,18 @@ Status Receiver::Accept(const BroadcastPacket& packet,
   // Security condition: the key for packet.interval must still be secret,
   // i.e. its disclosure time must lie in the future.
   if (packet.interval + disclosure_delay_ <= current_interval) {
+    telemetry::AuditTrail::Global().Record(
+        telemetry::AuditKind::kFreshnessViolation, packet.interval,
+        telemetry::kAuditNoNode,
+        "packet key may already be disclosed (security condition)");
     return Status::VerificationFailed(
         "packet key may already be disclosed; rejecting (security "
         "condition)");
   }
   if (packet.interval <= last_key_interval_) {
+    telemetry::AuditTrail::Global().Record(
+        telemetry::AuditKind::kFreshnessViolation, packet.interval,
+        telemetry::kAuditNoNode, "packet interval already disclosed");
     return Status::VerificationFailed("packet interval already disclosed");
   }
   pending_.emplace(packet.interval, packet);
@@ -76,6 +84,9 @@ Status Receiver::Accept(const BroadcastPacket& packet,
 StatusOr<std::vector<Bytes>> Receiver::OnDisclosure(
     const KeyDisclosure& disclosure) {
   if (disclosure.interval <= last_key_interval_) {
+    telemetry::AuditTrail::Global().Record(
+        telemetry::AuditKind::kFreshnessViolation, disclosure.interval,
+        telemetry::kAuditNoNode, "stale key disclosure");
     return Status::VerificationFailed("stale key disclosure");
   }
   // Authenticate: hashing the disclosed key (interval - last) times must
@@ -85,6 +96,9 @@ StatusOr<std::vector<Bytes>> Receiver::OnDisclosure(
     walked = crypto::Sha256::Hash(walked);
   }
   if (!ConstantTimeEqual(walked, last_key_)) {
+    telemetry::AuditTrail::Global().Record(
+        telemetry::AuditKind::kAuthFailure, disclosure.interval,
+        telemetry::kAuditNoNode, "disclosed key fails chain check");
     return Status::VerificationFailed("disclosed key fails chain check");
   }
   last_key_ = disclosure.chain_key;
@@ -98,6 +112,10 @@ StatusOr<std::vector<Bytes>> Receiver::OnDisclosure(
     Bytes expected = crypto::HmacSha256(mac_key, it->second.payload);
     if (ConstantTimeEqual(expected, it->second.mac)) {
       authenticated.push_back(it->second.payload);
+    } else {
+      telemetry::AuditTrail::Global().Record(
+          telemetry::AuditKind::kAuthFailure, disclosure.interval,
+          telemetry::kAuditNoNode, "buffered packet fails MAC check");
     }
   }
   pending_.erase(range.first, range.second);

@@ -1,8 +1,32 @@
 #include "net/network.h"
 
+#include <string>
 #include <unordered_map>
+#include <utility>
+
+#include "telemetry/audit.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace sies::net {
+
+namespace {
+
+/// Per-scheme, per-phase wall-time histograms. Registered once per
+/// (scheme, phase) pair; the registry hands back stable pointers so
+/// repeated RunEpoch calls pay only one mutexed lookup per phase.
+telemetry::Histogram* PhaseHistogram(const std::string& scheme,
+                                     const char* phase) {
+  return telemetry::MetricsRegistry::Global().GetHistogram(
+      "sies_phase_seconds", {{"scheme", scheme}, {"phase", phase}});
+}
+
+telemetry::Counter* DropCounter(const char* cause) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "sies_net_dropped_total", {{"cause", cause}});
+}
+
+}  // namespace
 
 Status Network::SetLossRate(double loss_rate, uint64_t seed) {
   if (loss_rate < 0.0 || loss_rate >= 1.0) {
@@ -21,6 +45,12 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
   report.node_tx_bytes.assign(topology_.num_nodes(), 0);
   report.node_rx_bytes.assign(topology_.num_nodes(), 0);
 
+  const std::string scheme = protocol.Name();
+  telemetry::Histogram* source_hist = PhaseHistogram(scheme, "source_init");
+  telemetry::Histogram* merge_hist = PhaseHistogram(scheme, "merge");
+  telemetry::Histogram* eval_hist = PhaseHistogram(scheme, "evaluate");
+  telemetry::AuditTrail& audit = telemetry::AuditTrail::Global();
+
   // Payload arriving at each node's parent slot, keyed by child id.
   std::unordered_map<NodeId, Bytes> inbox;
 
@@ -29,10 +59,33 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
     Message msg{from, to, epoch, std::move(payload)};
     if (loss_rng_ != nullptr && loss_rng_->NextDouble() < loss_rate_) {
       ++lost_messages_;
+      static telemetry::Counter* lost = DropCounter("radio_loss");
+      lost->Increment();
+      audit.Record(telemetry::AuditKind::kRadioLoss, epoch, from,
+                   "message lost on the radio channel");
       return false;  // lost on the radio channel
     }
-    if (adversary_ != nullptr && !adversary_->OnMessage(msg)) {
-      return false;  // dropped in flight
+    if (adversary_ != nullptr) {
+      // The byte-compare that attributes in-flight mutation is only paid
+      // when someone asked for the audit trail.
+      Bytes original;
+      const bool auditing = audit.enabled();
+      if (auditing) original = msg.payload;
+      if (!adversary_->OnMessage(msg)) {
+        static telemetry::Counter* dropped = DropCounter("adversary");
+        dropped->Increment();
+        audit.Record(telemetry::AuditKind::kAdversaryDrop, epoch, from,
+                     "message dropped in flight by the adversary");
+        return false;  // dropped in flight
+      }
+      if (auditing && msg.payload != original) {
+        static telemetry::Counter* tampered =
+            telemetry::MetricsRegistry::Global().GetCounter(
+                "sies_net_tampered_total");
+        tampered->Increment();
+        audit.Record(telemetry::AuditKind::kTamper, epoch, from,
+                     "payload mutated in flight by the adversary");
+      }
     }
     traffic.messages += 1;
     traffic.bytes += msg.WireSize();
@@ -58,6 +111,9 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
                                     Status::Internal("psr not produced"));
   std::vector<double> psr_seconds(live.size(), 0.0);
   auto create_one = [&](size_t i) {
+    // The span lives on the worker thread, so a `--threads` run shows
+    // overlapping source-init spans in the Chrome trace.
+    telemetry::ScopedSpan span("source-init", "phase", epoch);
     Stopwatch psr_watch;
     psrs[i] = protocol.SourceInitialize(live[i], epoch);
     psr_seconds[i] = psr_watch.ElapsedSeconds();
@@ -69,6 +125,7 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
   }
   for (size_t i = 0; i < live.size(); ++i) {
     report.source_cpu.Add(psr_seconds[i]);
+    source_hist->Observe(psr_seconds[i]);
     if (!psrs[i].ok()) return psrs[i].status();
     NodeId src = live[i];
     NodeId parent = topology_.parent(src);
@@ -92,8 +149,14 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
     }
     if (received.empty()) continue;  // all children failed/dropped
     watch.Restart();
-    auto merged = protocol.AggregatorMerge(agg, epoch, received);
-    report.aggregator_cpu.Add(watch.ElapsedSeconds());
+    StatusOr<Bytes> merged = Status::Internal("merge not run");
+    {
+      telemetry::ScopedSpan span("merge", "phase", epoch);
+      merged = protocol.AggregatorMerge(agg, epoch, received);
+    }
+    const double merge_seconds = watch.ElapsedSeconds();
+    report.aggregator_cpu.Add(merge_seconds);
+    merge_hist->Observe(merge_seconds);
     if (!merged.ok()) return merged.status();
     NodeId parent = topology_.parent(agg);
     EdgeTraffic& traffic = (parent == kQuerierId)
@@ -113,10 +176,21 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
     if (!failed_sources_.contains(src)) participating.push_back(src);
   }
   watch.Restart();
-  auto outcome = protocol.QuerierEvaluate(epoch, it->second, participating);
-  report.querier_cpu.Add(watch.ElapsedSeconds());
+  StatusOr<EvalOutcome> outcome = Status::Internal("evaluate not run");
+  {
+    telemetry::ScopedSpan span("evaluate", "phase", epoch);
+    outcome = protocol.QuerierEvaluate(epoch, it->second, participating);
+  }
+  const double eval_seconds = watch.ElapsedSeconds();
+  report.querier_cpu.Add(eval_seconds);
+  eval_hist->Observe(eval_seconds);
   if (!outcome.ok()) return outcome.status();
   report.outcome = std::move(outcome).value();
+  if (!report.outcome.verified) {
+    audit.Record(telemetry::AuditKind::kVerificationFailure, epoch,
+                 telemetry::kAuditNoNode,
+                 "querier verification failed for the epoch aggregate");
+  }
   return report;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "crypto/prime.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace sies::runner {
 
@@ -306,17 +308,50 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   network.SetThreadPool(&pool);
   protocol->SetThreadPool(&pool);
 
+  // Built-in attack, if requested. The concrete adversary also keeps its
+  // own event count, surfaced as `adversary_events` so callers can check
+  // it against the audit trail.
+  std::unique_ptr<net::BitFlipAdversary> bitflip;
+  std::unique_ptr<net::ReplayAdversary> replay;
+  std::unique_ptr<net::DropAdversary> drop;
+  switch (config.adversary) {
+    case AdversaryKind::kNone:
+      break;
+    case AdversaryKind::kTamper:
+      bitflip = std::make_unique<net::BitFlipAdversary>();
+      network.SetAdversary(bitflip.get());
+      break;
+    case AdversaryKind::kReplay:
+      // Epochs run 1..E: capture the first, replay the rest.
+      replay = std::make_unique<net::ReplayAdversary>(1);
+      network.SetAdversary(replay.get());
+      break;
+    case AdversaryKind::kDrop:
+      drop = std::make_unique<net::DropAdversary>(
+          network.topology().sources().front());
+      network.SetAdversary(drop.get());
+      break;
+  }
+
   ExperimentResult result;
   result.scheme_name = protocol->Name();
   result.epochs = config.epochs;
+
+  static telemetry::Counter* epochs_total =
+      telemetry::MetricsRegistry::Global().GetCounter("sies_epochs_total");
+  static telemetry::Counter* epochs_unverified =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "sies_epochs_unverified_total");
 
   CostAccumulator src, agg, qry;
   net::EdgeTraffic sa, aa, aq;
   double error_sum = 0.0;
   for (uint64_t epoch = 1; epoch <= config.epochs; ++epoch) {
+    telemetry::ScopedSpan span("epoch", "runner", epoch);
     auto report = network.RunEpoch(*protocol, epoch);
     if (!report.ok()) return report.status();
     const net::EpochReport& r = report.value();
+    epochs_total->Increment();
     src.Add(r.source_cpu.MeanSeconds());
     agg.Add(r.aggregator_cpu.MeanSeconds());
     qry.Add(r.querier_cpu.MeanSeconds());
@@ -327,6 +362,10 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     aq.messages += r.aggregator_to_querier.messages;
     aq.bytes += r.aggregator_to_querier.bytes;
     result.all_verified = result.all_verified && r.outcome.verified;
+    if (!r.outcome.verified) {
+      ++result.unverified_epochs;
+      epochs_unverified->Increment();
+    }
 
     workload::EpochSnapshot snap = Snapshot(*trace, epoch);
     if (snap.exact_sum > 0) {
@@ -335,12 +374,22 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
                    static_cast<double>(snap.exact_sum);
     }
   }
+  auto spread = [](const CostAccumulator& acc) {
+    return CostSpread{acc.MinSeconds(), acc.MaxSeconds(),
+                      acc.StdDevSeconds()};
+  };
   result.source_cpu_seconds = src.MeanSeconds();
   result.aggregator_cpu_seconds = agg.MeanSeconds();
   result.querier_cpu_seconds = qry.MeanSeconds();
+  result.source_cpu_spread = spread(src);
+  result.aggregator_cpu_spread = spread(agg);
+  result.querier_cpu_spread = spread(qry);
   result.source_to_aggregator_bytes = sa.MeanBytes();
   result.aggregator_to_aggregator_bytes = aa.MeanBytes();
   result.aggregator_to_querier_bytes = aq.MeanBytes();
+  if (bitflip != nullptr) result.adversary_events = bitflip->tampered_count();
+  if (replay != nullptr) result.adversary_events = replay->replayed_count();
+  if (drop != nullptr) result.adversary_events = drop->dropped_count();
   result.mean_relative_error = error_sum / config.epochs;
   return result;
 }

@@ -160,9 +160,19 @@ class SecoaMaxProtocol : public net::AggregationProtocol {
 /// Which scheme an experiment runs.
 enum class Scheme { kSies, kCmt, kSecoa };
 
+/// Built-in attack an experiment can run under (paper Section III-C
+/// threat model, bound to the concrete adversaries in net/adversary.h).
+enum class AdversaryKind {
+  kNone,
+  kTamper,  ///< BitFlipAdversary: one bit of every payload flipped
+  kReplay,  ///< ReplayAdversary: epoch-1 capture replayed afterwards
+  kDrop,    ///< DropAdversary: source 0's contribution suppressed
+};
+
 /// Full experiment configuration (defaults = the paper's defaults).
 struct ExperimentConfig {
   Scheme scheme = Scheme::kSies;
+  AdversaryKind adversary = AdversaryKind::kNone;
   uint32_t num_sources = 1024;  ///< N
   uint32_t fanout = 4;          ///< F
   uint32_t scale_pow10 = 2;     ///< D = [18,50] * 10^k
@@ -181,6 +191,14 @@ struct ExperimentConfig {
   uint64_t rsa_public_exponent = 3;
 };
 
+/// Spread of a per-epoch cost series (one CostAccumulator sample per
+/// epoch): extremes plus the Welford standard deviation.
+struct CostSpread {
+  double min_seconds = 0;
+  double max_seconds = 0;
+  double stddev_seconds = 0;
+};
+
 /// Aggregated outcome of a multi-epoch experiment.
 struct ExperimentResult {
   std::string scheme_name;
@@ -190,12 +208,21 @@ struct ExperimentResult {
   double source_cpu_seconds = 0;
   double aggregator_cpu_seconds = 0;
   double querier_cpu_seconds = 0;
+  /// Epoch-to-epoch spread of the three series above.
+  CostSpread source_cpu_spread;
+  CostSpread aggregator_cpu_spread;
+  CostSpread querier_cpu_spread;
   /// Mean payload bytes per message on each edge class.
   double source_to_aggregator_bytes = 0;
   double aggregator_to_aggregator_bytes = 0;
   double aggregator_to_querier_bytes = 0;
   /// All epochs verified (exact schemes) / estimate within bound.
   bool all_verified = true;
+  /// Epochs whose outcome failed verification.
+  uint32_t unverified_epochs = 0;
+  /// Messages the configured adversary tampered with, replayed, or
+  /// dropped (0 when `config.adversary == kNone`).
+  uint64_t adversary_events = 0;
   /// Mean |reported - exact| / exact over epochs.
   double mean_relative_error = 0;
 };

@@ -1,11 +1,19 @@
 #include "sies/aggregator.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace sies::core {
 
 StatusOr<Bytes> Aggregator::Merge(const std::vector<Bytes>& child_psrs) const {
   if (child_psrs.empty()) {
     return Status::InvalidArgument("nothing to merge");
   }
+  static telemetry::Counter* merges =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "sies_aggregator_merge_total", {{"scheme", "SIES"}});
+  merges->Increment();
+  telemetry::ScopedSpan span("merge-add", "aggregator", /*epoch=*/0);
   if (const crypto::Fp256* fp = params_.Fp()) {
     auto acc = ParsePsrFp(params_, *fp, child_psrs[0]);
     if (!acc.ok()) return acc.status();

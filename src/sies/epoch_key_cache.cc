@@ -1,6 +1,19 @@
 #include "sies/epoch_key_cache.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace sies::core {
+
+namespace {
+// One labeled counter per (table, event); registered once, then each
+// hit/miss is a single relaxed fetch_add.
+telemetry::Counter* CacheCounter(const char* table, const char* event) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "sies_epoch_key_cache_events_total",
+      {{"table", table}, {"event", event}});
+}
+}  // namespace
 
 EpochKeyCache::EpochKeyCache(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -23,10 +36,19 @@ void EpochKeyCache::Insert(Table<Entry>& table, uint64_t epoch,
 
 std::shared_ptr<const EpochKeyCache::GlobalEntry> EpochKeyCache::Global(
     const Params& params, const Bytes& global_key, uint64_t epoch) {
+  static telemetry::Counter* hits = CacheCounter("global", "hit");
+  static telemetry::Counter* misses = CacheCounter("global", "miss");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (auto hit = Find(global_, epoch)) return hit;
+    if (auto hit = Find(global_, epoch)) {
+      hits->Increment();
+      global_hits_.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
   }
+  misses->Increment();
+  global_misses_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::ScopedSpan span("key-derivation", "cache", epoch);
 
   auto entry = std::make_shared<GlobalEntry>();
   entry->key = DeriveEpochGlobalKey(params, global_key, epoch);
@@ -50,10 +72,21 @@ std::shared_ptr<const EpochKeyCache::GlobalEntry> EpochKeyCache::Global(
 std::shared_ptr<const EpochKeyCache::SourceEntry> EpochKeyCache::Sources(
     const Params& params, const std::vector<Bytes>& keys, uint64_t epoch,
     common::ThreadPool* pool) {
+  static telemetry::Counter* hits = CacheCounter("sources", "hit");
+  static telemetry::Counter* misses = CacheCounter("sources", "miss");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (auto hit = Find(sources_, epoch)) return hit;
+    if (auto hit = Find(sources_, epoch)) {
+      hits->Increment();
+      source_hits_.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
   }
+  misses->Increment();
+  source_misses_.fetch_add(1, std::memory_order_relaxed);
+  // The cold-epoch N-way k_{i,t}/ss_{i,t} derivation — the querier's
+  // "share-recompute" phase in the paper's cost model.
+  telemetry::ScopedSpan span("share-recompute", "cache", epoch);
 
   auto entry = std::make_shared<SourceEntry>();
   const size_t n = keys.size();

@@ -16,6 +16,8 @@
 #ifndef SIES_SIES_EPOCH_KEY_CACHE_H_
 #define SIES_SIES_EPOCH_KEY_CACHE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -68,7 +70,25 @@ class EpochKeyCache {
                                              common::ThreadPool* pool);
 
   /// Drops every entry (benchmarks use this to measure cold evaluations).
+  /// Hit/miss statistics survive — they describe lookups, not contents.
   void Clear();
+
+  /// Lifetime hit/miss totals per table. Also exported as the labeled
+  /// counter `sies_epoch_key_cache_events_total` in the global metrics
+  /// registry; these accessors exist so benches (fig6a) can report the
+  /// cache behaviour of one specific instance.
+  struct Stats {
+    uint64_t global_hits = 0;
+    uint64_t global_misses = 0;
+    uint64_t source_hits = 0;
+    uint64_t source_misses = 0;
+  };
+  Stats stats() const {
+    return Stats{global_hits_.load(std::memory_order_relaxed),
+                 global_misses_.load(std::memory_order_relaxed),
+                 source_hits_.load(std::memory_order_relaxed),
+                 source_misses_.load(std::memory_order_relaxed)};
+  }
 
  private:
   template <typename Entry>
@@ -85,6 +105,10 @@ class EpochKeyCache {
   std::mutex mu_;
   Table<GlobalEntry> global_;
   Table<SourceEntry> sources_;
+  std::atomic<uint64_t> global_hits_{0};
+  std::atomic<uint64_t> global_misses_{0};
+  std::atomic<uint64_t> source_hits_{0};
+  std::atomic<uint64_t> source_misses_{0};
 };
 
 }  // namespace sies::core

@@ -2,11 +2,35 @@
 
 #include <numeric>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace sies::core {
+
+namespace {
+// O(1) probes per evaluation (nothing inside the per-source loops), so
+// the warm fig6a hot path stays within the <2% disabled-telemetry
+// budget guarded by bench/telemetry_overhead.
+struct QuerierMetrics {
+  telemetry::Counter* evaluations;
+  telemetry::Counter* unverified;
+  static const QuerierMetrics& Get() {
+    static QuerierMetrics m{
+        telemetry::MetricsRegistry::Global().GetCounter(
+            "sies_querier_evaluations_total", {{"scheme", "SIES"}}),
+        telemetry::MetricsRegistry::Global().GetCounter(
+            "sies_querier_unverified_total", {{"scheme", "SIES"}})};
+    return m;
+  }
+};
+}  // namespace
 
 StatusOr<Evaluation> Querier::Evaluate(
     const Bytes& final_psr, uint64_t epoch,
     const std::vector<uint32_t>& participating) const {
+  const QuerierMetrics& metrics = QuerierMetrics::Get();
+  metrics.evaluations->Increment();
+  telemetry::ScopedSpan span("evaluate-decrypt", "querier", epoch);
   const crypto::Fp256* fp =
       params_.share_prf == SharePrf::kHmacSha1 ? params_.Fp() : nullptr;
 
@@ -39,11 +63,13 @@ StatusOr<Evaluation> Querier::Evaluate(
     if (!unpacked.ok()) {
       // A value-field overflow in a genuine run is a configuration error,
       // but an adversarial PSR can also produce it; report as unverified.
+      metrics.unverified->Increment();
       return Evaluation{0, false};
     }
     Evaluation eval;
     eval.sum = unpacked.value().sum;
     eval.verified = (unpacked.value().share_sum == share_sum);
+    if (!eval.verified) metrics.unverified->Increment();
     return eval;
   }
 
@@ -76,12 +102,14 @@ StatusOr<Evaluation> Querier::Evaluate(
   if (!unpacked.ok()) {
     // A value-field overflow in a genuine run is a configuration error,
     // but an adversarial PSR can also produce it; report as unverified.
+    metrics.unverified->Increment();
     return Evaluation{0, false};
   }
 
   Evaluation eval;
   eval.sum = unpacked.value().sum;
   eval.verified = (unpacked.value().share_sum == share_sum);
+  if (!eval.verified) metrics.unverified->Increment();
   return eval;
 }
 

@@ -60,6 +60,10 @@ class Querier {
   /// scratch. Benchmarks use this to time cold evaluations honestly.
   void ClearEpochKeyCache() { cache_->Clear(); }
 
+  /// Lifetime hit/miss totals of this querier's epoch-key cache
+  /// (benchmarks report these per cold/warm series).
+  EpochKeyCache::Stats CacheStats() const { return cache_->stats(); }
+
   const Params& params() const { return params_; }
 
  private:

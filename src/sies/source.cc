@@ -1,8 +1,16 @@
 #include "sies/source.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace sies::core {
 
 StatusOr<Bytes> Source::CreatePsr(uint64_t value, uint64_t epoch) const {
+  static telemetry::Counter* psrs =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "sies_source_psr_total", {{"scheme", "SIES"}});
+  psrs->Increment();
+  telemetry::ScopedSpan span("psr-encrypt", "source", epoch);
   const crypto::Fp256* fp =
       params_.share_prf == SharePrf::kHmacSha1 ? params_.Fp() : nullptr;
   if (fp != nullptr) {

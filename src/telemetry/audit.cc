@@ -1,0 +1,109 @@
+#include "telemetry/audit.h"
+
+#include <cstdio>
+
+namespace sies::telemetry {
+
+const char* AuditKindName(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kTamper:
+      return "tamper";
+    case AuditKind::kAdversaryDrop:
+      return "adversary_drop";
+    case AuditKind::kRadioLoss:
+      return "radio_loss";
+    case AuditKind::kVerificationFailure:
+      return "verification_failure";
+    case AuditKind::kFreshnessViolation:
+      return "freshness_violation";
+    case AuditKind::kAuthFailure:
+      return "auth_failure";
+  }
+  return "?";
+}
+
+void AuditTrail::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+void AuditTrail::Record(AuditKind kind, uint64_t epoch, uint32_t node,
+                        std::string cause) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  AuditEvent event;
+  event.seq = next_seq_++;
+  event.kind = kind;
+  event.epoch = epoch;
+  event.node = node;
+  event.cause = std::move(cause);
+  events_.push_back(std::move(event));
+}
+
+std::vector<AuditEvent> AuditTrail::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<AuditEvent> AuditTrail::Query(AuditKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+size_t AuditTrail::CountOf(AuditKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const AuditEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+size_t AuditTrail::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string AuditTrail::ToJson() const {
+  std::vector<AuditEvent> events = Events();
+  std::string out = "{\"events\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const AuditEvent& e = events[i];
+    out += "  {\"seq\": " + std::to_string(e.seq) + ", \"kind\": \"" +
+           AuditKindName(e.kind) + "\", \"epoch\": " + std::to_string(e.epoch);
+    if (e.node == kAuditNoNode) {
+      out += ", \"node\": null";
+    } else {
+      out += ", \"node\": " + std::to_string(e.node);
+    }
+    std::string cause;
+    for (char c : e.cause) {
+      if (c == '"' || c == '\\') {
+        cause += '\\';
+        cause += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        cause += buf;
+      } else {
+        cause += c;
+      }
+    }
+    out += ", \"cause\": \"" + cause + "\"}";
+    out += (i + 1 < events.size()) ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+AuditTrail& AuditTrail::Global() {
+  static AuditTrail* trail = new AuditTrail();
+  return *trail;
+}
+
+}  // namespace sies::telemetry

@@ -1,0 +1,338 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sies::telemetry {
+
+namespace {
+
+// CAS add for atomic<double> (fetch_add over floats is C++20 but not
+// uniformly available; this compiles everywhere and is equally relaxed).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += JsonQuote(labels[i].first) + ": " + JsonQuote(labels[i].second);
+  }
+  return out + "}";
+}
+
+// {a="b",c="d"} — empty string for no labels.
+std::string PromLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  return out + "}";
+}
+
+// Same but with one extra label appended (histogram `le`).
+std::string PromLabelsWith(const Labels& labels, const std::string& key,
+                           const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return PromLabels(extended);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<double>* bounds = [] {
+    auto* b = new std::vector<double>;
+    // 1us .. ~100s at quarter-decade steps: x1, x~1.78, x~3.16, x~5.62.
+    static const double kMantissas[] = {1.0, 1.778, 3.162, 5.623};
+    for (int decade = -6; decade <= 1; ++decade) {
+      double scale = 1.0;
+      for (int d = 0; d < decade; ++d) scale *= 10.0;
+      for (int d = 0; d > decade; --d) scale /= 10.0;
+      for (double m : kMantissas) b->push_back(m * scale);
+    }
+    b->push_back(100.0);
+    return b;
+  }();
+  return *bounds;
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; overflow otherwise.
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the requested observation (1-based, rounded up).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    uint64_t next = cumulative + counts[i];
+    if (rank <= next) {
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // Overflow bucket has no upper bound: report its lower edge.
+      if (i == bounds_.size()) return lo;
+      double hi = bounds_[i];
+      double within = static_cast<double>(rank - cumulative) /
+                      static_cast<double>(counts[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second->counter.get();
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCounter;
+  entry->name = name;
+  entry->labels = labels;
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  by_key_[key] = entry.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second->gauge.get();
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kGauge;
+  entry->name = name;
+  entry->labels = labels;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* out = entry->gauge.get();
+  by_key_[key] = entry.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second->histogram.get();
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kHistogram;
+  entry->name = name;
+  entry->labels = labels;
+  entry->histogram = std::make_unique<Histogram>(
+      bounds != nullptr ? *bounds : Histogram::DefaultLatencyBounds());
+  Histogram* out = entry->histogram.get();
+  by_key_[key] = entry.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter: {
+        if (!counters.empty()) counters += ",\n";
+        counters += "    {\"name\": " + JsonQuote(entry->name) +
+                    ", \"labels\": " + JsonLabels(entry->labels) +
+                    ", \"value\": " + std::to_string(entry->counter->Value()) +
+                    "}";
+        break;
+      }
+      case Kind::kGauge: {
+        if (!gauges.empty()) gauges += ",\n";
+        gauges += "    {\"name\": " + JsonQuote(entry->name) +
+                  ", \"labels\": " + JsonLabels(entry->labels) +
+                  ", \"value\": " + FormatDouble(entry->gauge->Value()) +
+                  ", \"peak\": " + FormatDouble(entry->gauge->Peak()) + "}";
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        if (!histograms.empty()) histograms += ",\n";
+        histograms += "    {\"name\": " + JsonQuote(entry->name) +
+                      ", \"labels\": " + JsonLabels(entry->labels) +
+                      ", \"count\": " + std::to_string(h.TotalCount()) +
+                      ", \"sum\": " + FormatDouble(h.Sum()) +
+                      ", \"p50\": " + FormatDouble(h.Quantile(0.50)) +
+                      ", \"p95\": " + FormatDouble(h.Quantile(0.95)) +
+                      ", \"p99\": " + FormatDouble(h.Quantile(0.99)) +
+                      ", \"buckets\": [";
+        std::vector<uint64_t> counts = h.BucketCounts();
+        bool first = true;
+        for (size_t i = 0; i < counts.size(); ++i) {
+          if (counts[i] == 0) continue;  // sparse: only occupied buckets
+          if (!first) histograms += ", ";
+          first = false;
+          std::string le = i < h.bounds().size()
+                               ? FormatDouble(h.bounds()[i])
+                               : "\"+Inf\"";
+          histograms += "{\"le\": " + le +
+                        ", \"count\": " + std::to_string(counts[i]) + "}";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\n  \"counters\": [\n" + counters + "\n  ],\n  \"gauges\": [\n" +
+         gauges + "\n  ],\n  \"histograms\": [\n" + histograms + "\n  ]\n}\n";
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + entry->name + " counter\n";
+        out += entry->name + PromLabels(entry->labels) + " " +
+               std::to_string(entry->counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += entry->name + PromLabels(entry->labels) + " " +
+               FormatDouble(entry->gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        out += "# TYPE " + entry->name + " histogram\n";
+        std::vector<uint64_t> counts = h.BucketCounts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < counts.size(); ++i) {
+          cumulative += counts[i];
+          std::string le = i < h.bounds().size()
+                               ? FormatDouble(h.bounds()[i])
+                               : "+Inf";
+          out += entry->name + "_bucket" +
+                 PromLabelsWith(entry->labels, "le", le) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += entry->name + "_sum" + PromLabels(entry->labels) + " " +
+               FormatDouble(h.Sum()) + "\n";
+        out += entry->name + "_count" + PromLabels(entry->labels) + " " +
+               std::to_string(h.TotalCount()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        entry->counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry->gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry->histogram->Reset();
+        break;
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace sies::telemetry

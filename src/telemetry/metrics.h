@@ -1,0 +1,164 @@
+// Metrics registry: counters, gauges, and fixed-bucket latency
+// histograms, labeled by free-form key/value pairs (scheme, party,
+// phase, ...), with JSON and Prometheus-text exporters.
+//
+// Design rules (the "cheap when disabled" contract of the telemetry
+// layer):
+//   * Registration (Get*) takes a mutex and may allocate; callers on hot
+//     paths register once (function-local static or member pointer) and
+//     keep the returned pointer.
+//   * Updates (Increment/Set/Observe) are lock-free: relaxed atomics
+//     only, a handful of nanoseconds whether or not anything ever reads
+//     the registry. There is no separate "enabled" state — an unread
+//     counter IS the no-op sink.
+//   * Metric objects are never destroyed or moved once registered;
+//     Reset() zeroes values but keeps every handle valid, so cached
+//     pointers survive test-to-test resets.
+//
+// This library intentionally depends on nothing but the standard
+// library so that src/common/ (thread pool, logging) can use it without
+// a dependency cycle.
+#ifndef SIES_TELEMETRY_METRICS_H_
+#define SIES_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace sies::telemetry {
+
+/// Ordered label key/value pairs. Order is preserved in exports; two
+/// label sets differing only in order name distinct time series (keep
+/// call sites consistent).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value, plus a monotone high-water mark.
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+    double peak = peak_.load(std::memory_order_relaxed);
+    while (value > peak &&
+           !peak_.compare_exchange_weak(peak, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Largest value ever Set() (since the last Reset).
+  double Peak() const { return peak_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0.0, std::memory_order_relaxed);
+    peak_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> peak_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i];
+/// one implicit overflow bucket counts the rest. Quantiles (p50/p95/p99
+/// in the exporters) are estimated by linear interpolation inside the
+/// bucket containing the requested rank — the standard
+/// Prometheus-style estimate, exact at bucket boundaries.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default latency bounds in seconds: 1us .. ~100s, quarter-decade
+  /// spacing — wide enough for a single 32-byte modular add and a full
+  /// 16k-source cold evaluation alike.
+  static const std::vector<double>& DefaultLatencyBounds();
+
+  void Observe(double value);
+
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Estimated value at quantile q in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries; last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide metric store. Get* registers on first use and returns a
+/// stable pointer forever after; exports walk metrics in registration
+/// order so output is deterministic for a deterministic program.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` applies only on first registration of (name, labels);
+  /// nullptr means DefaultLatencyBounds().
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          const std::vector<double>* bounds = nullptr);
+
+  /// {"counters": [...], "gauges": [...], "histograms": [...]} with
+  /// p50/p95/p99 precomputed per histogram.
+  std::string ToJson() const;
+  /// Prometheus text exposition format (counters as `# TYPE ... counter`,
+  /// histograms with _bucket/_sum/_count series).
+  std::string ToPrometheus() const;
+
+  /// Zeroes every metric. Never deletes: pointers handed out by Get*
+  /// remain valid (hot paths cache them in static locals).
+  void Reset();
+
+  /// The registry all built-in instrumentation reports to.
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static std::string Key(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;       // registration order
+  std::unordered_map<std::string, Entry*> by_key_;
+};
+
+}  // namespace sies::telemetry
+
+#endif  // SIES_TELEMETRY_METRICS_H_

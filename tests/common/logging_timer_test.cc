@@ -64,5 +64,51 @@ TEST(CostAccumulatorTest, AccumulatesAndAverages) {
   EXPECT_DOUBLE_EQ(acc.total_seconds(), 0.0);
 }
 
+TEST(CostAccumulatorTest, TracksExtremes) {
+  CostAccumulator acc;
+  // Empty accumulator reports zeros, not the internal sentinels.
+  EXPECT_DOUBLE_EQ(acc.MinSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MaxSeconds(), 0.0);
+  acc.Add(2.0);
+  EXPECT_DOUBLE_EQ(acc.MinSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.MaxSeconds(), 2.0);
+  acc.Add(5.0);
+  acc.Add(0.5);
+  EXPECT_DOUBLE_EQ(acc.MinSeconds(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.MaxSeconds(), 5.0);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.MinSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MaxSeconds(), 0.0);
+}
+
+TEST(CostAccumulatorTest, WelfordVarianceMatchesClosedForm) {
+  CostAccumulator acc;
+  // Fewer than two samples: variance is defined as 0.
+  EXPECT_DOUBLE_EQ(acc.VarianceSeconds(), 0.0);
+  acc.Add(4.0);
+  EXPECT_DOUBLE_EQ(acc.VarianceSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.StdDevSeconds(), 0.0);
+  acc.Reset();
+  // {1, 3}: mean 2, population variance ((1)^2 + (1)^2) / 2 = 1.
+  acc.Add(1.0);
+  acc.Add(3.0);
+  EXPECT_DOUBLE_EQ(acc.VarianceSeconds(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.StdDevSeconds(), 1.0);
+  acc.Reset();
+  // {2, 4, 4, 4, 5, 5, 7, 9}: the textbook set with variance 4, sd 2.
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_NEAR(acc.VarianceSeconds(), 4.0, 1e-12);
+  EXPECT_NEAR(acc.StdDevSeconds(), 2.0, 1e-12);
+}
+
+TEST(CostAccumulatorTest, ConstantSamplesHaveZeroSpread) {
+  // Welford must not accumulate rounding drift on identical samples.
+  CostAccumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.Add(0.125);
+  EXPECT_DOUBLE_EQ(acc.MinSeconds(), 0.125);
+  EXPECT_DOUBLE_EQ(acc.MaxSeconds(), 0.125);
+  EXPECT_NEAR(acc.VarianceSeconds(), 0.0, 1e-18);
+}
+
 }  // namespace
 }  // namespace sies

@@ -7,6 +7,7 @@
 #include "net/adversary.h"
 #include "runner/runner.h"
 #include "sies/query.h"
+#include "telemetry/audit.h"
 
 namespace sies::runner {
 namespace {
@@ -158,6 +159,32 @@ TEST(SiesAttackTest, RandomizedTamperSweep) {
   EXPECT_GT(attacks, 0);
   EXPECT_EQ(detected, attacks);
   fx.network.SetAdversary(nullptr);
+}
+
+TEST(SiesAttackTest, AuditTrailRecordsExactlyTheInjectedTampering) {
+  // Re-run the randomized tamper sweep with the security audit trail
+  // enabled: the trail must attribute precisely as many in-flight
+  // mutations as the adversary actually performed — no phantom events,
+  // no silently missed ones.
+  SiesFixture fx;
+  auto& audit = telemetry::AuditTrail::Global();
+  audit.Reset();
+  audit.Enable();
+  Xoshiro256 rng(77);
+  uint64_t injected = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    net::NodeId target = static_cast<net::NodeId>(
+        rng.NextBelow(fx.network.topology().num_nodes()));
+    net::BitFlipAdversary adv(target, rng.NextBelow(256));
+    fx.network.SetAdversary(&adv);
+    (void)fx.network.RunEpoch(fx.protocol, 200 + trial);
+    injected += adv.tampered_count();
+  }
+  fx.network.SetAdversary(nullptr);
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(audit.CountOf(telemetry::AuditKind::kTamper), injected);
+  audit.Disable();
+  audit.Reset();
 }
 
 TEST(SiesLossTest, SilentPacketLossNeverYieldsAWrongAcceptedSum) {

@@ -1,0 +1,91 @@
+// AuditTrail unit tests: disabled trails drop events, enabled trails
+// keep them ordered with stable sequence numbers, queries filter by
+// kind, and the JSON export matches the documented shape.
+#include <gtest/gtest.h>
+
+#include "telemetry/audit.h"
+
+namespace sies::telemetry {
+namespace {
+
+TEST(AuditTrailTest, DisabledRecordIsANoOp) {
+  AuditTrail trail;  // disabled by default
+  EXPECT_FALSE(trail.enabled());
+  trail.Record(AuditKind::kTamper, 1, 2, "ignored");
+  EXPECT_EQ(trail.size(), 0u);
+}
+
+TEST(AuditTrailTest, RecordsInOrderWithSequenceNumbers) {
+  AuditTrail trail;
+  trail.Enable();
+  trail.Record(AuditKind::kTamper, 1, 3, "payload mutated");
+  trail.Record(AuditKind::kRadioLoss, 1, 5, "lossy link");
+  trail.Record(AuditKind::kVerificationFailure, 1, kAuditNoNode,
+               "share sum mismatch");
+  auto events = trail.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(events[0].kind, AuditKind::kTamper);
+  EXPECT_EQ(events[0].epoch, 1u);
+  EXPECT_EQ(events[0].node, 3u);
+  EXPECT_EQ(events[0].cause, "payload mutated");
+  EXPECT_EQ(events[2].node, kAuditNoNode);
+}
+
+TEST(AuditTrailTest, QueryAndCountFilterByKind) {
+  AuditTrail trail;
+  trail.Enable();
+  trail.Record(AuditKind::kTamper, 1, 0, "a");
+  trail.Record(AuditKind::kAdversaryDrop, 2, 1, "b");
+  trail.Record(AuditKind::kTamper, 3, 2, "c");
+  EXPECT_EQ(trail.CountOf(AuditKind::kTamper), 2u);
+  EXPECT_EQ(trail.CountOf(AuditKind::kAdversaryDrop), 1u);
+  EXPECT_EQ(trail.CountOf(AuditKind::kAuthFailure), 0u);
+  auto tampers = trail.Query(AuditKind::kTamper);
+  ASSERT_EQ(tampers.size(), 2u);
+  EXPECT_EQ(tampers[0].epoch, 1u);
+  EXPECT_EQ(tampers[1].epoch, 3u);
+}
+
+TEST(AuditTrailTest, ResetClearsEventsAndRestartsSequence) {
+  AuditTrail trail;
+  trail.Enable();
+  trail.Record(AuditKind::kTamper, 1, 0, "x");
+  trail.Reset();
+  EXPECT_EQ(trail.size(), 0u);
+  EXPECT_TRUE(trail.enabled());
+  trail.Record(AuditKind::kTamper, 2, 0, "y");
+  EXPECT_EQ(trail.Events()[0].seq, 0u);
+}
+
+TEST(AuditTrailTest, KindNamesAreStable) {
+  EXPECT_STREQ(AuditKindName(AuditKind::kTamper), "tamper");
+  EXPECT_STREQ(AuditKindName(AuditKind::kAdversaryDrop), "adversary_drop");
+  EXPECT_STREQ(AuditKindName(AuditKind::kRadioLoss), "radio_loss");
+  EXPECT_STREQ(AuditKindName(AuditKind::kVerificationFailure),
+               "verification_failure");
+  EXPECT_STREQ(AuditKindName(AuditKind::kFreshnessViolation),
+               "freshness_violation");
+  EXPECT_STREQ(AuditKindName(AuditKind::kAuthFailure), "auth_failure");
+}
+
+TEST(AuditTrailTest, JsonMatchesGolden) {
+  AuditTrail trail;
+  trail.Enable();
+  trail.Record(AuditKind::kTamper, 5, 3, "bit flipped");
+  trail.Record(AuditKind::kVerificationFailure, 5, kAuditNoNode,
+               "querier said \"no\"");
+  const char* expected =
+      "{\"events\": [\n"
+      "  {\"seq\": 0, \"kind\": \"tamper\", \"epoch\": 5, \"node\": 3, "
+      "\"cause\": \"bit flipped\"},\n"
+      "  {\"seq\": 1, \"kind\": \"verification_failure\", \"epoch\": 5, "
+      "\"node\": null, \"cause\": \"querier said \\\"no\\\"\"}\n"
+      "]}\n";
+  EXPECT_EQ(trail.ToJson(), expected);
+}
+
+}  // namespace
+}  // namespace sies::telemetry

@@ -1,0 +1,192 @@
+// MetricsRegistry unit tests: handle identity/stability, concurrent
+// updates, histogram bucket/quantile semantics, and exact exporter
+// output (golden strings — the exporters are deterministic on a
+// deterministic registry).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sies::telemetry {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, TracksValueAndPeak) {
+  Gauge g;
+  g.Set(3.0);
+  g.Set(7.5);
+  g.Set(1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.0);
+  EXPECT_DOUBLE_EQ(g.Peak(), 7.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.Peak(), 0.0);
+}
+
+TEST(RegistryTest, SameNameAndLabelsYieldSameHandle) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("hits", {{"scheme", "SIES"}});
+  Counter* b = reg.GetCounter("hits", {{"scheme", "SIES"}});
+  Counter* c = reg.GetCounter("hits", {{"scheme", "CMT"}});
+  Counter* d = reg.GetCounter("hits");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(c, d);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsHandlesValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("events");
+  Gauge* g = reg.GetGauge("depth");
+  Histogram* h = reg.GetHistogram("lat");
+  c->Increment(5);
+  g->Set(2.0);
+  h->Observe(0.001);
+  reg.Reset();
+  // Old pointers still work and read zero; re-lookup returns the same
+  // objects (the registry never deletes).
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->TotalCount(), 0u);
+  EXPECT_EQ(reg.GetCounter("events"), c);
+  EXPECT_EQ(reg.GetGauge("depth"), g);
+  EXPECT_EQ(reg.GetHistogram("lat"), h);
+  c->Increment();
+  EXPECT_EQ(reg.GetCounter("events")->Value(), 1u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsOnLabeledCountersLoseNothing) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Every thread re-looks-up its handles (exercising registration
+      // under contention) and hammers two shared labeled counters.
+      Counter* even = reg.GetCounter("ops", {{"parity", "even"}});
+      Counter* odd = reg.GetCounter("ops", {{"parity", "odd"}});
+      Histogram* lat = reg.GetHistogram("lat");
+      for (int i = 0; i < kIncrements; ++i) {
+        ((t + i) % 2 == 0 ? even : odd)->Increment();
+        lat->Observe(1e-6);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  uint64_t even = reg.GetCounter("ops", {{"parity", "even"}})->Value();
+  uint64_t odd = reg.GetCounter("ops", {{"parity", "odd"}})->Value();
+  EXPECT_EQ(even + odd, uint64_t{kThreads} * kIncrements);
+  EXPECT_EQ(even, odd);  // parity alternates exactly per thread
+  EXPECT_EQ(reg.GetHistogram("lat")->TotalCount(),
+            uint64_t{kThreads} * kIncrements);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  // Bucket i counts observations <= bounds[i] (and > bounds[i-1]);
+  // one implicit overflow bucket takes the rest.
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 0 — boundary value lands in its own bucket
+  h.Observe(1.001); // bucket 1
+  h.Observe(2.0);   // bucket 1
+  h.Observe(4.0);   // bucket 2
+  h.Observe(4.001); // overflow
+  h.Observe(100.0); // overflow
+  std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(h.TotalCount(), 7u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.001 + 2.0 + 4.0 + 4.001 + 100.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndIsExactAtBoundaries) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.Observe(0.5);  // all in bucket 0
+  // Uniform-in-bucket interpolation across [0, 1].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);  // exact at the bucket edge
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram reports 0
+  h.Observe(3.0);  // single sample in bucket 2 -> every quantile = hi edge
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 4.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double>& b = Histogram::DefaultLatencyBounds();
+  ASSERT_FALSE(b.empty());
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  EXPECT_LE(b.front(), 1.01e-6);  // covers a single modular add
+  EXPECT_GE(b.back(), 100.0);   // covers a 16k-source cold evaluation
+}
+
+// Exporter goldens: exact output for a small deterministic registry.
+// The values are integers (or exactly-representable doubles), so %.9g
+// formatting is stable across platforms.
+class ExporterGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reg_.GetCounter("reqs", {{"scheme", "SIES"}})->Increment(3);
+    reg_.GetGauge("depth")->Set(2.5);
+    std::vector<double> bounds = {1.0, 2.0};
+    Histogram* h = reg_.GetHistogram("lat", {}, &bounds);
+    h->Observe(0.5);
+    h->Observe(1.5);
+    h->Observe(3.0);
+  }
+  MetricsRegistry reg_;
+};
+
+TEST_F(ExporterGoldenTest, JsonMatchesGolden) {
+  const char* expected =
+      "{\n"
+      "  \"counters\": [\n"
+      "    {\"name\": \"reqs\", \"labels\": {\"scheme\": \"SIES\"}, "
+      "\"value\": 3}\n"
+      "  ],\n"
+      "  \"gauges\": [\n"
+      "    {\"name\": \"depth\", \"labels\": {}, \"value\": 2.5, "
+      "\"peak\": 2.5}\n"
+      "  ],\n"
+      "  \"histograms\": [\n"
+      "    {\"name\": \"lat\", \"labels\": {}, \"count\": 3, \"sum\": 5, "
+      "\"p50\": 1, \"p95\": 2, \"p99\": 2, \"buckets\": "
+      "[{\"le\": 1, \"count\": 1}, {\"le\": 2, \"count\": 1}, "
+      "{\"le\": \"+Inf\", \"count\": 1}]}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(reg_.ToJson(), expected);
+}
+
+TEST_F(ExporterGoldenTest, PrometheusMatchesGolden) {
+  const char* expected =
+      "# TYPE reqs counter\n"
+      "reqs{scheme=\"SIES\"} 3\n"
+      "# TYPE depth gauge\n"
+      "depth 2.5\n"
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"1\"} 1\n"
+      "lat_bucket{le=\"2\"} 2\n"
+      "lat_bucket{le=\"+Inf\"} 3\n"
+      "lat_sum 5\n"
+      "lat_count 3\n";
+  EXPECT_EQ(reg_.ToPrometheus(), expected);
+}
+
+}  // namespace
+}  // namespace sies::telemetry

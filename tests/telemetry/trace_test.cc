@@ -1,0 +1,96 @@
+// Tracer unit tests: disabled tracers record nothing, enabled tracers
+// capture span fields and per-thread ids, and the Chrome trace_event
+// export carries every field about://tracing needs.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "telemetry/trace.h"
+
+namespace sies::telemetry {
+namespace {
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer tracer;  // disabled by default
+  EXPECT_FALSE(tracer.enabled());
+  { ScopedSpan span("work", "test", 1, tracer); }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, EnabledCapturesSpanFields) {
+  Tracer tracer;
+  tracer.Enable();
+  { ScopedSpan span("merge", "phase", 7, tracer); }
+  ASSERT_EQ(tracer.size(), 1u);
+  SpanEvent e = tracer.Events()[0];
+  EXPECT_STREQ(e.name, "merge");
+  EXPECT_STREQ(e.category, "phase");
+  EXPECT_EQ(e.epoch, 7u);
+  EXPECT_EQ(e.tid, Tracer::CurrentThreadId());
+}
+
+TEST(TracerTest, EnableIsCheckedAtSpanConstruction) {
+  // A span that starts while the tracer is disabled records nothing,
+  // even if the tracer is enabled before the span closes — the whole
+  // point of the single relaxed load on the disabled path.
+  Tracer tracer;
+  {
+    ScopedSpan span("late", "test", 1, tracer);
+    tracer.Enable();
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, ResetDropsEventsButKeepsEnabledState) {
+  Tracer tracer;
+  tracer.Enable();
+  { ScopedSpan span("a", "t", 1, tracer); }
+  ASSERT_EQ(tracer.size(), 1u);
+  tracer.Reset();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(tracer.enabled());
+}
+
+TEST(TracerTest, SpansFromDifferentThreadsGetDistinctIds) {
+  Tracer tracer;
+  tracer.Enable();
+  { ScopedSpan span("main-span", "test", 1, tracer); }
+  std::thread worker(
+      [&tracer] { ScopedSpan span("worker-span", "test", 1, tracer); });
+  worker.join();
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TracerTest, TimestampsAreMonotoneWithinAThread) {
+  Tracer tracer;
+  tracer.Enable();
+  { ScopedSpan span("first", "test", 1, tracer); }
+  { ScopedSpan span("second", "test", 1, tracer); }
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+}
+
+TEST(TracerTest, ChromeTraceExportCarriesAllFields) {
+  Tracer tracer;
+  tracer.Enable();
+  tracer.Record("evaluate", "phase", 42, 100, 25);
+  std::string json = tracer.ToChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // complete event
+  EXPECT_NE(json.find("\"name\": \"evaluate\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 25"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"epoch\": 42}"), std::string::npos);
+}
+
+TEST(TracerTest, EmptyTraceIsStillValidChromeJson) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.ToChromeTrace(), "{\"traceEvents\": [\n]}\n");
+}
+
+}  // namespace
+}  // namespace sies::telemetry
