@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -65,8 +66,8 @@ int main(int argc, char** argv) {
   std::printf(
       "=== Figure 6(a): querier CPU vs N (F=4, D=[1800,5000], J=%u) ===\n",
       j);
-  std::printf("%-8s %14s %14s %14s %14s\n", "N", "SIES cold", "SIES warm",
-              "CMT", "SECOA_S");
+  std::printf("%-8s %14s %14s %14s %14s %14s\n", "N", "SIES cold",
+              "SIES warm", "SIES wire", "CMT", "SECOA_S");
 
   bench::BenchReport report("fig6a_querier_vs_n");
   report.config().Add("j", j);
@@ -120,8 +121,49 @@ int main(int argc, char** argv) {
     }
     Stopwatch watch;
     int reps = smoke ? 2 : (n <= 1024 ? 10 : 3);
+    // Warm evaluations are hundreds of µs at most, so the warm and wire
+    // series are timed as interleaved batch pairs: interleaving exposes
+    // both series to the same scheduler/frequency perturbations. Each
+    // series reports its per-batch minimum; the overhead ratio comes
+    // from the MEDIAN of per-round ratios, because the two batches of a
+    // round are adjacent in time and see the same perturbation — a
+    // mean-of-3 of either series alone swings by tens of percent on a
+    // busy host, which would make the wire-overhead figure meaningless.
+    const int warm_rounds = smoke ? 1 : 24;
+    const int warm_reps = smoke ? 2 : 10;
+    struct PairedTiming {
+      double min_a = 0;
+      double min_b = 0;
+      double median_ratio = 1.0;
+    };
+    auto paired_ms = [&](auto&& fn_a, auto&& fn_b) {
+      PairedTiming t;
+      std::vector<double> ratios;
+      ratios.reserve(warm_rounds);
+      for (int round = 0; round < warm_rounds; ++round) {
+        watch.Restart();
+        for (int r = 0; r < warm_reps; ++r) fn_a();
+        double a = watch.ElapsedMillis() / warm_reps;
+        watch.Restart();
+        for (int r = 0; r < warm_reps; ++r) fn_b();
+        double b = watch.ElapsedMillis() / warm_reps;
+        if (round == 0 || a < t.min_a) t.min_a = a;
+        if (round == 0 || b < t.min_b) t.min_b = b;
+        if (a > 0) ratios.push_back(b / a);
+      }
+      if (!ratios.empty()) {
+        auto mid = ratios.begin() + ratios.size() / 2;
+        std::nth_element(ratios.begin(), mid, ratios.end());
+        t.median_ratio = *mid;
+      }
+      return t;
+    };
+    // The 2-arg convenience overload iterates the querier's own cached
+    // all-sources index list — the same vector the wire fast path uses,
+    // so the warm and wire series differ only in the envelope handling
+    // being measured.
     auto evaluate_or_die = [&] {
-      auto eval = sies_querier.Evaluate(sies_final, 1, all);
+      auto eval = sies_querier.Evaluate(sies_final, 1);
       if (!eval.ok() || !eval.value().verified) {
         std::fprintf(stderr, "SIES verification failed!\n");
         std::exit(1);
@@ -137,10 +179,47 @@ int main(int argc, char** argv) {
     double sies_cold_ms = watch.ElapsedMillis() / reps;
     core::EpochKeyCache::Stats stats_cold = sies_querier.CacheStats();
     evaluate_or_die();  // prime the cache outside the timed region
+
+    // --- SIES wire path (contributor bitmap carried in-band) ---
+    // Same warm-cache evaluation through EvaluateWire: the querier
+    // additionally parses the ⌈N/8⌉-byte bitmap and derives the
+    // participating set from it. The acceptance bar for the loss
+    // extension is <2% over the raw warm path at this grid.
+    Bytes wire_final;
+    for (uint32_t i = 0; i < n; ++i) {
+      core::Source src(sies_params, i,
+                       core::KeysForSource(sies_keys, i).value());
+      Bytes psr = src.CreateWirePsr(snap.values[i], 1).value();
+      wire_final = wire_final.empty()
+                       ? psr
+                       : sies_agg.MergeWire({wire_final, psr}).value();
+    }
+    // Check once (outside the timed region) that the bitmap reports all
+    // N sources; the timed loop then measures the evaluation itself —
+    // envelope validation, bitmap-derived participating set, decrypt and
+    // share-sum verification — without the contributor-list copy that
+    // only reporting callers ask for.
+    {
+      std::vector<uint32_t> wire_contributors;
+      auto eval = sies_querier.EvaluateWire(wire_final, 1, &wire_contributors);
+      if (!eval.ok() || !eval.value().verified ||
+          wire_contributors.size() != n) {
+        std::fprintf(stderr, "SIES wire verification failed!\n");
+        std::exit(1);
+      }
+    }
+    auto evaluate_wire_or_die = [&] {
+      auto eval = sies_querier.EvaluateWire(wire_final, 1, nullptr);
+      if (!eval.ok() || !eval.value().verified) {
+        std::fprintf(stderr, "SIES wire verification failed!\n");
+        std::exit(1);
+      }
+    };
     core::EpochKeyCache::Stats stats1 = sies_querier.CacheStats();
-    watch.Restart();
-    for (int r = 0; r < reps; ++r) evaluate_or_die();
-    double sies_warm_ms = watch.ElapsedMillis() / reps;
+    PairedTiming warm_timing =
+        paired_ms(evaluate_or_die, evaluate_wire_or_die);
+    double sies_warm_ms = warm_timing.min_a;
+    double sies_wire_ms = warm_timing.min_b;
     core::EpochKeyCache::Stats stats_warm = sies_querier.CacheStats();
 
     // --- CMT ---
@@ -185,12 +264,16 @@ int main(int argc, char** argv) {
     }
     double secoa_ms = watch.ElapsedMillis();
 
-    std::printf("%-8u %11.3f ms %11.3f ms %11.3f ms %11.1f ms\n", n,
-                sies_cold_ms, sies_warm_ms, cmt_ms, secoa_ms);
+    std::printf("%-8u %11.3f ms %11.3f ms %11.3f ms %11.3f ms %11.1f ms\n",
+                n, sies_cold_ms, sies_warm_ms, sies_wire_ms, cmt_ms,
+                secoa_ms);
     bench::JsonObject row;
     row.Add("n", n);
     row.Add("sies_cold_ms", sies_cold_ms);
     row.Add("sies_warm_ms", sies_warm_ms);
+    row.Add("sies_wire_warm_ms", sies_wire_ms);
+    row.Add("sies_wire_overhead_pct",
+            100.0 * (warm_timing.median_ratio - 1.0));
     row.Add("cmt_ms", cmt_ms);
     row.Add("secoa_ms", secoa_ms);
     row.Add("reps", reps);

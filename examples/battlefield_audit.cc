@@ -96,16 +96,22 @@ int main() {
     scenario.network.SetAdversary(nullptr);
   }
 
-  // Epoch 6: a compromised aggregator silently drops a subtree.
+  // Epoch 6: a compromised aggregator silently drops a subtree. The
+  // contributor bitmap exposes the suppression: the sum is accepted
+  // only as an explicit partial over the surviving posts, never as the
+  // full count.
   {
     net::NodeId victim = scenario.topology.children(
         scenario.topology.root())[0];
     net::DropAdversary adversary(victim);
     scenario.network.SetAdversary(&adversary);
     auto report = scenario.network.RunEpoch(scenario.protocol, 6).value();
-    std::printf("epoch 6 (drop)      : attack detected=%s\n",
-                !report.outcome.verified ? "yes" : "NO -- SECURITY FAILURE");
-    if (report.outcome.verified) ++failures;
+    bool exposed = report.outcome.verified && report.coverage < 1.0;
+    std::printf("epoch 6 (drop)      : suppression exposed=%s "
+                "(%u of %u posts reported)\n",
+                exposed ? "yes" : "NO -- SECURITY FAILURE",
+                report.contributing_sources, report.expected_contributors);
+    if (!exposed) ++failures;
     scenario.network.SetAdversary(nullptr);
   }
 

@@ -33,6 +33,7 @@ class QueryProtocol : public net::AggregationProtocol {
     for (net::NodeId node : topology.sources()) {
       uint32_t index = static_cast<uint32_t>(sources_.size());
       source_index_[node] = index;
+      source_nodes_.push_back(node);
       sources_.emplace_back(query, params, index,
                             core::KeysForSource(keys, index).value());
     }
@@ -53,17 +54,18 @@ class QueryProtocol : public net::AggregationProtocol {
 
   StatusOr<net::EvalOutcome> QuerierEvaluate(
       uint64_t epoch, const Bytes& final_payload,
-      const std::vector<net::NodeId>& participating) override {
-    std::vector<uint32_t> indices;
-    for (net::NodeId node : participating) {
-      indices.push_back(source_index_.at(node));
-    }
-    auto outcome = querier_.Evaluate(final_payload, epoch, indices);
+      const std::vector<net::NodeId>& /*participating*/) override {
+    // The participating set rides in the payload's contributor bitmap.
+    auto outcome = querier_.Evaluate(final_payload, epoch);
     if (!outcome.ok()) return outcome.status();
     last_count_ = outcome.value().result.count;
     net::EvalOutcome out;
     out.value = outcome.value().result.value;
     out.verified = outcome.value().verified;
+    out.has_contributors = true;
+    for (uint32_t index : outcome.value().contributors) {
+      out.contributors.push_back(source_nodes_[index]);
+    }
     return out;
   }
 
@@ -74,6 +76,7 @@ class QueryProtocol : public net::AggregationProtocol {
   core::QuerierSession querier_;
   workload::TraceGenerator* trace_;
   std::map<net::NodeId, uint32_t> source_index_;
+  std::vector<net::NodeId> source_nodes_;
   std::vector<core::SourceSession> sources_;
   uint64_t last_count_ = 0;
 };

@@ -32,6 +32,11 @@ void PrintUsage() {
       "concurrency,\n"
       "                            1 = serial; results are identical for "
       "any T\n"
+      "  --loss-rate=P             radio loss probability per attempt in "
+      "[0,1]\n"
+      "                            (default 0; deterministic per --seed)\n"
+      "  --max-retries=R           link-layer retransmissions per message "
+      "(default 0)\n"
       "  --adversary=none|tamper|replay|drop\n"
       "                            in-flight attack to run under "
       "(default none)\n"
@@ -113,6 +118,17 @@ int main(int argc, char** argv) {
   config.rsa_modulus_bits = static_cast<size_t>(get("rsa-bits", 1024));
   config.seed = static_cast<uint64_t>(get("seed", 7));
   config.threads = static_cast<uint32_t>(get("threads", 0));
+  config.max_retries = static_cast<uint32_t>(get("max-retries", 0));
+  auto loss_rate = flags.GetDouble("loss-rate", 0.0);
+  if (!loss_rate.ok()) {
+    std::fprintf(stderr, "%s\n", loss_rate.status().ToString().c_str());
+    return 2;
+  }
+  config.loss_rate = loss_rate.value();
+  if (config.loss_rate < 0.0 || config.loss_rate > 1.0) {
+    std::fprintf(stderr, "--loss-rate must be in [0, 1]\n");
+    return 2;
+  }
   bool csv = flags.GetBool("csv", false).value_or(false);
 
   bool dot = flags.GetBool("dot", false).value_or(false);
@@ -195,15 +211,20 @@ int main(int argc, char** argv) {
   if (csv) {
     std::printf(
         "scheme,sources,fanout,scale,epochs,src_us,agg_us,qry_ms,"
-        "sa_bytes,aa_bytes,aq_bytes,verified,rel_err\n");
-    std::printf("%s,%u,%u,%u,%u,%.3f,%.3f,%.3f,%.0f,%.0f,%.0f,%d,%.6f\n",
-                r.scheme_name.c_str(), config.num_sources, config.fanout,
-                config.scale_pow10, r.epochs, r.source_cpu_seconds * 1e6,
-                r.aggregator_cpu_seconds * 1e6,
-                r.querier_cpu_seconds * 1e3, r.source_to_aggregator_bytes,
-                r.aggregator_to_aggregator_bytes,
-                r.aggregator_to_querier_bytes, r.all_verified ? 1 : 0,
-                r.mean_relative_error);
+        "sa_bytes,aa_bytes,aq_bytes,verified,rel_err,"
+        "answered,unanswered,partial,coverage,retransmits,lost\n");
+    std::printf(
+        "%s,%u,%u,%u,%u,%.3f,%.3f,%.3f,%.0f,%.0f,%.0f,%d,%.6f,"
+        "%u,%u,%u,%.6f,%llu,%llu\n",
+        r.scheme_name.c_str(), config.num_sources, config.fanout,
+        config.scale_pow10, r.epochs, r.source_cpu_seconds * 1e6,
+        r.aggregator_cpu_seconds * 1e6, r.querier_cpu_seconds * 1e3,
+        r.source_to_aggregator_bytes, r.aggregator_to_aggregator_bytes,
+        r.aggregator_to_querier_bytes, r.all_verified ? 1 : 0,
+        r.mean_relative_error, r.answered_epochs, r.unanswered_epochs,
+        r.partial_epochs, r.mean_coverage,
+        static_cast<unsigned long long>(r.retransmits),
+        static_cast<unsigned long long>(r.lost_messages));
     return 0;
   }
 
@@ -233,13 +254,27 @@ int main(int argc, char** argv) {
               r.aggregator_to_querier_bytes);
   std::printf("all verified      : %s (%u/%u epochs unverified)\n",
               r.all_verified ? "yes" : "NO", r.unverified_epochs, r.epochs);
+  if (config.loss_rate > 0.0) {
+    std::printf("radio loss        : rate %.3f, retries %u: %u answered, "
+                "%u unanswered, %u partial epochs\n",
+                config.loss_rate, config.max_retries, r.answered_epochs,
+                r.unanswered_epochs, r.partial_epochs);
+    std::printf("coverage          : %.4f mean over answered epochs\n",
+                r.mean_coverage);
+    std::printf("link layer        : %llu retransmits, %llu messages lost "
+                "for good\n",
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.lost_messages));
+  }
   if (config.adversary != runner::AdversaryKind::kNone) {
     std::printf("adversary         : %s, %llu events\n", adversary.c_str(),
                 static_cast<unsigned long long>(r.adversary_events));
   }
   std::printf("mean relative err : %.4f%%\n", r.mean_relative_error * 100);
   // Under a deliberate attack, unverified epochs are the expected
-  // outcome, not a failure of the tool.
+  // outcome, not a failure of the tool. Same for radio loss: unanswered
+  // and partial epochs are graceful degradation, and `all_verified`
+  // already covers every answered epoch.
   if (config.adversary != runner::AdversaryKind::kNone) return 0;
   return r.all_verified ? 0 : 1;
 }

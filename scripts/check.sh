@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local check: configure, build, run every test, example, and bench.
 # Usage: scripts/check.sh [--skip-bench] [--sanitize] [--telemetry-smoke]
+#                         [--fault-smoke]
 #   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
 #                      pass below always runs
 #   --sanitize         build + test under ASan/UBSan (-DSIES_SANITIZE=ON) in
@@ -9,17 +10,23 @@
 #                      --metrics-out/--trace-out/--audit-out on a tiny
 #                      topology, outputs validated with python3); the
 #                      smoke also runs as part of the full check
+#   --fault-smoke      ONLY run the fault-injection smoke (sies_sim across
+#                      a loss-rate x adversary matrix; exit codes, CSV
+#                      coverage fields, and audit exports validated); the
+#                      smoke also runs as part of the full check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_BENCH=0
 SANITIZE=0
 TELEMETRY_ONLY=0
+FAULT_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
     --sanitize) SANITIZE=1 ;;
     --telemetry-smoke) TELEMETRY_ONLY=1 ;;
+    --fault-smoke) FAULT_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -56,6 +63,78 @@ PYEOF
   rm -rf "$dir"
 }
 
+# Runs sies_sim across the loss-rate x adversary matrix with the audit
+# trail exported, then validates exit codes and the loss-resilience
+# fields: answered/unanswered/partial bookkeeping, coverage bounds,
+# exact partial sums (rel_err 0), and that pure radio loss is never
+# audited as tampering.
+fault_smoke() {
+  local build="$1" dir rc loss adversary
+  dir="$(mktemp -d)"
+  echo "== fault smoke (loss-rate x adversary matrix) =="
+  for loss in 0 0.3 1.0; do
+    for adversary in none tamper drop; do
+      rc=0
+      "./$build/examples/sies_sim" --scheme=sies --sources=16 --fanout=4 \
+          --epochs=20 --seed=5 --loss-rate="$loss" --max-retries=2 \
+          --adversary="$adversary" --csv \
+          --audit-out="$dir/$loss-$adversary.audit.json" \
+          > "$dir/$loss-$adversary.csv" || rc=$?
+      if [[ $rc -ne 0 ]]; then
+        echo "sies_sim --loss-rate=$loss --adversary=$adversary exited $rc" >&2
+        exit 1
+      fi
+    done
+  done
+  python3 - "$dir" <<'PYEOF'
+import csv, json, sys
+d = sys.argv[1]
+
+def load(loss, adversary):
+    with open(f"{d}/{loss}-{adversary}.csv") as f:
+        row = next(csv.DictReader(f))
+    with open(f"{d}/{loss}-{adversary}.audit.json") as f:
+        kinds = [e["kind"] for e in json.load(f)["events"]]
+    return row, kinds
+
+for loss in ("0", "0.3", "1.0"):
+    for adversary in ("none", "tamper", "drop"):
+        row, kinds = load(loss, adversary)
+        answered, unanswered = int(row["answered"]), int(row["unanswered"])
+        partial, coverage = int(row["partial"]), float(row["coverage"])
+        epochs = int(row["epochs"])
+        label = f"loss={loss} adversary={adversary}"
+        assert answered + unanswered == epochs, label
+        assert 0.0 <= coverage <= 1.0, label
+        if adversary == "none":
+            # Graceful degradation: partial sums verify and stay exact
+            # over their contributor sets at every loss rate.
+            assert int(row["verified"]) == 1, label
+            assert float(row["rel_err"]) == 0.0, label
+            assert "tamper" not in kinds, label
+            assert "verification_failure" not in kinds, label
+        if loss == "0":
+            assert unanswered == 0 and int(row["lost"]) == 0, label
+            assert "radio_loss" not in kinds, label
+        if loss == "0" and adversary == "none":
+            assert coverage == 1.0 and partial == 0, label
+        if loss == "0.3" and adversary == "none":
+            assert partial > 0 and "reported_loss" in kinds, label
+            assert int(row["retransmits"]) > 0, label
+        if loss == "1.0":
+            assert answered == 0 and coverage == 0.0, label
+        if adversary == "tamper" and loss == "0":
+            assert "tamper" in kinds and "verification_failure" in kinds, label
+        if adversary == "drop" and loss == "0":
+            # An in-flight drop is attributed to the adversary and
+            # surfaces as reported loss, never as radio loss.
+            assert "adversary_drop" in kinds, label
+            assert "reported_loss" in kinds, label
+print("fault smoke OK: 9 matrix cells validated")
+PYEOF
+  rm -rf "$dir"
+}
+
 BUILD=build
 EXTRA=()
 if [[ $SANITIZE -eq 1 ]]; then
@@ -69,6 +148,14 @@ if [[ $TELEMETRY_ONLY -eq 1 ]]; then
   cmake --build "$BUILD" --target sies_sim
   telemetry_smoke "$BUILD"
   echo "TELEMETRY SMOKE PASSED"
+  exit 0
+fi
+
+if [[ $FAULT_ONLY -eq 1 ]]; then
+  cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
+  cmake --build "$BUILD" --target sies_sim
+  fault_smoke "$BUILD"
+  echo "FAULT SMOKE PASSED"
   exit 0
 fi
 
@@ -88,6 +175,7 @@ done
     --threads=1 > /dev/null
 
 telemetry_smoke "$BUILD"
+fault_smoke "$BUILD"
 
 echo "== bench smoke (JSON output) =="
 SMOKE_DIR="$(mktemp -d)"

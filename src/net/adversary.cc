@@ -5,7 +5,9 @@ namespace sies::net {
 bool BitFlipAdversary::OnMessage(Message& msg) {
   if (target_.has_value() && msg.from != *target_) return true;
   if (msg.payload.empty()) return true;
-  size_t bit = bit_index_ % (msg.payload.size() * 8);
+  size_t num_bits = msg.payload.size() * 8;
+  size_t bit = bit_index_ % num_bits;
+  if (from_end_) bit = num_bits - 1 - bit;
   msg.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
   ++tampered_;
   return true;

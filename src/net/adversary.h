@@ -29,9 +29,12 @@ class CallbackAdversary : public Adversary {
 class BitFlipAdversary : public Adversary {
  public:
   /// Flips bit `bit_index % (8 * payload size)` of matching payloads.
+  /// With `from_end`, indexes backward from the final payload bit —
+  /// useful to reliably hit the ciphertext of wire payloads that lead
+  /// with a metadata prefix (e.g. the SIES contributor bitmap).
   explicit BitFlipAdversary(std::optional<NodeId> target = std::nullopt,
-                            size_t bit_index = 0)
-      : target_(target), bit_index_(bit_index) {}
+                            size_t bit_index = 0, bool from_end = false)
+      : target_(target), bit_index_(bit_index), from_end_(from_end) {}
   bool OnMessage(Message& msg) override;
 
   /// Number of payloads modified so far.
@@ -40,6 +43,7 @@ class BitFlipAdversary : public Adversary {
  private:
   std::optional<NodeId> target_;
   size_t bit_index_;
+  bool from_end_ = false;
   uint64_t tampered_ = 0;
 };
 

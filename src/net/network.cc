@@ -29,13 +29,23 @@ telemetry::Counter* DropCounter(const char* cause) {
 }  // namespace
 
 Status Network::SetLossRate(double loss_rate, uint64_t seed) {
-  if (loss_rate < 0.0 || loss_rate >= 1.0) {
-    return Status::InvalidArgument("loss rate must be in [0, 1)");
+  if (loss_rate < 0.0 || loss_rate > 1.0) {
+    return Status::InvalidArgument("loss rate must be in [0, 1]");
   }
   loss_rate_ = loss_rate;
   loss_rng_ = loss_rate == 0.0 ? nullptr
                                : std::make_unique<Xoshiro256>(seed);
   return Status::OK();
+}
+
+uint64_t RetryBackoffSlots(uint64_t epoch, NodeId sender, uint32_t attempt) {
+  // splitmix64 finalizer over the (epoch, sender, attempt) triple.
+  uint64_t x = epoch * 0x9E3779B97F4A7C15ull + sender;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull + attempt;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const uint32_t window_bits = attempt < 10 ? attempt : 10;
+  return x & ((uint64_t{1} << window_bits) - 1);
 }
 
 StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
@@ -57,12 +67,50 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
   auto deliver = [&](NodeId from, NodeId to, Bytes payload,
                      EdgeTraffic& traffic) -> bool {
     Message msg{from, to, epoch, std::move(payload)};
-    if (loss_rng_ != nullptr && loss_rng_->NextDouble() < loss_rate_) {
+    const uint64_t wire_size = msg.WireSize();
+
+    // Link layer: radiate, then retry up to max_retries_ times on loss.
+    // Each attempt consumes exactly one loss-RNG draw in serial delivery
+    // order, and backoff is a pure function of (epoch, sender, attempt)
+    // rather than an extra draw, so results are bit-identical for any
+    // thread count and any retry budget shorter than the loss streak.
+    uint32_t attempts = 0;
+    bool delivered = false;
+    do {
+      ++attempts;
+      if (loss_rng_ == nullptr || loss_rng_->NextDouble() >= loss_rate_) {
+        delivered = true;
+        break;
+      }
+      if (attempts <= max_retries_) {
+        report.backoff_slots += RetryBackoffSlots(epoch, from, attempts);
+      }
+    } while (attempts <= max_retries_);
+
+    // The sender radiated every attempt whether or not anything arrived,
+    // so tx bytes and edge-class traffic are charged per attempt; rx is
+    // charged only on actual delivery.
+    traffic.messages += 1;
+    traffic.bytes += wire_size * attempts;
+    traffic.retransmits += attempts - 1;
+    report.retransmits += attempts - 1;
+    retransmits_ += attempts - 1;
+    report.node_tx_bytes[from] += wire_size * attempts;
+    if (attempts > 1) {
+      static telemetry::Counter* retx =
+          telemetry::MetricsRegistry::Global().GetCounter(
+              "sies_net_retransmits_total");
+      retx->Increment(attempts - 1);
+    }
+    if (!delivered) {
+      traffic.undelivered += 1;
       ++lost_messages_;
       static telemetry::Counter* lost = DropCounter("radio_loss");
       lost->Increment();
       audit.Record(telemetry::AuditKind::kRadioLoss, epoch, from,
-                   "message lost on the radio channel");
+                   "message lost on the radio channel after " +
+                       std::to_string(attempts) + " transmission attempt" +
+                       (attempts == 1 ? "" : "s"));
       return false;  // lost on the radio channel
     }
     if (adversary_ != nullptr) {
@@ -76,7 +124,8 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
         dropped->Increment();
         audit.Record(telemetry::AuditKind::kAdversaryDrop, epoch, from,
                      "message dropped in flight by the adversary");
-        return false;  // dropped in flight
+        traffic.undelivered += 1;
+        return false;  // dropped in flight (after the sender radiated)
       }
       if (auditing && msg.payload != original) {
         static telemetry::Counter* tampered =
@@ -87,9 +136,6 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
                      "payload mutated in flight by the adversary");
       }
     }
-    traffic.messages += 1;
-    traffic.bytes += msg.WireSize();
-    report.node_tx_bytes[from] += msg.WireSize();
     if (to != kQuerierId) report.node_rx_bytes[to] += msg.WireSize();
     inbox[from] = std::move(msg.payload);
     return true;
@@ -166,14 +212,32 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
   }
 
   // --- Evaluation phase at the querier. ---
-  auto it = inbox.find(topology_.root());
-  if (it == inbox.end()) {
-    return Status::NotFound("no final payload reached the querier");
-  }
   std::vector<NodeId> participating;
   participating.reserve(topology_.sources().size());
   for (NodeId src : topology_.sources()) {
     if (!failed_sources_.contains(src)) participating.push_back(src);
+  }
+  report.expected_contributors = static_cast<uint32_t>(participating.size());
+
+  static telemetry::Gauge* coverage_gauge =
+      telemetry::MetricsRegistry::Global().GetGauge(
+          "sies_net_coverage_ratio");
+
+  auto it = inbox.find(topology_.root());
+  if (it == inbox.end()) {
+    // Nothing survived the radio/adversary — an unanswered epoch, not a
+    // protocol error. The per-message causes are already in the audit
+    // trail; the runner records the gap and moves on.
+    report.answered = false;
+    report.outcome.verified = false;
+    report.outcome.value = 0.0;
+    report.coverage = 0.0;
+    coverage_gauge->Set(0.0);
+    static telemetry::Counter* unanswered =
+        telemetry::MetricsRegistry::Global().GetCounter(
+            "sies_net_unanswered_epochs_total");
+    unanswered->Increment();
+    return report;
   }
   watch.Restart();
   StatusOr<EvalOutcome> outcome = Status::Internal("evaluate not run");
@@ -186,10 +250,31 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
   eval_hist->Observe(eval_seconds);
   if (!outcome.ok()) return outcome.status();
   report.outcome = std::move(outcome).value();
+  report.contributing_sources =
+      report.outcome.has_contributors
+          ? static_cast<uint32_t>(report.outcome.contributors.size())
+          : report.expected_contributors;
+  report.coverage =
+      report.expected_contributors == 0
+          ? 0.0
+          : static_cast<double>(report.contributing_sources) /
+                static_cast<double>(report.expected_contributors);
+  coverage_gauge->Set(report.coverage);
   if (!report.outcome.verified) {
     audit.Record(telemetry::AuditKind::kVerificationFailure, epoch,
                  telemetry::kAuditNoNode,
                  "querier verification failed for the epoch aggregate");
+  } else if (report.outcome.has_contributors &&
+             report.contributing_sources < report.expected_contributors) {
+    // Verified, but over fewer sources than expected: the contributor
+    // bitmap reported the gap in-band. Degradation of coverage, not an
+    // integrity violation — keep it distinct from kTamper.
+    audit.Record(telemetry::AuditKind::kReportedLoss, epoch,
+                 telemetry::kAuditNoNode,
+                 "verified partial aggregate over " +
+                     std::to_string(report.contributing_sources) + " of " +
+                     std::to_string(report.expected_contributors) +
+                     " expected contributors");
   }
   return report;
 }

@@ -27,6 +27,14 @@ struct EvalOutcome {
   double value = 0.0;    ///< reported aggregate (exact schemes: integer)
   bool verified = true;  ///< integrity/freshness verification result
   bool exact = true;     ///< false for sketch-based (SECOA_S) answers
+  /// True when the protocol reports the contributing-source set in-band
+  /// (SIES contributor bitmaps). When false, the querier had to assume
+  /// the full expected set and `contributors` is meaningless.
+  bool has_contributors = false;
+  /// Sources whose readings reached the final aggregate, per the
+  /// protocol's own report. When verified, `value` is the exact
+  /// aggregate over exactly this set.
+  std::vector<NodeId> contributors;
 };
 
 /// Scheme binding: how one protocol (SIES / CMT / SECOA_S) plugs into the
@@ -75,12 +83,17 @@ class Adversary {
   virtual bool OnMessage(Message& msg) = 0;
 };
 
-/// Byte counters for one edge class.
+/// Byte counters for one edge class. A message is counted when its
+/// sender radiates it — lost and adversary-dropped messages still cost
+/// the sender tx energy — and `bytes` covers every transmission attempt,
+/// so with retransmission bytes > messages × WireSize.
 struct EdgeTraffic {
-  uint64_t messages = 0;
-  uint64_t bytes = 0;
+  uint64_t messages = 0;     ///< logical sends (attempt groups)
+  uint64_t bytes = 0;        ///< radiated bytes, all attempts
+  uint64_t retransmits = 0;  ///< attempts beyond the first
+  uint64_t undelivered = 0;  ///< sends that never reached the receiver
 
-  /// Mean payload bytes per message (0 when idle).
+  /// Mean radiated bytes per logical send (0 when idle).
   double MeanBytes() const {
     return messages == 0 ? 0.0 : static_cast<double>(bytes) / messages;
   }
@@ -89,7 +102,24 @@ struct EdgeTraffic {
 /// Everything measured during one RunEpoch call.
 struct EpochReport {
   uint64_t epoch = 0;
+  /// False when no final payload reached the querier (radio blackout or
+  /// an adversary eating every path): there is nothing to evaluate and
+  /// `outcome` is meaningless. The epoch itself still completed — the
+  /// runner records it as unanswered and moves on.
+  bool answered = true;
   EvalOutcome outcome;
+
+  /// Sources expected to contribute this epoch (live, non-failed).
+  uint32_t expected_contributors = 0;
+  /// Sources that actually reached the aggregate, per the protocol's
+  /// in-band report (== expected for protocols that cannot report).
+  uint32_t contributing_sources = 0;
+  /// contributing_sources ÷ expected_contributors (0 when unanswered).
+  double coverage = 0.0;
+  /// Link-layer retransmission attempts across all edges this epoch.
+  uint64_t retransmits = 0;
+  /// Contention slots spent in retransmission backoff this epoch.
+  uint64_t backoff_slots = 0;
 
   /// CPU per party, aggregated over the epoch.
   CostAccumulator source_cpu;      ///< one sample per live source
@@ -108,6 +138,15 @@ struct EpochReport {
   std::vector<uint64_t> node_rx_bytes;
 };
 
+/// Deterministic binary exponential backoff: the number of contention
+/// slots a sender waits before retransmission attempt `attempt` (1-based
+/// count of retries already failed). A hash of (epoch, sender, attempt)
+/// picks a slot in the window [0, 2^min(attempt,10)), so concurrent
+/// retries desynchronize like a seeded CSMA radio would — without
+/// consuming a loss-RNG draw, which keeps results bit-identical across
+/// thread counts.
+uint64_t RetryBackoffSlots(uint64_t epoch, NodeId sender, uint32_t attempt);
+
 /// The simulator. Owns the topology; borrows protocol and adversary.
 class Network {
  public:
@@ -125,15 +164,29 @@ class Network {
   /// bit-identical to the serial run. The pool must outlive the network.
   void SetThreadPool(common::ThreadPool* pool) { pool_ = pool; }
 
-  /// Enables a lossy radio channel: every message is independently
-  /// dropped with probability `loss_rate` (deterministic per `seed`).
-  /// Unreported losses are indistinguishable from attacks to the querier
-  /// (paper Section IV-B discussion) — the tests demonstrate exactly
-  /// that, which is why real deployments must report failures.
+  /// Enables a lossy radio channel: every transmission attempt is
+  /// independently dropped with probability `loss_rate` (deterministic
+  /// per `seed`). `loss_rate == 1.0` is a total blackout — every epoch
+  /// goes unanswered. The contributor-bitmap wire format reports
+  /// surviving losses in-band, so the querier degrades to verified
+  /// partial sums instead of rejecting the epoch (paper Section IV-B
+  /// assumed out-of-band failure reports).
   Status SetLossRate(double loss_rate, uint64_t seed);
 
-  /// Messages dropped by the loss model so far.
+  /// Bounds link-layer retransmission: after a lost attempt the sender
+  /// retries up to `max_retries` times (0, the default, preserves the
+  /// one-draw-per-message RNG sequence of a retransmission-free radio).
+  /// Backoff is deterministic — retries consume loss-RNG draws in the
+  /// same serial delivery order for any thread count.
+  void SetMaxRetries(uint32_t max_retries) { max_retries_ = max_retries; }
+  uint32_t max_retries() const { return max_retries_; }
+
+  /// Messages the loss model destroyed for good (every retry exhausted);
+  /// retried-then-delivered messages do not count.
   uint64_t lost_messages() const { return lost_messages_; }
+
+  /// Lifetime link-layer retransmission attempts.
+  uint64_t retransmits() const { return retransmits_; }
 
   /// Marks a source as failed: it produces no PSR and is reported to the
   /// querier as non-participating (paper Section IV-B "Discussion").
@@ -142,8 +195,8 @@ class Network {
   void HealAllSources() { failed_sources_.clear(); }
 
   /// Runs the three protocol phases for `epoch` and returns measurements.
-  /// A protocol error aborts the epoch; a verification failure does not
-  /// (it is reported in `outcome.verified`).
+  /// A protocol error aborts the epoch; a verification failure or an
+  /// unanswered epoch does not (see `outcome.verified` and `answered`).
   StatusOr<EpochReport> RunEpoch(AggregationProtocol& protocol,
                                  uint64_t epoch);
 
@@ -153,8 +206,10 @@ class Network {
   common::ThreadPool* pool_ = nullptr;
   std::unordered_set<NodeId> failed_sources_;
   double loss_rate_ = 0.0;
+  uint32_t max_retries_ = 0;
   std::unique_ptr<Xoshiro256> loss_rng_;
   uint64_t lost_messages_ = 0;
+  uint64_t retransmits_ = 0;
 };
 
 }  // namespace sies::net

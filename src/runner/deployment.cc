@@ -16,6 +16,7 @@ class ContinuousDeployment::Protocol : public net::AggregationProtocol {
     for (net::NodeId node : topology.sources()) {
       uint32_t index = static_cast<uint32_t>(sources_.size());
       source_index_[node] = index;
+      source_nodes_.push_back(node);
       sources_.emplace_back(query, params, index,
                             core::KeysForSource(keys, index).value());
     }
@@ -36,18 +37,21 @@ class ContinuousDeployment::Protocol : public net::AggregationProtocol {
 
   StatusOr<net::EvalOutcome> QuerierEvaluate(
       uint64_t epoch, const Bytes& final_payload,
-      const std::vector<net::NodeId>& participating) override {
-    std::vector<uint32_t> indices;
-    indices.reserve(participating.size());
-    for (net::NodeId node : participating) {
-      indices.push_back(source_index_.at(node));
-    }
-    auto outcome = querier_.Evaluate(final_payload, epoch, indices);
+      const std::vector<net::NodeId>& /*participating*/) override {
+    // The participating set comes from the wire envelope's contributor
+    // bitmap (in-band loss reporting), not from simulator-side
+    // knowledge of which sources are live.
+    auto outcome = querier_.Evaluate(final_payload, epoch);
     if (!outcome.ok()) return outcome.status();
     last_result_ = outcome.value().result;
     net::EvalOutcome out;
     out.value = outcome.value().result.value;
     out.verified = outcome.value().verified;
+    out.has_contributors = true;
+    out.contributors.reserve(outcome.value().contributors.size());
+    for (uint32_t index : outcome.value().contributors) {
+      out.contributors.push_back(source_nodes_[index]);
+    }
     return out;
   }
 
@@ -58,6 +62,7 @@ class ContinuousDeployment::Protocol : public net::AggregationProtocol {
   core::QuerierSession querier_;
   workload::TraceGenerator* trace_;
   std::map<net::NodeId, uint32_t> source_index_;
+  std::vector<net::NodeId> source_nodes_;
   std::vector<core::SourceSession> sources_;
   core::QueryResult last_result_;
 };
@@ -126,19 +131,35 @@ Status ContinuousDeployment::RegisterQuery(const core::Query& query) {
   return Status::OK();
 }
 
+Status ContinuousDeployment::SetRadioLoss(double loss_rate,
+                                          uint32_t max_retries,
+                                          uint64_t seed) {
+  SIES_RETURN_IF_ERROR(network_->SetLossRate(loss_rate, seed));
+  network_->SetMaxRetries(max_retries);
+  return Status::OK();
+}
+
 StatusOr<DeploymentEpoch> ContinuousDeployment::RunEpoch(uint64_t epoch) {
   if (!active_query_.has_value()) {
     return Status::FailedPrecondition("no query registered");
   }
   auto report = network_->RunEpoch(*protocol_, epoch);
   if (!report.ok()) return report.status();
+  const net::EpochReport& r = report.value();
   DeploymentEpoch out;
   out.epoch = epoch;
   out.query_id = active_query_->query_id;
-  out.verified = report.value().outcome.verified;
+  out.answered = r.answered;
+  if (!r.answered) {
+    SIES_RETURN_IF_ERROR(log_.RecordUnanswered(epoch));
+    return out;
+  }
+  out.verified = r.outcome.verified;
+  out.contributors = r.contributing_sources;
+  out.coverage = r.coverage;
   out.result = static_cast<Protocol*>(protocol_.get())->last_result();
   SIES_RETURN_IF_ERROR(
-      log_.Record(epoch, out.result.value, out.verified));
+      log_.Record(epoch, out.result.value, out.verified, out.coverage));
   return out;
 }
 

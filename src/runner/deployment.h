@@ -28,6 +28,14 @@ struct DeploymentEpoch {
   uint32_t query_id = 0;
   core::QueryResult result;
   bool verified = false;
+  /// False when no final payload reached the querier (total radio loss
+  /// or adversarial drop): `result` and `verified` carry no information,
+  /// the epoch is logged as unanswered, and the deployment keeps going.
+  bool answered = true;
+  /// Sources covered by the (verified) result, per contributor bitmap.
+  uint32_t contributors = 0;
+  /// contributors ÷ expected live sources (1.0 = lossless epoch).
+  double coverage = 0.0;
 };
 
 /// A long-lived SIES deployment over a simulated network.
@@ -45,7 +53,13 @@ class ContinuousDeployment {
   /// keys. Returns an error if any source rejects the broadcast.
   Status RegisterQuery(const core::Query& query);
 
+  /// Configures the lossy radio and its link-layer retransmission
+  /// budget (see Network::SetLossRate / SetMaxRetries).
+  Status SetRadioLoss(double loss_rate, uint32_t max_retries, uint64_t seed);
+
   /// Runs one epoch of the active query. Fails if no query is active.
+  /// An epoch whose final payload is lost outright is NOT an error: it
+  /// returns `answered == false` and is logged as unanswered.
   StatusOr<DeploymentEpoch> RunEpoch(uint64_t epoch);
 
   /// The querier-side log across all queries and epochs.

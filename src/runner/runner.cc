@@ -58,25 +58,31 @@ StatusOr<Bytes> SiesProtocol::SourceInitialize(net::NodeId id,
   auto index = index_map_.IndexOf(id);
   if (!index.ok()) return index.status();
   uint64_t value = values_(index.value(), epoch);
-  return sources_[index.value()].CreatePsr(value, epoch);
+  return sources_[index.value()].CreateWirePsr(value, epoch);
 }
 
 StatusOr<Bytes> SiesProtocol::AggregatorMerge(
     net::NodeId, uint64_t, const std::vector<Bytes>& children) {
-  return aggregator_.Merge(children);
+  return aggregator_.MergeWire(children);
 }
 
 StatusOr<net::EvalOutcome> SiesProtocol::QuerierEvaluate(
     uint64_t epoch, const Bytes& final_payload,
-    const std::vector<net::NodeId>& participating) {
-  auto indices = index_map_.ToIndices(participating);
-  if (!indices.ok()) return indices.status();
-  auto eval = querier_.Evaluate(final_payload, epoch, indices.value());
+    const std::vector<net::NodeId>& /*participating*/) {
+  // The participating set comes from the wire envelope's contributor
+  // bitmap, not from the simulator's out-of-band knowledge — losses are
+  // reported in-band and the sum verifies over exactly the contributors.
+  auto eval = querier_.EvaluateWire(final_payload, epoch);
   if (!eval.ok()) return eval.status();
   net::EvalOutcome outcome;
   outcome.value = static_cast<double>(eval.value().sum);
   outcome.verified = eval.value().verified;
   outcome.exact = true;
+  outcome.has_contributors = true;
+  outcome.contributors.reserve(eval.value().contributors.size());
+  for (uint32_t index : eval.value().contributors) {
+    outcome.contributors.push_back(index_map_.NodeOf(index));
+  }
   return outcome;
 }
 
@@ -308,6 +314,12 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   network.SetThreadPool(&pool);
   protocol->SetThreadPool(&pool);
 
+  if (config.loss_rate > 0.0) {
+    Status loss = network.SetLossRate(config.loss_rate, config.seed);
+    if (!loss.ok()) return loss;
+    network.SetMaxRetries(config.max_retries);
+  }
+
   // Built-in attack, if requested. The concrete adversary also keeps its
   // own event count, surfaced as `adversary_events` so callers can check
   // it against the audit trail.
@@ -318,7 +330,14 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     case AdversaryKind::kNone:
       break;
     case AdversaryKind::kTamper:
-      bitflip = std::make_unique<net::BitFlipAdversary>();
+      // Flip the trailing payload bit: always inside the ciphertext
+      // (SIES wire payloads lead with the contributor bitmap, and
+      // flipping the same bitmap bit on every edge of an even-depth
+      // tree cancels out through the OR-merges), and low-order, so the
+      // tampered PSR stays a residue and is rejected by verification
+      // rather than aborting as malformed.
+      bitflip = std::make_unique<net::BitFlipAdversary>(
+          std::nullopt, /*bit_index=*/0, /*from_end=*/true);
       network.SetAdversary(bitflip.get());
       break;
     case AdversaryKind::kReplay:
@@ -343,9 +362,15 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       telemetry::MetricsRegistry::Global().GetCounter(
           "sies_epochs_unverified_total");
 
+  // Maps the contributor NodeIds a protocol reports back to trace
+  // indices so partial sums can be checked against the exact sum over
+  // exactly the contributing subset.
+  SourceIndexMap source_map(network.topology());
+
   CostAccumulator src, agg, qry;
   net::EdgeTraffic sa, aa, aq;
   double error_sum = 0.0;
+  double coverage_sum = 0.0;
   for (uint64_t epoch = 1; epoch <= config.epochs; ++epoch) {
     telemetry::ScopedSpan span("epoch", "runner", epoch);
     auto report = network.RunEpoch(*protocol, epoch);
@@ -361,17 +386,40 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     aa.bytes += r.aggregator_to_aggregator.bytes;
     aq.messages += r.aggregator_to_querier.messages;
     aq.bytes += r.aggregator_to_querier.bytes;
+    result.retransmits += r.retransmits;
+    if (!r.answered) {
+      // Graceful degradation: the epoch was swallowed by the radio or
+      // the adversary. Record the gap and keep the deployment going.
+      ++result.unanswered_epochs;
+      continue;
+    }
+    ++result.answered_epochs;
+    coverage_sum += r.coverage;
+    if (r.outcome.verified && r.coverage < 1.0) ++result.partial_epochs;
     result.all_verified = result.all_verified && r.outcome.verified;
     if (!r.outcome.verified) {
       ++result.unverified_epochs;
       epochs_unverified->Increment();
     }
 
-    workload::EpochSnapshot snap = Snapshot(*trace, epoch);
-    if (snap.exact_sum > 0) {
-      error_sum += std::abs(r.outcome.value -
-                            static_cast<double>(snap.exact_sum)) /
-                   static_cast<double>(snap.exact_sum);
+    if (r.outcome.has_contributors) {
+      uint64_t exact = 0;
+      for (net::NodeId node : r.outcome.contributors) {
+        auto index = source_map.IndexOf(node);
+        if (!index.ok()) return index.status();
+        exact += trace->ValueAt(index.value(), epoch);
+      }
+      if (exact > 0) {
+        error_sum += std::abs(r.outcome.value - static_cast<double>(exact)) /
+                     static_cast<double>(exact);
+      }
+    } else {
+      workload::EpochSnapshot snap = Snapshot(*trace, epoch);
+      if (snap.exact_sum > 0) {
+        error_sum += std::abs(r.outcome.value -
+                              static_cast<double>(snap.exact_sum)) /
+                     static_cast<double>(snap.exact_sum);
+      }
     }
   }
   auto spread = [](const CostAccumulator& acc) {
@@ -390,7 +438,13 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   if (bitflip != nullptr) result.adversary_events = bitflip->tampered_count();
   if (replay != nullptr) result.adversary_events = replay->replayed_count();
   if (drop != nullptr) result.adversary_events = drop->dropped_count();
-  result.mean_relative_error = error_sum / config.epochs;
+  result.lost_messages = network.lost_messages();
+  result.mean_coverage = result.answered_epochs == 0
+                             ? 0.0
+                             : coverage_sum / result.answered_epochs;
+  result.mean_relative_error =
+      result.answered_epochs == 0 ? 0.0
+                                  : error_sum / result.answered_epochs;
   return result;
 }
 

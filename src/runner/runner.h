@@ -184,6 +184,11 @@ struct ExperimentConfig {
   /// changes. (Per-party CPU figures are measured per call and therefore
   /// unaffected by the fan-out.)
   uint32_t threads = 0;
+  /// Radio loss probability per transmission attempt, in [0, 1]
+  /// (deterministic per `seed`; 1.0 = total blackout).
+  double loss_rate = 0.0;
+  /// Link-layer retransmission budget per message (0 = no retries).
+  uint32_t max_retries = 0;
   size_t rsa_modulus_bits = 1024;  ///< SECOA SEAL modulus
   /// SECOA RSA public exponent. One-way chains want the cheapest
   /// permutation, so e=3 (the paper's C_RSA = 5.36 us is consistent with
@@ -216,14 +221,31 @@ struct ExperimentResult {
   double source_to_aggregator_bytes = 0;
   double aggregator_to_aggregator_bytes = 0;
   double aggregator_to_querier_bytes = 0;
-  /// All epochs verified (exact schemes) / estimate within bound.
+  /// All answered epochs verified (exact schemes) / estimate within
+  /// bound. Unanswered epochs are loss, not tampering — tracked below.
   bool all_verified = true;
-  /// Epochs whose outcome failed verification.
+  /// Answered epochs whose outcome failed verification.
   uint32_t unverified_epochs = 0;
+  /// Epochs whose final payload reached the querier at all.
+  uint32_t answered_epochs = 0;
+  /// Epochs that went entirely unanswered (blackout / total drop).
+  uint32_t unanswered_epochs = 0;
+  /// Answered+verified epochs that covered fewer sources than expected
+  /// (the contributor bitmap reported radio loss in-band).
+  uint32_t partial_epochs = 0;
+  /// Mean contributor coverage over answered epochs (1.0 = lossless).
+  double mean_coverage = 1.0;
+  /// Link-layer retransmission attempts across the experiment.
+  uint64_t retransmits = 0;
+  /// Messages destroyed for good by the loss model (retries exhausted).
+  uint64_t lost_messages = 0;
   /// Messages the configured adversary tampered with, replayed, or
   /// dropped (0 when `config.adversary == kNone`).
   uint64_t adversary_events = 0;
-  /// Mean |reported - exact| / exact over epochs.
+  /// Mean |reported - exact| / exact over answered epochs, where "exact"
+  /// is the trace sum over the epoch's reported contributor set when the
+  /// protocol reports one — a verified partial SUM is exact over its
+  /// contributors, so SIES keeps zero error under loss.
   double mean_relative_error = 0;
 };
 

@@ -38,4 +38,24 @@ StatusOr<Bytes> Aggregator::Merge(const std::vector<Bytes>& child_psrs) const {
   return SerializePsr(params_, sum);
 }
 
+StatusOr<Bytes> Aggregator::MergeWire(
+    const std::vector<Bytes>& child_payloads) const {
+  if (child_payloads.empty()) {
+    return Status::InvalidArgument("nothing to merge");
+  }
+  ContributorBitmap bitmap(params_.num_sources);
+  std::vector<Bytes> psrs;
+  psrs.reserve(child_payloads.size());
+  for (const Bytes& child : child_payloads) {
+    auto parsed = ParseWirePayload(params_, child, params_.PsrBytes());
+    if (!parsed.ok()) return parsed.status();
+    Status merged = bitmap.OrWith(parsed.value().bitmap);
+    if (!merged.ok()) return merged;
+    psrs.push_back(std::move(parsed.value().body));
+  }
+  auto sum = Merge(psrs);
+  if (!sum.ok()) return sum.status();
+  return SerializeWirePayload(params_, bitmap, sum.value());
+}
+
 }  // namespace sies::core

@@ -24,6 +24,11 @@ class Aggregator {
   /// Cost profile (paper Eq. 6): (F-1) 32-byte modular additions.
   StatusOr<Bytes> Merge(const std::vector<Bytes>& child_psrs) const;
 
+  /// Merging phase over wire envelopes: ORs the children's contributor
+  /// bitmaps and sums their ciphertexts, producing one merged envelope.
+  /// Adds ⌈N/8⌉ bytewise ORs per child to the Eq. 6 cost profile.
+  StatusOr<Bytes> MergeWire(const std::vector<Bytes>& child_payloads) const;
+
   const Params& params() const { return params_; }
 
  private:

@@ -1,0 +1,47 @@
+#include "sies/contributor_bitmap.h"
+
+#include <bit>
+
+namespace sies::core {
+
+uint32_t ContributorBitmap::Count() const {
+  uint32_t count = 0;
+  for (uint8_t byte : bits_) count += std::popcount(byte);
+  return count;
+}
+
+std::vector<uint32_t> ContributorBitmap::Indices() const {
+  std::vector<uint32_t> indices;
+  indices.reserve(Count());
+  for (size_t byte = 0; byte < bits_.size(); ++byte) {
+    uint8_t b = bits_[byte];
+    while (b != 0) {
+      int bit = std::countr_zero(b);
+      indices.push_back(static_cast<uint32_t>(8 * byte + bit));
+      b = static_cast<uint8_t>(b & (b - 1));
+    }
+  }
+  return indices;
+}
+
+StatusOr<ContributorBitmap> ContributorBitmap::Parse(uint32_t num_sources,
+                                                     const uint8_t* data,
+                                                     size_t size) {
+  if (size != WidthBytes(num_sources)) {
+    return Status::InvalidArgument("contributor bitmap has wrong width");
+  }
+  ContributorBitmap bitmap(num_sources);
+  std::copy(data, data + size, bitmap.bits_.begin());
+  // Bits past N-1 name sources that do not exist and carry no meaning.
+  // Mask them instead of rejecting: a corrupted padding bit must not
+  // abort an epoch (it cannot change the participating set, and any
+  // flip of a VALID bit still fails the querier's share-sum check).
+  if (num_sources % 8 != 0 && size > 0) {
+    uint8_t valid_mask =
+        static_cast<uint8_t>(0xFFu >> (8 - num_sources % 8));
+    bitmap.bits_.back() &= valid_mask;
+  }
+  return bitmap;
+}
+
+}  // namespace sies::core

@@ -1,0 +1,92 @@
+// ContributorBitmap: the loss-reporting extension of the SIES wire
+// format (see DESIGN.md "Contributor bitmaps").
+//
+// The querier's verification needs the EXACT set of sources whose PSRs
+// reached the sink (paper Section V: it recomputes Σ k_{i,t} and
+// Σ ss_{i,t} over the participating set). The paper assumes failures are
+// reported out of band; over a real lossy channel nobody is around to
+// report a dropped radio frame, so every wire payload carries a
+// ⌈N/8⌉-byte bitmap with one bit per logical source: a source sets its
+// own bit, aggregators OR their children's bitmaps while summing the
+// ciphertexts, and the querier reads the final bitmap as the
+// participating set. The bitmap is NOT trusted — a flipped bit changes
+// the share sum the querier expects and verification fails — it only
+// tells the querier which subset to verify against.
+#ifndef SIES_SIES_CONTRIBUTOR_BITMAP_H_
+#define SIES_SIES_CONTRIBUTOR_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sies::core {
+
+/// Fixed-width set of contributing source indices [0, N). Bit i lives at
+/// byte i/8, bit position i%8 (LSB-first), so widths are ⌈N/8⌉ bytes and
+/// the bits past N-1 in the last byte are always zero.
+class ContributorBitmap {
+ public:
+  /// An empty (all-zero) bitmap over `num_sources` sources.
+  explicit ContributorBitmap(uint32_t num_sources)
+      : num_sources_(num_sources), bits_(WidthBytes(num_sources), 0) {}
+
+  /// Wire width for N sources: ⌈N/8⌉ bytes.
+  static size_t WidthBytes(uint32_t num_sources) {
+    return (static_cast<size_t>(num_sources) + 7) / 8;
+  }
+
+  uint32_t num_sources() const { return num_sources_; }
+
+  /// Marks source `index` as contributing.
+  Status Set(uint32_t index) {
+    if (index >= num_sources_) {
+      return Status::OutOfRange("bitmap index out of range");
+    }
+    bits_[index / 8] |= static_cast<uint8_t>(1u << (index % 8));
+    return Status::OK();
+  }
+
+  /// True when source `index` is marked as contributing.
+  bool Test(uint32_t index) const {
+    return index < num_sources_ &&
+           (bits_[index / 8] >> (index % 8)) & 1u;
+  }
+
+  /// Merges `other` into this bitmap (aggregator OR-merge). Widths must
+  /// match: children of one tree always describe the same source set.
+  Status OrWith(const ContributorBitmap& other) {
+    if (other.num_sources_ != num_sources_) {
+      return Status::InvalidArgument("bitmap width mismatch in OR-merge");
+    }
+    for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+    return Status::OK();
+  }
+
+  /// Number of contributing sources.
+  uint32_t Count() const;
+
+  /// Contributing source indices in increasing order.
+  std::vector<uint32_t> Indices() const;
+
+  /// The raw ⌈N/8⌉ wire bytes.
+  const Bytes& bytes() const { return bits_; }
+
+  /// Parses `size` bytes at `data` as a bitmap over `num_sources`
+  /// sources. Fails on a width mismatch; padding bits past N-1 are
+  /// masked off (they carry no meaning, and a corrupted padding bit
+  /// must not abort an epoch).
+  static StatusOr<ContributorBitmap> Parse(uint32_t num_sources,
+                                           const uint8_t* data, size_t size);
+
+  bool operator==(const ContributorBitmap&) const = default;
+
+ private:
+  uint32_t num_sources_;
+  Bytes bits_;
+};
+
+}  // namespace sies::core
+
+#endif  // SIES_SIES_CONTRIBUTOR_BITMAP_H_

@@ -66,14 +66,54 @@ StatusOr<Bytes> SerializePsr(const Params& params,
 }
 
 StatusOr<crypto::BigUint> ParsePsr(const Params& params, const Bytes& psr) {
-  if (psr.size() != params.PsrBytes()) {
+  return ParsePsr(params, psr.data(), psr.size());
+}
+
+StatusOr<crypto::BigUint> ParsePsr(const Params& params, const uint8_t* data,
+                                   size_t size) {
+  if (size != params.PsrBytes()) {
     return Status::InvalidArgument("PSR has wrong width");
   }
-  crypto::BigUint c = crypto::BigUint::FromBytes(psr);
+  crypto::BigUint c = crypto::BigUint::FromBytes(data, size);
   if (c >= params.prime) {
     return Status::InvalidArgument("PSR is not a residue mod p");
   }
   return c;
+}
+
+size_t WireBitmapBytes(const Params& params) {
+  return ContributorBitmap::WidthBytes(params.num_sources);
+}
+
+size_t WirePsrBytes(const Params& params) {
+  return WireBitmapBytes(params) + params.PsrBytes();
+}
+
+StatusOr<Bytes> SerializeWirePayload(const Params& params,
+                                     const ContributorBitmap& bitmap,
+                                     const Bytes& body) {
+  if (bitmap.num_sources() != params.num_sources) {
+    return Status::InvalidArgument("contributor bitmap has wrong width");
+  }
+  Bytes wire;
+  wire.reserve(bitmap.bytes().size() + body.size());
+  wire.insert(wire.end(), bitmap.bytes().begin(), bitmap.bytes().end());
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+StatusOr<WirePayload> ParseWirePayload(const Params& params,
+                                       const Bytes& wire,
+                                       size_t expected_body_bytes) {
+  const size_t bitmap_bytes = WireBitmapBytes(params);
+  if (wire.size() != bitmap_bytes + expected_body_bytes) {
+    return Status::InvalidArgument("wire payload has wrong width");
+  }
+  auto bitmap =
+      ContributorBitmap::Parse(params.num_sources, wire.data(), bitmap_bytes);
+  if (!bitmap.ok()) return bitmap.status();
+  return WirePayload{std::move(bitmap).value(),
+                     Bytes(wire.begin() + bitmap_bytes, wire.end())};
 }
 
 StatusOr<crypto::U256> PackMessageFp(const Params& params, uint64_t value,
@@ -126,10 +166,15 @@ crypto::U256 DecryptFp(const crypto::Fp256& fp, const crypto::U256& ciphertext,
 
 StatusOr<crypto::U256> ParsePsrFp(const Params& params,
                                   const crypto::Fp256& fp, const Bytes& psr) {
-  if (psr.size() != params.PsrBytes()) {
+  return ParsePsrFp(params, fp, psr.data(), psr.size());
+}
+
+StatusOr<crypto::U256> ParsePsrFp(const Params& params, const crypto::Fp256& fp,
+                                  const uint8_t* data, size_t size) {
+  if (size != params.PsrBytes()) {
     return Status::InvalidArgument("PSR has wrong width");
   }
-  crypto::U256 c = crypto::U256::FromBytesBE(psr.data(), psr.size());
+  crypto::U256 c = crypto::U256::FromBytesBE(data, size);
   if (c.Compare(fp.prime_u256()) >= 0) {
     return Status::InvalidArgument("PSR is not a residue mod p");
   }

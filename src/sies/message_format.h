@@ -11,6 +11,7 @@
 #ifndef SIES_SIES_MESSAGE_FORMAT_H_
 #define SIES_SIES_MESSAGE_FORMAT_H_
 
+#include "sies/contributor_bitmap.h"
 #include "sies/params.h"
 
 namespace sies::core {
@@ -59,6 +60,48 @@ StatusOr<Bytes> SerializePsr(const Params& params,
 /// Parses a PSR. Fails on wrong width or a value >= p.
 StatusOr<crypto::BigUint> ParsePsr(const Params& params, const Bytes& psr);
 
+/// In-place overload: parses `size` PSR bytes at `data` without copying
+/// (wire envelopes evaluate their body straight out of the payload).
+StatusOr<crypto::BigUint> ParsePsr(const Params& params, const uint8_t* data,
+                                   size_t size);
+
+// --- Loss-reporting wire envelope -----------------------------------------
+//
+// wire payload = [contributor bitmap (⌈N/8⌉ bytes)][body], where the
+// body is one ciphertext PSR (the simulator protocol) or the
+// concatenated per-channel PSRs of a session payload. A source sets its
+// own bit, aggregators OR their children's bitmaps while summing
+// ciphertexts, and the querier reads the final bitmap as the
+// participating set — so radio losses are reported in-band instead of
+// making every lossy epoch fail verification. The bitmap itself is not
+// trusted: flipping any bit changes the share subset the querier checks
+// against, and the share-sum test fails (DESIGN.md, "Contributor
+// bitmaps").
+
+/// Bitmap width of the wire envelope: ⌈N/8⌉ bytes.
+size_t WireBitmapBytes(const Params& params);
+
+/// Single-channel wire PSR width: WireBitmapBytes + PsrBytes.
+size_t WirePsrBytes(const Params& params);
+
+/// Concatenates [bitmap ‖ body]. Fails on a bitmap/params width
+/// mismatch.
+StatusOr<Bytes> SerializeWirePayload(const Params& params,
+                                     const ContributorBitmap& bitmap,
+                                     const Bytes& body);
+
+/// A parsed wire envelope.
+struct WirePayload {
+  ContributorBitmap bitmap;
+  Bytes body;
+};
+
+/// Splits a wire payload back into bitmap and body; the body must be
+/// exactly `expected_body_bytes` wide (PsrBytes per channel).
+StatusOr<WirePayload> ParseWirePayload(const Params& params,
+                                       const Bytes& wire,
+                                       size_t expected_body_bytes);
+
 // --- Fixed-width fast path ------------------------------------------------
 //
 // Mirrors of the operations above over crypto::U256, used by every party
@@ -96,6 +139,10 @@ crypto::U256 DecryptFp(const crypto::Fp256& fp, const crypto::U256& ciphertext,
 /// Fast-path ParsePsr (width + residue checks, same error messages).
 StatusOr<crypto::U256> ParsePsrFp(const Params& params,
                                   const crypto::Fp256& fp, const Bytes& psr);
+
+/// In-place overload of the fast-path parse (see ParsePsr above).
+StatusOr<crypto::U256> ParsePsrFp(const Params& params, const crypto::Fp256& fp,
+                                  const uint8_t* data, size_t size);
 
 }  // namespace sies::core
 

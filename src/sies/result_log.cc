@@ -4,20 +4,35 @@
 
 namespace sies::core {
 
-Status ResultLog::Record(uint64_t epoch, double value, bool verified) {
+Status ResultLog::Append(EpochRecord record) {
   if (last_epoch_.has_value()) {
-    if (epoch <= *last_epoch_) {
+    if (record.epoch <= *last_epoch_) {
       return Status::InvalidArgument(
           "epochs must be recorded in increasing order");
     }
-    missed_ += epoch - *last_epoch_ - 1;
+    missed_ += record.epoch - *last_epoch_ - 1;
   }
-  last_epoch_ = epoch;
+  last_epoch_ = record.epoch;
   ++recorded_;
-  if (!verified) ++rejected_;
-  recent_.push_back(EpochRecord{epoch, value, verified});
+  if (record.answered && !record.verified) ++rejected_;
+  if (!record.answered) ++unanswered_;
+  if (record.answered && record.verified && record.coverage < 1.0) {
+    ++partial_;
+  }
+  recent_.push_back(record);
   while (recent_.size() > window_) recent_.pop_front();
   return Status::OK();
+}
+
+Status ResultLog::Record(uint64_t epoch, double value, bool verified,
+                         double coverage) {
+  return Append(EpochRecord{epoch, value, verified, /*answered=*/true,
+                            coverage});
+}
+
+Status ResultLog::RecordUnanswered(uint64_t epoch) {
+  return Append(EpochRecord{epoch, 0.0, /*verified=*/false,
+                            /*answered=*/false, /*coverage=*/0.0});
 }
 
 std::optional<double> ResultLog::LastVerified() const {
@@ -47,12 +62,17 @@ RollingStats ResultLog::Stats() const {
 }
 
 bool ResultLog::UnderAttack(double threshold) const {
-  if (recent_.empty()) return false;
+  // Only answered-but-rejected epochs look like tampering; unanswered
+  // ones are loss/DoS and tracked by unanswered_epochs() instead.
+  size_t answered = 0;
   size_t rejected = 0;
   for (const EpochRecord& rec : recent_) {
+    if (!rec.answered) continue;
+    ++answered;
     if (!rec.verified) ++rejected;
   }
-  return static_cast<double>(rejected) / recent_.size() > threshold;
+  if (answered == 0) return false;
+  return static_cast<double>(rejected) / answered > threshold;
 }
 
 }  // namespace sies::core

@@ -13,56 +13,73 @@ std::vector<Channel> ActiveChannels(const Query& query) {
 
 StatusOr<Bytes> SourceSession::CreatePayload(const SensorReading& reading,
                                              uint64_t epoch) const {
-  Bytes payload;
+  Bytes body;
   for (Channel ch : ActiveChannels(query_)) {
     auto value = ChannelValue(query_, ch, reading);
     if (!value.ok()) return value.status();
     auto psr = source_.CreatePsr(value.value(), SaltedEpoch(epoch, query_.query_id, ch));
     if (!psr.ok()) return psr.status();
-    payload.insert(payload.end(), psr.value().begin(), psr.value().end());
+    body.insert(body.end(), psr.value().begin(), psr.value().end());
   }
-  return payload;
+  ContributorBitmap bitmap(source_.params().num_sources);
+  Status set = bitmap.Set(source_.index());
+  if (!set.ok()) return set;
+  return SerializeWirePayload(source_.params(), bitmap, body);
 }
 
 StatusOr<Bytes> AggregatorSession::Merge(
     const std::vector<Bytes>& children) const {
   if (children.empty()) return Status::InvalidArgument("nothing to merge");
-  const size_t width = aggregator_.params().PsrBytes();
+  const Params& params = aggregator_.params();
+  const size_t width = params.PsrBytes();
   const size_t channels = ActiveChannels(query_).size();
-  const size_t expected = channels * width;
-  Bytes merged;
-  merged.reserve(expected);
+  const size_t expected_body = channels * width;
+  ContributorBitmap bitmap(params.num_sources);
+  std::vector<Bytes> bodies;
+  bodies.reserve(children.size());
+  for (const Bytes& child : children) {
+    auto parsed = ParseWirePayload(params, child, expected_body);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("multi-channel payload width "
+                                     "mismatch");
+    }
+    Status merged = bitmap.OrWith(parsed.value().bitmap);
+    if (!merged.ok()) return merged;
+    bodies.push_back(std::move(parsed.value().body));
+  }
+  Bytes merged_body;
+  merged_body.reserve(expected_body);
   for (size_t ch = 0; ch < channels; ++ch) {
     std::vector<Bytes> slices;
-    slices.reserve(children.size());
-    for (const Bytes& child : children) {
-      if (child.size() != expected) {
-        return Status::InvalidArgument("multi-channel payload width "
-                                       "mismatch");
-      }
-      slices.emplace_back(child.begin() + ch * width,
-                          child.begin() + (ch + 1) * width);
+    slices.reserve(bodies.size());
+    for (const Bytes& body : bodies) {
+      slices.emplace_back(body.begin() + ch * width,
+                          body.begin() + (ch + 1) * width);
     }
     auto psr = aggregator_.Merge(slices);
     if (!psr.ok()) return psr.status();
-    merged.insert(merged.end(), psr.value().begin(), psr.value().end());
+    merged_body.insert(merged_body.end(), psr.value().begin(),
+                       psr.value().end());
   }
-  return merged;
+  return SerializeWirePayload(params, bitmap, merged_body);
 }
 
 StatusOr<QuerierSession::Outcome> QuerierSession::Evaluate(
-    const Bytes& final_payload, uint64_t epoch,
-    const std::vector<uint32_t>& participating) const {
-  const size_t width = querier_.params().PsrBytes();
+    const Bytes& final_payload, uint64_t epoch) const {
+  const Params& params = querier_.params();
+  const size_t width = params.PsrBytes();
   std::vector<Channel> channels = ActiveChannels(query_);
-  if (final_payload.size() != channels.size() * width) {
+  auto parsed =
+      ParseWirePayload(params, final_payload, channels.size() * width);
+  if (!parsed.ok()) {
     return Status::InvalidArgument("multi-channel payload width mismatch");
   }
+  const Bytes& body = parsed.value().body;
+  std::vector<uint32_t> participating = parsed.value().bitmap.Indices();
   uint64_t sum = 0, sum_squares = 0, count = 0;
   bool verified = true;
   for (size_t i = 0; i < channels.size(); ++i) {
-    Bytes slice(final_payload.begin() + i * width,
-                final_payload.begin() + (i + 1) * width);
+    Bytes slice(body.begin() + i * width, body.begin() + (i + 1) * width);
     auto eval =
         querier_.Evaluate(slice, SaltedEpoch(epoch, query_.query_id, channels[i]),
                           participating);
@@ -82,6 +99,12 @@ StatusOr<QuerierSession::Outcome> QuerierSession::Evaluate(
   }
   Outcome outcome;
   outcome.verified = verified;
+  outcome.contributors = std::move(participating);
+  outcome.coverage =
+      params.num_sources == 0
+          ? 0.0
+          : static_cast<double>(outcome.contributors.size()) /
+                static_cast<double>(params.num_sources);
   if (!verified) return outcome;  // result is meaningless if unverified
   // COUNT-dependent aggregates over zero matches report value 0.
   if (count == 0 && query_.aggregate != Aggregate::kSum &&

@@ -5,6 +5,13 @@
 // continuous query per epoch and concatenate their fixed-width PSRs into
 // a single payload, so aggregate queries beyond plain SUM (COUNT, AVG,
 // VARIANCE, STDDEV) are one call at each party.
+//
+// Payloads travel in the loss-reporting wire envelope
+// [contributor bitmap ‖ PSR_ch0 ‖ PSR_ch1 ‖ ...]: one ⌈N/8⌉-byte bitmap
+// covers all channels (they share fate on the radio), and the querier
+// derives the participating set from it instead of being told
+// out-of-band — so a lossy epoch degrades to a verified partial result
+// over exactly the sources that contributed.
 #ifndef SIES_SIES_SESSION_H_
 #define SIES_SIES_SESSION_H_
 
@@ -28,7 +35,8 @@ class SourceSession {
         source_(std::move(params), index, std::move(keys)) {}
 
   /// Initialization phase for this epoch: one fixed-width PSR per active
-  /// channel, concatenated. Payload width = channels * PsrBytes().
+  /// channel, concatenated behind this source's contributor bitmap.
+  /// Payload width = WireBitmapBytes() + channels * PsrBytes().
   StatusOr<Bytes> CreatePayload(const SensorReading& reading,
                                 uint64_t epoch) const;
 
@@ -45,7 +53,8 @@ class AggregatorSession {
   AggregatorSession(Query query, Params params)
       : query_(std::move(query)), aggregator_(std::move(params)) {}
 
-  /// Merges multi-channel payloads (all must have the same width).
+  /// Merges multi-channel wire payloads (all must have the same width):
+  /// ORs the bitmaps, sums each channel's ciphertexts.
   StatusOr<Bytes> Merge(const std::vector<Bytes>& children) const;
 
  private:
@@ -64,12 +73,16 @@ class QuerierSession {
   struct Outcome {
     QueryResult result;
     bool verified = false;  ///< all channels verified
+    /// Bitmap-derived contributing source indices, increasing. When
+    /// verified, `result` is the exact aggregate over exactly this set.
+    std::vector<uint32_t> contributors;
+    double coverage = 0.0;  ///< contributors ÷ N
   };
 
-  /// Evaluation phase over the final multi-channel payload.
-  StatusOr<Outcome> Evaluate(const Bytes& final_payload, uint64_t epoch,
-                             const std::vector<uint32_t>& participating)
-      const;
+  /// Evaluation phase over the final multi-channel wire payload. The
+  /// participating set comes from the envelope's contributor bitmap.
+  StatusOr<Outcome> Evaluate(const Bytes& final_payload,
+                             uint64_t epoch) const;
 
  private:
   Query query_;

@@ -27,6 +27,12 @@ class Source {
   /// 32-byte modular multiplication and one addition.
   StatusOr<Bytes> CreatePsr(uint64_t value, uint64_t epoch) const;
 
+  /// Like CreatePsr, but wrapped in the loss-reporting wire envelope
+  /// [contributor bitmap ‖ PSR] with only this source's bit set (see
+  /// message_format.h). This is what goes on the radio; the bare PSR
+  /// remains for paper-exact benchmarks.
+  StatusOr<Bytes> CreateWirePsr(uint64_t value, uint64_t epoch) const;
+
   /// Optional: share an EpochKeyCache with co-located sources so K_t is
   /// derived once per epoch instead of once per source. The simulator's
   /// SiesProtocol wires one cache into all N sources; a real deployment

@@ -14,6 +14,8 @@ const char* AuditKindName(AuditKind kind) {
       return "radio_loss";
     case AuditKind::kVerificationFailure:
       return "verification_failure";
+    case AuditKind::kReportedLoss:
+      return "reported_loss";
     case AuditKind::kFreshnessViolation:
       return "freshness_violation";
     case AuditKind::kAuthFailure:

@@ -27,12 +27,16 @@ namespace sies::telemetry {
 /// What happened. kTamper/kAdversaryDrop are attributed by the network
 /// (payload byte-compare around the adversary hook); kRadioLoss by the
 /// loss model; kVerificationFailure by the querier outcome;
-/// kFreshnessViolation / kAuthFailure by μTesla receivers.
+/// kReportedLoss when a verified epoch covered fewer contributors than
+/// expected (the contributor bitmap reported the gap in-band — graceful
+/// degradation, not tampering); kFreshnessViolation / kAuthFailure by
+/// μTesla receivers.
 enum class AuditKind {
   kTamper,
   kAdversaryDrop,
   kRadioLoss,
   kVerificationFailure,
+  kReportedLoss,
   kFreshnessViolation,
   kAuthFailure,
 };

@@ -9,6 +9,7 @@
 #include "net/adversary.h"
 #include "runner/deployment.h"
 #include "runner/runner.h"
+#include "sies/message_format.h"
 #include "sies/provisioning.h"
 
 namespace sies::runner {
@@ -62,21 +63,17 @@ TEST(FullStackTest, LifecycleAcrossAllLayers) {
   EXPECT_TRUE(deployment.RunEpoch(5).value().verified);
   deployment.network().HealAllSources();
 
-  // --- Epoch 6+: lossy radio; silent loss never yields a wrong
-  // --- accepted sum. ---
+  // --- Epoch 6+: lossy radio; every answered epoch verifies over the
+  // --- contributor set it declares, and loss shows up as coverage. ---
   ASSERT_TRUE(deployment.network().SetLossRate(0.2, kSeed).ok());
   int clean = 0;
   for (uint64_t epoch = 6; epoch <= 12; ++epoch) {
-    uint64_t lost_before = deployment.network().lost_messages();
     auto out = deployment.RunEpoch(epoch);
-    if (!out.ok()) continue;  // the final PSR itself was lost
-    bool lossy = deployment.network().lost_messages() > lost_before;
-    if (lossy) {
-      EXPECT_FALSE(out.value().verified) << "epoch " << epoch;
-    } else {
-      EXPECT_TRUE(out.value().verified) << "epoch " << epoch;
-      ++clean;
-    }
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    if (!out.value().answered) continue;  // the final payload was lost
+    EXPECT_TRUE(out.value().verified) << "epoch " << epoch;
+    EXPECT_EQ(out.value().contributors == kN, out.value().coverage == 1.0);
+    if (out.value().coverage == 1.0) ++clean;
   }
   ASSERT_TRUE(deployment.network().SetLossRate(0.0, kSeed).ok());
 
@@ -123,8 +120,10 @@ TEST_P(PrimeWidthEndToEnd, FullNetworkExactAtWidth) {
     EXPECT_TRUE(report.outcome.verified) << bits << " bits";
     EXPECT_EQ(report.outcome.value,
               static_cast<double>(Snapshot(trace, epoch).exact_sum));
-    EXPECT_DOUBLE_EQ(report.source_to_aggregator.MeanBytes(),
-                     static_cast<double>((bits + 7) / 8));
+    EXPECT_DOUBLE_EQ(
+        report.source_to_aggregator.MeanBytes(),
+        static_cast<double>((bits + 7) / 8 +
+                            core::WireBitmapBytes(params)));
   }
 }
 

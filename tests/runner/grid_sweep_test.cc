@@ -1,7 +1,8 @@
 // Parameter-grid integration sweep: full simulated SIES networks across
 // the paper's experiment grid (N x F x D). SIES is cheap enough to run
 // the entire grid for real in the unit-test budget — every cell must be
-// exact, verified, and 32 bytes per edge.
+// exact, verified, and 32 + ceil(N/8) bytes per edge (PSR + contributor
+// bitmap).
 #include <gtest/gtest.h>
 
 #include "runner/runner.h"
@@ -29,8 +30,9 @@ TEST_P(SiesGridSweep, ExactVerifiedConstantWidth) {
   auto result = RunExperiment(config).value();
   EXPECT_TRUE(result.all_verified);
   EXPECT_DOUBLE_EQ(result.mean_relative_error, 0.0);
-  EXPECT_DOUBLE_EQ(result.source_to_aggregator_bytes, 32.0);
-  EXPECT_DOUBLE_EQ(result.aggregator_to_querier_bytes, 32.0);
+  const double wire_bytes = 32.0 + (p.n + 7) / 8;
+  EXPECT_DOUBLE_EQ(result.source_to_aggregator_bytes, wire_bytes);
+  EXPECT_DOUBLE_EQ(result.aggregator_to_querier_bytes, wire_bytes);
 }
 
 std::string GridName(const ::testing::TestParamInfo<GridPoint>& info) {

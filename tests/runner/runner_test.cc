@@ -43,10 +43,11 @@ TEST(RunExperimentTest, SiesExactAndVerified) {
   EXPECT_EQ(result.scheme_name, "SIES");
   EXPECT_TRUE(result.all_verified);
   EXPECT_DOUBLE_EQ(result.mean_relative_error, 0.0) << "SIES must be exact";
-  // PSR width: 32 bytes on every edge class.
-  EXPECT_DOUBLE_EQ(result.source_to_aggregator_bytes, 32.0);
-  EXPECT_DOUBLE_EQ(result.aggregator_to_aggregator_bytes, 32.0);
-  EXPECT_DOUBLE_EQ(result.aggregator_to_querier_bytes, 32.0);
+  // Wire width: 32-byte PSR + 2-byte contributor bitmap (N=16) on
+  // every edge class.
+  EXPECT_DOUBLE_EQ(result.source_to_aggregator_bytes, 34.0);
+  EXPECT_DOUBLE_EQ(result.aggregator_to_aggregator_bytes, 34.0);
+  EXPECT_DOUBLE_EQ(result.aggregator_to_querier_bytes, 34.0);
 }
 
 TEST(RunExperimentTest, CmtExact) {

@@ -6,6 +6,7 @@
 #include "mutesla/mutesla.h"
 #include "net/adversary.h"
 #include "runner/runner.h"
+#include "sies/message_format.h"
 #include "sies/query.h"
 #include "telemetry/audit.h"
 
@@ -76,29 +77,68 @@ TEST(SiesAttackTest, ReplayAttackDetected) {
   EXPECT_FALSE(replayed.outcome.verified) << "replay accepted as fresh";
 }
 
-TEST(SiesAttackTest, DroppedContributionDetected) {
+TEST(SiesAttackTest, DroppedContributionIsReportedNeverSilent) {
   // A compromised aggregator silently discards a subtree (Theorem 2's
-  // "no PSR may be dropped").
+  // "no PSR may be dropped"). With the contributor bitmap the querier
+  // cannot be fooled into accepting the shrunken sum as COMPLETE: the
+  // missing bit is visible, the result verifies only as an explicit
+  // partial over the remaining 15 sources, and the value matches that
+  // reduced set exactly.
   SiesFixture fx;
   net::NodeId victim = fx.network.topology().sources()[5];
   net::DropAdversary adv(victim);
   fx.network.SetAdversary(&adv);
   auto report = fx.network.RunEpoch(fx.protocol, 3).value();
   EXPECT_EQ(adv.dropped_count(), 1u);
+  EXPECT_TRUE(report.outcome.verified);
+  EXPECT_LT(report.coverage, 1.0);
+  EXPECT_EQ(report.contributing_sources, 15u);
+  SourceIndexMap map(fx.network.topology());
+  uint64_t partial = 0;
+  for (net::NodeId node : report.outcome.contributors) {
+    EXPECT_NE(node, victim);
+    partial += fx.trace.ValueAt(map.IndexOf(node).value(), 3);
+  }
+  EXPECT_EQ(report.outcome.value, static_cast<double>(partial));
+}
+
+TEST(SiesAttackTest, DropPlusBitmapForgeryDetected) {
+  // The stronger adversary: discard a subtree AND re-set the victim's
+  // bit so the partial masquerades as a complete sum. The querier then
+  // expects the victim's key shares, the ciphertext lacks them, and
+  // verification fails (the bitmap is reporting, not trusted).
+  SiesFixture fx;
+  net::NodeId victim = fx.network.topology().sources()[5];
+  SourceIndexMap map(fx.network.topology());
+  uint32_t victim_index = map.IndexOf(victim).value();
+  net::CallbackAdversary adv([&](net::Message& msg) {
+    if (msg.from == victim) return false;  // drop the victim's PSR
+    if (msg.to == net::kQuerierId) {
+      msg.payload[victim_index / 8] |=
+          static_cast<uint8_t>(1u << (victim_index % 8));
+    }
+    return true;
+  });
+  fx.network.SetAdversary(&adv);
+  auto report = fx.network.RunEpoch(fx.protocol, 3).value();
   EXPECT_FALSE(report.outcome.verified);
 }
 
 TEST(SiesAttackTest, InjectedContributionDetected) {
-  // The adversary homomorphically adds a spurious PSR in flight.
+  // The adversary homomorphically adds a spurious PSR in flight,
+  // leaving the contributor bitmap untouched (the precise attack).
   SiesFixture fx;
   const auto& params = fx.params;
   net::CallbackAdversary adv([&](net::Message& msg) {
     if (msg.to != net::kQuerierId) return true;
-    auto c = crypto::BigUint::FromBytes(msg.payload);
+    size_t skip = core::WireBitmapBytes(params);
+    Bytes body(msg.payload.begin() + skip, msg.payload.end());
+    auto c = crypto::BigUint::FromBytes(body);
     // Add E(v', 1, 0)-style garbage: any nonzero delta works.
     c = crypto::BigUint::ModAdd(c, crypto::BigUint(424242), params.prime)
             .value();
-    msg.payload = c.ToBytes(msg.payload.size()).value();
+    body = c.ToBytes(body.size()).value();
+    std::copy(body.begin(), body.end(), msg.payload.begin() + skip);
     return true;
   });
   fx.network.SetAdversary(&adv);
@@ -114,11 +154,14 @@ TEST(SiesAttackTest, ValueShiftAttackDetected) {
   const auto& params = fx.params;
   net::CallbackAdversary adv([&](net::Message& msg) {
     if (msg.to != net::kQuerierId) return true;
-    auto c = crypto::BigUint::FromBytes(msg.payload);
+    size_t skip = core::WireBitmapBytes(params);
+    Bytes body(msg.payload.begin() + skip, msg.payload.end());
+    auto c = crypto::BigUint::FromBytes(body);
     crypto::BigUint delta =
         crypto::BigUint::Shl(crypto::BigUint(1000), params.ValueShiftBits());
     c = crypto::BigUint::ModAdd(c, delta, params.prime).value();
-    msg.payload = c.ToBytes(msg.payload.size()).value();
+    body = c.ToBytes(body.size()).value();
+    std::copy(body.begin(), body.end(), msg.payload.begin() + skip);
     return true;
   });
   fx.network.SetAdversary(&adv);
@@ -137,10 +180,15 @@ TEST(SiesAttackTest, ReportedFailureVerifiesWithoutVictim) {
 }
 
 TEST(SiesAttackTest, RandomizedTamperSweep) {
-  // 40 random single-bit tampers on random nodes/epochs: zero accepted.
+  // 40 random single-bit tampers on random nodes/epochs: zero WRONG
+  // sums accepted. A flip may land in the contributor bitmap and set a
+  // bit another live source legitimately sets anyway — the OR-merge
+  // absorbs it and the epoch stays exact (a semantic no-op, counted as
+  // harmless). Every flip that actually changes the participating set
+  // or the ciphertext must fail verification.
   SiesFixture fx;
   Xoshiro256 rng(99);
-  int attacks = 0, detected = 0;
+  int attacks = 0, detected = 0, harmless = 0;
   for (int trial = 0; trial < 40; ++trial) {
     net::NodeId target = static_cast<net::NodeId>(
         rng.NextBelow(fx.network.topology().num_nodes()));
@@ -154,10 +202,17 @@ TEST(SiesAttackTest, RandomizedTamperSweep) {
     }
     if (adv.tampered_count() == 0) continue;  // node idle this epoch
     ++attacks;
-    if (!report.value().outcome.verified) ++detected;
+    if (!report.value().outcome.verified) {
+      ++detected;
+    } else if (report.value().coverage == 1.0 &&
+               report.value().outcome.value ==
+                   static_cast<double>(
+                       Snapshot(fx.trace, 100 + trial).exact_sum)) {
+      ++harmless;  // absorbed bitmap bit: result still exact + complete
+    }
   }
   EXPECT_GT(attacks, 0);
-  EXPECT_EQ(detected, attacks);
+  EXPECT_EQ(detected + harmless, attacks);
   fx.network.SetAdversary(nullptr);
 }
 
@@ -187,27 +242,34 @@ TEST(SiesAttackTest, AuditTrailRecordsExactlyTheInjectedTampering) {
   audit.Reset();
 }
 
-TEST(SiesLossTest, SilentPacketLossNeverYieldsAWrongAcceptedSum) {
-  // A lossy radio with NO failure reporting: whenever any PSR vanished,
-  // the querier must reject rather than accept a partial sum as the
-  // total. (Real deployments then report the failures and re-verify
-  // with the reduced participant list, as tested elsewhere.)
+TEST(SiesLossTest, RadioLossYieldsVerifiedPartialsNeverWrongSums) {
+  // A lossy radio with no out-of-band failure reporting: the bitmap is
+  // the in-band report. Every answered epoch must verify over EXACTLY
+  // the contributor set it declares — loss shows up as reduced
+  // coverage, never as a wrong sum presented as complete.
   SiesFixture fx;
   ASSERT_TRUE(fx.network.SetLossRate(0.15, 33).ok());
+  SourceIndexMap map(fx.network.topology());
   int lossy_epochs = 0, clean_epochs = 0;
   for (uint64_t epoch = 1; epoch <= 25; ++epoch) {
-    uint64_t lost_before = fx.network.lost_messages();
     auto report = fx.network.RunEpoch(fx.protocol, epoch);
-    if (!report.ok()) continue;  // the final PSR itself was lost: no data
-    bool lost_this_epoch = fx.network.lost_messages() > lost_before;
-    if (lost_this_epoch) {
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const auto& r = report.value();
+    if (!r.answered) continue;  // the final payload itself was lost
+    EXPECT_TRUE(r.outcome.verified)
+        << "loss misread as tampering at epoch " << epoch;
+    uint64_t partial = 0;
+    for (net::NodeId node : r.outcome.contributors) {
+      partial += fx.trace.ValueAt(map.IndexOf(node).value(), epoch);
+    }
+    EXPECT_EQ(r.outcome.value, static_cast<double>(partial));
+    if (r.coverage < 1.0) {
       ++lossy_epochs;
-      EXPECT_FALSE(report.value().outcome.verified)
-          << "partial sum accepted at epoch " << epoch;
+      EXPECT_LT(r.outcome.value,
+                static_cast<double>(Snapshot(fx.trace, epoch).exact_sum));
     } else {
       ++clean_epochs;
-      EXPECT_TRUE(report.value().outcome.verified);
-      EXPECT_EQ(report.value().outcome.value,
+      EXPECT_EQ(r.outcome.value,
                 static_cast<double>(Snapshot(fx.trace, epoch).exact_sum));
     }
   }
@@ -232,7 +294,7 @@ TEST(SiesCompromisedSourceTest, OwnReadingLieIsAcceptedAsCorrect) {
   net::NodeId victim_node = topology.sources()[2];
   net::CallbackAdversary adv([&](net::Message& msg) {
     if (msg.from == victim_node) {
-      msg.payload = lying_source.CreatePsr(99999, msg.epoch).value();
+      msg.payload = lying_source.CreateWirePsr(99999, msg.epoch).value();
     }
     return true;
   });
@@ -281,15 +343,20 @@ TEST(SiesCompromisedSourceTest, CannotDoubleCountItself) {
   // fails — a source cannot inflate its weight in the aggregate.
   SiesFixture fx;
   net::NodeId victim_node = fx.network.topology().sources()[2];
+  size_t skip = core::WireBitmapBytes(fx.params);
   Bytes captured;
   net::CallbackAdversary adv([&](net::Message& msg) {
-    if (msg.from == victim_node) captured = msg.payload;
+    if (msg.from == victim_node) {
+      captured = Bytes(msg.payload.begin() + skip, msg.payload.end());
+    }
     if (msg.to == net::kQuerierId && !captured.empty()) {
-      auto total = crypto::BigUint::FromBytes(msg.payload);
+      Bytes body(msg.payload.begin() + skip, msg.payload.end());
+      auto total = crypto::BigUint::FromBytes(body);
       auto extra = crypto::BigUint::FromBytes(captured);
       total =
           crypto::BigUint::ModAdd(total, extra, fx.params.prime).value();
-      msg.payload = total.ToBytes(msg.payload.size()).value();
+      body = total.ToBytes(body.size()).value();
+      std::copy(body.begin(), body.end(), msg.payload.begin() + skip);
     }
     return true;
   });

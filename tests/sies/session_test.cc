@@ -37,8 +37,10 @@ class SessionTest : public ::testing::Test {
     auto final_payload = agg.Merge(payloads);
     if (!final_payload.ok()) return final_payload.status();
     last_payload_ = final_payload.value();
-    return querier.Evaluate(final_payload.value(), epoch, all_);
+    return querier.Evaluate(final_payload.value(), epoch);
   }
+
+  size_t BitmapBytes() const { return WireBitmapBytes(params_); }
 
   Params params_;
   QuerierKeys keys_;
@@ -66,7 +68,9 @@ TEST_F(SessionTest, SumQueryExact) {
   EXPECT_TRUE(outcome.verified);
   // Sum of trunc(temp*10)/10 = (205+250+305+350+405+450)/10 = 196.5.
   EXPECT_DOUBLE_EQ(outcome.result.value, 196.5);
-  EXPECT_EQ(last_payload_.size(), params_.PsrBytes());
+  EXPECT_EQ(last_payload_.size(), BitmapBytes() + params_.PsrBytes());
+  EXPECT_EQ(outcome.contributors, all_);
+  EXPECT_DOUBLE_EQ(outcome.coverage, 1.0);
 }
 
 TEST_F(SessionTest, CountQueryWithPredicate) {
@@ -88,7 +92,7 @@ TEST_F(SessionTest, AvgQueryTwoChannels) {
   // humidity {40,45,50,55,60,65}: mean = 52.5.
   EXPECT_DOUBLE_EQ(outcome.result.value, 52.5);
   EXPECT_EQ(outcome.result.count, kN);
-  EXPECT_EQ(last_payload_.size(), 2 * params_.PsrBytes());
+  EXPECT_EQ(last_payload_.size(), BitmapBytes() + 2 * params_.PsrBytes());
 }
 
 TEST_F(SessionTest, VarianceQueryThreeChannels) {
@@ -100,7 +104,7 @@ TEST_F(SessionTest, VarianceQueryThreeChannels) {
   EXPECT_TRUE(outcome.verified);
   // Population variance of {40,45,50,55,60,65} = 72.9166...
   EXPECT_NEAR(outcome.result.value, 875.0 / 12.0, 1e-9);
-  EXPECT_EQ(last_payload_.size(), 3 * params_.PsrBytes());
+  EXPECT_EQ(last_payload_.size(), BitmapBytes() + 3 * params_.PsrBytes());
 }
 
 TEST_F(SessionTest, StddevQuery) {
@@ -128,15 +132,34 @@ TEST_F(SessionTest, TamperedPayloadFailsAllAggregates) {
   q.attribute = Field::kHumidity;
   ASSERT_TRUE(Run(q, 7).value().verified);
   QuerierSession querier(q, params_, keys_);
-  for (size_t byte : {size_t{0}, params_.PsrBytes(),
-                      2 * params_.PsrBytes() + 5}) {
+  // Byte 0 is the contributor bitmap (bit 4 names a valid source);
+  // the later offsets land in the first and third channel ciphertexts.
+  for (size_t byte : {size_t{0}, BitmapBytes() + params_.PsrBytes(),
+                      BitmapBytes() + 2 * params_.PsrBytes() + 5}) {
     Bytes tampered = last_payload_;
     tampered[byte] ^= 0x10;
-    auto outcome = querier.Evaluate(tampered, 7, all_);
+    auto outcome = querier.Evaluate(tampered, 7);
     if (outcome.ok()) {
       EXPECT_FALSE(outcome.value().verified) << "byte " << byte;
     }
   }
+}
+
+TEST_F(SessionTest, ClearedContributorBitFailsVerification) {
+  // A bit cleared in flight hides a source that DID contribute: the
+  // querier's share sum is then short one share and must mismatch.
+  Query q;
+  q.aggregate = Aggregate::kSum;
+  q.attribute = Field::kHumidity;
+  q.scale_pow10 = 0;
+  ASSERT_TRUE(Run(q, 11).value().verified);
+  QuerierSession querier(q, params_, keys_);
+  Bytes tampered = last_payload_;
+  ASSERT_EQ(tampered[0] & 0x08, 0x08);  // source 3 contributed
+  tampered[0] = static_cast<uint8_t>(tampered[0] & ~0x08);
+  auto outcome = querier.Evaluate(tampered, 11).value();
+  EXPECT_FALSE(outcome.verified);
+  EXPECT_EQ(outcome.contributors.size(), kN - 1);
 }
 
 TEST_F(SessionTest, ReplayAcrossEpochsFails) {
@@ -144,8 +167,29 @@ TEST_F(SessionTest, ReplayAcrossEpochsFails) {
   q.aggregate = Aggregate::kAvg;
   ASSERT_TRUE(Run(q, 8).value().verified);
   QuerierSession querier(q, params_, keys_);
-  auto outcome = querier.Evaluate(last_payload_, 9, all_).value();
+  auto outcome = querier.Evaluate(last_payload_, 9).value();
   EXPECT_FALSE(outcome.verified);
+}
+
+TEST_F(SessionTest, PartialMergeYieldsVerifiedPartialResult) {
+  // Only sources {0, 2, 5} survive the radio: the merged bitmap names
+  // exactly them and the partial SUM verifies over that subset.
+  Query q;
+  q.aggregate = Aggregate::kSum;
+  q.attribute = Field::kHumidity;
+  q.scale_pow10 = 0;
+  AggregatorSession agg(q, params_);
+  QuerierSession querier(q, params_, keys_);
+  std::vector<Bytes> payloads;
+  for (uint32_t i : {0u, 2u, 5u}) {
+    SourceSession src(q, params_, i, KeysForSource(keys_, i).value());
+    payloads.push_back(src.CreatePayload(readings_[i], /*epoch=*/4).value());
+  }
+  auto outcome = querier.Evaluate(agg.Merge(payloads).value(), 4).value();
+  EXPECT_TRUE(outcome.verified);
+  EXPECT_DOUBLE_EQ(outcome.result.value, 40.0 + 50.0 + 65.0);
+  EXPECT_EQ(outcome.contributors, (std::vector<uint32_t>{0, 2, 5}));
+  EXPECT_DOUBLE_EQ(outcome.coverage, 3.0 / kN);
 }
 
 TEST_F(SessionTest, WidthValidation) {
@@ -155,7 +199,7 @@ TEST_F(SessionTest, WidthValidation) {
   QuerierSession querier(q, params_, keys_);
   EXPECT_FALSE(agg.Merge({Bytes(5, 0)}).ok());
   EXPECT_FALSE(agg.Merge({}).ok());
-  EXPECT_FALSE(querier.Evaluate(Bytes(5, 0), 1, all_).ok());
+  EXPECT_FALSE(querier.Evaluate(Bytes(5, 0), 1).ok());
 }
 
 TEST_F(SessionTest, ConcurrentQueriesDoNotInterfere) {
@@ -181,7 +225,7 @@ TEST_F(SessionTest, ConcurrentQueriesDoNotInterfere) {
       payloads.push_back(src.CreatePayload(readings_[i], /*epoch=*/3)
                              .value());
     }
-    return querier.Evaluate(agg.Merge(payloads).value(), 3, all_).value();
+    return querier.Evaluate(agg.Merge(payloads).value(), 3).value();
   };
 
   auto sum_outcome = run_one(sum_query);
@@ -204,8 +248,7 @@ TEST_F(SessionTest, ConcurrentQueriesDoNotInterfere) {
   impostor.query_id = 3;
   QuerierSession wrong_querier(impostor, params_, keys_);
   auto crossed =
-      wrong_querier.Evaluate(agg1.Merge(payloads).value(), 3, all_)
-          .value();
+      wrong_querier.Evaluate(agg1.Merge(payloads).value(), 3).value();
   EXPECT_FALSE(crossed.verified);
 }
 
@@ -216,8 +259,9 @@ TEST_F(SessionTest, ChannelsAreIndependentlyKeyed) {
   q.aggregate = Aggregate::kAvg;
   SourceSession src(q, params_, 0, KeysForSource(keys_, 0).value());
   Bytes payload = src.CreatePayload(readings_[0], 1).value();
-  Bytes sum_psr(payload.begin(), payload.begin() + params_.PsrBytes());
-  Bytes count_psr(payload.begin() + params_.PsrBytes(), payload.end());
+  auto body = payload.begin() + WireBitmapBytes(params_);
+  Bytes sum_psr(body, body + params_.PsrBytes());
+  Bytes count_psr(body + params_.PsrBytes(), payload.end());
   EXPECT_NE(sum_psr, count_psr);
 }
 

@@ -97,12 +97,19 @@ TEST(TelemetryIntegrationTest, AdversaryDropsAreAttributedToTheVictim) {
   auto report = fx.network.RunEpoch(fx.protocol, 3).value();
   fx.network.SetAdversary(nullptr);
 
-  EXPECT_FALSE(report.outcome.verified);
+  // The contributor bitmap turns the drop into a verified partial;
+  // the audit trail still attributes the suppression to the victim and
+  // records the epoch's reduced coverage as reported loss.
+  EXPECT_TRUE(report.outcome.verified);
+  EXPECT_LT(report.coverage, 1.0);
   ASSERT_EQ(adv.dropped_count(), 1u);
   auto drops = audit.Query(AuditKind::kAdversaryDrop);
   ASSERT_EQ(drops.size(), 1u);
   EXPECT_EQ(drops[0].node, victim);
   EXPECT_EQ(drops[0].epoch, 3u);
+  EXPECT_EQ(audit.CountOf(AuditKind::kReportedLoss), 1u);
+  EXPECT_EQ(audit.CountOf(AuditKind::kVerificationFailure), 0u)
+      << "a drop must not masquerade as tampering";
   audit.Disable();
   audit.Reset();
 }
