@@ -3,7 +3,10 @@
 // are resilient to a few fake readings; MAX is not — Section III-C).
 //
 // One network, two protocols per epoch:
-//   * exact, confidential, verified AVG(temperature) via SIES sessions;
+//   * exact, confidential, verified AVG / SUM / VARIANCE(temperature)
+//     multiplexed through the multi-query engine — three continuous
+//     queries, ONE wire round, with their shared channels deduplicated
+//     (6 naive channels collapse to 3 physical ones);
 //   * exact, integrity-verified (but plaintext) MAX(temperature) via
 //     SECOA_M SEAL chains.
 // The output makes the trade-off visible: the MAX protocol reveals the
@@ -11,7 +14,9 @@
 #include <cstdio>
 
 #include <cmath>
+#include <memory>
 
+#include "engine/epoch_scheduler.h"
 #include "runner/runner.h"
 
 using namespace sies;
@@ -33,10 +38,30 @@ int main() {
     return trace.ValueAt(i, e);
   };
 
-  // SIES side (SUM -> AVG by dividing by N).
-  auto params = core::MakeParams(kN, kSeed).value();
+  // SIES side: three continuous queries through one engine round.
+  // value_bytes = 8 because the VARIANCE query adds a sum-of-squares
+  // channel.
+  auto params = core::MakeParams(kN, kSeed, /*value_bytes=*/8).value();
   auto sies_keys = core::GenerateKeys(params, EncodeUint64(kSeed));
-  runner::SiesProtocol sum_protocol(params, sies_keys, topology, values);
+  auto eng = std::make_shared<engine::MultiQueryEngine>(
+      params, std::move(sies_keys));
+  engine::EpochScheduler scheduler(
+      eng, topology,
+      [&trace](uint32_t i, uint64_t e) { return trace.ReadingAt(i, e); });
+  core::Query avg_query, sum_query, var_query;
+  avg_query.aggregate = core::Aggregate::kAvg;
+  avg_query.query_id = 0;
+  sum_query.aggregate = core::Aggregate::kSum;
+  sum_query.query_id = 1;
+  var_query.aggregate = core::Aggregate::kVariance;
+  var_query.query_id = 2;
+  for (const core::Query& q : {avg_query, sum_query, var_query}) {
+    auto admitted = scheduler.Admit(q, /*epoch=*/1);
+    if (!admitted.ok()) {
+      std::printf("admit failed: %s\n", admitted.ToString().c_str());
+      return 1;
+    }
+  }
 
   // SECOA_M side (exact MAX), RSA-512 for example speed.
   Xoshiro256 rng(kSeed);
@@ -45,43 +70,67 @@ int main() {
   auto secoa_keys = secoa::GenerateKeys(kN, EncodeUint64(kSeed));
   runner::SecoaMaxProtocol max_protocol(ops, secoa_keys, topology, values);
 
-  std::printf("mixed deployment over %u sensors: SIES AVG + SECOA_M MAX\n",
-              kN);
-  std::printf("%-7s %14s %14s %12s %12s\n", "epoch", "AVG (SIES)",
-              "MAX (SECOA_M)", "AVG edge", "MAX edge");
+  std::printf(
+      "mixed deployment over %u sensors: SIES AVG+SUM+VARIANCE (one "
+      "engine round, %u channels for %u naive) + SECOA_M MAX\n",
+      kN, eng->registry().plan().Count(),
+      eng->registry().plan().Count() +
+          eng->registry().plan().DedupSavings());
+  std::printf("%-7s %12s %14s %12s %14s %12s\n", "epoch", "AVG (SIES)",
+              "VAR (SIES)", "MAX (SECOA)", "SIES edge", "MAX edge");
 
   for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
-    auto sum_report = network.RunEpoch(sum_protocol, epoch).value();
+    auto sies_report = network.RunEpoch(scheduler, epoch).value();
     auto max_report = network.RunEpoch(max_protocol, epoch).value();
-    if (!sum_report.outcome.verified || !max_report.outcome.verified) {
+    if (!sies_report.outcome.verified || !max_report.outcome.verified) {
       std::printf("verification failed at epoch %llu!\n",
                   static_cast<unsigned long long>(epoch));
       return 1;
     }
-    // Ground truth.
-    uint64_t truth_sum = 0, truth_max = 0;
+    // Demultiplex the engine round into the three query answers.
+    double avg = 0, sum_v = 0, var = 0;
+    for (const engine::QueryEpochOutcome& qo : scheduler.last_outcomes()) {
+      if (!qo.outcome.verified) {
+        std::printf("query q%u unverified at epoch %llu!\n", qo.query_id,
+                    static_cast<unsigned long long>(epoch));
+        return 1;
+      }
+      if (qo.query_id == 0) avg = qo.outcome.result.value;
+      if (qo.query_id == 1) sum_v = qo.outcome.result.value;
+      if (qo.query_id == 2) var = qo.outcome.result.value;
+    }
+    // Ground truth, replaying the querier's combine math exactly.
+    uint64_t truth_sum = 0, truth_ssq = 0, truth_max = 0;
     for (uint32_t i = 0; i < kN; ++i) {
       uint64_t v = trace.ValueAt(i, epoch);
       truth_sum += v;
+      truth_ssq += v * v;
       truth_max = std::max(truth_max, v);
     }
-    double avg = sum_report.outcome.value / kN / 100.0;
-    double truth_avg = static_cast<double>(truth_sum) / kN / 100.0;
+    double n = kN;
+    double truth_avg = static_cast<double>(truth_sum) / 100.0 / n;
+    double truth_sumv = static_cast<double>(truth_sum) / 100.0;
+    double mean = static_cast<double>(truth_sum) / n;
+    double truth_var =
+        (static_cast<double>(truth_ssq) / n - mean * mean) / (100.0 * 100.0);
     if (std::abs(avg - truth_avg) > 1e-9 ||
+        std::abs(sum_v - truth_sumv) > 1e-9 ||
+        std::abs(var - truth_var) > 1e-9 ||
         max_report.outcome.value != static_cast<double>(truth_max)) {
       std::printf("mismatch vs ground truth at epoch %llu!\n",
                   static_cast<unsigned long long>(epoch));
       return 1;
     }
-    std::printf("%-7llu %11.2f C  %11.2f C  %9.0f B  %9.0f B\n",
-                static_cast<unsigned long long>(epoch), avg,
+    std::printf("%-7llu %9.2f C  %11.4f C2  %9.2f C  %11.0f B  %9.0f B\n",
+                static_cast<unsigned long long>(epoch), avg, var,
                 max_report.outcome.value / 100.0,
-                sum_report.source_to_aggregator.MeanBytes(),
+                sies_report.source_to_aggregator.MeanBytes(),
                 max_report.source_to_aggregator.MeanBytes());
   }
   std::printf(
       "\nnote: the MAX column's readings crossed the network in "
-      "PLAINTEXT (SECOA provides no confidentiality); the AVG column's "
-      "never left the sensors unencrypted.\n");
+      "PLAINTEXT (SECOA provides no confidentiality); the AVG/SUM/"
+      "VARIANCE answers rode ONE encrypted round per epoch and never "
+      "left the sensors unencrypted.\n");
   return 0;
 }

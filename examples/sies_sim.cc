@@ -10,8 +10,12 @@
 //   ./build/examples/sies_sim --adversary=tamper --audit-out=audit.json
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
+#include "engine/query_registry.h"
+#include "engine/query_spec.h"
+#include "runner/engine_runner.h"
 #include "runner/runner.h"
 #include "telemetry/telemetry.h"
 
@@ -40,6 +44,13 @@ void PrintUsage() {
       "  --adversary=none|tamper|replay|drop\n"
       "                            in-flight attack to run under "
       "(default none)\n"
+      "  --queries=K               run K concurrent queries through the\n"
+      "                            multi-query engine (one wire round per\n"
+      "                            epoch; default mix cycles avg/variance/\n"
+      "                            stddev/sum/count)\n"
+      "  --queries-file=PATH       like --queries, but load the query mix\n"
+      "                            from PATH (one `AGG ATTR [scale K]\n"
+      "                            [where ...] [id N]` per line)\n"
       "  --metrics-out=PATH        write the metrics registry as JSON "
       "(.prom\n"
       "                            suffix: Prometheus text format)\n"
@@ -71,6 +82,28 @@ bool WriteFileOrComplain(const std::string& path,
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Writes the opted-in telemetry exports; returns false on any failure.
+bool ExportTelemetry(const std::string& metrics_out,
+                     const std::string& trace_out,
+                     const std::string& audit_out) {
+  bool ok = true;
+  if (!metrics_out.empty()) {
+    const auto& registry = sies::telemetry::MetricsRegistry::Global();
+    ok &= WriteFileOrComplain(metrics_out, EndsWith(metrics_out, ".prom")
+                                               ? registry.ToPrometheus()
+                                               : registry.ToJson());
+  }
+  if (!trace_out.empty()) {
+    ok &= WriteFileOrComplain(
+        trace_out, sies::telemetry::Tracer::Global().ToChromeTrace());
+  }
+  if (!audit_out.empty()) {
+    ok &= WriteFileOrComplain(
+        audit_out, sies::telemetry::AuditTrail::Global().ToJson());
+  }
+  return ok;
 }
 
 }  // namespace
@@ -148,6 +181,42 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Multi-query engine mode: --queries / --queries-file switch the run
+  // from a single-query scheme to the concurrent engine (one wire round
+  // per epoch for the whole mix).
+  std::vector<core::Query> engine_queries;
+  bool engine_mode = flags.Has("queries") || flags.Has("queries-file");
+  if (flags.Has("queries") && flags.Has("queries-file")) {
+    std::fprintf(stderr, "give either --queries or --queries-file, not both\n");
+    return 2;
+  }
+  if (flags.Has("queries-file")) {
+    auto loaded = engine::LoadQueriesFile(flags.GetString("queries-file", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    engine_queries = std::move(loaded).value();
+  } else {
+    auto k = flags.GetIntInRange("queries", 0, 1,
+                                 engine::kMaxQueryId + 1);
+    if (!k.ok()) {
+      std::fprintf(stderr, "%s\n", k.status().ToString().c_str());
+      return 2;
+    }
+    if (flags.Has("queries")) {
+      engine_queries =
+          engine::DefaultQueryMix(static_cast<uint32_t>(k.value()));
+    }
+  }
+  if (engine_mode && config.scheme != runner::Scheme::kSies) {
+    std::fprintf(stderr,
+                 "--queries/--queries-file drive the SIES engine; drop "
+                 "--scheme=%s\n",
+                 scheme.c_str());
+    return 2;
+  }
+
   std::string metrics_out = flags.GetString("metrics-out", "");
   std::string trace_out = flags.GetString("trace-out", "");
   std::string audit_out = flags.GetString("audit-out", "");
@@ -180,6 +249,91 @@ int main(int argc, char** argv) {
                  config.num_sources, config.secoa_j);
   }
 
+  if (engine_mode) {
+    runner::EngineExperimentConfig engine_config;
+    engine_config.queries.reserve(engine_queries.size());
+    for (const core::Query& q : engine_queries) {
+      engine_config.queries.push_back({q});
+    }
+    engine_config.adversary = config.adversary;
+    engine_config.num_sources = config.num_sources;
+    engine_config.fanout = config.fanout;
+    engine_config.scale_pow10 = config.scale_pow10;
+    engine_config.epochs = config.epochs;
+    engine_config.seed = config.seed;
+    engine_config.threads = config.threads;
+    engine_config.loss_rate = config.loss_rate;
+    engine_config.max_retries = config.max_retries;
+    auto engine_result = runner::RunEngineExperiment(engine_config);
+    if (!engine_result.ok()) {
+      std::fprintf(stderr, "engine experiment failed: %s\n",
+                   engine_result.status().ToString().c_str());
+      return 1;
+    }
+    const runner::EngineExperimentResult& er = engine_result.value();
+    if (!ExportTelemetry(metrics_out, trace_out, audit_out)) return 1;
+
+    if (csv) {
+      // One row per query; run-wide columns repeat on every row.
+      std::printf(
+          "query_id,sql,sources,epochs,answered,verified,unverified,"
+          "partial,coverage,last_value,channel_epochs,naive_channel_epochs,"
+          "src_us,agg_us,qry_ms,retransmits,lost\n");
+      for (const runner::EngineQueryStats& qs : er.queries) {
+        std::printf(
+            "%u,\"%s\",%u,%u,%u,%u,%u,%u,%.6f,%.6f,%llu,%llu,"
+            "%.3f,%.3f,%.3f,%llu,%llu\n",
+            qs.query_id, qs.sql.c_str(), config.num_sources, er.epochs,
+            qs.answered_epochs, qs.verified_epochs, qs.unverified_epochs,
+            qs.partial_epochs, qs.mean_coverage, qs.last_value,
+            static_cast<unsigned long long>(er.channel_epochs),
+            static_cast<unsigned long long>(er.naive_channel_epochs),
+            er.source_cpu_seconds * 1e6, er.aggregator_cpu_seconds * 1e6,
+            er.querier_cpu_seconds * 1e3,
+            static_cast<unsigned long long>(er.retransmits),
+            static_cast<unsigned long long>(er.lost_messages));
+      }
+      return 0;
+    }
+
+    std::printf("scheme            : SIES_ENGINE (%zu queries)\n",
+                er.queries.size());
+    std::printf(
+        "network           : N=%u, F=%u, D=[18,50]x10^%u, %u epochs\n",
+        config.num_sources, config.fanout, config.scale_pow10, er.epochs);
+    std::printf("channel epochs    : %llu on the wire vs %llu naive "
+                "(dedup saved %llu)\n",
+                static_cast<unsigned long long>(er.channel_epochs),
+                static_cast<unsigned long long>(er.naive_channel_epochs),
+                static_cast<unsigned long long>(er.naive_channel_epochs -
+                                                er.channel_epochs));
+    std::printf("source CPU        : %.3f us/epoch\n",
+                er.source_cpu_seconds * 1e6);
+    std::printf("aggregator CPU    : %.3f us/epoch\n",
+                er.aggregator_cpu_seconds * 1e6);
+    std::printf("querier CPU       : %.3f ms/epoch (all queries, one "
+                "round)\n",
+                er.querier_cpu_seconds * 1e3);
+    std::printf("epochs            : %u answered, %u unanswered, %u idle\n",
+                er.answered_epochs, er.unanswered_epochs, er.idle_epochs);
+    if (config.loss_rate > 0.0) {
+      std::printf("link layer        : %llu retransmits, %llu messages "
+                  "lost for good\n",
+                  static_cast<unsigned long long>(er.retransmits),
+                  static_cast<unsigned long long>(er.lost_messages));
+    }
+    for (const runner::EngineQueryStats& qs : er.queries) {
+      std::printf("  q%-4u %-44s : %u/%u verified (%u partial), "
+                  "last=%.4f\n",
+                  qs.query_id, qs.sql.c_str(), qs.verified_epochs,
+                  qs.answered_epochs, qs.partial_epochs, qs.last_value);
+    }
+    // Mirrors the single-query exit policy: under a deliberate attack,
+    // unverified epochs are the expected outcome.
+    if (config.adversary != runner::AdversaryKind::kNone) return 0;
+    return er.all_verified ? 0 : 1;
+  }
+
   auto result = runner::RunExperiment(config);
   if (!result.ok()) {
     std::fprintf(stderr, "experiment failed: %s\n",
@@ -190,23 +344,7 @@ int main(int argc, char** argv) {
 
   // Telemetry exports. `--metrics-out=foo.prom` selects the Prometheus
   // text format; any other suffix gets the JSON export.
-  bool exports_ok = true;
-  if (!metrics_out.empty()) {
-    const auto& registry = sies::telemetry::MetricsRegistry::Global();
-    exports_ok &= WriteFileOrComplain(metrics_out,
-                                      EndsWith(metrics_out, ".prom")
-                                          ? registry.ToPrometheus()
-                                          : registry.ToJson());
-  }
-  if (!trace_out.empty()) {
-    exports_ok &= WriteFileOrComplain(
-        trace_out, sies::telemetry::Tracer::Global().ToChromeTrace());
-  }
-  if (!audit_out.empty()) {
-    exports_ok &= WriteFileOrComplain(
-        audit_out, sies::telemetry::AuditTrail::Global().ToJson());
-  }
-  if (!exports_ok) return 1;
+  if (!ExportTelemetry(metrics_out, trace_out, audit_out)) return 1;
 
   if (csv) {
     std::printf(

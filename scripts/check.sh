@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full local check: configure, build, run every test, example, and bench.
 # Usage: scripts/check.sh [--skip-bench] [--sanitize] [--telemetry-smoke]
-#                         [--fault-smoke]
+#                         [--fault-smoke] [--engine-smoke]
 #   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
 #                      pass below always runs
 #   --sanitize         build + test under ASan/UBSan (-DSIES_SANITIZE=ON) in
@@ -14,6 +14,12 @@
 #                      a loss-rate x adversary matrix; exit codes, CSV
 #                      coverage fields, and audit exports validated); the
 #                      smoke also runs as part of the full check
+#   --engine-smoke     ONLY run the multi-query engine smoke (sies_sim
+#                      --queries across a K x loss-rate x adversary
+#                      matrix; per-query CSV rows, dedup accounting, and
+#                      tamper fault isolation validated) plus the
+#                      `engine`-labeled ctest subset; the smoke also runs
+#                      as part of the full check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,12 +27,14 @@ SKIP_BENCH=0
 SANITIZE=0
 TELEMETRY_ONLY=0
 FAULT_ONLY=0
+ENGINE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
     --sanitize) SANITIZE=1 ;;
     --telemetry-smoke) TELEMETRY_ONLY=1 ;;
     --fault-smoke) FAULT_ONLY=1 ;;
+    --engine-smoke) ENGINE_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -135,6 +143,76 @@ PYEOF
   rm -rf "$dir"
 }
 
+# Runs sies_sim in multi-query engine mode across a K x loss-rate x
+# adversary matrix, then validates the per-query CSV rows: one row per
+# query, dedup strictly beating the naive channel accounting for K > 1,
+# loss degrading coverage (never verification), and the trailing-bit
+# tamper failing exactly the queries that read the corrupted channel.
+engine_smoke() {
+  local build="$1" dir rc k loss adversary
+  dir="$(mktemp -d)"
+  echo "== engine smoke (K x loss-rate x adversary matrix) =="
+  for k in 1 4; do
+    for loss in 0 0.3; do
+      for adversary in none tamper; do
+        rc=0
+        "./$build/examples/sies_sim" --queries="$k" --sources=16 --fanout=4 \
+            --epochs=10 --seed=5 --loss-rate="$loss" --max-retries=2 \
+            --adversary="$adversary" --csv \
+            > "$dir/$k-$loss-$adversary.csv" || rc=$?
+        if [[ $rc -ne 0 ]]; then
+          echo "sies_sim --queries=$k --loss-rate=$loss" \
+               "--adversary=$adversary exited $rc" >&2
+          exit 1
+        fi
+      done
+    done
+  done
+  "./$build/examples/sies_sim" --queries=0 --sources=16 --epochs=1 \
+      > /dev/null 2>&1 && { echo "--queries=0 must be rejected" >&2; exit 1; }
+  python3 - "$dir" <<'PYEOF'
+import csv, sys
+d = sys.argv[1]
+
+def load(k, loss, adversary):
+    with open(f"{d}/{k}-{loss}-{adversary}.csv") as f:
+        return list(csv.DictReader(f))
+
+for k in (1, 4):
+    for loss in ("0", "0.3"):
+        for adversary in ("none", "tamper"):
+            rows = load(k, loss, adversary)
+            label = f"K={k} loss={loss} adversary={adversary}"
+            assert len(rows) == k, label
+            ch = int(rows[0]["channel_epochs"])
+            naive = int(rows[0]["naive_channel_epochs"])
+            # Dedup accounting: a lone query has nothing to share; any
+            # K > 1 mix of the default cycle MUST save channel-epochs.
+            assert (ch < naive) if k > 1 else (ch == naive), label
+            for row in rows:
+                answered = int(row["answered"])
+                assert answered <= int(row["epochs"]), label
+                assert 0.0 <= float(row["coverage"]) <= 1.0, label
+                if adversary == "none":
+                    # Loss degrades coverage, never verification.
+                    assert int(row["unverified"]) == 0, label
+                if loss == "0":
+                    assert answered == int(row["epochs"]), label
+                    if adversary == "none":
+                        assert float(row["coverage"]) == 1.0, label
+            if k == 4 and loss == "0" and adversary == "tamper":
+                # Wire order: (q0,SUM),(q0,COUNT),(q1,SUMSQ); the
+                # trailing-bit tamper corrupts the SUMSQ slot, failing
+                # exactly the queries that read it (VARIANCE, STDDEV).
+                verdicts = {int(r["query_id"]): int(r["verified"])
+                            for r in rows}
+                assert verdicts[1] == 0 and verdicts[2] == 0, verdicts
+                assert verdicts[0] > 0 and verdicts[3] > 0, verdicts
+print("engine smoke OK: 8 matrix cells validated")
+PYEOF
+  rm -rf "$dir"
+}
+
 BUILD=build
 EXTRA=()
 if [[ $SANITIZE -eq 1 ]]; then
@@ -159,6 +237,15 @@ if [[ $FAULT_ONLY -eq 1 ]]; then
   exit 0
 fi
 
+if [[ $ENGINE_ONLY -eq 1 ]]; then
+  cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
+  cmake --build "$BUILD"
+  ctest --test-dir "$BUILD" -L engine --output-on-failure
+  engine_smoke "$BUILD"
+  echo "ENGINE SMOKE PASSED"
+  exit 0
+fi
+
 cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
@@ -176,11 +263,13 @@ done
 
 telemetry_smoke "$BUILD"
 fault_smoke "$BUILD"
+engine_smoke "$BUILD"
 
 echo "== bench smoke (JSON output) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-for b in micro_crypto fig6a_querier_vs_n telemetry_overhead; do
+for b in micro_crypto fig6a_querier_vs_n telemetry_overhead \
+         engine_multiquery; do
   echo "-- $b --smoke"
   (cd "$SMOKE_DIR" && "$OLDPWD/$BUILD/bench/$b" --smoke > /dev/null)
 done

@@ -60,6 +60,20 @@ StatusOr<int64_t> Flags::GetInt(const std::string& name,
   return static_cast<int64_t>(v);
 }
 
+StatusOr<int64_t> Flags::GetIntInRange(const std::string& name,
+                                       int64_t default_value, int64_t min,
+                                       int64_t max) const {
+  auto v = GetInt(name, default_value);
+  if (!v.ok()) return v.status();
+  if (values_.find(name) != values_.end() &&
+      (v.value() < min || v.value() > max)) {
+    return Status::InvalidArgument(
+        "--" + name + " must be in [" + std::to_string(min) + ", " +
+        std::to_string(max) + "], got " + std::to_string(v.value()));
+  }
+  return v;
+}
+
 StatusOr<double> Flags::GetDouble(const std::string& name,
                                   double default_value) const {
   queried_[name] = true;

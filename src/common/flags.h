@@ -32,6 +32,12 @@ class Flags {
   /// Integer flag with default; returns error on malformed values.
   StatusOr<int64_t> GetInt(const std::string& name,
                            int64_t default_value) const;
+  /// Integer flag constrained to [min, max]; error on malformed or
+  /// out-of-range values (e.g. `--queries 0` when at least 1 query is
+  /// required). The default is not range-checked — it is the caller's.
+  StatusOr<int64_t> GetIntInRange(const std::string& name,
+                                  int64_t default_value, int64_t min,
+                                  int64_t max) const;
   /// Double flag with default.
   StatusOr<double> GetDouble(const std::string& name,
                              double default_value) const;

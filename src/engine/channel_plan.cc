@@ -1,0 +1,95 @@
+#include "engine/channel_plan.h"
+
+#include <algorithm>
+
+#include "sies/session.h"  // core::ActiveChannels
+
+namespace sies::engine {
+
+namespace {
+
+/// Wire order: ascending (salt_id, kind).
+bool SlotBefore(const PhysicalChannel& a, const PhysicalChannel& b) {
+  if (a.salt_id != b.salt_id) return a.salt_id < b.salt_id;
+  return static_cast<uint32_t>(a.spec.kind) <
+         static_cast<uint32_t>(b.spec.kind);
+}
+
+}  // namespace
+
+ChannelSpec ChannelSpec::Canonical(const Query& query, Channel kind) {
+  ChannelSpec spec;
+  spec.kind = kind;
+  spec.where = query.where;
+  if (kind != Channel::kCount) {
+    spec.attribute = query.attribute;
+    spec.scale_pow10 = query.scale_pow10;
+  }
+  return spec;
+}
+
+StatusOr<uint64_t> ChannelSpec::ValueFor(
+    const core::SensorReading& reading) const {
+  Query shim;
+  shim.attribute = attribute;
+  shim.where = where;
+  shim.scale_pow10 = scale_pow10;
+  return core::ChannelValue(shim, kind, reading);
+}
+
+void ChannelPlan::Admit(const Query& query) {
+  for (Channel kind : core::ActiveChannels(query)) {
+    ChannelSpec spec = ChannelSpec::Canonical(query, kind);
+    ++naive_channels_;
+    auto it = std::find_if(
+        channels_.begin(), channels_.end(),
+        [&](const PhysicalChannel& ch) { return ch.spec == spec; });
+    if (it != channels_.end()) {
+      ++it->refcount;
+      continue;
+    }
+    PhysicalChannel slot;
+    slot.spec = spec;
+    slot.salt_id = query.query_id;
+    slot.refcount = 1;
+    channels_.insert(std::upper_bound(channels_.begin(), channels_.end(),
+                                      slot, SlotBefore),
+                     std::move(slot));
+  }
+}
+
+void ChannelPlan::Teardown(const Query& query) {
+  for (Channel kind : core::ActiveChannels(query)) {
+    ChannelSpec spec = ChannelSpec::Canonical(query, kind);
+    auto it = std::find_if(
+        channels_.begin(), channels_.end(),
+        [&](const PhysicalChannel& ch) { return ch.spec == spec; });
+    if (it == channels_.end()) continue;  // registry guards pairing
+    --naive_channels_;
+    if (--it->refcount == 0) channels_.erase(it);
+  }
+}
+
+StatusOr<std::vector<size_t>> ChannelPlan::ChannelsOf(
+    const Query& query) const {
+  std::vector<size_t> slots;
+  for (Channel kind : core::ActiveChannels(query)) {
+    ChannelSpec spec = ChannelSpec::Canonical(query, kind);
+    auto it = std::find_if(
+        channels_.begin(), channels_.end(),
+        [&](const PhysicalChannel& ch) { return ch.spec == spec; });
+    if (it == channels_.end()) {
+      return Status::NotFound("query channel is not in the plan");
+    }
+    slots.push_back(static_cast<size_t>(it - channels_.begin()));
+  }
+  return slots;
+}
+
+bool ChannelPlan::SaltIdInUse(uint32_t id) const {
+  return std::any_of(
+      channels_.begin(), channels_.end(),
+      [&](const PhysicalChannel& ch) { return ch.salt_id == id; });
+}
+
+}  // namespace sies::engine

@@ -1,0 +1,115 @@
+// Channel planner for the concurrent multi-query engine.
+//
+// Every query compiles to 1-3 SIES channels (query.h); when K queries
+// run at once, many of those channels are semantically identical — e.g.
+// every AVG/VARIANCE/STDDEV query over the same attribute needs the
+// same COUNT channel, and AVG(x) + VARIANCE(x) share both SUM(x) and
+// COUNT. The planner deduplicates: each distinct (kind, attribute,
+// predicate, scaling) tuple occupies exactly one *physical channel*
+// slot on the wire, no matter how many queries read it.
+//
+// Deduplication is sound because a channel's per-source value is a pure
+// function of that tuple (see ChannelValue), and its key material is
+// salted by the channel's own stable identity — SaltedEpoch(epoch,
+// salt_id, kind), where salt_id is the query id whose admission created
+// the slot — so two distinct physical channels never share a PRF input
+// and a shared channel decrypts to the same channel sum every reader
+// expects (DESIGN.md "Multi-query engine").
+#ifndef SIES_ENGINE_CHANNEL_PLAN_H_
+#define SIES_ENGINE_CHANNEL_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sies/query.h"
+
+namespace sies::engine {
+
+using core::Channel;
+using core::Query;
+
+/// Semantic identity of a physical channel: two queries may share one
+/// slot iff their specs compare equal (then every source transmits the
+/// same value on it, so one ciphertext serves both).
+struct ChannelSpec {
+  Channel kind = Channel::kSum;
+  core::Field attribute = core::Field::kTemperature;
+  std::optional<core::Predicate> where;
+  uint32_t scale_pow10 = 0;
+
+  /// The spec of `query`'s `kind` channel, canonicalized: a COUNT
+  /// channel's value ignores attribute and scaling (it transmits
+  /// 1{pred}), so those fields are normalized to fixed values and every
+  /// COUNT over the same predicate shares one slot.
+  static ChannelSpec Canonical(const Query& query, Channel kind);
+
+  /// The per-source value this channel carries for `reading`, computed
+  /// through the same core::ChannelValue path a single-query session
+  /// uses — which is what makes engine results bit-identical to
+  /// independent sessions.
+  StatusOr<uint64_t> ValueFor(const core::SensorReading& reading) const;
+
+  bool operator==(const ChannelSpec&) const = default;
+};
+
+/// One deduplicated wire slot.
+struct PhysicalChannel {
+  ChannelSpec spec;
+  /// PRF-salt identity: the id of the query whose admission created the
+  /// slot. (salt_id, spec.kind) is unique across live channels — a query
+  /// creates at most one channel per kind — so SaltedEpoch inputs never
+  /// collide. The salt outlives its creator: tearing down the creating
+  /// query while other queries still read the slot keeps salt_id fixed.
+  uint32_t salt_id = 0;
+  /// Queries currently reading this slot; the slot dies at zero.
+  uint32_t refcount = 0;
+
+  /// The PRF input of this channel at `epoch`.
+  uint64_t SaltedEpochFor(uint64_t epoch) const {
+    return core::SaltedEpoch(epoch, salt_id, spec.kind);
+  }
+};
+
+/// The live set of physical channels, in wire order. Wire order is
+/// ascending (salt_id, kind) — stable under admission (new slots carry
+/// fresh ids) and under teardown (surviving slots keep their position
+/// relative to each other), so every party derives the same layout from
+/// the same admission history.
+class ChannelPlan {
+ public:
+  /// Adds `query`'s channels, sharing existing compatible slots and
+  /// creating missing ones with salt_id = query.query_id.
+  void Admit(const Query& query);
+
+  /// Releases `query`'s channels; slots that reach refcount zero are
+  /// removed and stop consuming wire bytes from the next epoch on.
+  void Teardown(const Query& query);
+
+  /// Live slots in wire order.
+  const std::vector<PhysicalChannel>& channels() const { return channels_; }
+
+  /// Indices into channels() for `query`'s active channels, in the
+  /// query's own channel order (kSum, kSumSquares, kCount as used).
+  /// Fails if the query's channels are not all in the plan.
+  StatusOr<std::vector<size_t>> ChannelsOf(const Query& query) const;
+
+  /// True when some live slot is salted with `id` — admitting a new
+  /// query under that id would collide PRF inputs (see QueryRegistry).
+  bool SaltIdInUse(uint32_t id) const;
+
+  /// Σ ChannelCount over admitted queries minus live slots: how many
+  /// wire channels deduplication is currently saving per epoch.
+  uint32_t DedupSavings() const { return naive_channels_ - Count(); }
+
+  uint32_t Count() const {
+    return static_cast<uint32_t>(channels_.size());
+  }
+
+ private:
+  std::vector<PhysicalChannel> channels_;
+  uint32_t naive_channels_ = 0;
+};
+
+}  // namespace sies::engine
+
+#endif  // SIES_ENGINE_CHANNEL_PLAN_H_

@@ -1,0 +1,187 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+namespace sies::engine {
+
+using core::Channel;
+using core::ContributorBitmap;
+
+MultiQueryEngine::MultiQueryEngine(core::Params params,
+                                   core::QuerierKeys keys)
+    : params_(std::move(params)),
+      source_cache_(std::make_shared<core::EpochKeyCache>()),
+      aggregator_(params_),
+      querier_(params_, keys) {
+  sources_.reserve(params_.num_sources);
+  for (uint32_t i = 0; i < params_.num_sources; ++i) {
+    sources_.emplace_back(params_, i, core::KeysForSource(keys, i).value());
+    sources_.back().SetEpochKeyCache(source_cache_);
+  }
+}
+
+void MultiQueryEngine::ReserveCaches() {
+  const size_t want = 2 * static_cast<size_t>(registry_.plan().Count());
+  source_cache_->Reserve(want);
+  querier_.ReserveEpochKeyCapacity(want);
+}
+
+Status MultiQueryEngine::Admit(const core::Query& query, uint64_t epoch) {
+  SIES_RETURN_IF_ERROR(registry_.Admit(query, epoch));
+  ReserveCaches();
+  return Status::OK();
+}
+
+StatusOr<uint32_t> MultiQueryEngine::AdmitAuto(core::Query query,
+                                               uint64_t epoch) {
+  auto id = registry_.AdmitAuto(std::move(query), epoch);
+  if (id.ok()) ReserveCaches();
+  return id;
+}
+
+Status MultiQueryEngine::Teardown(uint32_t query_id, uint64_t epoch) {
+  return registry_.Teardown(query_id, epoch);
+}
+
+size_t MultiQueryEngine::WireBytes() const {
+  return core::WireEnvelopeBytes(params_, registry_.plan().Count());
+}
+
+void MultiQueryEngine::SetThreadPool(common::ThreadPool* pool) {
+  pool_ = pool;
+  querier_.SetThreadPool(pool);
+}
+
+StatusOr<Bytes> MultiQueryEngine::CreateSourcePayload(
+    uint32_t index, const core::SensorReading& reading,
+    uint64_t epoch) const {
+  if (index >= sources_.size()) {
+    return Status::InvalidArgument("source index out of range");
+  }
+  const auto& channels = registry_.plan().channels();
+  if (channels.empty()) {
+    return Status::FailedPrecondition("no live queries to serve");
+  }
+  Bytes body;
+  body.reserve(channels.size() * params_.PsrBytes());
+  for (const PhysicalChannel& ch : channels) {
+    auto value = ch.spec.ValueFor(reading);
+    if (!value.ok()) return value.status();
+    auto psr =
+        sources_[index].CreatePsr(value.value(), ch.SaltedEpochFor(epoch));
+    if (!psr.ok()) return psr.status();
+    body.insert(body.end(), psr.value().begin(), psr.value().end());
+  }
+  ContributorBitmap bitmap(params_.num_sources);
+  SIES_RETURN_IF_ERROR(bitmap.Set(index));
+  return core::SerializeWirePayload(params_, bitmap, body);
+}
+
+StatusOr<Bytes> MultiQueryEngine::Merge(
+    const std::vector<Bytes>& children) const {
+  if (children.empty()) return Status::InvalidArgument("nothing to merge");
+  const size_t width = params_.PsrBytes();
+  const size_t channels = registry_.plan().Count();
+  ContributorBitmap bitmap(params_.num_sources);
+  std::vector<Bytes> bodies;
+  bodies.reserve(children.size());
+  for (const Bytes& child : children) {
+    auto parsed = core::ParseWireEnvelope(params_, child, channels);
+    if (!parsed.ok()) return parsed.status();
+    SIES_RETURN_IF_ERROR(bitmap.OrWith(parsed.value().bitmap));
+    bodies.push_back(std::move(parsed.value().body));
+  }
+  Bytes merged_body;
+  merged_body.reserve(channels * width);
+  for (size_t ch = 0; ch < channels; ++ch) {
+    std::vector<Bytes> slices;
+    slices.reserve(bodies.size());
+    for (const Bytes& body : bodies) {
+      slices.emplace_back(body.begin() + ch * width,
+                          body.begin() + (ch + 1) * width);
+    }
+    auto psr = aggregator_.Merge(slices);
+    if (!psr.ok()) return psr.status();
+    merged_body.insert(merged_body.end(), psr.value().begin(),
+                       psr.value().end());
+  }
+  return core::SerializeWirePayload(params_, bitmap, merged_body);
+}
+
+StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
+    const Bytes& final_payload, uint64_t epoch) const {
+  const auto& channels = registry_.plan().channels();
+  auto parsed = core::ParseWireEnvelope(params_, final_payload,
+                                        channels.size());
+  if (!parsed.ok()) return parsed.status();
+  const Bytes& body = parsed.value().body;
+  const std::vector<uint32_t> participating =
+      parsed.value().bitmap.Indices();
+  const size_t width = params_.PsrBytes();
+
+  // Decrypt + verify every physical channel exactly once; a channel
+  // shared by M queries is paid for once, not M times. Each lane writes
+  // its own slot, so the fan-out is bit-identical for any thread count
+  // (nested pool use inside Querier::Evaluate runs inline).
+  struct ChannelEval {
+    Status status;
+    uint64_t sum = 0;
+    bool verified = false;
+  };
+  std::vector<ChannelEval> evals(channels.size());
+  auto eval_one = [&](size_t i) {
+    Bytes slice(body.begin() + i * width, body.begin() + (i + 1) * width);
+    auto eval = querier_.Evaluate(slice, channels[i].SaltedEpochFor(epoch),
+                                  participating);
+    if (!eval.ok()) {
+      evals[i].status = eval.status();
+      return;
+    }
+    evals[i].sum = eval.value().sum;
+    evals[i].verified = eval.value().verified;
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(channels.size(), eval_one);
+  } else {
+    for (size_t i = 0; i < channels.size(); ++i) eval_one(i);
+  }
+  for (const ChannelEval& eval : evals) {
+    if (!eval.status.ok()) return eval.status;
+  }
+
+  // Assemble per-query outcomes from the shared channel sums. A
+  // corrupted channel poisons only the queries whose plan includes it.
+  std::vector<QueryEpochOutcome> outcomes;
+  outcomes.reserve(registry_.active().size());
+  for (const ActiveQuery& aq : registry_.active()) {
+    auto slots = registry_.plan().ChannelsOf(aq.query);
+    if (!slots.ok()) return slots.status();
+    std::vector<Channel> kinds = core::ActiveChannels(aq.query);
+    uint64_t sum = 0, sum_squares = 0, count = 0;
+    bool verified = true;
+    for (size_t j = 0; j < kinds.size(); ++j) {
+      const ChannelEval& eval = evals[slots.value()[j]];
+      verified = verified && eval.verified;
+      switch (kinds[j]) {
+        case Channel::kSum:
+          sum = eval.sum;
+          break;
+        case Channel::kSumSquares:
+          sum_squares = eval.sum;
+          break;
+        case Channel::kCount:
+          count = eval.sum;
+          break;
+      }
+    }
+    auto outcome =
+        core::AssembleOutcome(aq.query, params_.num_sources, sum,
+                              sum_squares, count, verified, participating);
+    if (!outcome.ok()) return outcome.status();
+    outcomes.push_back(
+        QueryEpochOutcome{aq.query.query_id, std::move(outcome).value()});
+  }
+  return outcomes;
+}
+
+}  // namespace sies::engine

@@ -1,0 +1,117 @@
+// MultiQueryEngine: K continuous queries over ONE epoch pipeline.
+//
+// A single-query Session costs one network round per query per epoch; K
+// queries cost K rounds and K disjoint key derivations. The engine
+// multiplexes instead: the QueryRegistry's ChannelPlan deduplicates the
+// queries' channels into a minimal set of physical wire slots, every
+// source emits ONE envelope per epoch carrying all live channels'
+// PSRs behind one contributor bitmap, aggregators merge channel-wise,
+// and the querier evaluates each physical channel exactly once —
+// fanning the per-channel share recomputation out over a ThreadPool —
+// before assembling every query's answer from the shared channel sums.
+//
+// Wire envelope per epoch: [⌈N/8⌉-byte bitmap ‖ PSR × plan.Count()],
+// PSRs in plan wire order (ascending salt_id, kind). One bitmap covers
+// all channels: they share fate on the radio.
+//
+// Live admission/teardown composes with the loss/adversary machinery: a
+// query admitted at epoch t contributes channels from t on and verifies
+// with full contributor-bitmap semantics immediately; a torn-down query
+// stops consuming wire slots at the next epoch. Mutations must happen
+// between epochs (the data plane reads the registry lock-free).
+#ifndef SIES_ENGINE_ENGINE_H_
+#define SIES_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/query_registry.h"
+#include "sies/aggregator.h"
+#include "sies/querier.h"
+#include "sies/session.h"
+#include "sies/source.h"
+
+namespace sies::engine {
+
+/// One query's answer for one epoch.
+struct QueryEpochOutcome {
+  uint32_t query_id = 0;
+  core::EpochOutcome outcome;
+};
+
+class MultiQueryEngine {
+ public:
+  /// Holds all parties of a simulated deployment: N sources (sharing
+  /// one epoch-key cache), one aggregator, one querier.
+  MultiQueryEngine(core::Params params, core::QuerierKeys keys);
+
+  /// Registers `query` starting at `epoch` (see QueryRegistry::Admit).
+  /// Scales the epoch-key caches with the resulting channel count.
+  Status Admit(const core::Query& query, uint64_t epoch);
+
+  /// Admit under the smallest free id; returns the id.
+  StatusOr<uint32_t> AdmitAuto(core::Query query, uint64_t epoch);
+
+  /// Tears down the live query `query_id` at `epoch`.
+  Status Teardown(uint32_t query_id, uint64_t epoch);
+
+  const QueryRegistry& registry() const { return registry_; }
+
+  /// True when at least one physical channel is live (an epoch with an
+  /// empty plan has nothing to put on the wire — skip the round).
+  bool HasLiveChannels() const { return registry_.plan().Count() > 0; }
+
+  /// Envelope width of the current plan.
+  size_t WireBytes() const;
+
+  /// Initialization phase at source `index`: one envelope carrying a
+  /// PSR for every live physical channel, bitmap with only this
+  /// source's bit set.
+  StatusOr<Bytes> CreateSourcePayload(uint32_t index,
+                                      const core::SensorReading& reading,
+                                      uint64_t epoch) const;
+
+  /// Merging phase: ORs the children's bitmaps and sums each channel's
+  /// ciphertexts. All children must match the current plan's width.
+  StatusOr<Bytes> Merge(const std::vector<Bytes>& children) const;
+
+  /// Evaluation phase: decrypts and verifies each physical channel once
+  /// (fanned over the thread pool when set), then assembles one outcome
+  /// per live query, in admission order. Tampering that corrupts one
+  /// channel fails exactly the queries reading that channel; co-batched
+  /// queries on clean channels still verify.
+  StatusOr<std::vector<QueryEpochOutcome>> Evaluate(
+      const Bytes& final_payload, uint64_t epoch) const;
+
+  /// Lends a pool for the per-channel verification fan-out (and the
+  /// querier's N-way share recomputation). Bit-identical results for
+  /// any thread count. The pool must outlive the engine's use of it.
+  void SetThreadPool(common::ThreadPool* pool);
+
+  const core::Params& params() const { return params_; }
+  core::EpochKeyCache::Stats SourceCacheStats() const {
+    return source_cache_->stats();
+  }
+  core::EpochKeyCache::Stats QuerierCacheStats() const {
+    return querier_.CacheStats();
+  }
+
+ private:
+  /// Epoch-key cache sizing (EpochKeyCache satellite): the default
+  /// capacity of 32 thrashes once K queries × their channels exceed it,
+  /// so every (Admit|Teardown) re-reserves 2× the live channel count —
+  /// enough for the current epoch plus one epoch of lookahead jitter.
+  void ReserveCaches();
+
+  core::Params params_;
+  QueryRegistry registry_;
+  std::shared_ptr<core::EpochKeyCache> source_cache_;
+  std::vector<core::Source> sources_;
+  core::Aggregator aggregator_;
+  core::Querier querier_;
+  common::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace sies::engine
+
+#endif  // SIES_ENGINE_ENGINE_H_

@@ -1,0 +1,68 @@
+#include "engine/epoch_scheduler.h"
+
+#include "telemetry/metrics.h"
+
+namespace sies::engine {
+
+EpochScheduler::EpochScheduler(std::shared_ptr<MultiQueryEngine> engine,
+                               const net::Topology& topology,
+                               ReadingFn readings)
+    : engine_(std::move(engine)),
+      source_nodes_(topology.sources()),
+      readings_(std::move(readings)) {
+  for (uint32_t i = 0; i < source_nodes_.size(); ++i) {
+    index_[source_nodes_[i]] = i;
+  }
+}
+
+StatusOr<Bytes> EpochScheduler::SourceInitialize(net::NodeId id,
+                                                 uint64_t epoch) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return Status::NotFound("node is not a source");
+  return engine_->CreateSourcePayload(it->second,
+                                      readings_(it->second, epoch), epoch);
+}
+
+StatusOr<Bytes> EpochScheduler::AggregatorMerge(
+    net::NodeId, uint64_t, const std::vector<Bytes>& children) {
+  return engine_->Merge(children);
+}
+
+StatusOr<net::EvalOutcome> EpochScheduler::QuerierEvaluate(
+    uint64_t epoch, const Bytes& final_payload,
+    const std::vector<net::NodeId>& /*participating*/) {
+  // Like SiesProtocol, the participating set comes from the envelope's
+  // contributor bitmap, not the simulator's out-of-band knowledge.
+  auto outcomes = engine_->Evaluate(final_payload, epoch);
+  if (!outcomes.ok()) return outcomes.status();
+  last_outcomes_ = std::move(outcomes).value();
+
+  net::EvalOutcome out;
+  out.exact = true;
+  out.has_contributors = true;
+  out.verified = true;
+  for (const QueryEpochOutcome& qo : last_outcomes_) {
+    out.verified = out.verified && qo.outcome.verified;
+    // Per-query telemetry: one labeled counter series per (query,
+    // verdict). Query ids are few and stable, so the registry lookup
+    // per epoch is cheap relative to an evaluation.
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("sies_engine_query_epochs_total",
+                    {{"query", "q" + std::to_string(qo.query_id)},
+                     {"verified", qo.outcome.verified ? "true" : "false"}})
+        ->Increment();
+  }
+  if (!last_outcomes_.empty()) {
+    // The simulator models a single scalar answer per epoch; report the
+    // first query's and let callers read the rest from last_outcomes().
+    out.value = last_outcomes_.front().outcome.result.value;
+    const auto& contributors = last_outcomes_.front().outcome.contributors;
+    out.contributors.reserve(contributors.size());
+    for (uint32_t index : contributors) {
+      out.contributors.push_back(source_nodes_[index]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sies::engine

@@ -1,0 +1,82 @@
+// EpochScheduler: binds the MultiQueryEngine to the network simulator.
+//
+// One RunEpoch drives ONE wire round carrying every live query's
+// channels — K queries no longer cost K network rounds. The scheduler
+// translates topology node ids to logical source indices, feeds each
+// source its sensor reading, and demultiplexes the querier's evaluation
+// into per-query outcomes (exposed via last_outcomes(), since the
+// simulator's EvalOutcome models a single answer).
+//
+// Admission and teardown are forwarded to the engine and must happen
+// between RunEpoch calls: the wire width changes with the plan, and
+// every party must see the same plan within one epoch.
+#ifndef SIES_ENGINE_EPOCH_SCHEDULER_H_
+#define SIES_ENGINE_EPOCH_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace sies::engine {
+
+/// Supplies the full sensor record of logical source `index` at `epoch`
+/// (typically backed by workload::TraceGenerator::ReadingAt).
+using ReadingFn =
+    std::function<core::SensorReading(uint32_t index, uint64_t epoch)>;
+
+class EpochScheduler : public net::AggregationProtocol {
+ public:
+  EpochScheduler(std::shared_ptr<MultiQueryEngine> engine,
+                 const net::Topology& topology, ReadingFn readings);
+
+  std::string Name() const override { return "SIES_ENGINE"; }
+  StatusOr<Bytes> SourceInitialize(net::NodeId id, uint64_t epoch) override;
+  StatusOr<Bytes> AggregatorMerge(
+      net::NodeId id, uint64_t epoch,
+      const std::vector<Bytes>& children) override;
+  /// Evaluates the batched envelope, records per-query outcomes (see
+  /// last_outcomes()) and per-query telemetry, and reports the epoch as
+  /// verified iff EVERY live query verified.
+  StatusOr<net::EvalOutcome> QuerierEvaluate(
+      uint64_t epoch, const Bytes& final_payload,
+      const std::vector<net::NodeId>& participating) override;
+
+  /// Sources share only the mutex-guarded epoch-key cache.
+  bool ParallelSourceInitSafe() const override { return true; }
+  void SetThreadPool(common::ThreadPool* pool) override {
+    engine_->SetThreadPool(pool);
+  }
+
+  /// Control plane, forwarded to the engine (between epochs only).
+  Status Admit(const core::Query& query, uint64_t epoch) {
+    return engine_->Admit(query, epoch);
+  }
+  Status Teardown(uint32_t query_id, uint64_t epoch) {
+    return engine_->Teardown(query_id, epoch);
+  }
+
+  MultiQueryEngine& engine() { return *engine_; }
+  const MultiQueryEngine& engine() const { return *engine_; }
+
+  /// Per-query outcomes of the most recent QuerierEvaluate, in
+  /// admission order. Empty until an epoch has been evaluated.
+  const std::vector<QueryEpochOutcome>& last_outcomes() const {
+    return last_outcomes_;
+  }
+
+ private:
+  std::shared_ptr<MultiQueryEngine> engine_;
+  std::vector<net::NodeId> source_nodes_;            // index -> node id
+  std::unordered_map<net::NodeId, uint32_t> index_;  // node id -> index
+  ReadingFn readings_;
+  std::vector<QueryEpochOutcome> last_outcomes_;
+};
+
+}  // namespace sies::engine
+
+#endif  // SIES_ENGINE_EPOCH_SCHEDULER_H_

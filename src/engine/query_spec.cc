@@ -1,0 +1,212 @@
+#include "engine/query_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "engine/query_registry.h"
+
+namespace sies::engine {
+
+using core::Aggregate;
+using core::CompareOp;
+using core::Field;
+using core::Predicate;
+using core::Query;
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+StatusOr<Aggregate> ParseAggregate(const std::string& token) {
+  const std::string t = Lower(token);
+  if (t == "sum") return Aggregate::kSum;
+  if (t == "count") return Aggregate::kCount;
+  if (t == "avg") return Aggregate::kAvg;
+  if (t == "variance") return Aggregate::kVariance;
+  if (t == "stddev") return Aggregate::kStddev;
+  return Status::InvalidArgument("unknown aggregate '" + token + "'");
+}
+
+StatusOr<Field> ParseField(const std::string& token) {
+  const std::string t = Lower(token);
+  if (t == "temperature") return Field::kTemperature;
+  if (t == "humidity") return Field::kHumidity;
+  if (t == "light") return Field::kLight;
+  if (t == "voltage") return Field::kVoltage;
+  return Status::InvalidArgument("unknown attribute '" + token + "'");
+}
+
+StatusOr<CompareOp> ParseOp(const std::string& token) {
+  if (token == "<") return CompareOp::kLess;
+  if (token == "<=") return CompareOp::kLessEqual;
+  if (token == ">") return CompareOp::kGreater;
+  if (token == ">=") return CompareOp::kGreaterEqual;
+  if (token == "=" || token == "==") return CompareOp::kEqual;
+  return Status::InvalidArgument("unknown comparison '" + token + "'");
+}
+
+StatusOr<double> ParseNumber(const std::string& token) {
+  try {
+    size_t end = 0;
+    double v = std::stod(token, &end);
+    if (end != token.size()) {
+      return Status::InvalidArgument("malformed number '" + token + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed number '" + token + "'");
+  }
+}
+
+}  // namespace
+
+StatusOr<Query> ParseQuerySpec(const std::string& line, bool* id_given) {
+  if (id_given != nullptr) *id_given = false;
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  for (std::string token; in >> token;) tokens.push_back(std::move(token));
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument(
+        "query spec needs at least 'AGGREGATE ATTRIBUTE': '" + line + "'");
+  }
+  Query query;
+  auto aggregate = ParseAggregate(tokens[0]);
+  if (!aggregate.ok()) return aggregate.status();
+  query.aggregate = aggregate.value();
+  auto attribute = ParseField(tokens[1]);
+  if (!attribute.ok()) return attribute.status();
+  query.attribute = attribute.value();
+
+  size_t i = 2;
+  while (i < tokens.size()) {
+    const std::string keyword = Lower(tokens[i]);
+    if (keyword == "scale") {
+      if (i + 1 >= tokens.size()) {
+        return Status::InvalidArgument("'scale' needs a value");
+      }
+      auto v = ParseNumber(tokens[i + 1]);
+      if (!v.ok()) return v.status();
+      if (v.value() < 0 || v.value() > 9 ||
+          v.value() != static_cast<uint32_t>(v.value())) {
+        return Status::InvalidArgument("scale must be an integer in [0, 9]");
+      }
+      query.scale_pow10 = static_cast<uint32_t>(v.value());
+      i += 2;
+    } else if (keyword == "where") {
+      if (i + 3 >= tokens.size()) {
+        return Status::InvalidArgument(
+            "'where' needs 'FIELD OP VALUE'");
+      }
+      Predicate pred;
+      auto field = ParseField(tokens[i + 1]);
+      if (!field.ok()) return field.status();
+      pred.field = field.value();
+      auto op = ParseOp(tokens[i + 2]);
+      if (!op.ok()) return op.status();
+      pred.op = op.value();
+      auto threshold = ParseNumber(tokens[i + 3]);
+      if (!threshold.ok()) return threshold.status();
+      pred.threshold = threshold.value();
+      query.where = pred;
+      i += 4;
+    } else if (keyword == "id") {
+      if (i + 1 >= tokens.size()) {
+        return Status::InvalidArgument("'id' needs a value");
+      }
+      auto v = ParseNumber(tokens[i + 1]);
+      if (!v.ok()) return v.status();
+      if (v.value() < 0 || v.value() > kMaxQueryId ||
+          v.value() != static_cast<uint32_t>(v.value())) {
+        return Status::InvalidArgument(
+            "id must be an integer in [0, " + std::to_string(kMaxQueryId) +
+            "]");
+      }
+      query.query_id = static_cast<uint32_t>(v.value());
+      if (id_given != nullptr) *id_given = true;
+      i += 2;
+    } else {
+      return Status::InvalidArgument("unknown keyword '" + tokens[i] + "'");
+    }
+  }
+  return query;
+}
+
+StatusOr<std::vector<Query>> ParseQueriesText(const std::string& text) {
+  std::vector<Query> queries;
+  std::vector<bool> id_given;
+  std::istringstream in(text);
+  std::string line;
+  uint32_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    bool explicit_id = false;
+    auto query = ParseQuerySpec(line, &explicit_id);
+    if (!query.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + query.status().message());
+    }
+    id_given.push_back(explicit_id);
+    queries.push_back(std::move(query).value());
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("queries file holds no queries");
+  }
+  // Assign free ids to queries without an explicit one; reject clashes.
+  std::unordered_set<uint32_t> used;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!id_given[i]) continue;
+    if (!used.insert(queries[i].query_id).second) {
+      return Status::InvalidArgument(
+          "duplicate query id " + std::to_string(queries[i].query_id));
+    }
+  }
+  uint32_t next = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (id_given[i]) continue;
+    while (used.count(next) != 0) ++next;
+    if (next > kMaxQueryId) {
+      return Status::InvalidArgument("query id space exhausted");
+    }
+    queries[i].query_id = next;
+    used.insert(next);
+  }
+  return queries;
+}
+
+StatusOr<std::vector<Query>> LoadQueriesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot read queries file '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseQueriesText(text.str());
+}
+
+std::vector<Query> DefaultQueryMix(uint32_t k) {
+  static constexpr Aggregate kCycle[] = {
+      Aggregate::kAvg, Aggregate::kVariance, Aggregate::kStddev,
+      Aggregate::kSum, Aggregate::kCount};
+  std::vector<Query> queries;
+  queries.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    Query query;
+    query.aggregate = kCycle[i % 5];
+    query.attribute = Field::kTemperature;
+    query.scale_pow10 = 2;
+    query.query_id = i;
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+}  // namespace sies::engine

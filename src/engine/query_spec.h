@@ -1,0 +1,47 @@
+// Textual query specs for the multi-query engine tools.
+//
+// One query per line:
+//
+//   AGG ATTR [scale K] [where FIELD OP VALUE] [id N]
+//
+//   AGG   ::= sum | count | avg | variance | stddev
+//   ATTR  ::= temperature | humidity | light | voltage
+//   OP    ::= < | <= | > | >= | =
+//
+// e.g.  avg temperature scale 2 where temperature >= 20
+// Blank lines and lines starting with '#' are skipped. Queries without
+// an explicit `id` get the first free id in file order.
+#ifndef SIES_ENGINE_QUERY_SPEC_H_
+#define SIES_ENGINE_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "sies/query.h"
+
+namespace sies::engine {
+
+/// Parses one spec line (no id auto-assignment: query_id is 0 unless
+/// the line carries `id N`). When `id_given` is non-null it reports
+/// whether the line carried an explicit `id`.
+StatusOr<core::Query> ParseQuerySpec(const std::string& line,
+                                     bool* id_given = nullptr);
+
+/// Parses a whole queries file (the text, not the path). Assigns free
+/// ids to queries without an explicit one and rejects duplicate ids and
+/// empty files.
+StatusOr<std::vector<core::Query>> ParseQueriesText(const std::string& text);
+
+/// Reads and parses `path`. Fails with a clear error when the file is
+/// unreadable.
+StatusOr<std::vector<core::Query>> LoadQueriesFile(const std::string& path);
+
+/// A default K-query mix over the temperature attribute cycling
+/// AVG/VARIANCE/STDDEV/SUM/COUNT — deliberately channel-heavy: all K
+/// queries share the same three physical channels, so the engine's
+/// dedup is maximal (K×ChannelCount naive channels collapse to 3).
+std::vector<core::Query> DefaultQueryMix(uint32_t k);
+
+}  // namespace sies::engine
+
+#endif  // SIES_ENGINE_QUERY_SPEC_H_

@@ -1,0 +1,154 @@
+#include "runner/engine_runner.h"
+
+#include <unordered_map>
+
+#include "net/adversary.h"
+#include "telemetry/trace.h"
+
+namespace sies::runner {
+
+StatusOr<EngineExperimentResult> RunEngineExperiment(
+    const EngineExperimentConfig& config) {
+  if (config.queries.empty()) {
+    return Status::InvalidArgument("engine experiment needs >= 1 query");
+  }
+  auto topology =
+      net::Topology::BuildCompleteTree(config.num_sources, config.fanout);
+  if (!topology.ok()) return topology.status();
+  net::Network network(std::move(topology).value());
+
+  workload::TraceConfig trace_config;
+  trace_config.num_sources = config.num_sources;
+  trace_config.scale_pow10 = config.scale_pow10;
+  trace_config.seed = config.seed;
+  auto trace = std::make_shared<workload::TraceGenerator>(trace_config);
+
+  // value_bytes = 8: the sum-of-squares channel of VARIANCE/STDDEV
+  // queries sums N × value² and overflows the 4-byte default long
+  // before the paper's N = 1024.
+  auto params = core::MakeParams(config.num_sources, config.seed,
+                                 /*value_bytes=*/8);
+  if (!params.ok()) return params.status();
+  core::QuerierKeys keys =
+      core::GenerateKeys(params.value(), EncodeUint64(config.seed));
+  auto eng = std::make_shared<engine::MultiQueryEngine>(params.value(),
+                                                        std::move(keys));
+  engine::EpochScheduler scheduler(
+      eng, network.topology(), [trace](uint32_t index, uint64_t epoch) {
+        return trace->ReadingAt(index, epoch);
+      });
+
+  common::ThreadPool pool(config.threads);
+  network.SetThreadPool(&pool);
+  scheduler.SetThreadPool(&pool);
+
+  if (config.loss_rate > 0.0) {
+    SIES_RETURN_IF_ERROR(network.SetLossRate(config.loss_rate, config.seed));
+    network.SetMaxRetries(config.max_retries);
+  }
+
+  std::unique_ptr<net::BitFlipAdversary> bitflip;
+  std::unique_ptr<net::ReplayAdversary> replay;
+  std::unique_ptr<net::DropAdversary> drop;
+  switch (config.adversary) {
+    case AdversaryKind::kNone:
+      break;
+    case AdversaryKind::kTamper:
+      // Trailing payload bit: always inside the LAST physical channel's
+      // ciphertext, so exactly the queries reading that channel fail —
+      // the per-query fault isolation the engine tests rely on.
+      bitflip = std::make_unique<net::BitFlipAdversary>(
+          std::nullopt, /*bit_index=*/0, /*from_end=*/true);
+      network.SetAdversary(bitflip.get());
+      break;
+    case AdversaryKind::kReplay:
+      replay = std::make_unique<net::ReplayAdversary>(1);
+      network.SetAdversary(replay.get());
+      break;
+    case AdversaryKind::kDrop:
+      drop = std::make_unique<net::DropAdversary>(
+          network.topology().sources().front());
+      network.SetAdversary(drop.get());
+      break;
+  }
+
+  EngineExperimentResult result;
+  result.epochs = config.epochs;
+  std::unordered_map<uint32_t, size_t> stats_index;
+  std::vector<double> coverage_sums(config.queries.size(), 0.0);
+  result.queries.reserve(config.queries.size());
+  for (const EngineQuerySchedule& sched : config.queries) {
+    EngineQueryStats stats;
+    stats.query_id = sched.query.query_id;
+    stats.sql = sched.query.ToSql();
+    stats_index[sched.query.query_id] = result.queries.size();
+    result.queries.push_back(std::move(stats));
+  }
+
+  CostAccumulator src, agg, qry;
+  for (uint64_t epoch = 1; epoch <= config.epochs; ++epoch) {
+    // Control plane first: the plan must be settled before the round.
+    for (const EngineQuerySchedule& sched : config.queries) {
+      if (std::max<uint64_t>(sched.admit_epoch, 1) == epoch) {
+        SIES_RETURN_IF_ERROR(scheduler.Admit(sched.query, epoch));
+      }
+    }
+    for (const EngineQuerySchedule& sched : config.queries) {
+      if (sched.teardown_epoch != 0 && sched.teardown_epoch == epoch) {
+        SIES_RETURN_IF_ERROR(
+            scheduler.Teardown(sched.query.query_id, epoch));
+      }
+    }
+    if (!eng->HasLiveChannels()) {
+      ++result.idle_epochs;  // nothing to serve: skip the radio round
+      continue;
+    }
+    result.channel_epochs += eng->registry().plan().Count();
+    for (const engine::ActiveQuery& aq : eng->registry().active()) {
+      result.naive_channel_epochs +=
+          core::ChannelCount(aq.query.aggregate);
+    }
+
+    telemetry::ScopedSpan span("epoch", "engine-runner", epoch);
+    auto report = network.RunEpoch(scheduler, epoch);
+    if (!report.ok()) return report.status();
+    const net::EpochReport& r = report.value();
+    src.Add(r.source_cpu.MeanSeconds());
+    agg.Add(r.aggregator_cpu.MeanSeconds());
+    qry.Add(r.querier_cpu.MeanSeconds());
+    result.retransmits += r.retransmits;
+    if (!r.answered) {
+      ++result.unanswered_epochs;
+      continue;
+    }
+    ++result.answered_epochs;
+    for (const engine::QueryEpochOutcome& qo : scheduler.last_outcomes()) {
+      auto it = stats_index.find(qo.query_id);
+      if (it == stats_index.end()) continue;
+      EngineQueryStats& stats = result.queries[it->second];
+      ++stats.answered_epochs;
+      coverage_sums[it->second] += qo.outcome.coverage;
+      if (qo.outcome.verified) {
+        ++stats.verified_epochs;
+        stats.last_value = qo.outcome.result.value;
+        if (qo.outcome.coverage < 1.0) ++stats.partial_epochs;
+      } else {
+        ++stats.unverified_epochs;
+        result.all_verified = false;
+      }
+    }
+  }
+  for (size_t i = 0; i < result.queries.size(); ++i) {
+    if (result.queries[i].answered_epochs > 0) {
+      result.queries[i].mean_coverage =
+          coverage_sums[i] / result.queries[i].answered_epochs;
+    }
+  }
+  result.source_cpu_seconds = src.MeanSeconds();
+  result.aggregator_cpu_seconds = agg.MeanSeconds();
+  result.querier_cpu_seconds = qry.MeanSeconds();
+  result.lost_messages = network.lost_messages();
+  return result;
+}
+
+}  // namespace sies::runner

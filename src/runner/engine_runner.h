@@ -1,0 +1,79 @@
+// Multi-query engine experiments: drives K continuous queries through
+// ONE network round per epoch (engine/epoch_scheduler) with the same
+// loss/adversary machinery and measurement methodology RunExperiment
+// uses for single-query schemes, plus per-query verdict accounting and
+// the channel-epoch counters the dedup claims are judged by.
+#ifndef SIES_RUNNER_ENGINE_RUNNER_H_
+#define SIES_RUNNER_ENGINE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/epoch_scheduler.h"
+#include "runner/runner.h"
+
+namespace sies::runner {
+
+/// One query plus its live-admission window. Epochs run 1..E; a query
+/// with admit_epoch t participates (and verifies) from epoch t onward,
+/// until teardown_epoch (exclusive; 0 = never torn down).
+struct EngineQuerySchedule {
+  core::Query query;
+  uint64_t admit_epoch = 1;
+  uint64_t teardown_epoch = 0;
+};
+
+struct EngineExperimentConfig {
+  std::vector<EngineQuerySchedule> queries;
+  AdversaryKind adversary = AdversaryKind::kNone;
+  uint32_t num_sources = 64;
+  uint32_t fanout = 4;
+  uint32_t scale_pow10 = 2;  ///< trace domain scaling (queries carry their own)
+  uint32_t epochs = 20;
+  uint64_t seed = 7;
+  uint32_t threads = 1;
+  double loss_rate = 0.0;
+  uint32_t max_retries = 0;
+};
+
+/// Per-query verdict accounting over the run.
+struct EngineQueryStats {
+  uint32_t query_id = 0;
+  std::string sql;
+  uint32_t answered_epochs = 0;    ///< epochs live AND answered
+  uint32_t verified_epochs = 0;
+  uint32_t unverified_epochs = 0;
+  uint32_t partial_epochs = 0;     ///< verified with coverage < 1
+  double last_value = 0.0;         ///< result of the last verified epoch
+  double mean_coverage = 0.0;      ///< over answered epochs
+};
+
+struct EngineExperimentResult {
+  uint32_t epochs = 0;
+  uint32_t answered_epochs = 0;
+  uint32_t unanswered_epochs = 0;
+  /// Epochs with an empty channel plan: the round is skipped entirely
+  /// (torn-down queries stop consuming channel slots AND radio time).
+  uint32_t idle_epochs = 0;
+  /// Σ over run epochs of live physical channels — what the engine
+  /// actually puts on the wire.
+  uint64_t channel_epochs = 0;
+  /// Σ over run epochs of Σ_liveq ChannelCount(q) — what K independent
+  /// sessions would have to transmit. channel_epochs < naive ⇔ dedup won.
+  uint64_t naive_channel_epochs = 0;
+  /// Mean per-epoch CPU over answered epochs, per party.
+  double source_cpu_seconds = 0;
+  double aggregator_cpu_seconds = 0;
+  double querier_cpu_seconds = 0;
+  bool all_verified = true;
+  uint64_t retransmits = 0;
+  uint64_t lost_messages = 0;
+  std::vector<EngineQueryStats> queries;  ///< schedule order
+};
+
+StatusOr<EngineExperimentResult> RunEngineExperiment(
+    const EngineExperimentConfig& config);
+
+}  // namespace sies::runner
+
+#endif  // SIES_RUNNER_ENGINE_RUNNER_H_

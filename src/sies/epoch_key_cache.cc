@@ -13,6 +13,13 @@ telemetry::Counter* CacheCounter(const char* table, const char* event) {
       "sies_epoch_key_cache_events_total",
       {{"table", table}, {"event", event}});
 }
+
+telemetry::Counter* EvictionCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "sies_epoch_key_cache_evictions_total", {});
+  return counter;
+}
 }  // namespace
 
 EpochKeyCache::EpochKeyCache(size_t capacity)
@@ -30,8 +37,22 @@ std::shared_ptr<const Entry> EpochKeyCache::Find(const Table<Entry>& table,
 template <typename Entry>
 void EpochKeyCache::Insert(Table<Entry>& table, uint64_t epoch,
                            std::shared_ptr<const Entry> entry) {
-  while (table.size() >= capacity_) table.pop_front();
+  while (table.size() >= capacity_) {
+    table.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    EvictionCounter()->Increment();
+  }
   table.emplace_back(epoch, std::move(entry));
+}
+
+void EpochKeyCache::Reserve(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity > capacity_) capacity_ = capacity;
+}
+
+size_t EpochKeyCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
 }
 
 std::shared_ptr<const EpochKeyCache::GlobalEntry> EpochKeyCache::Global(

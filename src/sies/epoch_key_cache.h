@@ -73,8 +73,20 @@ class EpochKeyCache {
   /// Hit/miss statistics survive — they describe lookups, not contents.
   void Clear();
 
-  /// Lifetime hit/miss totals per table. Also exported as the labeled
-  /// counter `sies_epoch_key_cache_events_total` in the global metrics
+  /// Grows the capacity to at least `capacity` entries per table (never
+  /// shrinks — concurrent readers may still hold the larger working
+  /// set). The multi-query engine calls this with the live channel
+  /// count: K queries touch K × (channels per query) distinct salted
+  /// epochs per real epoch, so a fixed capacity of 32 would evict every
+  /// entry before its re-use and turn the cache into pure overhead.
+  void Reserve(size_t capacity);
+
+  /// Current per-table capacity.
+  size_t capacity() const;
+
+  /// Lifetime hit/miss/eviction totals per table. Also exported as the
+  /// labeled counter `sies_epoch_key_cache_events_total` (hits/misses)
+  /// and `sies_epoch_key_cache_evictions_total` in the global metrics
   /// registry; these accessors exist so benches (fig6a) can report the
   /// cache behaviour of one specific instance.
   struct Stats {
@@ -82,12 +94,14 @@ class EpochKeyCache {
     uint64_t global_misses = 0;
     uint64_t source_hits = 0;
     uint64_t source_misses = 0;
+    uint64_t evictions = 0;  ///< entries dropped to make room, both tables
   };
   Stats stats() const {
     return Stats{global_hits_.load(std::memory_order_relaxed),
                  global_misses_.load(std::memory_order_relaxed),
                  source_hits_.load(std::memory_order_relaxed),
-                 source_misses_.load(std::memory_order_relaxed)};
+                 source_misses_.load(std::memory_order_relaxed),
+                 evictions_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -101,14 +115,15 @@ class EpochKeyCache {
   void Insert(Table<Entry>& table, uint64_t epoch,
               std::shared_ptr<const Entry> entry);
 
-  const size_t capacity_;
-  std::mutex mu_;
+  size_t capacity_;  // guarded by mu_; grows via Reserve, never shrinks
+  mutable std::mutex mu_;
   Table<GlobalEntry> global_;
   Table<SourceEntry> sources_;
   std::atomic<uint64_t> global_hits_{0};
   std::atomic<uint64_t> global_misses_{0};
   std::atomic<uint64_t> source_hits_{0};
   std::atomic<uint64_t> source_misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace sies::core

@@ -116,6 +116,35 @@ StatusOr<WirePayload> ParseWirePayload(const Params& params,
                      Bytes(wire.begin() + bitmap_bytes, wire.end())};
 }
 
+size_t WireEnvelopeBytes(const Params& params, size_t channels) {
+  return WireBitmapBytes(params) + channels * params.PsrBytes();
+}
+
+StatusOr<WirePayload> ParseWireEnvelope(const Params& params,
+                                        const Bytes& wire,
+                                        size_t expected_channels) {
+  const size_t bitmap_bytes = WireBitmapBytes(params);
+  if (wire.size() < bitmap_bytes) {
+    return Status::InvalidArgument(
+        "wire envelope shorter than its contributor bitmap");
+  }
+  const size_t body_bytes = wire.size() - bitmap_bytes;
+  const size_t psr_bytes = params.PsrBytes();
+  if (psr_bytes == 0 || body_bytes % psr_bytes != 0) {
+    return Status::InvalidArgument(
+        "wire envelope body is not a whole number of PSRs");
+  }
+  if (body_bytes / psr_bytes != expected_channels) {
+    return Status::InvalidArgument(
+        "wire envelope PSR count does not match the channel plan");
+  }
+  auto bitmap =
+      ContributorBitmap::Parse(params.num_sources, wire.data(), bitmap_bytes);
+  if (!bitmap.ok()) return bitmap.status();
+  return WirePayload{std::move(bitmap).value(),
+                     Bytes(wire.begin() + bitmap_bytes, wire.end())};
+}
+
 StatusOr<crypto::U256> PackMessageFp(const Params& params, uint64_t value,
                                      const crypto::U256& share) {
   if (params.value_bytes < 8) {

@@ -102,6 +102,19 @@ StatusOr<WirePayload> ParseWirePayload(const Params& params,
                                        const Bytes& wire,
                                        size_t expected_body_bytes);
 
+/// Width of a multi-channel envelope [bitmap ‖ PSR × channels]: the
+/// engine's one-round-per-epoch batch of all live physical channels.
+size_t WireEnvelopeBytes(const Params& params, size_t channels);
+
+/// Parses a multi-channel envelope, distinguishing the failure modes a
+/// hostile or truncated frame can produce: a frame too short to hold the
+/// contributor bitmap, a body that is not a whole number of PSRs, and a
+/// well-formed envelope carrying the wrong PSR count for the expected
+/// channel plan. Never reads past `wire`'s bounds.
+StatusOr<WirePayload> ParseWireEnvelope(const Params& params,
+                                        const Bytes& wire,
+                                        size_t expected_channels);
+
 // --- Fixed-width fast path ------------------------------------------------
 //
 // Mirrors of the operations above over crypto::U256, used by every party

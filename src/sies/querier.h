@@ -80,6 +80,11 @@ class Querier {
   /// scratch. Benchmarks use this to time cold evaluations honestly.
   void ClearEpochKeyCache() { cache_->Clear(); }
 
+  /// Grows the epoch-key cache to hold at least `entries` salted epochs
+  /// per table. The multi-query engine sizes this with its live channel
+  /// count so K concurrent queries do not thrash the default capacity.
+  void ReserveEpochKeyCapacity(size_t entries) { cache_->Reserve(entries); }
+
   /// Lifetime hit/miss totals of this querier's epoch-key cache
   /// (benchmarks report these per cold/warm series).
   EpochKeyCache::Stats CacheStats() const { return cache_->stats(); }

@@ -47,6 +47,10 @@ struct Predicate {
 
   /// Evaluates the predicate on a reading.
   bool Matches(const SensorReading& reading) const;
+
+  /// Structural equality (the engine's channel planner shares a wire
+  /// channel between queries iff their predicates compare equal).
+  bool operator==(const Predicate&) const = default;
 };
 
 /// Aggregate function of the query.

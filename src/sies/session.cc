@@ -11,6 +11,33 @@ std::vector<Channel> ActiveChannels(const Query& query) {
   return channels;
 }
 
+StatusOr<EpochOutcome> AssembleOutcome(const Query& query,
+                                       uint32_t num_sources, uint64_t sum,
+                                       uint64_t sum_squares, uint64_t count,
+                                       bool verified,
+                                       std::vector<uint32_t> contributors) {
+  EpochOutcome outcome;
+  outcome.verified = verified;
+  outcome.contributors = std::move(contributors);
+  outcome.coverage =
+      num_sources == 0
+          ? 0.0
+          : static_cast<double>(outcome.contributors.size()) /
+                static_cast<double>(num_sources);
+  if (!verified) return outcome;  // result is meaningless if unverified
+  // COUNT-dependent aggregates over zero matches report value 0.
+  if (count == 0 && query.aggregate != Aggregate::kSum &&
+      query.aggregate != Aggregate::kCount) {
+    outcome.result.value = 0.0;
+    outcome.result.count = 0;
+    return outcome;
+  }
+  auto result = CombineChannels(query, sum, sum_squares, count);
+  if (!result.ok()) return result.status();
+  outcome.result = result.value();
+  return outcome;
+}
+
 StatusOr<Bytes> SourceSession::CreatePayload(const SensorReading& reading,
                                              uint64_t epoch) const {
   Bytes body;
@@ -97,26 +124,8 @@ StatusOr<QuerierSession::Outcome> QuerierSession::Evaluate(
         break;
     }
   }
-  Outcome outcome;
-  outcome.verified = verified;
-  outcome.contributors = std::move(participating);
-  outcome.coverage =
-      params.num_sources == 0
-          ? 0.0
-          : static_cast<double>(outcome.contributors.size()) /
-                static_cast<double>(params.num_sources);
-  if (!verified) return outcome;  // result is meaningless if unverified
-  // COUNT-dependent aggregates over zero matches report value 0.
-  if (count == 0 && query_.aggregate != Aggregate::kSum &&
-      query_.aggregate != Aggregate::kCount) {
-    outcome.result.value = 0.0;
-    outcome.result.count = 0;
-    return outcome;
-  }
-  auto result = CombineChannels(query_, sum, sum_squares, count);
-  if (!result.ok()) return result.status();
-  outcome.result = result.value();
-  return outcome;
+  return AssembleOutcome(query_, params.num_sources, sum, sum_squares, count,
+                         verified, std::move(participating));
 }
 
 }  // namespace sies::core

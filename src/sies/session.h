@@ -27,6 +27,27 @@ namespace sies::core {
 /// Channels used by `query`, in wire order.
 std::vector<Channel> ActiveChannels(const Query& query);
 
+/// Outcome of one epoch of one continuous query.
+struct EpochOutcome {
+  QueryResult result;
+  bool verified = false;  ///< all channels verified
+  /// Bitmap-derived contributing source indices, increasing. When
+  /// verified, `result` is the exact aggregate over exactly this set.
+  std::vector<uint32_t> contributors;
+  double coverage = 0.0;  ///< contributors ÷ N
+};
+
+/// Assembles the final per-query outcome from verified channel sums:
+/// computes coverage, short-circuits COUNT-dependent aggregates over
+/// zero matches, and otherwise combines the channels into the numeric
+/// answer. `sum`/`sum_squares`/`count` are the decrypted channel results
+/// (0 for unused channels); shared by QuerierSession and the multi-query
+/// engine so both paths produce bit-identical results.
+StatusOr<EpochOutcome> AssembleOutcome(const Query& query, uint32_t num_sources,
+                                       uint64_t sum, uint64_t sum_squares,
+                                       uint64_t count, bool verified,
+                                       std::vector<uint32_t> contributors);
+
 /// A source's side of one continuous query.
 class SourceSession {
  public:
@@ -69,15 +90,8 @@ class QuerierSession {
       : query_(std::move(query)),
         querier_(std::move(params), std::move(keys)) {}
 
-  /// Outcome of one epoch.
-  struct Outcome {
-    QueryResult result;
-    bool verified = false;  ///< all channels verified
-    /// Bitmap-derived contributing source indices, increasing. When
-    /// verified, `result` is the exact aggregate over exactly this set.
-    std::vector<uint32_t> contributors;
-    double coverage = 0.0;  ///< contributors ÷ N
-  };
+  /// Outcome of one epoch (shared with the multi-query engine).
+  using Outcome = EpochOutcome;
 
   /// Evaluation phase over the final multi-channel wire payload. The
   /// participating set comes from the envelope's contributor bitmap.

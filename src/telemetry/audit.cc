@@ -20,6 +20,10 @@ const char* AuditKindName(AuditKind kind) {
       return "freshness_violation";
     case AuditKind::kAuthFailure:
       return "auth_failure";
+    case AuditKind::kQueryAdmitted:
+      return "query_admitted";
+    case AuditKind::kQueryTeardown:
+      return "query_teardown";
   }
   return "?";
 }

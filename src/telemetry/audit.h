@@ -39,6 +39,8 @@ enum class AuditKind {
   kReportedLoss,
   kFreshnessViolation,
   kAuthFailure,
+  kQueryAdmitted,  ///< multi-query engine admitted a live query
+  kQueryTeardown,  ///< multi-query engine tore a live query down
 };
 
 /// Stable lowercase name ("tamper", "adversary_drop", ...).

@@ -90,5 +90,36 @@ TEST(FlagsTest, LastValueWins) {
   EXPECT_EQ(f.GetInt("n", 0).value(), 2);
 }
 
+TEST(FlagsTest, IntInRangeAcceptsBounds) {
+  Flags f = ParseArgs({"--queries=1", "--k=8"});
+  EXPECT_EQ(f.GetIntInRange("queries", 0, 1, 8).value(), 1);
+  EXPECT_EQ(f.GetIntInRange("k", 0, 1, 8).value(), 8);
+}
+
+TEST(FlagsTest, IntInRangeRejectsOutOfRange) {
+  // The sies_sim --queries contract: 0 concurrent queries is an error,
+  // not a silent no-op.
+  Flags f = ParseArgs({"--queries=0", "--big=9"});
+  auto zero = f.GetIntInRange("queries", 0, 1, 8);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(zero.status().ToString().find("[1, 8]"), std::string::npos);
+  EXPECT_FALSE(f.GetIntInRange("big", 0, 1, 8).ok());
+}
+
+TEST(FlagsTest, IntInRangeRejectsNonNumeric) {
+  Flags f = ParseArgs({"--queries=many"});
+  auto v = f.GetIntInRange("queries", 0, 1, 8);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, IntInRangeDoesNotRangeCheckTheDefault) {
+  // An absent flag returns the caller's default verbatim — sies_sim
+  // uses default 0 with min 1 as its "flag not given" sentinel.
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetIntInRange("queries", 0, 1, 8).value(), 0);
+}
+
 }  // namespace
 }  // namespace sies

@@ -1,0 +1,186 @@
+// EpochScheduler + engine runner integration: one wire round per epoch
+// over the simulated network, live admission mid-run, teardown freeing
+// slots, and composition with the loss/adversary machinery.
+#include "engine/epoch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "runner/engine_runner.h"
+
+namespace sies::engine {
+namespace {
+
+core::Query MakeQuery(core::Aggregate aggregate, uint32_t id,
+                      core::Field attribute = core::Field::kTemperature) {
+  core::Query q;
+  q.aggregate = aggregate;
+  q.attribute = attribute;
+  q.scale_pow10 = 2;
+  q.query_id = id;
+  return q;
+}
+
+runner::EngineExperimentConfig BaseConfig() {
+  runner::EngineExperimentConfig config;
+  config.num_sources = 32;
+  config.fanout = 4;
+  config.epochs = 10;
+  config.seed = 7;
+  config.threads = 1;
+  return config;
+}
+
+TEST(EpochSchedulerTest, BatchedQueriesAllVerify) {
+  runner::EngineExperimentConfig config = BaseConfig();
+  config.queries.push_back({MakeQuery(core::Aggregate::kAvg, 0)});
+  config.queries.push_back({MakeQuery(core::Aggregate::kVariance, 1)});
+  config.queries.push_back({MakeQuery(core::Aggregate::kSum, 2)});
+  auto result = runner::RunEngineExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().all_verified);
+  EXPECT_EQ(result.value().answered_epochs, 10u);
+  // 3 queries, 6 naive channels, 3 physical slots per epoch.
+  EXPECT_EQ(result.value().channel_epochs, 30u);
+  EXPECT_EQ(result.value().naive_channel_epochs, 60u);
+  for (const runner::EngineQueryStats& qs : result.value().queries) {
+    EXPECT_EQ(qs.verified_epochs, 10u) << qs.sql;
+    EXPECT_EQ(qs.mean_coverage, 1.0);
+  }
+}
+
+TEST(EpochSchedulerTest, MidRunAdmissionVerifiesFromItsEpoch) {
+  runner::EngineExperimentConfig config = BaseConfig();
+  config.queries.push_back({MakeQuery(core::Aggregate::kSum, 0)});
+  config.queries.push_back(
+      {MakeQuery(core::Aggregate::kAvg, 1), /*admit_epoch=*/6});
+  auto result = runner::RunEngineExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().all_verified);
+  ASSERT_EQ(result.value().queries.size(), 2u);
+  EXPECT_EQ(result.value().queries[0].verified_epochs, 10u);
+  // Admitted at epoch 6 of 10: exactly epochs 6..10, all verified with
+  // full contributor-bitmap semantics from the first one.
+  EXPECT_EQ(result.value().queries[1].answered_epochs, 5u);
+  EXPECT_EQ(result.value().queries[1].verified_epochs, 5u);
+  EXPECT_EQ(result.value().queries[1].mean_coverage, 1.0);
+  // Epochs 1-5 run 1 channel, 6-10 run 2 (AVG shares the SUM slot).
+  EXPECT_EQ(result.value().channel_epochs, 5u * 1 + 5u * 2);
+}
+
+TEST(EpochSchedulerTest, TeardownFreesSlotsAndSkipsEmptyRounds) {
+  runner::EngineExperimentConfig config = BaseConfig();
+  config.queries.push_back({MakeQuery(core::Aggregate::kVariance, 0),
+                            /*admit_epoch=*/1, /*teardown_epoch=*/4});
+  auto result = runner::RunEngineExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Live for epochs 1..3 only; epochs 4..10 have an empty plan and are
+  // skipped without a radio round.
+  EXPECT_EQ(result.value().channel_epochs, 3u * 3);
+  EXPECT_EQ(result.value().answered_epochs, 3u);
+  EXPECT_EQ(result.value().idle_epochs, 7u);
+  EXPECT_EQ(result.value().queries[0].verified_epochs, 3u);
+}
+
+TEST(EpochSchedulerTest, LossDegradesGracefullyPerQuery) {
+  runner::EngineExperimentConfig config = BaseConfig();
+  config.queries.push_back({MakeQuery(core::Aggregate::kSum, 0)});
+  config.queries.push_back({MakeQuery(core::Aggregate::kCount, 1)});
+  config.loss_rate = 0.15;
+  config.max_retries = 1;
+  auto result = runner::RunEngineExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const runner::EngineExperimentResult& r = result.value();
+  // Loss must not break verification — answered epochs verify over
+  // exactly the contributing set, for every co-batched query alike.
+  EXPECT_TRUE(r.all_verified);
+  EXPECT_GT(r.answered_epochs, 0u);
+  for (const runner::EngineQueryStats& qs : r.queries) {
+    EXPECT_EQ(qs.unverified_epochs, 0u);
+    EXPECT_EQ(qs.answered_epochs, r.answered_epochs)
+        << "co-batched queries share the wire and thus the loss fate";
+    EXPECT_LE(qs.mean_coverage, 1.0);
+    EXPECT_GT(qs.mean_coverage, 0.0);
+  }
+}
+
+TEST(EpochSchedulerTest, TamperFailsOnlyTheQueriesReadingTheChannel) {
+  runner::EngineExperimentConfig config = BaseConfig();
+  // Wire order: (0,SUM) then (1,SUMSQ), (1,COUNT). The tamper adversary
+  // flips a trailing payload bit — inside VARIANCE's COUNT channel.
+  config.queries.push_back({MakeQuery(core::Aggregate::kSum, 0)});
+  config.queries.push_back({MakeQuery(core::Aggregate::kVariance, 1)});
+  config.adversary = runner::AdversaryKind::kTamper;
+  auto result = runner::RunEngineExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const runner::EngineExperimentResult& r = result.value();
+  EXPECT_FALSE(r.all_verified);
+  ASSERT_EQ(r.queries.size(), 2u);
+  EXPECT_EQ(r.queries[0].verified_epochs, r.queries[0].answered_epochs)
+      << "SUM rides an untouched channel and must keep verifying";
+  EXPECT_EQ(r.queries[0].unverified_epochs, 0u);
+  EXPECT_EQ(r.queries[1].verified_epochs, 0u)
+      << "VARIANCE reads the tampered channel and must never verify";
+  EXPECT_GT(r.queries[1].unverified_epochs, 0u);
+}
+
+TEST(EpochSchedulerTest, ThreadedRunMatchesSerialRun) {
+  runner::EngineExperimentConfig config = BaseConfig();
+  config.queries.push_back({MakeQuery(core::Aggregate::kAvg, 0)});
+  config.queries.push_back(
+      {MakeQuery(core::Aggregate::kStddev, 1, core::Field::kHumidity)});
+  auto serial = runner::RunEngineExperiment(config);
+  config.threads = 4;
+  auto threaded = runner::RunEngineExperiment(config);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_EQ(serial.value().queries.size(), threaded.value().queries.size());
+  for (size_t i = 0; i < serial.value().queries.size(); ++i) {
+    EXPECT_EQ(serial.value().queries[i].last_value,
+              threaded.value().queries[i].last_value);
+    EXPECT_EQ(serial.value().queries[i].verified_epochs,
+              threaded.value().queries[i].verified_epochs);
+  }
+}
+
+TEST(EpochSchedulerTest, EngineCachesScaleWithTheChannelPlan) {
+  // The EpochKeyCache satellite: admissions re-reserve the caches to
+  // 2x the live channel count, so a wide mix does not thrash.
+  auto params = core::MakeParams(8, 3, /*value_bytes=*/8).value();
+  auto keys = core::GenerateKeys(params, EncodeUint64(3));
+  MultiQueryEngine eng(params, keys);
+  ASSERT_TRUE(eng.Admit(MakeQuery(core::Aggregate::kVariance, 0), 1).ok());
+  ASSERT_TRUE(
+      eng.Admit(MakeQuery(core::Aggregate::kVariance, 1,
+                          core::Field::kHumidity), 1).ok());
+  // 5 physical channels live (the unpredicated COUNT slot is shared
+  // across attributes) -> both caches re-reserve to >= 10 entries.
+  ASSERT_EQ(eng.registry().plan().Count(), 5u);
+  for (uint64_t epoch = 1; epoch <= 20; ++epoch) {
+    std::vector<Bytes> payloads;
+    for (uint32_t i = 0; i < 8; ++i) {
+      core::SensorReading r{20.0 + i, 40.0 + i, 0.0, 2.5};
+      auto p = eng.CreateSourcePayload(i, r, epoch);
+      ASSERT_TRUE(p.ok());
+      payloads.push_back(std::move(p).value());
+    }
+    auto merged = eng.Merge(payloads);
+    ASSERT_TRUE(merged.ok());
+    auto outcomes = eng.Evaluate(merged.value(), epoch);
+    ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+    for (const QueryEpochOutcome& qo : outcomes.value()) {
+      EXPECT_TRUE(qo.outcome.verified);
+    }
+  }
+  // The cache is re-reserved to 2x the 5 live channels, so within an
+  // epoch every salted epoch's K_t is derived exactly ONCE and shared
+  // by all 8 sources: 5 misses per epoch, 7x that in hits. A fixed
+  // too-small capacity would evict entries mid-epoch and re-derive
+  // (extra misses). FIFO turnover of PAST epochs' entries is fine —
+  // the simulator never revisits them.
+  const auto stats = eng.SourceCacheStats();
+  EXPECT_EQ(stats.global_misses, 5u * 20u);
+  EXPECT_EQ(stats.global_hits, 5u * 20u * 7u);
+}
+
+}  // namespace
+}  // namespace sies::engine

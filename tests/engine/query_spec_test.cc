@@ -1,0 +1,83 @@
+// Textual query specs: the --queries-file grammar and its validation.
+#include "engine/query_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace sies::engine {
+namespace {
+
+TEST(QuerySpecTest, ParsesFullSpecLine) {
+  auto q = ParseQuerySpec(
+      "avg temperature scale 2 where temperature >= 20 id 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().aggregate, core::Aggregate::kAvg);
+  EXPECT_EQ(q.value().attribute, core::Field::kTemperature);
+  EXPECT_EQ(q.value().scale_pow10, 2u);
+  EXPECT_EQ(q.value().query_id, 5u);
+  ASSERT_TRUE(q.value().where.has_value());
+  EXPECT_EQ(q.value().where->op, core::CompareOp::kGreaterEqual);
+  EXPECT_EQ(q.value().where->threshold, 20.0);
+}
+
+TEST(QuerySpecTest, ReportsWhetherIdWasExplicit) {
+  bool id_given = true;
+  ASSERT_TRUE(ParseQuerySpec("sum humidity", &id_given).ok());
+  EXPECT_FALSE(id_given);
+  ASSERT_TRUE(ParseQuerySpec("sum humidity id 3", &id_given).ok());
+  EXPECT_TRUE(id_given);
+}
+
+TEST(QuerySpecTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseQuerySpec("").ok());
+  EXPECT_FALSE(ParseQuerySpec("median temperature").ok());
+  EXPECT_FALSE(ParseQuerySpec("sum pressure").ok());
+  EXPECT_FALSE(ParseQuerySpec("sum temperature scale x").ok());
+  EXPECT_FALSE(ParseQuerySpec("sum temperature where temperature").ok());
+  EXPECT_FALSE(ParseQuerySpec("sum temperature id notanumber").ok());
+}
+
+TEST(QuerySpecTest, TextAssignsFreeIdsAndSkipsComments) {
+  auto queries = ParseQueriesText(
+      "# header comment\n"
+      "avg temperature\n"
+      "\n"
+      "count temperature id 0\n"
+      "sum humidity\n");
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  ASSERT_EQ(queries.value().size(), 3u);
+  // The explicit id 0 is taken; implicit queries get the free ids.
+  EXPECT_EQ(queries.value()[1].query_id, 0u);
+  EXPECT_NE(queries.value()[0].query_id, queries.value()[2].query_id);
+  EXPECT_NE(queries.value()[0].query_id, 0u);
+  EXPECT_NE(queries.value()[2].query_id, 0u);
+}
+
+TEST(QuerySpecTest, TextRejectsDuplicateIdsAndEmptyFiles) {
+  auto dup = ParseQueriesText("sum temperature id 1\ncount temperature id 1\n");
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  auto empty = ParseQueriesText("# nothing but comments\n\n");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().ToString().find("no queries"), std::string::npos);
+}
+
+TEST(QuerySpecTest, LoadRejectsUnreadablePath) {
+  auto missing = LoadQueriesFile("/does/not/exist.queries");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.status().ToString().find("cannot read"),
+            std::string::npos);
+}
+
+TEST(QuerySpecTest, DefaultMixDedupsToThreeChannels) {
+  for (uint32_t k : {1u, 5u, 8u}) {
+    std::vector<core::Query> mix = DefaultQueryMix(k);
+    ASSERT_EQ(mix.size(), k);
+    for (uint32_t i = 0; i < k; ++i) {
+      EXPECT_EQ(mix[i].query_id, i);
+      EXPECT_EQ(mix[i].attribute, core::Field::kTemperature);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sies::engine

@@ -65,6 +65,78 @@ TEST(FuzzTest, SiesQuerierRandomPsrsNeverVerify) {
   EXPECT_EQ(verified_count, 0);
 }
 
+TEST(FuzzTest, WireEnvelopeHostileFramesNeverReadOutOfBounds) {
+  // The multi-query engine's one-round envelope [bitmap ‖ PSR × K] is
+  // the widest attack surface a hostile aggregator sees: truncated
+  // bitmaps, oversized frames, and PSR counts that disagree with the
+  // channel plan must all come back as errors — never a crash or an
+  // out-of-bounds read (run under scripts/check.sh --sanitize).
+  auto params = core::MakeParams(16, 1).value();
+  const size_t kChannels = 3;
+  const size_t honest_size = core::WireEnvelopeBytes(params, kChannels);
+  Xoshiro256 rng(11);
+
+  // Truncations: every prefix of an honest-sized frame, including cuts
+  // inside the bitmap.
+  Bytes frame = rng.NextBytes(honest_size);
+  for (size_t len = 0; len < honest_size; ++len) {
+    Bytes truncated(frame.begin(), frame.begin() + len);
+    auto parsed = core::ParseWireEnvelope(params, truncated, kChannels);
+    EXPECT_FALSE(parsed.ok()) << "truncated frame of " << len
+                              << " bytes accepted";
+  }
+  // Oversized frames: trailing garbage must be rejected, not ignored.
+  for (size_t extra = 1; extra <= 64; extra *= 2) {
+    Bytes oversized = frame;
+    for (size_t i = 0; i < extra; ++i) {
+      oversized.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    EXPECT_FALSE(core::ParseWireEnvelope(params, oversized, kChannels).ok());
+  }
+  // PSR-count / plan mismatches: an envelope of K channels fed to a
+  // parser expecting K' != K.
+  for (size_t expected : {size_t{0}, size_t{1}, size_t{2}, size_t{4},
+                          size_t{100}}) {
+    auto parsed = core::ParseWireEnvelope(params, frame, expected);
+    EXPECT_FALSE(parsed.ok()) << "K=" << kChannels << " frame accepted as K="
+                              << expected;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Random lengths, random bytes: error or a parse whose pieces are
+  // exactly as wide as claimed — never a crash.
+  for (int t = 0; t < kTrials; ++t) {
+    Bytes random = rng.NextBytes(rng.NextBelow(2 * honest_size));
+    auto parsed = core::ParseWireEnvelope(params, random, kChannels);
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed.value().body.size(),
+                kChannels * params.PsrBytes());
+    }
+  }
+}
+
+TEST(FuzzTest, WireEnvelopeErrorsAreDistinct) {
+  // The three failure modes carry distinguishable messages so a network
+  // operator can tell a radio truncation from a plan mismatch.
+  auto params = core::MakeParams(16, 1).value();
+  Bytes tiny(1, 0xff);  // shorter than the 2-byte bitmap
+  auto short_frame = core::ParseWireEnvelope(params, tiny, 1);
+  ASSERT_FALSE(short_frame.ok());
+  EXPECT_NE(short_frame.status().message().find("bitmap"),
+            std::string::npos);
+
+  Bytes ragged(core::WireBitmapBytes(params) + params.PsrBytes() + 1, 0);
+  auto ragged_frame = core::ParseWireEnvelope(params, ragged, 1);
+  ASSERT_FALSE(ragged_frame.ok());
+  EXPECT_NE(ragged_frame.status().message().find("whole number"),
+            std::string::npos);
+
+  Bytes wrong_k(core::WireEnvelopeBytes(params, 2), 0);
+  auto mismatch = core::ParseWireEnvelope(params, wrong_k, 1);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.status().message().find("channel plan"),
+            std::string::npos);
+}
+
 TEST(FuzzTest, SecoaParsersRandomAndTruncated) {
   Xoshiro256 rng(4);
   auto kp = crypto::GenerateRsaKeyPair(256, rng).value();

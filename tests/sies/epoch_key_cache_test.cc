@@ -88,6 +88,36 @@ TEST(EpochKeyCacheTest, EvictionBoundsRetainedEpochs) {
   EXPECT_EQ(e1->key, e1_again->key) << "re-derivation is deterministic";
 }
 
+TEST(EpochKeyCacheTest, EvictionsAreCounted) {
+  Fixture f;
+  EpochKeyCache cache(/*capacity=*/2);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    cache.Global(f.params, f.keys.global_key, epoch);
+  }
+  // Capacity 2, 5 inserts: epochs 1-3 were pushed out.
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(EpochKeyCacheTest, ReserveGrowsAndNeverShrinks) {
+  Fixture f;
+  EpochKeyCache cache(/*capacity=*/2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  cache.Reserve(8);
+  EXPECT_EQ(cache.capacity(), 8u);
+  cache.Reserve(4);  // no shrink: readers may hold the larger set
+  EXPECT_EQ(cache.capacity(), 8u);
+
+  // With room for all 5 epochs, the same access pattern evicts nothing.
+  for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    cache.Global(f.params, f.keys.global_key, epoch);
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  auto early = cache.Global(f.params, f.keys.global_key, 1);
+  EXPECT_EQ(cache.stats().global_hits, 1u) << "epoch 1 must still be held";
+  EXPECT_EQ(early->key, DeriveEpochGlobalKey(f.params, f.keys.global_key, 1));
+}
+
 TEST(EpochKeyCacheTest, ClearDropsEverything) {
   Fixture f;
   EpochKeyCache cache;
