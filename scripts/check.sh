@@ -1,11 +1,25 @@
 #!/usr/bin/env bash
 # Full local check: configure, build, run every test, example, and bench.
-# Usage: scripts/check.sh [--skip-bench] [--sanitize] [--telemetry-smoke]
-#                         [--fault-smoke] [--engine-smoke]
+# Usage: scripts/check.sh [--skip-bench] [--sanitize] [--tsan] [--tidy]
+#                         [--lint] [--telemetry-smoke] [--fault-smoke]
+#                         [--engine-smoke]
 #   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
 #                      pass below always runs
 #   --sanitize         build + test under ASan/UBSan (-DSIES_SANITIZE=ON) in
 #                      a separate build-sanitize/ tree; implies --skip-bench
+#   --tsan             ONLY build the concurrency-sensitive test subset
+#                      under ThreadSanitizer (-DSIES_TSAN=ON) in a separate
+#                      build-tsan/ tree and run the race/engine/telemetry/
+#                      threadpool/loss ctest labels with suppressions from
+#                      scripts/tsan.supp (policy: docs/DEVELOPING.md)
+#   --tidy             ONLY run the static-analysis gate over src/:
+#                      clang-tidy against the compile database when a
+#                      clang-tidy binary exists, otherwise the strict
+#                      g++ -Wshadow -Wconversion -Werror syntax-only pass
+#   --lint             ONLY run the secret-hygiene linter
+#                      (scripts/lint_secrets.py: self-test + full src/
+#                      scan) followed by the --tidy gate; nonzero on any
+#                      finding
 #   --telemetry-smoke  ONLY run the telemetry smoke (sies_sim with
 #                      --metrics-out/--trace-out/--audit-out on a tiny
 #                      topology, outputs validated with python3); the
@@ -25,6 +39,9 @@ cd "$(dirname "$0")/.."
 
 SKIP_BENCH=0
 SANITIZE=0
+TSAN_ONLY=0
+TIDY_ONLY=0
+LINT_ONLY=0
 TELEMETRY_ONLY=0
 FAULT_ONLY=0
 ENGINE_ONLY=0
@@ -32,12 +49,50 @@ for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
     --sanitize) SANITIZE=1 ;;
+    --tsan) TSAN_ONLY=1 ;;
+    --tidy) TIDY_ONLY=1 ;;
+    --lint) LINT_ONLY=1 ;;
     --telemetry-smoke) TELEMETRY_ONLY=1 ;;
     --fault-smoke) FAULT_ONLY=1 ;;
     --engine-smoke) ENGINE_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+# Static-analysis gate over src/. Prefers clang-tidy (any versioned
+# binary) with the tuned .clang-tidy config against the build tree's
+# compile database; containers without LLVM fall back to an equally
+# blocking strict-warning pass (g++ -Wshadow -Wconversion -Werror,
+# syntax-only so it is fast and build-tree independent). The tree is
+# kept clean under BOTH gates.
+tidy_gate() {
+  local tidy=""
+  for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+  mapfile -t sources < <(find src -name '*.cc' | sort)
+  if [[ -n "$tidy" ]]; then
+    echo "== clang-tidy gate ($tidy, ${#sources[@]} files) =="
+    cmake -B build -G Ninja > /dev/null
+    "$tidy" -p build --quiet --warnings-as-errors='*' "${sources[@]}"
+  else
+    echo "== tidy gate: clang-tidy not installed; strict g++ fallback" \
+         "(${#sources[@]} files) =="
+    local failed=0
+    for f in "${sources[@]}"; do
+      g++ -std=c++20 -Isrc -fsyntax-only \
+          -Wall -Wextra -Wshadow -Wconversion -Werror "$f" || failed=1
+    done
+    if [[ $failed -ne 0 ]]; then
+      echo "tidy gate FAILED" >&2
+      return 1
+    fi
+  fi
+  echo "tidy gate OK"
+}
 
 # Runs sies_sim on a tiny 2-level/8-source topology under a tampering
 # adversary with all three telemetry exports, then validates that the
@@ -219,6 +274,40 @@ if [[ $SANITIZE -eq 1 ]]; then
   # Sanitized objects live in their own tree so the fast build stays warm.
   BUILD=build-sanitize
   EXTRA+=(-DSIES_SANITIZE=ON)
+fi
+
+if [[ $TIDY_ONLY -eq 1 ]]; then
+  tidy_gate
+  echo "TIDY GATE PASSED"
+  exit 0
+fi
+
+if [[ $LINT_ONLY -eq 1 ]]; then
+  echo "== secret-hygiene linter =="
+  python3 scripts/lint_secrets.py --self-test
+  python3 scripts/lint_secrets.py src
+  tidy_gate
+  echo "LINT GATE PASSED"
+  exit 0
+fi
+
+if [[ $TSAN_ONLY -eq 1 ]]; then
+  # TSan objects live in their own tree; only the concurrency-sensitive
+  # test subset is built (the full suite under TSan is needlessly slow).
+  BUILD=build-tsan
+  cmake -B "$BUILD" -G Ninja -DSIES_TSAN=ON
+  cmake --build "$BUILD" --target sies_sim \
+      race_stress_test thread_pool_test loss_resilience_test \
+      telemetry_metrics_test telemetry_trace_test telemetry_audit_test \
+      telemetry_integration_test engine_channel_plan_test \
+      engine_query_registry_test engine_differential_test \
+      engine_epoch_scheduler_test engine_query_spec_test
+  echo "== TSan run (labels: race engine telemetry threadpool loss) =="
+  TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      ctest --test-dir "$BUILD" -L 'race|engine|telemetry|threadpool|loss' \
+            --output-on-failure
+  echo "TSAN CHECKS PASSED"
+  exit 0
 fi
 
 if [[ $TELEMETRY_ONLY -eq 1 ]]; then

@@ -1,5 +1,7 @@
 #include "common/bytes.h"
 
+#include "common/secure.h"
+
 namespace sies {
 
 namespace {
@@ -45,7 +47,9 @@ StatusOr<Bytes> FromHex(std::string_view hex) {
 bool ConstantTimeEqual(const Bytes& a, const Bytes& b) {
   if (a.size() != b.size()) return false;
   uint8_t diff = 0;
-  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff = static_cast<uint8_t>(diff | (a[i] ^ b[i]));
+  }
   return diff == 0;
 }
 
@@ -87,9 +91,7 @@ Bytes EncodeUint64(uint64_t v) {
 }
 
 void SecureWipe(Bytes& data) {
-  // volatile pointer write defeats dead-store elimination.
-  volatile uint8_t* p = data.data();
-  for (size_t i = 0; i < data.size(); ++i) p[i] = 0;
+  common::SecureZero(data.data(), data.size());
   data.clear();
   data.shrink_to_fit();
 }

@@ -1,0 +1,12 @@
+#include "common/secure.h"
+
+#include <cstdint>
+
+namespace sies::common {
+
+void SecureZero(void* data, size_t len) {
+  volatile uint8_t* p = static_cast<volatile uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) p[i] = 0;
+}
+
+}  // namespace sies::common

@@ -48,6 +48,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   static telemetry::Counter* jobs =
       telemetry::MetricsRegistry::Global().GetCounter(
           "sies_thread_pool_jobs_total");
+  // One job owns the pool at a time: a second external caller blocks here
+  // until the first drains. Without this, concurrent callers overwrite
+  // job_/job_size_, reset next_ mid-job and clobber active_workers_ —
+  // indices get skipped or run twice (two engines sharing one pool, see
+  // race_stress_test.SharedPoolTwoEnginesOneEpoch).
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
   queue_depth->Set(static_cast<double>(n));
   jobs->Increment();
   max_job_size_.store(

@@ -47,6 +47,9 @@ class ThreadPool {
   /// all lanes, and blocks until every call returned. fn must tolerate
   /// concurrent invocation for distinct i and must not throw. Calls from
   /// inside a lane (nested parallelism) run the whole loop inline.
+  /// Safe to call from multiple external threads concurrently: jobs
+  /// serialize on an internal dispatch mutex, one owning the pool at a
+  /// time (e.g. two engines lent the same pool).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Largest n ever dispatched to the workers (inline runs excluded).
@@ -60,6 +63,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
+  std::mutex dispatch_mu_;  // serializes whole ParallelFor jobs
   std::mutex mu_;
   std::condition_variable start_cv_;  // signals a new job generation
   std::condition_variable done_cv_;   // signals all workers drained

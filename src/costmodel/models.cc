@@ -69,8 +69,10 @@ SchemeCosts SecoaConcrete(const PrimitiveCosts& c, const ModelInputs& in,
   querier_rl = sum_rl;
   out.querier_seconds =
       jn * c.c_hm1 +
-      (static_cast<double>(seal_groups) + jn - 2) * c.c_m128 +
-      (static_cast<double>(querier_rl) + x_max) * c.c_rsa + in.j * c.c_hm1;
+      (static_cast<double>(seal_groups) + jn - 2.0) * c.c_m128 +
+      (static_cast<double>(querier_rl) + static_cast<double>(x_max)) *
+          c.c_rsa +
+      in.j * c.c_hm1;
   // Eq. 10 / 11.
   out.source_to_aggregator_bytes =
       in.j * kSketchBytes + in.j * kSealBytes + kInflationBytes;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <ostream>
 
+#include "common/secure.h"
+
 namespace sies::crypto {
 
 namespace {
@@ -60,6 +62,23 @@ int CompareLimbs(const std::vector<uint64_t>& a,
 
 BigUint::BigUint(uint64_t v) {
   if (v != 0) limbs_.push_back(v);
+}
+
+bool BigUint::ConstantTimeEqual(const BigUint& a, const BigUint& b) {
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  uint64_t diff = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t la = i < a.limbs_.size() ? a.limbs_[i] : 0;
+    uint64_t lb = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    diff |= la ^ lb;
+  }
+  return diff == 0;
+}
+
+void BigUint::Wipe() {
+  common::SecureZero(limbs_.data(), limbs_.size() * sizeof(uint64_t));
+  limbs_.clear();
+  limbs_.shrink_to_fit();
 }
 
 void BigUint::Trim() {

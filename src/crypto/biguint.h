@@ -130,6 +130,19 @@ class BigUint {
   /// Limb accessors for white-box tests.
   const std::vector<uint64_t>& limbs() const { return limbs_; }
 
+  /// Zeroizes the limb storage (optimizer-proof) and resets to zero.
+  /// Call on values that held key material (K_t, k_{i,t}, ss_{i,t})
+  /// before the storage is released.
+  void Wipe();
+
+  /// Constant-time equality: always touches every limb of both values,
+  /// so verification verdicts (share sums, SEAL residues) do not leak
+  /// WHERE two secrets diverge. Only the limb counts (public bit
+  /// lengths) influence timing. operator== compares via Compare(),
+  /// which exits at the first differing limb — never use it on secret
+  /// material (enforced by scripts/lint_secrets.py).
+  static bool ConstantTimeEqual(const BigUint& a, const BigUint& b);
+
  private:
   friend class MontgomeryCtx;
 

@@ -54,6 +54,15 @@ struct U256 {
   bool operator==(const U256& o) const { return Compare(o) == 0; }
   bool operator!=(const U256& o) const { return Compare(o) != 0; }
 
+  /// Constant-time equality: always touches all four limbs of both
+  /// values. Use for secret material (share sums, epoch keys) where
+  /// the early-exit Compare() would leak the first differing limb.
+  static bool ConstantTimeEqual(const U256& a, const U256& b) {
+    uint64_t diff = (a.v[0] ^ b.v[0]) | (a.v[1] ^ b.v[1]) |
+                    (a.v[2] ^ b.v[2]) | (a.v[3] ^ b.v[3]);
+    return diff == 0;
+  }
+
   /// out = a + b (mod 2^256); returns the carry-out bit.
   static uint64_t Add(const U256& a, const U256& b, U256* out);
   /// out = a - b (mod 2^256); returns the borrow-out bit.

@@ -8,13 +8,16 @@ namespace sies::crypto {
 namespace {
 
 // Generic HMAC over any hasher with kBlockSize/kDigestSize and the
-// streaming Reset/Update/Final interface.
+// streaming Reset/Update/Final interface. All intermediates derived
+// from the key (padded key block, ipad/opad, inner digest) are wiped
+// before return; only the tag itself leaves the function.
 template <typename Hash>
 Bytes HmacGeneric(const Bytes& key, const Bytes& message) {
   Bytes k = key;
   if (k.size() > Hash::kBlockSize) {
     Hash h;
     h.Update(k);
+    SecureWipe(k);
     k.assign(Hash::kDigestSize, 0);
     h.Final(k.data());
   }
@@ -25,16 +28,20 @@ Bytes HmacGeneric(const Bytes& key, const Bytes& message) {
     ipad[i] = k[i] ^ 0x36;
     opad[i] = k[i] ^ 0x5c;
   }
+  SecureWipe(k);
 
   Hash inner;
   inner.Update(ipad);
   inner.Update(message);
   Bytes inner_digest(Hash::kDigestSize);
   inner.Final(inner_digest.data());
+  SecureWipe(ipad);
 
   Hash outer;
   outer.Update(opad);
   outer.Update(inner_digest);
+  SecureWipe(opad);
+  SecureWipe(inner_digest);
   Bytes tag(Hash::kDigestSize);
   outer.Final(tag.data());
   return tag;

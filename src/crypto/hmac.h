@@ -6,6 +6,12 @@
 //
 // The paper treats HMAC as a PRF keyed by a long-term secret and applied
 // to the epoch number t; EpochPrf* below encode exactly that usage.
+//
+// Secret hygiene: every key-derived intermediate (padded key block,
+// ipad/opad, inner digest) is zeroized before these functions return;
+// callers own the returned tag and must SecureWipe it (or hold it in
+// crypto::SecureBytes) when it is itself key material, e.g. K_t or
+// ss_{i,t} derivations. Enforced by scripts/lint_secrets.py.
 #ifndef SIES_CRYPTO_HMAC_H_
 #define SIES_CRYPTO_HMAC_H_
 

@@ -6,34 +6,38 @@
 namespace sies::crypto {
 
 HmacDrbg::HmacDrbg(const Bytes& seed, const Bytes& personalization) {
-  key_.assign(Sha256::kDigestSize, 0x00);
-  v_.assign(Sha256::kDigestSize, 0x01);
-  Update(Concat(seed, personalization));
+  key_.Fill(Sha256::kDigestSize, 0x00);
+  v_.Fill(Sha256::kDigestSize, 0x01);
+  Bytes seed_material = Concat(seed, personalization);
+  Update(seed_material);
+  SecureWipe(seed_material);
 }
 
 void HmacDrbg::Update(const Bytes& provided) {
   // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
-  Bytes data = v_;
+  Bytes data = v_.bytes();
   data.push_back(0x00);
   data.insert(data.end(), provided.begin(), provided.end());
-  key_ = HmacSha256(key_, data);
-  v_ = HmacSha256(key_, v_);
+  key_.Assign(HmacSha256(key_, data));
+  v_.Assign(HmacSha256(key_, v_));
   if (!provided.empty()) {
-    data = v_;
+    SecureWipe(data);
+    data = v_.bytes();
     data.push_back(0x01);
     data.insert(data.end(), provided.begin(), provided.end());
-    key_ = HmacSha256(key_, data);
-    v_ = HmacSha256(key_, v_);
+    key_.Assign(HmacSha256(key_, data));
+    v_.Assign(HmacSha256(key_, v_));
   }
+  SecureWipe(data);
 }
 
 Bytes HmacDrbg::Generate(size_t n) {
   Bytes out;
   out.reserve(n);
   while (out.size() < n) {
-    v_ = HmacSha256(key_, v_);
+    v_.Assign(HmacSha256(key_, v_));
     size_t take = std::min(v_.size(), n - out.size());
-    out.insert(out.end(), v_.begin(), v_.begin() + take);
+    out.insert(out.end(), v_.bytes().begin(), v_.bytes().begin() + take);
   }
   Update({});
   return out;

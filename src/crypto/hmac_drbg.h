@@ -7,10 +7,13 @@
 #define SIES_CRYPTO_HMAC_DRBG_H_
 
 #include "common/bytes.h"
+#include "crypto/secure_bytes.h"
 
 namespace sies::crypto {
 
 /// Deterministic random bit generator per SP 800-90A (HMAC_DRBG, SHA-256).
+/// The internal working state (K, V) is held in SecureBytes and zeroized
+/// on destruction — the state is equivalent to every key it ever produced.
 class HmacDrbg {
  public:
   /// Instantiates with entropy input (and optional personalization).
@@ -25,8 +28,8 @@ class HmacDrbg {
  private:
   void Update(const Bytes& provided);
 
-  Bytes key_;  // K, 32 bytes
-  Bytes v_;    // V, 32 bytes
+  SecureBytes key_;  // K, 32 bytes
+  SecureBytes v_;    // V, 32 bytes
 };
 
 }  // namespace sies::crypto

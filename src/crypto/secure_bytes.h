@@ -1,0 +1,76 @@
+// SecureBytes: an owning byte buffer that zeroizes on destruction.
+//
+// Use it for any `Bytes` whose contents are secret and live past a
+// single expression — DRBG state, derived MAC keys, parsed key blobs.
+// The wrapper converts implicitly to `const Bytes&` so call sites that
+// only read the secret (HMAC keys, PRF inputs) need no changes; every
+// path that releases the storage (destructor, Assign, move-assign)
+// wipes the previous contents first via common::SecureZero.
+//
+// Secrets are moved, not copied: the copy constructor is deleted so a
+// second plaintext copy of key material cannot appear by accident.
+#ifndef SIES_CRYPTO_SECURE_BYTES_H_
+#define SIES_CRYPTO_SECURE_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/secure.h"
+
+namespace sies::crypto {
+
+class SecureBytes {
+ public:
+  SecureBytes() = default;
+  explicit SecureBytes(Bytes data) : data_(std::move(data)) {}
+
+  SecureBytes(const SecureBytes&) = delete;
+  SecureBytes& operator=(const SecureBytes&) = delete;
+
+  SecureBytes(SecureBytes&& other) noexcept : data_(std::move(other.data_)) {
+    other.data_.clear();
+  }
+  SecureBytes& operator=(SecureBytes&& other) noexcept {
+    if (this != &other) {
+      Wipe();
+      data_ = std::move(other.data_);
+      other.data_.clear();
+    }
+    return *this;
+  }
+
+  ~SecureBytes() { Wipe(); }
+
+  /// Replaces the contents; the previous secret is wiped first.
+  void Assign(Bytes data) {
+    Wipe();
+    data_ = std::move(data);
+  }
+
+  /// Fills with `n` copies of `value` (DRBG K/V initialization).
+  void Fill(size_t n, uint8_t value) {
+    Wipe();
+    data_.assign(n, value);
+  }
+
+  /// Zeroizes and releases the storage now.
+  void Wipe() {
+    common::SecureZero(data_.data(), data_.size());
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  const Bytes& bytes() const { return data_; }
+  operator const Bytes&() const { return data_; }  // NOLINT(google-explicit-constructor)
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+ private:
+  Bytes data_;
+};
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_SECURE_BYTES_H_

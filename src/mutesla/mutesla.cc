@@ -1,6 +1,7 @@
 #include "mutesla/mutesla.h"
 
 #include "crypto/hmac.h"
+#include "crypto/secure_bytes.h"
 #include "crypto/sha256.h"
 #include "telemetry/audit.h"
 
@@ -47,7 +48,10 @@ StatusOr<BroadcastPacket> Broadcaster::Broadcast(uint64_t interval,
   BroadcastPacket packet;
   packet.interval = interval;
   packet.payload = payload;
-  packet.mac = crypto::HmacSha256(DeriveMacKey(chain_[interval]), payload);
+  // The MAC key is secret until the chain key's disclosure interval;
+  // wipe the derived copy as soon as the tag is computed.
+  crypto::SecureBytes mac_key(DeriveMacKey(chain_[interval]));
+  packet.mac = crypto::HmacSha256(mac_key, payload);
   return packet;
 }
 
@@ -106,7 +110,7 @@ StatusOr<std::vector<Bytes>> Receiver::OnDisclosure(
 
   // Verify all buffered packets for this interval.
   std::vector<Bytes> authenticated;
-  Bytes mac_key = DeriveMacKey(disclosure.chain_key);
+  crypto::SecureBytes mac_key(DeriveMacKey(disclosure.chain_key));
   auto range = pending_.equal_range(disclosure.interval);
   for (auto it = range.first; it != range.second; ++it) {
     Bytes expected = crypto::HmacSha256(mac_key, it->second.payload);

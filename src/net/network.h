@@ -95,7 +95,9 @@ struct EdgeTraffic {
 
   /// Mean radiated bytes per logical send (0 when idle).
   double MeanBytes() const {
-    return messages == 0 ? 0.0 : static_cast<double>(bytes) / messages;
+    return messages == 0
+               ? 0.0
+               : static_cast<double>(bytes) / static_cast<double>(messages);
   }
 };
 

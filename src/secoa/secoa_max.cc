@@ -136,7 +136,8 @@ StatusOr<MaxEvaluation> MaxQuerier::Evaluate(
   auto reference = ops_.Create(folded_seed, final_psr.value);
   if (!reference.ok()) return reference.status();
   eval.verified =
-      reference.value().residue == final_psr.seal.residue &&
+      crypto::BigUint::ConstantTimeEqual(reference.value().residue,
+                                         final_psr.seal.residue) &&
       final_psr.seal.position == final_psr.value;
   return eval;
 }

@@ -321,7 +321,8 @@ StatusOr<SumEvaluation> SumQuerier::Evaluate(
     if (!next.ok()) return next.status();
     collected = std::move(next).value();
   }
-  eval.verified = collected.residue == reference.value().residue;
+  eval.verified = crypto::BigUint::ConstantTimeEqual(
+      collected.residue, reference.value().residue);
   return eval;
 }
 

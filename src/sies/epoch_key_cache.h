@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/secure.h"
 #include "common/thread_pool.h"
 #include "sies/params.h"
 
@@ -36,13 +37,21 @@ class EpochKeyCache {
   /// `capacity` bounds the number of retained epochs per table.
   explicit EpochKeyCache(size_t capacity = 32);
 
-  /// Global-key material of one epoch.
+  /// Global-key material of one epoch. Zeroized on eviction/destruction:
+  /// an evicted K_t must not linger in freed heap pages.
   struct GlobalEntry {
     crypto::BigUint key;      ///< K_t in [1, p)
     crypto::BigUint key_inv;  ///< K_t^{-1} mod p
     bool fast = false;        ///< fixed-width mirrors below are valid
     crypto::U256 key_fp;
     crypto::U256 key_inv_fp;
+
+    ~GlobalEntry() {
+      key.Wipe();
+      key_inv.Wipe();
+      common::SecureZero(&key_fp, sizeof(key_fp));
+      common::SecureZero(&key_inv_fp, sizeof(key_inv_fp));
+    }
   };
 
   /// Per-source material of one epoch, index-aligned with the querier's
@@ -54,6 +63,15 @@ class EpochKeyCache {
     std::vector<crypto::BigUint> shares;  ///< ss_{i,t}
     std::vector<crypto::U256> keys_fp;
     std::vector<crypto::U256> shares_fp;
+
+    ~SourceEntry() {
+      for (crypto::BigUint& k : keys) k.Wipe();
+      for (crypto::BigUint& s : shares) s.Wipe();
+      common::SecureZero(keys_fp.data(),
+                         keys_fp.size() * sizeof(crypto::U256));
+      common::SecureZero(shares_fp.data(),
+                         shares_fp.size() * sizeof(crypto::U256));
+    }
   };
 
   /// K_t and K_t^{-1} for `epoch`, derived (and memoized) on first use.

@@ -89,7 +89,8 @@ StatusOr<double> Histogram::Quantile(const HistogramQuery& query,
   }
   uint64_t total = Total();
   if (total == 0) return Status::FailedPrecondition("empty histogram");
-  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   double width = (query.upper - query.lower) / query.buckets;

@@ -108,8 +108,10 @@ crypto::BigUint DeriveEpochGlobalKey(const Params& params,
                                      const Bytes& global_key,
                                      uint64_t epoch) {
   Bytes prf = crypto::EpochPrfSha256(global_key, epoch);
-  crypto::BigUint k = crypto::BigUint::FromBytes(prf);
-  k = crypto::BigUint::Mod(k, params.prime).value();
+  crypto::BigUint raw = crypto::BigUint::FromBytes(prf);
+  SecureWipe(prf);
+  crypto::BigUint k = crypto::BigUint::Mod(raw, params.prime).value();
+  raw.Wipe();
   if (k.IsZero()) k = crypto::BigUint(1);  // K_t must be invertible
   return k;
 }
@@ -118,8 +120,11 @@ crypto::BigUint DeriveEpochSourceKey(const Params& params,
                                      const Bytes& source_key,
                                      uint64_t epoch) {
   Bytes prf = crypto::EpochPrfSha256(source_key, epoch);
-  crypto::BigUint k = crypto::BigUint::FromBytes(prf);
-  return crypto::BigUint::Mod(k, params.prime).value();
+  crypto::BigUint raw = crypto::BigUint::FromBytes(prf);
+  SecureWipe(prf);
+  crypto::BigUint k = crypto::BigUint::Mod(raw, params.prime).value();
+  raw.Wipe();
+  return k;
 }
 
 crypto::BigUint DeriveEpochShare(const Params& params,
@@ -131,11 +136,17 @@ crypto::BigUint DeriveEpochShare(const Params& params,
   Bytes input = {'s', 'h', 'a', 'r', 'e'};
   Bytes e = EncodeUint64(epoch);
   input.insert(input.end(), e.begin(), e.end());
-  return crypto::BigUint::FromBytes(crypto::HmacSha256(source_key, input));
+  Bytes prf = crypto::HmacSha256(source_key, input);
+  crypto::BigUint share = crypto::BigUint::FromBytes(prf);
+  SecureWipe(prf);
+  return share;
 }
 
 crypto::BigUint DeriveEpochShare(const Bytes& source_key, uint64_t epoch) {
-  return crypto::BigUint::FromBytes(crypto::EpochPrfSha1(source_key, epoch));
+  Bytes prf = crypto::EpochPrfSha1(source_key, epoch);
+  crypto::BigUint share = crypto::BigUint::FromBytes(prf);
+  SecureWipe(prf);
+  return share;
 }
 
 crypto::U256 DeriveEpochGlobalKeyFp(const crypto::Fp256& fp,
@@ -143,6 +154,7 @@ crypto::U256 DeriveEpochGlobalKeyFp(const crypto::Fp256& fp,
   Bytes prf = crypto::EpochPrfSha256(global_key, epoch);
   crypto::U256 k =
       fp.Reduce(crypto::U256::FromBytesBE(prf.data(), prf.size()));
+  SecureWipe(prf);
   if (k.IsZero()) k = crypto::U256::FromUint64(1);  // K_t must be invertible
   return k;
 }
@@ -150,12 +162,16 @@ crypto::U256 DeriveEpochGlobalKeyFp(const crypto::Fp256& fp,
 crypto::U256 DeriveEpochSourceKeyFp(const crypto::Fp256& fp,
                                     const Bytes& source_key, uint64_t epoch) {
   Bytes prf = crypto::EpochPrfSha256(source_key, epoch);
-  return fp.Reduce(crypto::U256::FromBytesBE(prf.data(), prf.size()));
+  crypto::U256 k = fp.Reduce(crypto::U256::FromBytesBE(prf.data(), prf.size()));
+  SecureWipe(prf);
+  return k;
 }
 
 crypto::U256 DeriveEpochShareFp(const Bytes& source_key, uint64_t epoch) {
   Bytes prf = crypto::EpochPrfSha1(source_key, epoch);
-  return crypto::U256::FromBytesBE(prf.data(), prf.size());
+  crypto::U256 share = crypto::U256::FromBytesBE(prf.data(), prf.size());
+  SecureWipe(prf);
+  return share;
 }
 
 }  // namespace sies::core

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/secure_bytes.h"
 #include "crypto/sha256.h"
 
 namespace sies::core {
@@ -32,8 +33,9 @@ class Reader {
   explicit Reader(const Bytes& data) : data_(data) {}
 
   Status ExpectMagic(const char magic[8]) {
+    // Record-type magic is public framing, not secret material.
     if (data_.size() < offset_ + 8 ||
-        std::memcmp(data_.data() + offset_, magic, 8) != 0) {
+        std::memcmp(data_.data() + offset_, magic, 8) != 0) {  // lint:allow(ct-compare)
       return Status::InvalidArgument("bad magic / wrong record type");
     }
     offset_ += 8;
@@ -117,7 +119,8 @@ StatusOr<size_t> CheckChecksum(const Bytes& blob) {
     return Status::InvalidArgument("record too short");
   }
   size_t payload_len = blob.size() - crypto::Sha256::kDigestSize;
-  Bytes payload(blob.begin(), blob.begin() + payload_len);
+  // The payload copy duplicates the key blob; wipe it on every exit.
+  crypto::SecureBytes payload(Bytes(blob.begin(), blob.begin() + payload_len));
   Bytes expected = crypto::Sha256::Hash(payload);
   Bytes actual(blob.begin() + payload_len, blob.end());
   if (!ConstantTimeEqual(expected, actual)) {
@@ -146,7 +149,8 @@ StatusOr<Bytes> SerializeDeployment(const Deployment& deployment) {
 StatusOr<Deployment> ParseDeployment(const Bytes& blob) {
   auto payload_len = CheckChecksum(blob);
   if (!payload_len.ok()) return payload_len.status();
-  Bytes payload(blob.begin(), blob.begin() + payload_len.value());
+  crypto::SecureBytes payload(
+      Bytes(blob.begin(), blob.begin() + payload_len.value()));
   Reader reader(payload);
   SIES_RETURN_IF_ERROR(reader.ExpectMagic(kDeploymentMagic));
   Deployment deployment;
@@ -185,7 +189,8 @@ StatusOr<Bytes> SerializeSourceRegistration(const Deployment& deployment,
 StatusOr<SourceRegistration> ParseSourceRegistration(const Bytes& blob) {
   auto payload_len = CheckChecksum(blob);
   if (!payload_len.ok()) return payload_len.status();
-  Bytes payload(blob.begin(), blob.begin() + payload_len.value());
+  crypto::SecureBytes payload(
+      Bytes(blob.begin(), blob.begin() + payload_len.value()));
   Reader reader(payload);
   SIES_RETURN_IF_ERROR(reader.ExpectMagic(kSourceMagic));
   SourceRegistration reg;
@@ -221,7 +226,8 @@ StatusOr<Bytes> SerializeAggregatorRecord(const Params& params) {
 StatusOr<Params> ParseAggregatorRecord(const Bytes& blob) {
   auto payload_len = CheckChecksum(blob);
   if (!payload_len.ok()) return payload_len.status();
-  Bytes payload(blob.begin(), blob.begin() + payload_len.value());
+  crypto::SecureBytes payload(
+      Bytes(blob.begin(), blob.begin() + payload_len.value()));
   Reader reader(payload);
   SIES_RETURN_IF_ERROR(reader.ExpectMagic(kAggregatorMagic));
   auto params = ReadParams(reader);

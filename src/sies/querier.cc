@@ -112,7 +112,8 @@ StatusOr<Evaluation> Querier::EvaluateCore(
     }
     Evaluation eval;
     eval.sum = unpacked.value().sum;
-    eval.verified = (unpacked.value().share_sum == share_sum);
+    eval.verified =
+        crypto::U256::ConstantTimeEqual(unpacked.value().share_sum, share_sum);
     if (!eval.verified) metrics.unverified->Increment();
     return eval;
   }
@@ -152,7 +153,8 @@ StatusOr<Evaluation> Querier::EvaluateCore(
 
   Evaluation eval;
   eval.sum = unpacked.value().sum;
-  eval.verified = (unpacked.value().share_sum == share_sum);
+  eval.verified =
+      crypto::BigUint::ConstantTimeEqual(unpacked.value().share_sum, share_sum);
   if (!eval.verified) metrics.unverified->Increment();
   return eval;
 }

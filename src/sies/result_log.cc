@@ -72,7 +72,8 @@ bool ResultLog::UnderAttack(double threshold) const {
     if (!rec.verified) ++rejected;
   }
   if (answered == 0) return false;
-  return static_cast<double>(rejected) / answered > threshold;
+  return static_cast<double>(rejected) / static_cast<double>(answered) >
+         threshold;
 }
 
 }  // namespace sies::core

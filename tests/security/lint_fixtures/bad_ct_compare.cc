@@ -1,0 +1,19 @@
+// Lint fixture: verification material compared with early-exit operators.
+// Both sites below must be flagged by the ct-compare rule.
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace sies {
+
+bool VerifyTagMemcmp(const Bytes& mac, const Bytes& expected_mac) {
+  // BAD: memcmp exits at the first differing byte -> timing oracle.
+  return std::memcmp(mac.data(), expected_mac.data(), mac.size()) == 0;
+}
+
+bool VerifyDigestOperator(const Bytes& digest, const Bytes& wire_digest) {
+  // BAD: Bytes::operator== exits at the first differing byte.
+  return digest == wire_digest;
+}
+
+}  // namespace sies

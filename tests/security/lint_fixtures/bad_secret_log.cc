@@ -1,0 +1,18 @@
+// Lint fixture: key material flowing into log/telemetry sinks.
+// Both sites below must be flagged by the secret-log rule.
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace sies {
+
+void DebugDumpKey(const Bytes& epoch_key, int epoch) {
+  // BAD: one-time key bytes reach stderr.
+  SIES_LOG(kDebug) << "epoch " << epoch << " key=" << ToHex(epoch_key);
+}
+
+void AuditWithSecret(const Bytes& source_key) {
+  // BAD: key-material identifier in an audit-trail record.
+  trail.Record(kind, epoch, node, ToHex(source_key));
+}
+
+}  // namespace sies

@@ -1,0 +1,15 @@
+// Lint fixture: key-derivation output never zeroized.
+// The declaration below must be flagged by the zeroize rule.
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+
+namespace sies {
+
+uint64_t LeakyDerive(const Bytes& master, const Bytes& label) {
+  // BAD: mac_key holds HMAC output (key material) and goes out of scope
+  // without SecureWipe; the heap page keeps the bytes.
+  Bytes mac_key = crypto::HmacSha256(master, label);
+  return mac_key.size();
+}
+
+}  // namespace sies

@@ -1,0 +1,41 @@
+// Lint fixture: the sanctioned patterns for each rule. Must be clean.
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "crypto/hmac.h"
+#include "crypto/secure_bytes.h"
+
+namespace sies {
+
+bool VerifyTag(const Bytes& mac, const Bytes& expected_mac) {
+  // GOOD: constant-time comparison.
+  return ConstantTimeEqual(mac, expected_mac);
+}
+
+bool CheckMagic(const Bytes& blob) {
+  // GOOD: record-type magic is public framing, not secret material.
+  // lint:allow(ct-compare)
+  return std::memcmp(blob.data(), "SIES", 4) == 0;
+}
+
+void LogVerdict(bool verified, int epoch) {
+  // GOOD: log the verdict and public metadata, never key bytes.
+  SIES_LOG(kInfo) << "epoch " << epoch << " verified=" << verified;
+}
+
+uint64_t TidyDerive(const Bytes& master, const Bytes& label) {
+  // GOOD: derivation output owned by SecureBytes (wipes on destruction).
+  crypto::SecureBytes mac_key(crypto::HmacSha256(master, label));
+  return mac_key.size();
+}
+
+uint64_t ManualWipeDerive(const Bytes& master, const Bytes& label) {
+  // GOOD: explicit wipe before scope exit.
+  Bytes share_key = crypto::HmacSha256(master, label);
+  uint64_t n = share_key.size();
+  SecureWipe(share_key);
+  return n;
+}
+
+}  // namespace sies
