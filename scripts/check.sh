@@ -2,9 +2,13 @@
 # Full local check: configure, build, run every test, example, and bench.
 # Usage: scripts/check.sh [--skip-bench] [--sanitize] [--tsan] [--tidy]
 #                         [--lint] [--telemetry-smoke] [--fault-smoke]
-#                         [--engine-smoke]
+#                         [--engine-smoke] [--bench-smoke]
 #   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
 #                      pass below always runs
+#   --bench-smoke      ONLY run the bench JSON smoke (tiny-N --smoke runs
+#                      of the JSON-emitting benches, outputs validated
+#                      with python3); the smoke also runs as part of the
+#                      full check
 #   --sanitize         build + test under ASan/UBSan (-DSIES_SANITIZE=ON) in
 #                      a separate build-sanitize/ tree; implies --skip-bench
 #   --tsan             ONLY build the concurrency-sensitive test subset
@@ -45,6 +49,7 @@ LINT_ONLY=0
 TELEMETRY_ONLY=0
 FAULT_ONLY=0
 ENGINE_ONLY=0
+BENCH_SMOKE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -55,9 +60,24 @@ for arg in "$@"; do
     --telemetry-smoke) TELEMETRY_ONLY=1 ;;
     --fault-smoke) FAULT_ONLY=1 ;;
     --engine-smoke) ENGINE_ONLY=1 ;;
+    --bench-smoke) BENCH_SMOKE_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+# Configures a build tree. New trees get Ninja; a tree that already has
+# a cache keeps whatever generator created it (the tier-1 flow uses the
+# default Makefiles generator on build/, and cmake refuses to switch
+# generators in place).
+configure() {
+  local dir="$1"
+  shift
+  if [[ -f "$dir/CMakeCache.txt" ]]; then
+    cmake -B "$dir" "$@"
+  else
+    cmake -B "$dir" -G Ninja "$@"
+  fi
+}
 
 # Static-analysis gate over src/. Prefers clang-tidy (any versioned
 # binary) with the tuned .clang-tidy config against the build tree's
@@ -76,7 +96,7 @@ tidy_gate() {
   mapfile -t sources < <(find src -name '*.cc' | sort)
   if [[ -n "$tidy" ]]; then
     echo "== clang-tidy gate ($tidy, ${#sources[@]} files) =="
-    cmake -B build -G Ninja > /dev/null
+    configure build > /dev/null
     "$tidy" -p build --quiet --warnings-as-errors='*' "${sources[@]}"
   else
     echo "== tidy gate: clang-tidy not installed; strict g++ fallback" \
@@ -268,6 +288,25 @@ PYEOF
   rm -rf "$dir"
 }
 
+# Tiny-N (--smoke) runs of every JSON-emitting bench, outputs validated
+# as parseable JSON. The smoke catches broken bench plumbing in seconds;
+# the committed baselines are regenerated by scripts/bench.sh instead.
+bench_smoke() {
+  local build="$1" dir b j
+  dir="$(mktemp -d)"
+  echo "== bench smoke (JSON output) =="
+  for b in micro_crypto fig6a_querier_vs_n telemetry_overhead \
+           engine_multiquery batched_crypto; do
+    echo "-- $b --smoke"
+    (cd "$dir" && "$OLDPWD/$build/bench/$b" --smoke > /dev/null)
+  done
+  for j in "$dir"/BENCH_*.json; do
+    echo "-- validating $(basename "$j")"
+    python3 -m json.tool "$j" > /dev/null
+  done
+  rm -rf "$dir"
+}
+
 BUILD=build
 EXTRA=()
 if [[ $SANITIZE -eq 1 ]]; then
@@ -295,9 +334,10 @@ if [[ $TSAN_ONLY -eq 1 ]]; then
   # TSan objects live in their own tree; only the concurrency-sensitive
   # test subset is built (the full suite under TSan is needlessly slow).
   BUILD=build-tsan
-  cmake -B "$BUILD" -G Ninja -DSIES_TSAN=ON
+  configure "$BUILD" -DSIES_TSAN=ON
   cmake --build "$BUILD" --target sies_sim \
-      race_stress_test thread_pool_test loss_resilience_test \
+      race_stress_test pool_oversubscription_test thread_pool_test \
+      loss_resilience_test \
       telemetry_metrics_test telemetry_trace_test telemetry_audit_test \
       telemetry_integration_test engine_channel_plan_test \
       engine_query_registry_test engine_differential_test \
@@ -311,7 +351,7 @@ if [[ $TSAN_ONLY -eq 1 ]]; then
 fi
 
 if [[ $TELEMETRY_ONLY -eq 1 ]]; then
-  cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
+  configure "$BUILD" "${EXTRA[@]}"
   cmake --build "$BUILD" --target sies_sim
   telemetry_smoke "$BUILD"
   echo "TELEMETRY SMOKE PASSED"
@@ -319,15 +359,24 @@ if [[ $TELEMETRY_ONLY -eq 1 ]]; then
 fi
 
 if [[ $FAULT_ONLY -eq 1 ]]; then
-  cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
+  configure "$BUILD" "${EXTRA[@]}"
   cmake --build "$BUILD" --target sies_sim
   fault_smoke "$BUILD"
   echo "FAULT SMOKE PASSED"
   exit 0
 fi
 
+if [[ $BENCH_SMOKE_ONLY -eq 1 ]]; then
+  configure "$BUILD" "${EXTRA[@]}"
+  cmake --build "$BUILD" --target micro_crypto fig6a_querier_vs_n \
+      telemetry_overhead engine_multiquery batched_crypto
+  bench_smoke "$BUILD"
+  echo "BENCH SMOKE PASSED"
+  exit 0
+fi
+
 if [[ $ENGINE_ONLY -eq 1 ]]; then
-  cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
+  configure "$BUILD" "${EXTRA[@]}"
   cmake --build "$BUILD"
   ctest --test-dir "$BUILD" -L engine --output-on-failure
   engine_smoke "$BUILD"
@@ -335,7 +384,7 @@ if [[ $ENGINE_ONLY -eq 1 ]]; then
   exit 0
 fi
 
-cmake -B "$BUILD" -G Ninja "${EXTRA[@]}"
+configure "$BUILD" "${EXTRA[@]}"
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
 
@@ -354,24 +403,15 @@ telemetry_smoke "$BUILD"
 fault_smoke "$BUILD"
 engine_smoke "$BUILD"
 
-echo "== bench smoke (JSON output) =="
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
-for b in micro_crypto fig6a_querier_vs_n telemetry_overhead \
-         engine_multiquery; do
-  echo "-- $b --smoke"
-  (cd "$SMOKE_DIR" && "$OLDPWD/$BUILD/bench/$b" --smoke > /dev/null)
-done
-for j in "$SMOKE_DIR"/BENCH_*.json; do
-  echo "-- validating $(basename "$j")"
-  python3 -m json.tool "$j" > /dev/null
-done
+bench_smoke "$BUILD"
 
 if [[ $SKIP_BENCH -eq 0 && $SANITIZE -eq 0 ]]; then
   echo "== benches =="
+  RUN_DIR="$(mktemp -d)"
+  trap 'rm -rf "$RUN_DIR"' EXIT
   for b in "$BUILD"/bench/*; do
     echo "-- $b"
-    (cd "$SMOKE_DIR" && "$OLDPWD/$b" > /dev/null)
+    (cd "$RUN_DIR" && "$OLDPWD/$b" > /dev/null)
   done
 fi
 echo "ALL CHECKS PASSED"

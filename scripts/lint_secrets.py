@@ -21,7 +21,12 @@ without leaking timing) across src/. Three rules:
                (HmacSha*/EpochPrf*/DeriveMacKey/HmacDrbg::Generate) is
                key material: it must be owned by crypto::SecureBytes or
                explicitly wiped (SecureWipe/SecureZero/.Wipe()) in the
-               same file before it can be flagged clean.
+               same file before it can be flagged clean. The batch
+               derivation kernels (HmacSha256Batch / HmacSha256x8 /
+               EpochPrfSha256Batch) are covered too: a locally declared
+               buffer passed as their output must be SecureZero'd in the
+               same file — 8-lane staging arrays hold eight keys' worth
+               of digest material at once.
 
 Escape hatch: a finding on line N is suppressed when line N or N-1
 carries `// lint:allow(<rule>)` -- use only with a justifying comment,
@@ -69,14 +74,34 @@ SECRET_FALSE_POSITIVE_RE = re.compile(
 )
 
 # Sinks: expressions whose arguments end up on stderr / in exported JSON.
+# ScopedSpan is a sink because span names/labels land verbatim in the
+# exported Chrome trace — spans may carry phase names and epochs, never
+# key bytes.
 SINK_START_RE = re.compile(
-    r"SIES_LOG\s*\(|\.Record\s*\(|\bLogLine\s*\(|std::cerr|std::cout"
+    r"SIES_LOG\s*\(|\.Record\s*\(|\bLogLine\s*\(|std::cerr|std::cout|"
+    r"\bScopedSpan\s+\w+\s*\("
 )
 
 # Key-derivation calls whose result IS key material.
 DERIVATION_RE = re.compile(
     r"\b(HmacSha1|HmacSha256|EpochPrfSha1|EpochPrfSha256|DeriveMacKey|"
-    r"DeriveTemporalSeed)\s*\(|\b\w+\.Generate\s*\("
+    r"DeriveTemporalSeed|HmacSha256Batch|HmacSha256x8|"
+    r"EpochPrfSha256Batch)\s*\(|\b\w+\.Generate\s*\("
+)
+
+# Batch derivation kernels: the final argument receives the digests (one
+# 32-byte derived key per lane). A local staging buffer passed there must
+# be wiped in the same file.
+BATCH_DERIVATION_RE = re.compile(
+    r"\b(HmacSha256Batch|HmacSha256x8|EpochPrfSha256Batch|"
+    r"HmacSha256BatchWithKernel)\s*\("
+)
+# Type tokens only appear in declarations/definitions of the kernels
+# themselves, never at call sites — used to skip prototypes.
+TYPE_TOKEN_RE = re.compile(r"\bconst\b|\bByteView\b|\buint8_t\b|\bsize_t\b")
+LOCAL_BUF_FMT = (
+    r"(uint8_t\s+{name}\s*\[|std::array<[^;]*>\s+{name}\b|"
+    r"Bytes\s+{name}\b|std::vector<uint8_t>\s+{name}\b)"
 )
 # `Bytes name = <derivation>(...)` declarations; the name decides whether
 # the buffer is treated as key material (`expected` MACs recomputed for
@@ -260,6 +285,41 @@ def check_zeroize(path, code_text, code_lines):
     return findings
 
 
+def check_zeroize_batch(path, code_text, code_lines):
+    """A locally declared buffer receiving a batch kernel's digests must
+    be SecureZero'd in the same file. Prototypes/definitions (recognized
+    by type tokens in the argument list) and out-parameters declared
+    elsewhere are the caller's responsibility and are skipped."""
+    findings = []
+    for lineno, line in enumerate(code_lines, 1):
+        m = BATCH_DERIVATION_RE.search(line)
+        if not m:
+            continue
+        # Capture the argument list to the statement's ';' so multi-line
+        # calls are covered.
+        rest = line[m.end():] + "\n" + "\n".join(
+            code_lines[lineno:lineno + 4])
+        args = rest.split(";")[0].rstrip().rstrip(")")
+        if TYPE_TOKEN_RE.search(args):
+            continue  # declaration or definition, not a call
+        last = args.rsplit(",", 1)[-1]
+        ident = re.search(r"([A-Za-z_]\w*)", last)
+        if not ident:
+            continue
+        name = ident.group(1)
+        local_re = re.compile(LOCAL_BUF_FMT.format(name=re.escape(name)))
+        if not local_re.search(code_text):
+            continue  # out-param or member owned by the caller
+        wipe_re = re.compile(WIPE_FMT.format(name=re.escape(name)))
+        if not wipe_re.search(code_text):
+            findings.append(Finding(
+                path, lineno, "zeroize",
+                f"'{name}' receives batch-derived key digests but is "
+                f"never wiped; SecureZero it after the derived keys are "
+                f"consumed"))
+    return findings
+
+
 def lint_file(path):
     with open(path, encoding="utf-8", errors="replace") as f:
         text = f.read()
@@ -271,6 +331,7 @@ def lint_file(path):
     findings += check_ct_compare(path, code_lines)
     findings += check_secret_log(path, code_text)
     findings += check_zeroize(path, code_text, code_lines)
+    findings += check_zeroize_batch(path, code_text, code_lines)
     return [f for f in findings if f.rule not in allows.get(f.line, set())]
 
 

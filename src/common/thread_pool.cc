@@ -37,6 +37,12 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || t_in_parallel) {
+    if (t_in_parallel && n > 1 && !workers_.empty()) {
+      // A multi-index loop that wanted the pool but arrived from inside
+      // one of its own lanes: it runs here, serialized. Counted so the
+      // oversubscription regression test can assert hot paths avoid it.
+      nested_inline_jobs_.fetch_add(1, std::memory_order_relaxed);
+    }
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

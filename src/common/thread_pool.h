@@ -58,6 +58,18 @@ class ThreadPool {
     return max_job_size_.load(std::memory_order_relaxed);
   }
 
+  /// ParallelFor calls that ran inline because they were issued from
+  /// inside a lane of this pool (nesting). Nesting is safe but
+  /// serializes the inner loop on one lane, so hot paths are expected
+  /// to keep this at zero by fanning out once at the outermost level —
+  /// e.g. EpochKeyCache::Sources batches per-source derivations into
+  /// groups under the engine's per-channel dispatch instead of issuing
+  /// its own inner ParallelFor. Regression-tested by
+  /// tests/integration/pool_oversubscription_test.cc.
+  size_t nested_inline_jobs() const {
+    return nested_inline_jobs_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -75,6 +87,7 @@ class ThreadPool {
 
   std::atomic<size_t> next_{0};  // next unclaimed loop index
   std::atomic<size_t> max_job_size_{0};
+  std::atomic<size_t> nested_inline_jobs_{0};
 };
 
 }  // namespace sies::common

@@ -8,7 +8,15 @@ namespace {
 
 inline uint32_t Rotr32(uint32_t x, int k) { return (x >> k) | (x << (32 - k)); }
 
-constexpr uint32_t kRoundConstants[64] = {
+}  // namespace
+
+namespace sha256_internal {
+
+const std::array<uint32_t, 8> kInitState = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+
+const uint32_t kRoundConstants[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -21,16 +29,7 @@ constexpr uint32_t kRoundConstants[64] = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
-}  // namespace
-
-void Sha256::Reset() {
-  h_ = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
-        0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
-  buffer_len_ = 0;
-  total_len_ = 0;
-}
-
-void Sha256::ProcessBlock(const uint8_t block[kBlockSize]) {
+void Compress(uint32_t state[8], const uint8_t block[64]) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) w[i] = LoadBigEndian32(block + 4 * i);
   for (int i = 16; i < 64; ++i) {
@@ -38,8 +37,8 @@ void Sha256::ProcessBlock(const uint8_t block[kBlockSize]) {
     uint32_t s1 = Rotr32(w[i - 2], 17) ^ Rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
-  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
   for (int i = 0; i < 64; ++i) {
     uint32_t s1 = Rotr32(e, 6) ^ Rotr32(e, 11) ^ Rotr32(e, 25);
     uint32_t ch = (e & f) ^ ((~e) & g);
@@ -56,14 +55,26 @@ void Sha256::ProcessBlock(const uint8_t block[kBlockSize]) {
     b = a;
     a = temp1 + temp2;
   }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
-  h_[5] += f;
-  h_[6] += g;
-  h_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace sha256_internal
+
+void Sha256::Reset() {
+  h_ = sha256_internal::kInitState;
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha256::ProcessBlock(const uint8_t block[kBlockSize]) {
+  sha256_internal::Compress(h_.data(), block);
 }
 
 void Sha256::Update(const uint8_t* data, size_t len) {

@@ -13,6 +13,22 @@
 
 namespace sies::crypto {
 
+namespace sha256_internal {
+
+/// Initial hash value H(0) (FIPS 180-4 §5.3.3).
+extern const std::array<uint32_t, 8> kInitState;
+
+/// Round constants K (FIPS 180-4 §4.2.2).
+extern const uint32_t kRoundConstants[64];
+
+/// One application of the SHA-256 compression function: absorbs a single
+/// 64-byte block into `state`. Shared by the streaming hasher below and
+/// the 8-lane multi-buffer kernel (crypto/sha256x8.*), which keeps the
+/// two paths identical by construction.
+void Compress(uint32_t state[8], const uint8_t block[64]);
+
+}  // namespace sha256_internal
+
 /// Streaming SHA-256 hasher.
 class Sha256 {
  public:

@@ -1,0 +1,90 @@
+// 8-way multi-buffer SHA-256 / HMAC-SHA256 (the batched PRF kernel).
+//
+// SIES epoch setup derives one HM256 output per source (k_{i,t} =
+// HMAC-SHA256(k_i, t)), so a cold start at N sources is N independent
+// short HMACs. This module hashes 8 independent messages in lockstep:
+// on AVX2 hardware each __m256i holds one SHA-256 word per lane, so
+// eight compression functions run for the price of one sequential pass
+// (~arithmetic density of one scalar compression amortized 8 ways);
+// elsewhere a scalar ×8 loop over the same shared compression function
+// (sha256_internal::Compress) is used. Both paths are bit-identical by
+// construction — the AVX2 transform performs the same FIPS 180-4 round
+// schedule with the lanes transposed — and are pinned against each
+// other by differential tests (tests/crypto/sha256x8_test.cc).
+//
+// Lanes may have different ("ragged") message lengths: each lane keeps
+// its own block count and an inactive lane's state is preserved via a
+// per-block blend mask, so digests never depend on what the other lanes
+// are doing.
+//
+// Dispatch is runtime (crypto/cpu_features.h): `Cpu().avx2` selects the
+// AVX2 transform, the SIES_NATIVE environment variable can force the
+// scalar fallback. See docs/PERFORMANCE.md for the policy.
+//
+// Secret hygiene: all lane state, padded key blocks, and inner digests
+// are zeroized (common::SecureZero) before the batch entry points
+// return; callers own `out` and must wipe it when the digests are key
+// material. Enforced by scripts/lint_secrets.py.
+#ifndef SIES_CRYPTO_SHA256X8_H_
+#define SIES_CRYPTO_SHA256X8_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sies::crypto {
+
+/// Borrowed byte range for the batch APIs (no ownership, no copy).
+struct ByteView {
+  const uint8_t* data = nullptr;
+  size_t len = 0;
+
+  ByteView() = default;
+  ByteView(const uint8_t* d, size_t l) : data(d), len(l) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): adapter by design.
+  ByteView(const Bytes& b) : data(b.data()), len(b.size()) {}
+};
+
+/// Which transform the batch entry points run. kAuto follows Cpu().
+enum class Sha256Kernel { kAuto, kScalar, kAvx2 };
+
+/// Hashes 8 independent messages (any lengths, including 0) into
+/// `out[i]` = SHA-256(msgs[i]).
+void Sha256x8(const ByteView msgs[8], uint8_t out[8][32]);
+
+/// HMAC-SHA256 over 8 independent (key, message) pairs:
+/// `out[i]` = HMAC-SHA256(keys[i], msgs[i]).
+void HmacSha256x8(const ByteView keys[8], const ByteView msgs[8],
+                  uint8_t out[8][32]);
+
+/// HMAC-SHA256 over `n` (key, message) pairs, grouped into 8-wide lanes
+/// internally (a final partial group runs with inactive lanes). Digest
+/// i is written at `out + 32 * i`; `out` must have room for 32*n bytes.
+void HmacSha256Batch(size_t n, const ByteView* keys, const ByteView* msgs,
+                     uint8_t* out);
+
+/// HM256(keys[i], t) for `n` keys sharing one epoch `t` — the batched
+/// form of EpochPrfSha256 (crypto/hmac.h). Digest i at `out + 32 * i`.
+void EpochPrfSha256Batch(size_t n, const ByteView* keys, uint64_t epoch,
+                         uint8_t* out);
+
+namespace sha256x8_internal {
+
+/// True when `kernel` can run on this machine (raw CPUID, ignoring the
+/// SIES_NATIVE override — see cpu_features.h::CpuDetected).
+bool KernelAvailable(Sha256Kernel kernel);
+
+/// Test hooks: the public entry points with the transform pinned.
+/// Calling with an unavailable kernel is a programming error (aborts).
+void Sha256x8WithKernel(Sha256Kernel kernel, const ByteView msgs[8],
+                        uint8_t out[8][32]);
+void HmacSha256BatchWithKernel(Sha256Kernel kernel, size_t n,
+                               const ByteView* keys, const ByteView* msgs,
+                               uint8_t* out);
+
+}  // namespace sha256x8_internal
+
+}  // namespace sies::crypto
+
+#endif  // SIES_CRYPTO_SHA256X8_H_

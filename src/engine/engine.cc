@@ -21,7 +21,12 @@ MultiQueryEngine::MultiQueryEngine(core::Params params,
 }
 
 void MultiQueryEngine::ReserveCaches() {
-  const size_t want = 2 * static_cast<size_t>(registry_.plan().Count());
+  // 2x the live channel count: epoch t and t+1 entries coexist during a
+  // transition. +2 keeps headroom for a query admitted mid-epoch, whose
+  // first salted epochs land while the outgoing set is still pinned —
+  // without it the batched Sources entries (the big N x 64 B tables)
+  // would be evicted and re-derived within the same epoch.
+  const size_t want = 2 * static_cast<size_t>(registry_.plan().Count()) + 2;
   source_cache_->Reserve(want);
   querier_.ReserveEpochKeyCapacity(want);
 }
@@ -62,15 +67,16 @@ StatusOr<Bytes> MultiQueryEngine::CreateSourcePayload(
   if (channels.empty()) {
     return Status::FailedPrecondition("no live queries to serve");
   }
-  Bytes body;
-  body.reserve(channels.size() * params_.PsrBytes());
-  for (const PhysicalChannel& ch : channels) {
+  const size_t width = params_.PsrBytes();
+  Bytes body(channels.size() * width);
+  for (size_t i = 0; i < channels.size(); ++i) {
+    const PhysicalChannel& ch = channels[i];
     auto value = ch.spec.ValueFor(reading);
     if (!value.ok()) return value.status();
-    auto psr =
-        sources_[index].CreatePsr(value.value(), ch.SaltedEpochFor(epoch));
-    if (!psr.ok()) return psr.status();
-    body.insert(body.end(), psr.value().begin(), psr.value().end());
+    // Straight into the body at the channel's offset — one allocation
+    // for the whole multi-channel payload instead of one per channel.
+    SIES_RETURN_IF_ERROR(sources_[index].CreatePsrInto(
+        value.value(), ch.SaltedEpochFor(epoch), body.data() + i * width));
   }
   ContributorBitmap bitmap(params_.num_sources);
   SIES_RETURN_IF_ERROR(bitmap.Set(index));
@@ -91,19 +97,18 @@ StatusOr<Bytes> MultiQueryEngine::Merge(
     SIES_RETURN_IF_ERROR(bitmap.OrWith(parsed.value().bitmap));
     bodies.push_back(std::move(parsed.value().body));
   }
-  Bytes merged_body;
-  merged_body.reserve(channels * width);
+  // Per channel, gather the children's slices into one scratch region
+  // and fold with the contiguous merge: two allocations for the whole
+  // call (scratch + merged body) instead of children x channels Bytes.
+  Bytes merged_body(channels * width);
+  Bytes scratch(bodies.size() * width);
   for (size_t ch = 0; ch < channels; ++ch) {
-    std::vector<Bytes> slices;
-    slices.reserve(bodies.size());
-    for (const Bytes& body : bodies) {
-      slices.emplace_back(body.begin() + ch * width,
-                          body.begin() + (ch + 1) * width);
+    for (size_t c = 0; c < bodies.size(); ++c) {
+      std::copy_n(bodies[c].data() + ch * width, width,
+                  scratch.data() + c * width);
     }
-    auto psr = aggregator_.Merge(slices);
-    if (!psr.ok()) return psr.status();
-    merged_body.insert(merged_body.end(), psr.value().begin(),
-                       psr.value().end());
+    SIES_RETURN_IF_ERROR(aggregator_.MergeContiguous(
+        scratch.data(), bodies.size(), merged_body.data() + ch * width));
   }
   return core::SerializeWirePayload(params_, bitmap, merged_body);
 }
@@ -130,9 +135,10 @@ StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
   };
   std::vector<ChannelEval> evals(channels.size());
   auto eval_one = [&](size_t i) {
-    Bytes slice(body.begin() + i * width, body.begin() + (i + 1) * width);
-    auto eval = querier_.Evaluate(slice, channels[i].SaltedEpochFor(epoch),
-                                  participating);
+    auto eval =
+        querier_.EvaluateSlice(body.data() + i * width, width,
+                               channels[i].SaltedEpochFor(epoch),
+                               participating);
     if (!eval.ok()) {
       evals[i].status = eval.status();
       return;
@@ -141,6 +147,13 @@ StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
     evals[i].verified = eval.value().verified;
   };
   if (pool_ != nullptr) {
+    // Warm every channel's epoch material from this thread first, so the
+    // cold N-way derivations run their group fan-out over the full pool.
+    // Reached cold from inside a lane below, they would run inline on
+    // that single lane instead (ThreadPool nesting serializes).
+    for (size_t i = 0; i < channels.size(); ++i) {
+      querier_.WarmEpoch(channels[i].SaltedEpochFor(epoch));
+    }
     pool_->ParallelFor(channels.size(), eval_one);
   } else {
     for (size_t i = 0; i < channels.size(); ++i) eval_one(i);

@@ -1,5 +1,7 @@
 #include "sies/aggregator.h"
 
+#include <cstring>
+
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -36,6 +38,43 @@ StatusOr<Bytes> Aggregator::Merge(const std::vector<Bytes>& child_psrs) const {
     sum = std::move(merged).value();
   }
   return SerializePsr(params_, sum);
+}
+
+Status Aggregator::MergeContiguous(const uint8_t* psrs, size_t count,
+                                   uint8_t* out) const {
+  if (count == 0) return Status::InvalidArgument("nothing to merge");
+  static telemetry::Counter* merges =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "sies_aggregator_merge_total", {{"scheme", "SIES"}});
+  merges->Increment();
+  telemetry::ScopedSpan span("merge-add", "aggregator", /*epoch=*/0);
+  const size_t width = params_.PsrBytes();
+  if (const crypto::Fp256* fp = params_.Fp()) {
+    auto acc = ParsePsrFp(params_, *fp, psrs, width);
+    if (!acc.ok()) return acc.status();
+    crypto::U256 sum = acc.value();
+    for (size_t i = 1; i < count; ++i) {
+      auto next = ParsePsrFp(params_, *fp, psrs + i * width, width);
+      if (!next.ok()) return next.status();
+      sum = fp->Add(sum, next.value());
+    }
+    sum.ToBytesBE(out);  // width == 32 whenever Fp() is non-null
+    return Status::OK();
+  }
+  auto acc = ParsePsr(params_, psrs, width);
+  if (!acc.ok()) return acc.status();
+  crypto::BigUint sum = std::move(acc).value();
+  for (size_t i = 1; i < count; ++i) {
+    auto next = ParsePsr(params_, psrs + i * width, width);
+    if (!next.ok()) return next.status();
+    auto merged = crypto::BigUint::ModAdd(sum, next.value(), params_.prime);
+    if (!merged.ok()) return merged.status();
+    sum = std::move(merged).value();
+  }
+  auto serialized = SerializePsr(params_, sum);
+  if (!serialized.ok()) return serialized.status();
+  std::memcpy(out, serialized.value().data(), serialized.value().size());
+  return Status::OK();
 }
 
 StatusOr<Bytes> Aggregator::MergeWire(

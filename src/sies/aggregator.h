@@ -24,6 +24,15 @@ class Aggregator {
   /// Cost profile (paper Eq. 6): (F-1) 32-byte modular additions.
   StatusOr<Bytes> Merge(const std::vector<Bytes>& child_psrs) const;
 
+  /// Merge over `count` PSRs stored back to back at `psrs` (PSR i at
+  /// `psrs + i * PsrBytes()`), writing the merged PSR to `out` (also
+  /// PsrBytes() wide). Allocation-free on the fixed-width fast path —
+  /// the form the epoch hot loop uses with a core::PsrArena, where the
+  /// vector-of-Bytes overload would cost one heap slice per source.
+  /// Identical bytes to Merge.
+  Status MergeContiguous(const uint8_t* psrs, size_t count,
+                         uint8_t* out) const;
+
   /// Merging phase over wire envelopes: ORs the children's contributor
   /// bitmaps and sums their ciphertexts, producing one merged envelope.
   /// Adds ⌈N/8⌉ bytewise ORs per child to the Eq. 6 cost profile.

@@ -1,5 +1,7 @@
 #include "sies/epoch_key_cache.h"
 
+#include <algorithm>
+
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -116,15 +118,6 @@ std::shared_ptr<const EpochKeyCache::SourceEntry> EpochKeyCache::Sources(
   const crypto::Fp256* fp =
       params.share_prf == SharePrf::kHmacSha1 ? params.Fp() : nullptr;
   entry->fast = fp != nullptr;
-  auto derive_one = [&](size_t i) {
-    if (fp != nullptr) {
-      entry->keys_fp[i] = DeriveEpochSourceKeyFp(*fp, keys[i], epoch);
-      entry->shares_fp[i] = DeriveEpochShareFp(keys[i], epoch);
-    } else {
-      entry->keys[i] = DeriveEpochSourceKey(params, keys[i], epoch);
-      entry->shares[i] = DeriveEpochShare(params, keys[i], epoch);
-    }
-  };
   if (fp != nullptr) {
     entry->keys_fp.resize(n);
     entry->shares_fp.resize(n);
@@ -132,10 +125,41 @@ std::shared_ptr<const EpochKeyCache::SourceEntry> EpochKeyCache::Sources(
     entry->keys.resize(n);
     entry->shares.resize(n);
   }
-  if (pool != nullptr) {
-    pool->ParallelFor(n, derive_one);
+  // Sources are derived in groups so the 8-lane HMAC kernel always sees
+  // full batches, and the pool fans out over *groups* in one flat
+  // ParallelFor — never a nested dispatch per index. (When Sources is
+  // itself reached from inside a pool lane — e.g. the engine's
+  // per-channel Evaluate fan-out — ThreadPool runs this loop inline on
+  // that lane; lane batching keeps even that path on the fast kernel.)
+  constexpr size_t kGroup = 256;
+  const size_t num_groups = (n + kGroup - 1) / kGroup;
+  auto derive_group = [&](size_t g) {
+    const size_t begin = g * kGroup;
+    const size_t count = std::min(kGroup, n - begin);
+    if (fp != nullptr) {
+      DeriveEpochSourceKeysFpBatch(*fp, keys, begin, count, epoch,
+                                   entry->keys_fp.data() + begin);
+      // HM1 shares are SHA-1; no batch kernel exists for them.
+      for (size_t i = begin; i < begin + count; ++i) {
+        entry->shares_fp[i] = DeriveEpochShareFp(keys[i], epoch);
+      }
+    } else {
+      DeriveEpochSourceKeysBatch(params, keys, begin, count, epoch,
+                                 entry->keys.data() + begin);
+      if (params.share_prf == SharePrf::kHmacSha256) {
+        DeriveEpochSharesHm256Batch(keys, begin, count, epoch,
+                                    entry->shares.data() + begin);
+      } else {
+        for (size_t i = begin; i < begin + count; ++i) {
+          entry->shares[i] = DeriveEpochShare(params, keys[i], epoch);
+        }
+      }
+    }
+  };
+  if (pool != nullptr && num_groups > 1) {
+    pool->ParallelFor(num_groups, derive_group);
   } else {
-    for (size_t i = 0; i < n; ++i) derive_one(i);
+    for (size_t g = 0; g < num_groups; ++g) derive_group(g);
   }
 
   std::lock_guard<std::mutex> lock(mu_);

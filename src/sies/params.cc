@@ -1,10 +1,13 @@
 #include "sies/params.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/secure.h"
 #include "crypto/hmac.h"
 #include "crypto/hmac_drbg.h"
 #include "crypto/prime.h"
+#include "crypto/sha256x8.h"
 
 namespace sies::core {
 
@@ -172,6 +175,84 @@ crypto::U256 DeriveEpochShareFp(const Bytes& source_key, uint64_t epoch) {
   crypto::U256 share = crypto::U256::FromBytesBE(prf.data(), prf.size());
   SecureWipe(prf);
   return share;
+}
+
+namespace {
+
+// Chunk width for the batch derivations: a multiple of the kernel's 8
+// lanes, small enough that the per-chunk digest scratch (kChunk x 32 B)
+// stays on the stack. The chunking is invisible in the output — each
+// digest is an independent HMAC.
+constexpr size_t kDeriveChunk = 64;
+
+}  // namespace
+
+void DeriveEpochSourceKeysFpBatch(const crypto::Fp256& fp,
+                                  const std::vector<Bytes>& source_keys,
+                                  size_t begin, size_t count, uint64_t epoch,
+                                  crypto::U256* out) {
+  crypto::ByteView views[kDeriveChunk];
+  uint8_t digests[kDeriveChunk * 32];
+  for (size_t off = 0; off < count; off += kDeriveChunk) {
+    const size_t take = std::min(kDeriveChunk, count - off);
+    for (size_t j = 0; j < take; ++j) {
+      views[j] = crypto::ByteView(source_keys[begin + off + j]);
+    }
+    crypto::EpochPrfSha256Batch(take, views, epoch, digests);
+    for (size_t j = 0; j < take; ++j) {
+      out[off + j] =
+          fp.Reduce(crypto::U256::FromBytesBE(digests + 32 * j, 32));
+    }
+  }
+  common::SecureZero(digests, sizeof(digests));
+}
+
+void DeriveEpochSourceKeysBatch(const Params& params,
+                                const std::vector<Bytes>& source_keys,
+                                size_t begin, size_t count, uint64_t epoch,
+                                crypto::BigUint* out) {
+  crypto::ByteView views[kDeriveChunk];
+  uint8_t digests[kDeriveChunk * 32];
+  for (size_t off = 0; off < count; off += kDeriveChunk) {
+    const size_t take = std::min(kDeriveChunk, count - off);
+    for (size_t j = 0; j < take; ++j) {
+      views[j] = crypto::ByteView(source_keys[begin + off + j]);
+    }
+    crypto::EpochPrfSha256Batch(take, views, epoch, digests);
+    for (size_t j = 0; j < take; ++j) {
+      crypto::BigUint raw = crypto::BigUint::FromBytes(digests + 32 * j, 32);
+      out[off + j] = crypto::BigUint::Mod(raw, params.prime).value();
+      raw.Wipe();
+    }
+  }
+  common::SecureZero(digests, sizeof(digests));
+}
+
+void DeriveEpochSharesHm256Batch(const std::vector<Bytes>& source_keys,
+                                 size_t begin, size_t count, uint64_t epoch,
+                                 crypto::BigUint* out) {
+  // Same domain-separated input as DeriveEpochShare's HM256 branch:
+  // "share" || t, identical for every source in the batch.
+  Bytes input = {'s', 'h', 'a', 'r', 'e'};
+  Bytes e = EncodeUint64(epoch);
+  input.insert(input.end(), e.begin(), e.end());
+  const crypto::ByteView msg(input);
+
+  crypto::ByteView keys[kDeriveChunk];
+  crypto::ByteView msgs[kDeriveChunk];
+  for (size_t j = 0; j < kDeriveChunk; ++j) msgs[j] = msg;
+  uint8_t digests[kDeriveChunk * 32];
+  for (size_t off = 0; off < count; off += kDeriveChunk) {
+    const size_t take = std::min(kDeriveChunk, count - off);
+    for (size_t j = 0; j < take; ++j) {
+      keys[j] = crypto::ByteView(source_keys[begin + off + j]);
+    }
+    crypto::HmacSha256Batch(take, keys, msgs, digests);
+    for (size_t j = 0; j < take; ++j) {
+      out[off + j] = crypto::BigUint::FromBytes(digests + 32 * j, 32);
+    }
+  }
+  common::SecureZero(digests, sizeof(digests));
 }
 
 }  // namespace sies::core

@@ -141,6 +141,36 @@ crypto::U256 DeriveEpochSourceKeyFp(const crypto::Fp256& fp,
 /// only one the fast path ever sees.
 crypto::U256 DeriveEpochShareFp(const Bytes& source_key, uint64_t epoch);
 
+// --- Batched derivation (the multi-buffer fast path). Each function is
+// --- bit-identical to calling its scalar counterpart above once per
+// --- index — same PRF bytes (crypto::EpochPrfSha256Batch groups the
+// --- HMACs into 8-wide SHA-256 lanes), same reduction — so cache
+// --- contents never depend on whether the batch path ran. Pinned by
+// --- tests/sies/epoch_key_cache_test.cc and tests/crypto/sha256x8_test.
+// --- The HM1 share derivation (SHA-1) has no batch form; it stays on
+// --- the scalar path even when the k_{i,t} batch runs.
+
+/// k_{i,t} for sources [begin, begin + count) into out[0..count), as
+/// U256 reduced into [0, p). Equals DeriveEpochSourceKeyFp per index.
+void DeriveEpochSourceKeysFpBatch(const crypto::Fp256& fp,
+                                  const std::vector<Bytes>& source_keys,
+                                  size_t begin, size_t count, uint64_t epoch,
+                                  crypto::U256* out);
+
+/// k_{i,t} for sources [begin, begin + count) into out[0..count), as
+/// BigUint reduced mod p. Equals DeriveEpochSourceKey per index.
+void DeriveEpochSourceKeysBatch(const Params& params,
+                                const std::vector<Bytes>& source_keys,
+                                size_t begin, size_t count, uint64_t epoch,
+                                crypto::BigUint* out);
+
+/// ss_{i,t} for the hardened HM256 profile, sources [begin, begin +
+/// count) into out[0..count). Equals DeriveEpochShare per index (only
+/// call when params.share_prf == SharePrf::kHmacSha256).
+void DeriveEpochSharesHm256Batch(const std::vector<Bytes>& source_keys,
+                                 size_t begin, size_t count, uint64_t epoch,
+                                 crypto::BigUint* out);
+
 }  // namespace sies::core
 
 #endif  // SIES_SIES_PARAMS_H_

@@ -165,6 +165,18 @@ StatusOr<Evaluation> Querier::Evaluate(const Bytes& final_psr,
                       /*wire_envelope=*/false, &all_sources_, nullptr);
 }
 
+StatusOr<Evaluation> Querier::EvaluateSlice(
+    const uint8_t* psr, size_t len, uint64_t epoch,
+    const std::vector<uint32_t>& participating) const {
+  return EvaluateCore(psr, len, epoch, /*wire_envelope=*/false,
+                      &participating, nullptr);
+}
+
+void Querier::WarmEpoch(uint64_t epoch) const {
+  cache_->Global(params_, keys_.global_key, epoch);
+  cache_->Sources(params_, keys_.source_keys, epoch, pool_);
+}
+
 bool Querier::WireBitmapIsFull(const uint8_t* bitmap) const {
   // Coverage is full iff every VALID bit is set: (b & full) == full per
   // byte, which also ignores padding bits (full_bitmap_ masks them, and

@@ -54,6 +54,15 @@ class Querier {
   /// Convenience: evaluation with all N sources participating.
   StatusOr<Evaluation> Evaluate(const Bytes& final_psr, uint64_t epoch) const;
 
+  /// Zero-copy Evaluate over `len` PSR bytes in place — for callers that
+  /// hold many channels' PSRs in one contiguous buffer (the multi-query
+  /// engine's wire body, a PsrArena) and would otherwise copy each slice
+  /// into a fresh Bytes per channel per epoch. Identical semantics to
+  /// Evaluate(Bytes, ...).
+  StatusOr<Evaluation> EvaluateSlice(
+      const uint8_t* psr, size_t len, uint64_t epoch,
+      const std::vector<uint32_t>& participating) const;
+
   /// Evaluation over a wire envelope [bitmap ‖ PSR]: the participating
   /// set is read from the contributor bitmap, so lossy epochs evaluate
   /// to a verified PARTIAL sum over exactly the contributing sources. A
@@ -75,6 +84,16 @@ class Querier {
   /// `pool`. Results are bit-identical for any thread count. The pool must
   /// outlive the querier (the runner owns it).
   void SetThreadPool(common::ThreadPool* pool) { pool_ = pool; }
+
+  /// Pre-derives the epoch material for `epoch` (global key + the N-way
+  /// per-source tables) with the pool at full width. Callers that fan
+  /// evaluations out over the same pool (the engine's per-channel
+  /// dispatch) warm each epoch from the driver thread first: a cold
+  /// Sources derivation reached from inside a pool lane would otherwise
+  /// run its group fan-out inline on that one lane (ThreadPool nesting
+  /// runs inline rather than oversubscribing). Warm epochs are a cache
+  /// hit — calling this is always safe and never changes results.
+  void WarmEpoch(uint64_t epoch) const;
 
   /// Drops all cached epoch material; the next Evaluate re-derives from
   /// scratch. Benchmarks use this to time cold evaluations honestly.

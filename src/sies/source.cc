@@ -1,11 +1,14 @@
 #include "sies/source.h"
 
+#include <cstring>
+
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace sies::core {
 
-StatusOr<Bytes> Source::CreatePsr(uint64_t value, uint64_t epoch) const {
+Status Source::CreatePsrInto(uint64_t value, uint64_t epoch,
+                             uint8_t* out) const {
   static telemetry::Counter* psrs =
       telemetry::MetricsRegistry::Global().GetCounter(
           "sies_source_psr_total", {{"scheme", "SIES"}});
@@ -26,7 +29,8 @@ StatusOr<Bytes> Source::CreatePsr(uint64_t value, uint64_t epoch) const {
     if (!message.ok()) return message.status();
     auto ciphertext = EncryptFp(*fp, message.value(), epoch_global, epoch_key);
     if (!ciphertext.ok()) return ciphertext.status();
-    return ciphertext.value().ToBytes32();  // PsrBytes() == 32 on this path
+    ciphertext.value().ToBytesBE(out);  // PsrBytes() == 32 on this path
+    return Status::OK();
   }
 
   crypto::BigUint epoch_global =
@@ -41,7 +45,16 @@ StatusOr<Bytes> Source::CreatePsr(uint64_t value, uint64_t epoch) const {
   if (!message.ok()) return message.status();
   auto ciphertext = Encrypt(params_, message.value(), epoch_global, epoch_key);
   if (!ciphertext.ok()) return ciphertext.status();
-  return SerializePsr(params_, ciphertext.value());
+  auto psr = SerializePsr(params_, ciphertext.value());
+  if (!psr.ok()) return psr.status();
+  std::memcpy(out, psr.value().data(), psr.value().size());
+  return Status::OK();
+}
+
+StatusOr<Bytes> Source::CreatePsr(uint64_t value, uint64_t epoch) const {
+  Bytes out(params_.PsrBytes());
+  SIES_RETURN_IF_ERROR(CreatePsrInto(value, epoch, out.data()));
+  return out;
 }
 
 StatusOr<Bytes> Source::CreateWirePsr(uint64_t value, uint64_t epoch) const {

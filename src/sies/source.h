@@ -27,6 +27,13 @@ class Source {
   /// 32-byte modular multiplication and one addition.
   StatusOr<Bytes> CreatePsr(uint64_t value, uint64_t epoch) const;
 
+  /// CreatePsr writing the params().PsrBytes()-wide PSR into `out`
+  /// instead of allocating — for hot epoch loops assembling many PSRs
+  /// into one buffer (a core::PsrArena, the engine's multi-channel
+  /// body). On the fixed-width fast path this performs no heap
+  /// allocation at all. Identical bytes to CreatePsr.
+  Status CreatePsrInto(uint64_t value, uint64_t epoch, uint8_t* out) const;
+
   /// Like CreatePsr, but wrapped in the loss-reporting wire envelope
   /// [contributor bitmap ‖ PSR] with only this source's bit set (see
   /// message_format.h). This is what goes on the radio; the bare PSR

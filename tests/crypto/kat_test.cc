@@ -20,6 +20,7 @@
 #include "crypto/hmac_drbg.h"
 #include "crypto/sha1.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256x8.h"
 
 namespace sies::crypto {
 namespace {
@@ -64,6 +65,35 @@ TEST(KatSha256, Fips180Examples) {
 TEST(KatSha256, MillionA) {
   EXPECT_EQ(Hex(Sha256::Hash(Bytes(1000000, 'a'))),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Unaligned and multi-block lengths straddling the 64-byte block and the
+// 56-byte padding boundary (55 pads in one block, 56 needs a second).
+// Messages are the deterministic pattern byte (37 i + 11) mod 256;
+// expected digests generated with Python hashlib (docs/DEVELOPING.md).
+TEST(KatSha256, UnalignedAndMultiBlockLengths) {
+  auto pattern = [](size_t n) {
+    Bytes m(n);
+    for (size_t i = 0; i < n; ++i) m[i] = static_cast<uint8_t>(37 * i + 11);
+    return m;
+  };
+  const struct {
+    size_t len;
+    const char* hex;
+  } kCases[] = {
+      {55, "2900465fcb533e05a158fd2b3be0e5e3b03740d83060aa3580e0d98a96bf2384"},
+      {56, "31454ff48ef36af2f08fd511bdc37d9d5855ac23e992e5ff5445cb6b7674a674"},
+      {63, "5f6401b96532c36de4e65beec0409b69b1d181864c8009b7a04f43e5d56350d1"},
+      {64, "94eb5de4943613fd048dc93393ab06877405faa39c11f53e9386083339833e7e"},
+      {65, "fc518669b6eb4b4dd91827ecacef86689c725bd5bab888fd3b26dbb196eec954"},
+      {119, "b0dc41b1a384e2f1203f0351b38fbeaafceef577ce1191d5bfc25da39f721eae"},
+      {128, "0aedd4856f8eba0963627336ad5144a9a7dbe12498e6066f0165fc97d8ddee4c"},
+      {1000,
+       "57799de80e3dd6e2ac4d40c41a150d1662f7f87d0d994776a2fdc37c39b0ea4e"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_EQ(Hex(Sha256::Hash(pattern(c.len))), c.hex) << "len=" << c.len;
+  }
 }
 
 // --- HMAC-SHA1 (RFC 2202) ---
@@ -123,6 +153,80 @@ TEST(KatHmacSha256, Rfc4231LongKey) {
                     "larger than block-size data. The key needs to be hashed "
                     "before being used by the HMAC algorithm."))),
       "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// --- Batch kernel KATs (crypto/sha256x8.h) ---
+//
+// All 8 lanes carry different key and message lengths (the ragged case),
+// pinned to independently generated digests (Python hmac/hashlib) AND to
+// the scalar one-shot implementation, on every kernel this machine can
+// run. A transpose or lane-masking bug in the AVX2 transform cannot pass
+// this and the FIPS/RFC single-lane vectors simultaneously.
+
+TEST(KatSha256x8, RaggedLanesAllKernels) {
+  const size_t lens[8] = {0, 1, 55, 56, 63, 64, 65, 200};
+  Bytes msgs[8];
+  ByteView views[8];
+  for (int i = 0; i < 8; ++i) {
+    msgs[i].resize(lens[i]);
+    for (size_t j = 0; j < lens[i]; ++j) {
+      msgs[i][j] = static_cast<uint8_t>(i * 31 + j);
+    }
+    views[i] = ByteView(msgs[i]);
+  }
+  for (Sha256Kernel kernel : {Sha256Kernel::kScalar, Sha256Kernel::kAvx2}) {
+    if (!sha256x8_internal::KernelAvailable(kernel)) continue;
+    uint8_t out[8][32];
+    sha256x8_internal::Sha256x8WithKernel(kernel, views, out);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(Hex(Bytes(out[i], out[i] + 32)), Hex(Sha256::Hash(msgs[i])))
+          << "kernel=" << static_cast<int>(kernel) << " lane=" << i;
+    }
+  }
+}
+
+TEST(KatHmacSha256x8, RaggedLanesPinnedDigests) {
+  // Key lengths cross the hash-the-key branch (> 64) and the exact-block
+  // case (64); expected values generated with Python hmac/hashlib.
+  const size_t lens[8] = {0, 1, 55, 56, 63, 64, 65, 200};
+  const size_t klens[8] = {1, 20, 32, 63, 64, 65, 100, 131};
+  const char* kExpected[8] = {
+      "2f8738164025afdddbc18665c6e8f37de9498db7fd194873c61ee30c22192a9a",
+      "f4227183e92b2902f8d9315be19ec191ef4d6cfdbc7258fbb1c28e4303bb818d",
+      "9374a0c6f952b33b5ebdf80d6d0e39f6229eea1ae4264614e2d5023a962a5d65",
+      "68a770890a721bf3df5e0d8a382161d5b154006923fa49ea8af97e4f758f857f",
+      "38be7333b04eb8d4d425b594b1b0ea9c32b91822f6dee16ff4b89df4fed3ccad",
+      "e6db75a0626e1457b0e8d148bec88c6d4fab63be7cebf2b8907149c832f0edf2",
+      "2dc1c3cd435727ca089297ce0a29b0d24cb7f8457e2f6d843a1864377f0b0dca",
+      "d785cee71ecaebf282bb31774255a8fada96d5d4c92f7c9ac61f72cc18f0588f",
+  };
+  Bytes keys[8], msgs[8];
+  ByteView kviews[8], mviews[8];
+  for (int i = 0; i < 8; ++i) {
+    keys[i].resize(klens[i]);
+    for (size_t j = 0; j < klens[i]; ++j) {
+      keys[i][j] = static_cast<uint8_t>(i * 7 + j + 1);
+    }
+    msgs[i].resize(lens[i]);
+    for (size_t j = 0; j < lens[i]; ++j) {
+      msgs[i][j] = static_cast<uint8_t>(i * 31 + j);
+    }
+    kviews[i] = ByteView(keys[i]);
+    mviews[i] = ByteView(msgs[i]);
+  }
+  for (Sha256Kernel kernel : {Sha256Kernel::kScalar, Sha256Kernel::kAvx2}) {
+    if (!sha256x8_internal::KernelAvailable(kernel)) continue;
+    uint8_t out[8 * 32];
+    sha256x8_internal::HmacSha256BatchWithKernel(kernel, 8, kviews, mviews,
+                                                 out);
+    for (int i = 0; i < 8; ++i) {
+      Bytes tag(out + 32 * i, out + 32 * (i + 1));
+      EXPECT_EQ(Hex(tag), kExpected[i])
+          << "kernel=" << static_cast<int>(kernel) << " lane=" << i;
+      EXPECT_EQ(Hex(tag), Hex(HmacSha256(keys[i], msgs[i])))
+          << "kernel=" << static_cast<int>(kernel) << " lane=" << i;
+    }
+  }
 }
 
 // --- HMAC_DRBG with SHA-256 (SP 800-90A process vectors) ---

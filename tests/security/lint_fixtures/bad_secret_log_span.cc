@@ -1,0 +1,16 @@
+// Lint fixture: key-material identifier flowing into a trace span.
+// Span names/labels land verbatim in the exported Chrome trace, so this
+// must trip the secret-log rule.
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "telemetry/trace.h"
+
+namespace sies {
+
+void TraceDerivationLeaky(const Bytes& source_key, uint64_t epoch) {
+  // BAD: the span label is built from the source key.
+  telemetry::ScopedSpan span(ToHex(source_key), "querier", epoch);
+}
+
+}  // namespace sies

@@ -62,6 +62,49 @@ TEST(EpochKeyCacheTest, SourcesIdenticalWithAndWithoutPool) {
   }
 }
 
+TEST(EpochKeyCacheTest, BatchedDerivationMatchesScalarAcrossGroups) {
+  // 300 sources spans multiple 256-wide derivation groups and a ragged
+  // final 8-lane batch; every cached entry must equal the per-index
+  // scalar derivation bit for bit, with and without a pool fanning the
+  // groups out.
+  Params params = MakeParams(300, 42).value();
+  QuerierKeys keys = GenerateKeys(params, EncodeUint64(42));
+  common::ThreadPool pool(3);
+  EpochKeyCache pooled, serial;
+  auto a = pooled.Sources(params, keys.source_keys, 11, &pool);
+  auto b = serial.Sources(params, keys.source_keys, 11, nullptr);
+  ASSERT_TRUE(a->fast);
+  ASSERT_EQ(a->keys_fp.size(), 300u);
+  const crypto::Fp256* fp = params.Fp();
+  ASSERT_NE(fp, nullptr);
+  for (size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(a->keys_fp[i],
+              DeriveEpochSourceKeyFp(*fp, keys.source_keys[i], 11));
+    EXPECT_EQ(a->shares_fp[i], DeriveEpochShareFp(keys.source_keys[i], 11));
+    EXPECT_EQ(a->keys_fp[i], b->keys_fp[i]);
+    EXPECT_EQ(a->shares_fp[i], b->shares_fp[i]);
+  }
+}
+
+TEST(EpochKeyCacheTest, BatchedDerivationMatchesScalarHardenedProfile) {
+  // The HM256-share profile needs a wider prime, so it runs the generic
+  // BigUint batch (DeriveEpochSourceKeysBatch + DeriveEpochSharesHm256-
+  // Batch) rather than the Fp256 one.
+  Params params =
+      MakeParams(70, 42, 4, 384, SharePrf::kHmacSha256).value();
+  QuerierKeys keys = GenerateKeys(params, EncodeUint64(42));
+  EpochKeyCache cache;
+  auto entry = cache.Sources(params, keys.source_keys, 6, nullptr);
+  ASSERT_FALSE(entry->fast);
+  ASSERT_EQ(entry->keys.size(), 70u);
+  for (size_t i = 0; i < 70; ++i) {
+    EXPECT_EQ(entry->keys[i],
+              DeriveEpochSourceKey(params, keys.source_keys[i], 6));
+    EXPECT_EQ(entry->shares[i],
+              DeriveEpochShare(params, keys.source_keys[i], 6));
+  }
+}
+
 TEST(EpochKeyCacheTest, GenericPathForNon256BitPrime) {
   // A 384-bit prime keeps every party on the BigUint path.
   Params params = MakeParams(8, 42, 4, 384).value();
