@@ -51,6 +51,16 @@ void PrintUsage() {
       "  --queries-file=PATH       like --queries, but load the query mix\n"
       "                            from PATH (one `AGG ATTR [scale K]\n"
       "                            [where ...] [id N]` per line)\n"
+      "  --ops-port=P              engine mode only: serve the live ops\n"
+      "                            plane (GET /metrics /healthz /readyz\n"
+      "                            /queries /epochs) on 127.0.0.1:P while\n"
+      "                            the run is in flight; 0 = pick a free\n"
+      "                            port (printed to stderr). Enables the\n"
+      "                            per-epoch latency timeline.\n"
+      "  --ops-staleness=S         /readyz turns 503 after S seconds\n"
+      "                            without a finished epoch (default 30)\n"
+      "  --epoch-ms=M              minimum wall time per epoch, so a\n"
+      "                            scraper sees a live run (default 0)\n"
       "  --metrics-out=PATH        write the metrics registry as JSON "
       "(.prom\n"
       "                            suffix: Prometheus text format)\n"
@@ -217,6 +227,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Ops plane: --ops-port starts the embedded admin server inside the
+  // engine run and turns the per-epoch latency timeline on.
+  const bool ops_enabled = flags.Has("ops-port");
+  int64_t ops_port = 0;
+  if (ops_enabled) {
+    auto p = flags.GetIntInRange("ops-port", 0, 0, 65535);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s\n", p.status().ToString().c_str());
+      return 2;
+    }
+    ops_port = p.value();
+    if (!engine_mode) {
+      std::fprintf(stderr,
+                   "--ops-port serves the engine's live state; add "
+                   "--queries or --queries-file\n");
+      return 2;
+    }
+  }
+  auto ops_staleness = flags.GetDouble("ops-staleness", 30.0);
+  if (!ops_staleness.ok() || ops_staleness.value() <= 0.0) {
+    std::fprintf(stderr, "--ops-staleness must be a positive number\n");
+    return 2;
+  }
+  auto epoch_ms = flags.GetIntInRange("epoch-ms", 0, 0, 60'000);
+  if (!epoch_ms.ok()) {
+    std::fprintf(stderr, "%s\n", epoch_ms.status().ToString().c_str());
+    return 2;
+  }
+
   std::string metrics_out = flags.GetString("metrics-out", "");
   std::string trace_out = flags.GetString("trace-out", "");
   std::string audit_out = flags.GetString("audit-out", "");
@@ -264,6 +303,18 @@ int main(int argc, char** argv) {
     engine_config.threads = config.threads;
     engine_config.loss_rate = config.loss_rate;
     engine_config.max_retries = config.max_retries;
+    engine_config.epoch_pacing_ms = static_cast<uint32_t>(epoch_ms.value());
+    if (ops_enabled) {
+      engine_config.ops_port = static_cast<int>(ops_port);
+      engine_config.ops_staleness_seconds = ops_staleness.value();
+      engine_config.on_ops_ready = [](uint16_t port) {
+        // stderr, flushed immediately: scripts (check.sh --ops-smoke)
+        // block on this line to learn the resolved ephemeral port.
+        std::fprintf(stderr, "ops: serving http://127.0.0.1:%u\n", port);
+        std::fflush(stderr);
+      };
+      telemetry::EpochTimeline::Global().Enable();
+    }
     auto engine_result = runner::RunEngineExperiment(engine_config);
     if (!engine_result.ok()) {
       std::fprintf(stderr, "engine experiment failed: %s\n",

@@ -2,20 +2,23 @@
 # Full local check: configure, build, run every test, example, and bench.
 # Usage: scripts/check.sh [--skip-bench] [--sanitize] [--tsan] [--tidy]
 #                         [--lint] [--telemetry-smoke] [--fault-smoke]
-#                         [--engine-smoke] [--bench-smoke]
+#                         [--engine-smoke] [--bench-smoke] [--ops-smoke]
 #   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
 #                      pass below always runs
 #   --bench-smoke      ONLY run the bench JSON smoke (tiny-N --smoke runs
 #                      of the JSON-emitting benches, outputs validated
-#                      with python3); the smoke also runs as part of the
-#                      full check
+#                      with python3 and diffed against bench/baselines/
+#                      by scripts/bench_compare.py — structural checks
+#                      only; full bench runs get the --strict ratio
+#                      gate); the smoke also runs as part of the full
+#                      check
 #   --sanitize         build + test under ASan/UBSan (-DSIES_SANITIZE=ON) in
 #                      a separate build-sanitize/ tree; implies --skip-bench
 #   --tsan             ONLY build the concurrency-sensitive test subset
 #                      under ThreadSanitizer (-DSIES_TSAN=ON) in a separate
 #                      build-tsan/ tree and run the race/engine/telemetry/
-#                      threadpool/loss ctest labels with suppressions from
-#                      scripts/tsan.supp (policy: docs/DEVELOPING.md)
+#                      threadpool/loss/ops ctest labels with suppressions
+#                      from scripts/tsan.supp (policy: docs/DEVELOPING.md)
 #   --tidy             ONLY run the static-analysis gate over src/:
 #                      clang-tidy against the compile database when a
 #                      clang-tidy binary exists, otherwise the strict
@@ -38,6 +41,13 @@
 #                      tamper fault isolation validated) plus the
 #                      `engine`-labeled ctest subset; the smoke also runs
 #                      as part of the full check
+#   --ops-smoke        ONLY run the live ops-plane smoke (sies_sim
+#                      --queries with --ops-port=0 on a paced
+#                      single-threaded run; every admin endpoint scraped
+#                      mid-run and validated: 200s, parseable bodies,
+#                      critical path <= wall, and the phase probes
+#                      explaining >= 90% of the best epoch's wall); the
+#                      smoke also runs as part of the full check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,6 +60,7 @@ TELEMETRY_ONLY=0
 FAULT_ONLY=0
 ENGINE_ONLY=0
 BENCH_SMOKE_ONLY=0
+OPS_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -61,6 +72,7 @@ for arg in "$@"; do
     --fault-smoke) FAULT_ONLY=1 ;;
     --engine-smoke) ENGINE_ONLY=1 ;;
     --bench-smoke) BENCH_SMOKE_ONLY=1 ;;
+    --ops-smoke) OPS_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -289,8 +301,11 @@ PYEOF
 }
 
 # Tiny-N (--smoke) runs of every JSON-emitting bench, outputs validated
-# as parseable JSON. The smoke catches broken bench plumbing in seconds;
-# the committed baselines are regenerated by scripts/bench.sh instead.
+# as parseable JSON and diffed against the committed baselines by the
+# regression gate (structural mode: schema, metric presence, boolean
+# invariants — smoke timings are too noisy for value comparison). The
+# smoke catches broken bench plumbing in seconds; the committed
+# baselines are regenerated by scripts/bench.sh instead.
 bench_smoke() {
   local build="$1" dir b j
   dir="$(mktemp -d)"
@@ -304,6 +319,114 @@ bench_smoke() {
     echo "-- validating $(basename "$j")"
     python3 -m json.tool "$j" > /dev/null
   done
+  echo "-- bench_compare (structural) vs bench/baselines"
+  python3 scripts/bench_compare.py "$dir" > /dev/null
+  rm -rf "$dir"
+}
+
+# Boots sies_sim's live ops plane on an ephemeral port and scrapes every
+# admin endpoint mid-run. The run is paced (--epoch-ms) and
+# single-threaded so wall time is meaningful: beyond the 200/parse
+# checks, the epoch timeline must satisfy critical <= wall on every
+# record and the phase probes must explain >= 90% of the wall on the
+# best-attributed epoch.
+ops_smoke() {
+  local build="$1" dir port sim_pid
+  dir="$(mktemp -d)"
+  echo "== ops smoke (live admin server scrape) =="
+  "./$build/examples/sies_sim" --queries=4 --sources=64 --epochs=40 \
+      --threads=1 --epoch-ms=50 --seed=5 --ops-port=0 \
+      > "$dir/stdout" 2> "$dir/stderr" &
+  sim_pid=$!
+  # The sim announces the kernel-assigned port on stderr once bound.
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's|^ops: serving http://127\.0\.0\.1:||p' "$dir/stderr")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "ops smoke: server never announced its port" >&2
+    cat "$dir/stderr" >&2
+    kill "$sim_pid" 2> /dev/null || true
+    exit 1
+  fi
+  if ! python3 - "$port" <<'PYEOF'
+import json, sys, time, urllib.error, urllib.request
+
+port = sys.argv[1]
+base = f"http://127.0.0.1:{port}"
+
+def get(path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=5) as r:
+            return r.status, r.read().decode()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode()
+
+status, body = get("/healthz")
+assert status == 200 and body.strip() == "ok", (status, body)
+
+# Readiness flips once epoch 1 finishes (keys warm) and stays fresh.
+for _ in range(100):
+    status, body = get("/readyz")
+    if status == 200:
+        break
+    time.sleep(0.05)
+assert status == 200, (status, body)
+ready = json.loads(body)
+assert ready["ready"] is True, ready
+
+status, body = get("/queries")
+assert status == 200, (status, body)
+queries = json.loads(body)
+assert queries["count"] == 4, queries
+for q in queries["queries"]:
+    assert q["slots"], q
+
+# Scrape /metrics twice: the first response must be visible as a
+# counted 200 in the second (the server observes itself).
+status, body = get("/metrics")
+assert status == 200 and "# TYPE" in body, (status, body[:200])
+status, body = get("/metrics")
+assert 'ops_http_responses_total{code="200"}' in body, body[:400]
+
+status, body = get("/nope")
+assert status == 404, (status, body)
+
+# Let a few paced epochs land, then check the timeline arithmetic.
+time.sleep(0.5)
+status, body = get("/epochs?last=16")
+assert status == 200, (status, body)
+timeline = json.loads(body)
+epochs = timeline["epochs"]
+assert epochs, timeline
+best = 0.0
+for rec in epochs:
+    wall = rec["wall_seconds"]
+    attributed = rec["attributed_seconds"]
+    critical = rec["critical_path_seconds"]
+    assert wall > 0.0, rec
+    assert 0.0 < critical <= wall, rec
+    assert critical <= attributed, rec
+    assert rec["verified"] is True, rec
+    assert rec["tampered_channels"] == 0, rec
+    assert sum(p["total_seconds"] for p in rec["phases"]) > 0.0, rec
+    best = max(best, attributed / wall)
+assert best >= 0.9, f"best attribution {best:.3f} < 0.9 of wall"
+print(f"ops smoke OK: {len(epochs)} epochs scraped, "
+      f"best attribution {100.0 * best:.1f}% of wall")
+PYEOF
+  then
+    echo "ops smoke FAILED" >&2
+    kill "$sim_pid" 2> /dev/null || true
+    exit 1
+  fi
+  if ! wait "$sim_pid"; then
+    echo "ops smoke: sies_sim exited nonzero" >&2
+    cat "$dir/stderr" >&2
+    exit 1
+  fi
   rm -rf "$dir"
 }
 
@@ -339,12 +462,15 @@ if [[ $TSAN_ONLY -eq 1 ]]; then
       race_stress_test pool_oversubscription_test thread_pool_test \
       loss_resilience_test \
       telemetry_metrics_test telemetry_trace_test telemetry_audit_test \
-      telemetry_integration_test engine_channel_plan_test \
+      telemetry_integration_test telemetry_epoch_timeline_test \
+      engine_channel_plan_test \
       engine_query_registry_test engine_differential_test \
-      engine_epoch_scheduler_test engine_query_spec_test
-  echo "== TSan run (labels: race engine telemetry threadpool loss) =="
+      engine_epoch_scheduler_test engine_query_spec_test \
+      ops_http_server_test ops_admin_server_test ops_integration_test
+  echo "== TSan run (labels: race engine telemetry threadpool loss ops) =="
   TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
-      ctest --test-dir "$BUILD" -L 'race|engine|telemetry|threadpool|loss' \
+      ctest --test-dir "$BUILD" \
+            -L 'race|engine|telemetry|threadpool|loss|ops' \
             --output-on-failure
   echo "TSAN CHECKS PASSED"
   exit 0
@@ -375,6 +501,14 @@ if [[ $BENCH_SMOKE_ONLY -eq 1 ]]; then
   exit 0
 fi
 
+if [[ $OPS_ONLY -eq 1 ]]; then
+  configure "$BUILD" "${EXTRA[@]}"
+  cmake --build "$BUILD" --target sies_sim
+  ops_smoke "$BUILD"
+  echo "OPS SMOKE PASSED"
+  exit 0
+fi
+
 if [[ $ENGINE_ONLY -eq 1 ]]; then
   configure "$BUILD" "${EXTRA[@]}"
   cmake --build "$BUILD"
@@ -402,6 +536,7 @@ done
 telemetry_smoke "$BUILD"
 fault_smoke "$BUILD"
 engine_smoke "$BUILD"
+ops_smoke "$BUILD"
 
 bench_smoke "$BUILD"
 
@@ -413,5 +548,7 @@ if [[ $SKIP_BENCH -eq 0 && $SANITIZE -eq 0 ]]; then
     echo "-- $b"
     (cd "$RUN_DIR" && "$OLDPWD/$b" > /dev/null)
   done
+  echo "== bench_compare (--strict) vs bench/baselines =="
+  python3 scripts/bench_compare.py --strict "$RUN_DIR" > /dev/null
 fi
 echo "ALL CHECKS PASSED"

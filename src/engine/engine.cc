@@ -2,10 +2,30 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
+#include "telemetry/epoch_timeline.h"
+#include "telemetry/trace.h"
+
 namespace sies::engine {
 
 using core::Channel;
 using core::ContributorBitmap;
+
+namespace {
+
+const char* ChannelKindName(Channel kind) {
+  switch (kind) {
+    case Channel::kSum:
+      return "sum";
+    case Channel::kSumSquares:
+      return "sum_squares";
+    case Channel::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+}  // namespace
 
 MultiQueryEngine::MultiQueryEngine(core::Params params,
                                    core::QuerierKeys keys)
@@ -67,6 +87,11 @@ StatusOr<Bytes> MultiQueryEngine::CreateSourcePayload(
   if (channels.empty()) {
     return Status::FailedPrecondition("no live queries to serve");
   }
+  // Live-attribution probe: one relaxed load when nobody is watching
+  // (covered by the bench/telemetry_overhead guard).
+  auto& timeline = telemetry::EpochTimeline::Global();
+  const bool attribute = timeline.enabled();
+  Stopwatch phase_watch;
   const size_t width = params_.PsrBytes();
   Bytes body(channels.size() * width);
   for (size_t i = 0; i < channels.size(); ++i) {
@@ -80,12 +105,20 @@ StatusOr<Bytes> MultiQueryEngine::CreateSourcePayload(
   }
   ContributorBitmap bitmap(params_.num_sources);
   SIES_RETURN_IF_ERROR(bitmap.Set(index));
-  return core::SerializeWirePayload(params_, bitmap, body);
+  auto payload = core::SerializeWirePayload(params_, bitmap, body);
+  if (attribute) {
+    timeline.RecordPhase(telemetry::EpochPhase::kPsrCreate,
+                         phase_watch.ElapsedSeconds());
+  }
+  return payload;
 }
 
 StatusOr<Bytes> MultiQueryEngine::Merge(
     const std::vector<Bytes>& children) const {
   if (children.empty()) return Status::InvalidArgument("nothing to merge");
+  auto& timeline = telemetry::EpochTimeline::Global();
+  const bool attribute = timeline.enabled();
+  Stopwatch phase_watch;
   const size_t width = params_.PsrBytes();
   const size_t channels = registry_.plan().Count();
   ContributorBitmap bitmap(params_.num_sources);
@@ -110,14 +143,26 @@ StatusOr<Bytes> MultiQueryEngine::Merge(
     SIES_RETURN_IF_ERROR(aggregator_.MergeContiguous(
         scratch.data(), bodies.size(), merged_body.data() + ch * width));
   }
-  return core::SerializeWirePayload(params_, bitmap, merged_body);
+  auto merged = core::SerializeWirePayload(params_, bitmap, merged_body);
+  if (attribute) {
+    timeline.RecordPhase(telemetry::EpochPhase::kTreeAggregate,
+                         phase_watch.ElapsedSeconds());
+  }
+  return merged;
 }
 
 StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
     const Bytes& final_payload, uint64_t epoch) const {
+  auto& timeline = telemetry::EpochTimeline::Global();
+  const bool attribute = timeline.enabled();
+  Stopwatch phase_watch;
   const auto& channels = registry_.plan().channels();
   auto parsed = core::ParseWireEnvelope(params_, final_payload,
                                         channels.size());
+  if (attribute) {
+    timeline.RecordPhase(telemetry::EpochPhase::kWireParse,
+                         phase_watch.ElapsedSeconds());
+  }
   if (!parsed.ok()) return parsed.status();
   const Bytes& body = parsed.value().body;
   const std::vector<uint32_t> participating =
@@ -135,6 +180,7 @@ StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
   };
   std::vector<ChannelEval> evals(channels.size());
   auto eval_one = [&](size_t i) {
+    Stopwatch verify_watch;
     auto eval =
         querier_.EvaluateSlice(body.data() + i * width, width,
                                channels[i].SaltedEpochFor(epoch),
@@ -145,15 +191,37 @@ StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
     }
     evals[i].sum = eval.value().sum;
     evals[i].verified = eval.value().verified;
+    if (attribute) {
+      // Per-channel verify attribution: slot + salt + kind identify the
+      // wire slot, tid shows which pool lane paid for it.
+      telemetry::ChannelVerifySample sample;
+      sample.slot = static_cast<uint32_t>(i);
+      sample.salt_id = channels[i].salt_id;
+      sample.kind = ChannelKindName(channels[i].spec.kind);
+      sample.seconds = verify_watch.ElapsedSeconds();
+      sample.verified = evals[i].verified;
+      sample.tid = telemetry::Tracer::CurrentThreadId();
+      timeline.RecordChannelVerify(sample);
+    }
   };
-  if (pool_ != nullptr) {
+  if (pool_ != nullptr || attribute) {
     // Warm every channel's epoch material from this thread first, so the
     // cold N-way derivations run their group fan-out over the full pool.
     // Reached cold from inside a lane below, they would run inline on
-    // that single lane instead (ThreadPool nesting serializes).
+    // that single lane instead (ThreadPool nesting serializes). With
+    // attribution on, the warm-up also runs in serial mode so that key
+    // derivation lands in its own phase instead of inflating the first
+    // channel's verify sample.
+    phase_watch.Restart();
     for (size_t i = 0; i < channels.size(); ++i) {
       querier_.WarmEpoch(channels[i].SaltedEpochFor(epoch));
     }
+    if (attribute) {
+      timeline.RecordPhase(telemetry::EpochPhase::kKeyDerive,
+                           phase_watch.ElapsedSeconds());
+    }
+  }
+  if (pool_ != nullptr) {
     pool_->ParallelFor(channels.size(), eval_one);
   } else {
     for (size_t i = 0; i < channels.size(); ++i) eval_one(i);
@@ -164,6 +232,7 @@ StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
 
   // Assemble per-query outcomes from the shared channel sums. A
   // corrupted channel poisons only the queries whose plan includes it.
+  phase_watch.Restart();
   std::vector<QueryEpochOutcome> outcomes;
   outcomes.reserve(registry_.active().size());
   for (const ActiveQuery& aq : registry_.active()) {
@@ -193,6 +262,10 @@ StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
     if (!outcome.ok()) return outcome.status();
     outcomes.push_back(
         QueryEpochOutcome{aq.query.query_id, std::move(outcome).value()});
+  }
+  if (attribute) {
+    timeline.RecordPhase(telemetry::EpochPhase::kAssemble,
+                         phase_watch.ElapsedSeconds());
   }
   return outcomes;
 }

@@ -15,6 +15,54 @@ EpochScheduler::EpochScheduler(std::shared_ptr<MultiQueryEngine> engine,
   }
 }
 
+Status EpochScheduler::Admit(const core::Query& query, uint64_t epoch) {
+  SIES_RETURN_IF_ERROR(engine_->Admit(query, epoch));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  QueryLiveStats stats;
+  stats.query_id = query.query_id;
+  stats.sql = query.ToSql();
+  stats.admitted_epoch = epoch;
+  stats_.push_back(std::move(stats));
+  RefreshSlotsLocked();
+  return Status::OK();
+}
+
+Status EpochScheduler::Teardown(uint32_t query_id, uint64_t epoch) {
+  SIES_RETURN_IF_ERROR(engine_->Teardown(query_id, epoch));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (auto it = stats_.begin(); it != stats_.end(); ++it) {
+    if (it->query_id == query_id) {
+      stats_.erase(it);
+      break;
+    }
+  }
+  RefreshSlotsLocked();
+  return Status::OK();
+}
+
+void EpochScheduler::RefreshSlotsLocked() {
+  // Control-plane only (run thread, between epochs), so reading the
+  // unsynchronized registry here is safe.
+  for (QueryLiveStats& stats : stats_) {
+    stats.slots.clear();
+    for (const ActiveQuery& aq : engine_->registry().active()) {
+      if (aq.query.query_id != stats.query_id) continue;
+      auto slots = engine_->registry().plan().ChannelsOf(aq.query);
+      if (!slots.ok()) break;  // snapshot stays slotless, never fails
+      stats.slots.reserve(slots.value().size());
+      for (size_t slot : slots.value()) {
+        stats.slots.push_back(static_cast<uint32_t>(slot));
+      }
+      break;
+    }
+  }
+}
+
+std::vector<QueryLiveStats> EpochScheduler::SnapshotQueries() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
 StatusOr<Bytes> EpochScheduler::SourceInitialize(net::NodeId id,
                                                  uint64_t epoch) {
   auto it = index_.find(id);
@@ -60,6 +108,27 @@ StatusOr<net::EvalOutcome> EpochScheduler::QuerierEvaluate(
     out.contributors.reserve(contributors.size());
     for (uint32_t index : contributors) {
       out.contributors.push_back(source_nodes_[index]);
+    }
+  }
+
+  // Fold this epoch into the live-stats snapshot the ops plane scrapes.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const QueryEpochOutcome& qo : last_outcomes_) {
+      for (QueryLiveStats& stats : stats_) {
+        if (stats.query_id != qo.query_id) continue;
+        ++stats.answered_epochs;
+        stats.last_coverage = qo.outcome.coverage;
+        stats.last_epoch = epoch;
+        if (qo.outcome.verified) {
+          ++stats.verified_epochs;
+          stats.last_value = qo.outcome.result.value;
+          if (qo.outcome.coverage < 1.0) ++stats.partial_epochs;
+        } else {
+          ++stats.unverified_epochs;
+        }
+        break;
+      }
     }
   }
   return out;

@@ -15,6 +15,8 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +30,25 @@ namespace sies::engine {
 /// (typically backed by workload::TraceGenerator::ReadingAt).
 using ReadingFn =
     std::function<core::SensorReading(uint32_t index, uint64_t epoch)>;
+
+/// One live query's state as seen by an external observer (the ops
+/// plane's /queries endpoint). A point-in-time copy — safe to hold
+/// while the engine keeps running.
+struct QueryLiveStats {
+  uint32_t query_id = 0;
+  std::string sql;
+  uint64_t admitted_epoch = 0;
+  /// Physical wire slots the query reads (shared slots appear in every
+  /// reader's list; recomputed on every admit/teardown).
+  std::vector<uint32_t> slots;
+  uint64_t answered_epochs = 0;
+  uint64_t verified_epochs = 0;
+  uint64_t unverified_epochs = 0;
+  uint64_t partial_epochs = 0;  ///< verified with coverage < 1
+  double last_value = 0.0;      ///< result of the last verified epoch
+  double last_coverage = 0.0;
+  uint64_t last_epoch = 0;  ///< last epoch this query was answered
+};
 
 class EpochScheduler : public net::AggregationProtocol {
  public:
@@ -53,12 +74,16 @@ class EpochScheduler : public net::AggregationProtocol {
   }
 
   /// Control plane, forwarded to the engine (between epochs only).
-  Status Admit(const core::Query& query, uint64_t epoch) {
-    return engine_->Admit(query, epoch);
-  }
-  Status Teardown(uint32_t query_id, uint64_t epoch) {
-    return engine_->Teardown(query_id, epoch);
-  }
+  /// Successful calls also update the live-stats snapshot behind
+  /// SnapshotQueries().
+  Status Admit(const core::Query& query, uint64_t epoch);
+  Status Teardown(uint32_t query_id, uint64_t epoch);
+
+  /// Point-in-time copy of every live query's stats, admission order.
+  /// The ONLY scheduler accessor that is safe from another thread while
+  /// an epoch is running (the ops scraper reads through this; the
+  /// QueryRegistry itself is not synchronized).
+  std::vector<QueryLiveStats> SnapshotQueries() const;
 
   MultiQueryEngine& engine() { return *engine_; }
   const MultiQueryEngine& engine() const { return *engine_; }
@@ -70,11 +95,22 @@ class EpochScheduler : public net::AggregationProtocol {
   }
 
  private:
+  /// Recomputes every snapshot entry's slot list from the live plan
+  /// (slot assignments shift when the plan compacts). Caller holds
+  /// stats_mu_.
+  void RefreshSlotsLocked();
+
   std::shared_ptr<MultiQueryEngine> engine_;
   std::vector<net::NodeId> source_nodes_;            // index -> node id
   std::unordered_map<net::NodeId, uint32_t> index_;  // node id -> index
   ReadingFn readings_;
   std::vector<QueryEpochOutcome> last_outcomes_;
+
+  /// Guards stats_ only: the control plane and QuerierEvaluate write it
+  /// from the run thread, the ops scraper reads it from the admin
+  /// thread. Never held across engine calls that take other locks.
+  mutable std::mutex stats_mu_;
+  std::vector<QueryLiveStats> stats_;
 };
 
 }  // namespace sies::engine

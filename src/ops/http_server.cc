@@ -1,0 +1,252 @@
+#include "ops/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "telemetry/metrics.h"
+
+namespace sies::ops {
+
+namespace {
+
+/// One client is given this long to deliver a full request and drain
+/// the response; a stalled peer must not starve the accept loop.
+constexpr int kConnectionTimeoutMs = 2000;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// Blocking send of the whole buffer with a poll()-bounded deadline;
+/// a peer that stops reading (or resets) just ends the connection.
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, kConnectionTimeoutMs);
+    if (ready <= 0) return;
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  SendAll(fd, out);
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("ops_http_responses_total",
+                  {{"code", std::to_string(response.status)}})
+      ->Increment();
+}
+
+/// Splits "/epochs?last=5&x" into path and decoded params.
+void ParseTarget(const std::string& target, HttpRequest& request) {
+  const size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark == std::string::npos) return;
+  std::string query = target.substr(qmark + 1);
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request.params[pair] = "";
+      } else {
+        request.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+    }
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(const std::string& bind_address, uint16_t port) {
+  if (running()) return Status::FailedPrecondition("server already running");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address '" + bind_address + "'");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind " + bind_address + ":" +
+                            std::to_string(port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen: " + err);
+  }
+  if (::pipe2(wake_pipe_, O_CLOEXEC) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("pipe2: " + err);
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Start() may have failed after a partial setup; nothing to join.
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  const char wake = 'q';
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &wake, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) continue;
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read until the blank line ending the headers, EOF, deadline, or the
+  // size cap — whichever comes first. Only the request line is parsed;
+  // HTTP/1.0 headers are accepted and ignored.
+  std::string buffer;
+  bool saw_eof = false;
+  while (buffer.find("\r\n\r\n") == std::string::npos &&
+         buffer.size() < kMaxRequestBytes) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kConnectionTimeoutMs);
+    if (ready <= 0) break;  // stalled peer: give up on this connection
+    char chunk[1024];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return;  // reset mid-request: nobody left to answer
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  if (buffer.empty()) return;  // probe connect / immediate close
+
+  const size_t line_end = buffer.find("\r\n");
+  if (line_end == std::string::npos || line_end > kMaxRequestLine ||
+      buffer.size() >= kMaxRequestBytes) {
+    SendResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                  "bad request: oversized or unterminated "
+                                  "request line\n"});
+    return;
+  }
+  // A client that closed before finishing its headers still gets a best
+  // effort answer for the request line it did deliver.
+  if (buffer.find("\r\n\r\n") == std::string::npos && !saw_eof) {
+    return;  // deadline hit mid-headers: drop silently
+  }
+
+  const std::string line = buffer.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1 ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    SendResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                  "bad request: malformed request line\n"});
+    return;
+  }
+
+  HttpRequest request;
+  request.method = line.substr(0, sp1);
+  ParseTarget(line.substr(sp1 + 1, sp2 - sp1 - 1), request);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (request.method != "GET") {
+    SendResponse(fd, HttpResponse{405, "text/plain; charset=utf-8",
+                                  "method not allowed (GET only)\n"});
+    return;
+  }
+  const auto it = handlers_.find(request.path);
+  if (it == handlers_.end()) {
+    SendResponse(fd, HttpResponse{404, "text/plain; charset=utf-8",
+                                  "not found: " + request.path + "\n"});
+    return;
+  }
+  SendResponse(fd, it->second(request));
+}
+
+}  // namespace sies::ops

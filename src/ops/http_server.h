@@ -1,0 +1,103 @@
+// Minimal embedded HTTP/1.0 server for the ops plane: a blocking
+// poll() accept loop on its own thread, zero third-party dependencies.
+//
+// Scope is deliberate: GET-only, one connection served at a time,
+// Connection: close on every response. That is exactly what a metrics
+// scraper or a human with curl needs, and it keeps the attack surface
+// of the repo's first socket code auditable in one screen. The
+// listener/poll/shutdown-pipe skeleton is the part the ROADMAP
+// real-transport backend will reuse; the request parsing is the part it
+// will replace.
+//
+// Robustness contract (tested in tests/ops/http_server_test.cc):
+//   * request line longer than kMaxRequestLine  -> 400, connection closed
+//   * total request larger than kMaxRequestBytes -> 400
+//   * unknown path                                -> 404
+//   * non-GET method                              -> 405
+//   * client closing early (before or mid-request, or before reading
+//     the response) never takes the server down — the loop accepts the
+//     next connection.
+//
+// Threading: Handle() registrations must all happen before Start();
+// after Start() the handler table is read-only and handlers run on the
+// server thread, so they must be thread-safe against the measured run
+// (the admin endpoints only read mutex-guarded or atomic state).
+#ifndef SIES_OPS_HTTP_SERVER_H_
+#define SIES_OPS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace sies::ops {
+
+/// Longest accepted request line ("GET /path?query HTTP/1.0").
+inline constexpr size_t kMaxRequestLine = 4096;
+/// Longest accepted request including headers.
+inline constexpr size_t kMaxRequestBytes = 16384;
+
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string path;    ///< "/epochs" (query string stripped)
+  /// Decoded query parameters ("?last=5" -> {"last": "5"}). Keys
+  /// without '=' map to "".
+  std::unordered_map<std::string, std::string> params;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers the handler for an exact `path` (before Start() only).
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds `bind_address:port` (port 0 = kernel-assigned, see port()),
+  /// then serves on a dedicated thread until Stop().
+  Status Start(const std::string& bind_address, uint16_t port);
+
+  /// Wakes the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The actually bound port (resolves port 0); 0 before Start().
+  uint16_t port() const { return port_; }
+
+  /// Requests fully parsed and answered (any status) since Start().
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+};
+
+}  // namespace sies::ops
+
+#endif  // SIES_OPS_HTTP_SERVER_H_

@@ -1,8 +1,13 @@
 #include "runner/engine_runner.h"
 
+#include <chrono>
+#include <thread>
 #include <unordered_map>
 
+#include "common/timer.h"
 #include "net/adversary.h"
+#include "ops/admin_server.h"
+#include "telemetry/epoch_timeline.h"
 #include "telemetry/trace.h"
 
 namespace sies::runner {
@@ -41,6 +46,42 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
   common::ThreadPool pool(config.threads);
   network.SetThreadPool(&pool);
   scheduler.SetThreadPool(&pool);
+
+  // Ops plane: the admin server scrapes the scheduler's mutex-guarded
+  // snapshot from its own thread while epochs run. Declared after the
+  // scheduler so every exit path stops the server before the scheduler
+  // dies.
+  std::unique_ptr<ops::AdminServer> admin;
+  if (config.ops_port >= 0) {
+    ops::AdminOptions options;
+    options.port = static_cast<uint16_t>(config.ops_port);
+    options.ready_staleness_seconds = config.ops_staleness_seconds;
+    auto started = ops::AdminServer::Start(options, [&scheduler]() {
+      std::vector<ops::QueryInfo> out;
+      for (const engine::QueryLiveStats& q : scheduler.SnapshotQueries()) {
+        ops::QueryInfo info;
+        info.id = q.query_id;
+        info.sql = q.sql;
+        info.admitted_epoch = q.admitted_epoch;
+        info.slots = q.slots;
+        info.answered_epochs = q.answered_epochs;
+        info.verified_epochs = q.verified_epochs;
+        info.unverified_epochs = q.unverified_epochs;
+        info.partial_epochs = q.partial_epochs;
+        info.last_value = q.last_value;
+        info.last_coverage = q.last_coverage;
+        info.last_epoch = q.last_epoch;
+        out.push_back(std::move(info));
+      }
+      return out;
+    });
+    if (!started.ok()) return started.status();
+    admin = std::move(started).value();
+    // Keys and topology exist by now; epoch-key caches warm during the
+    // first round, so /readyz flips once epoch 1 reports.
+    admin->SetProvisioned(true);
+    if (config.on_ops_ready) config.on_ops_ready(admin->port());
+  }
 
   if (config.loss_rate > 0.0) {
     SIES_RETURN_IF_ERROR(network.SetLossRate(config.loss_rate, config.seed));
@@ -85,8 +126,26 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
     result.queries.push_back(std::move(stats));
   }
 
+  auto& timeline = telemetry::EpochTimeline::Global();
+  // Runs at the END of every epoch iteration, including idle and
+  // unanswered ones: liveness stamp, test hook, pacing sleep.
+  auto finish_epoch = [&](uint64_t epoch, bool verified,
+                          const Stopwatch& watch) {
+    if (admin) admin->ReportEpoch(epoch, verified);
+    if (config.after_epoch) config.after_epoch(epoch);
+    if (config.epoch_pacing_ms > 0) {
+      const double remaining =
+          config.epoch_pacing_ms / 1000.0 - watch.ElapsedSeconds();
+      if (remaining > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(remaining));
+      }
+    }
+  };
+
   CostAccumulator src, agg, qry;
   for (uint64_t epoch = 1; epoch <= config.epochs; ++epoch) {
+    Stopwatch epoch_watch;
     // Control plane first: the plan must be settled before the round.
     for (const EngineQuerySchedule& sched : config.queries) {
       if (std::max<uint64_t>(sched.admit_epoch, 1) == epoch) {
@@ -101,6 +160,7 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
     }
     if (!eng->HasLiveChannels()) {
       ++result.idle_epochs;  // nothing to serve: skip the radio round
+      finish_epoch(epoch, /*verified=*/true, epoch_watch);
       continue;
     }
     result.channel_epochs += eng->registry().plan().Count();
@@ -109,6 +169,8 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
           core::ChannelCount(aq.query.aggregate);
     }
 
+    const bool attribute = timeline.enabled();
+    if (attribute) timeline.BeginEpoch(epoch);
     telemetry::ScopedSpan span("epoch", "engine-runner", epoch);
     auto report = network.RunEpoch(scheduler, epoch);
     if (!report.ok()) return report.status();
@@ -117,26 +179,45 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
     agg.Add(r.aggregator_cpu.MeanSeconds());
     qry.Add(r.querier_cpu.MeanSeconds());
     result.retransmits += r.retransmits;
+    bool epoch_verified = r.answered;
     if (!r.answered) {
       ++result.unanswered_epochs;
-      continue;
-    }
-    ++result.answered_epochs;
-    for (const engine::QueryEpochOutcome& qo : scheduler.last_outcomes()) {
-      auto it = stats_index.find(qo.query_id);
-      if (it == stats_index.end()) continue;
-      EngineQueryStats& stats = result.queries[it->second];
-      ++stats.answered_epochs;
-      coverage_sums[it->second] += qo.outcome.coverage;
-      if (qo.outcome.verified) {
-        ++stats.verified_epochs;
-        stats.last_value = qo.outcome.result.value;
-        if (qo.outcome.coverage < 1.0) ++stats.partial_epochs;
-      } else {
-        ++stats.unverified_epochs;
-        result.all_verified = false;
+    } else {
+      ++result.answered_epochs;
+      for (const engine::QueryEpochOutcome& qo :
+           scheduler.last_outcomes()) {
+        auto it = stats_index.find(qo.query_id);
+        if (it == stats_index.end()) continue;
+        EngineQueryStats& stats = result.queries[it->second];
+        ++stats.answered_epochs;
+        coverage_sums[it->second] += qo.outcome.coverage;
+        if (qo.outcome.verified) {
+          ++stats.verified_epochs;
+          stats.last_value = qo.outcome.result.value;
+          if (qo.outcome.coverage < 1.0) ++stats.partial_epochs;
+        } else {
+          ++stats.unverified_epochs;
+          result.all_verified = false;
+          epoch_verified = false;
+        }
       }
     }
+    if (attribute) {
+      telemetry::EpochVerdict verdict;
+      verdict.answered = r.answered;
+      verdict.verified = epoch_verified;
+      verdict.coverage = r.coverage;
+      verdict.live_queries =
+          static_cast<uint32_t>(eng->registry().active().size());
+      verdict.contributors = r.contributing_sources;
+      verdict.expected_contributors = r.expected_contributors;
+      timeline.EndEpoch(verdict);
+    }
+    if (admin && epoch == 1) {
+      // First round derived + cached every live channel's epoch keys.
+      admin->SetKeysWarm(true);
+    }
+    finish_epoch(epoch, epoch_verified, epoch_watch);
   }
   for (size_t i = 0; i < result.queries.size(); ++i) {
     if (result.queries[i].answered_epochs > 0) {

@@ -6,6 +6,7 @@
 #ifndef SIES_RUNNER_ENGINE_RUNNER_H_
 #define SIES_RUNNER_ENGINE_RUNNER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,22 @@ struct EngineExperimentConfig {
   uint32_t threads = 1;
   double loss_rate = 0.0;
   uint32_t max_retries = 0;
+
+  // ---- Ops plane (docs/OBSERVABILITY.md, "Live ops plane") ----
+  /// < 0 disables the embedded admin server; 0 binds a kernel-assigned
+  /// port (read it back via on_ops_ready); > 0 binds that port.
+  int ops_port = -1;
+  /// /readyz staleness threshold, seconds since the last finished epoch.
+  double ops_staleness_seconds = 30.0;
+  /// Called once, from the run thread, after the admin server is
+  /// listening and before the first epoch — with the resolved port.
+  std::function<void(uint16_t port)> on_ops_ready;
+  /// Minimum wall time per epoch in milliseconds (0 = free-run). Gives
+  /// external scrapers a live run to observe instead of a finished one.
+  uint32_t epoch_pacing_ms = 0;
+  /// Test hook: called from the run thread after every completed epoch
+  /// (including idle and unanswered ones), before pacing sleep.
+  std::function<void(uint64_t epoch)> after_epoch;
 };
 
 /// Per-query verdict accounting over the run.

@@ -1,6 +1,9 @@
 #include "telemetry/audit.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "telemetry/metrics.h"
 
 namespace sies::telemetry {
 
@@ -32,11 +35,35 @@ void AuditTrail::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   next_seq_ = 0;
+  dropped_ = 0;
+}
+
+void AuditTrail::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+size_t AuditTrail::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+uint64_t AuditTrail::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 void AuditTrail::Record(AuditKind kind, uint64_t epoch, uint32_t node,
                         std::string cause) {
   if (!enabled()) return;
+  // Registered once; Record is only reached with the trail enabled, so
+  // the registry lookup never taxes the disabled hot path.
+  static Counter* dropped_metric = MetricsRegistry::Global().GetCounter(
+      "sies_audit_dropped_events_total");
   std::lock_guard<std::mutex> lock(mu_);
   AuditEvent event;
   event.seq = next_seq_++;
@@ -45,11 +72,16 @@ void AuditTrail::Record(AuditKind kind, uint64_t epoch, uint32_t node,
   event.node = node;
   event.cause = std::move(cause);
   events_.push_back(std::move(event));
+  if (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    dropped_metric->Increment();
+  }
 }
 
 std::vector<AuditEvent> AuditTrail::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  return std::vector<AuditEvent>(events_.begin(), events_.end());
 }
 
 std::vector<AuditEvent> AuditTrail::Query(AuditKind kind) const {

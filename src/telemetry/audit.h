@@ -13,11 +13,17 @@
 // Recording is OFF by default; a disabled trail costs one relaxed
 // atomic load per probe. Crucially, the byte-compare the network needs
 // to detect in-flight mutation only happens when the trail is enabled.
+//
+// The trail is a bounded ring (SetCapacity): a soak run under sustained
+// attack evicts its oldest events instead of growing without limit, and
+// every eviction is counted (dropped_events(), exported as
+// `sies_audit_dropped_events_total` on the ops plane's /metrics).
 #ifndef SIES_TELEMETRY_AUDIT_H_
 #define SIES_TELEMETRY_AUDIT_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -59,11 +65,28 @@ struct AuditEvent {
 
 class AuditTrail {
  public:
+  /// Default ring capacity: enough for any test or smoke run, small
+  /// enough that a week-long soak under sustained attack stays bounded
+  /// (~64k events × ~100 B ≈ 6 MB worst case).
+  static constexpr size_t kDefaultCapacity = 65536;
+
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void Enable() { enabled_.store(true, std::memory_order_relaxed); }
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
-  /// Drops all recorded events (does not change enabled state).
+  /// Bounds the trail: once `capacity` events are held, recording a new
+  /// one evicts the oldest (clamped to >= 1). Eviction is counted in
+  /// dropped_events() and in the `sies_audit_dropped_events_total`
+  /// metric; `seq` stays monotone, so a gap at the front of Events() is
+  /// detectable. Shrinking evicts immediately.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  /// Events evicted by the ring bound since the last Reset().
+  uint64_t dropped_events() const;
+
+  /// Drops all recorded events and zeroes the dropped-events counter
+  /// (does not change enabled state or capacity).
   void Reset();
 
   /// Records one event (no-op while disabled).
@@ -87,7 +110,9 @@ class AuditTrail {
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   uint64_t next_seq_ = 0;
-  std::vector<AuditEvent> events_;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t dropped_ = 0;
+  std::deque<AuditEvent> events_;
 };
 
 }  // namespace sies::telemetry

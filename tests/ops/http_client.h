@@ -1,0 +1,90 @@
+// Tiny blocking HTTP/1.0 client for exercising the ops plane in tests:
+// one GET per connection, reads to EOF (the server always closes),
+// returns the parsed status code and body. Deliberately independent of
+// the server's own socket code so a server-side bug cannot cancel out.
+#ifndef SIES_TESTS_OPS_HTTP_CLIENT_H_
+#define SIES_TESTS_OPS_HTTP_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sies::ops::testing {
+
+struct HttpResult {
+  bool ok = false;     ///< transport succeeded and a status line parsed
+  int status = 0;
+  std::string body;    ///< bytes after the blank line
+  std::string raw;     ///< everything read, for debugging
+};
+
+/// Connects to 127.0.0.1:port and sends `raw_request` verbatim, then
+/// reads to EOF. Pass a full request ("GET /x HTTP/1.0\r\n\r\n") or any
+/// malformed bytes to probe the parser.
+inline HttpResult RawRequest(uint16_t port, const std::string& raw_request) {
+  HttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  size_t sent = 0;
+  while (sent < raw_request.size()) {
+    const ssize_t n = ::send(fd, raw_request.data() + sent,
+                             raw_request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    result.raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+  if (result.raw.rfind("HTTP/", 0) != 0) return result;
+  const size_t sp = result.raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > result.raw.size()) return result;
+  result.status = std::atoi(result.raw.c_str() + sp + 1);
+  const size_t blank = result.raw.find("\r\n\r\n");
+  if (blank != std::string::npos) result.body = result.raw.substr(blank + 4);
+  result.ok = result.status != 0;
+  return result;
+}
+
+/// GET `target` ("/metrics", "/epochs?last=3", ...) via HTTP/1.0.
+inline HttpResult Get(uint16_t port, const std::string& target) {
+  return RawRequest(port, "GET " + target + " HTTP/1.0\r\n\r\n");
+}
+
+/// Connects, sends `bytes` (possibly none), and hangs up WITHOUT reading
+/// the response — the rude client the server must survive.
+inline void SendAndClose(uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+      !bytes.empty()) {
+    (void)!::send(fd, bytes.data(), bytes.size(), 0);
+  }
+  ::close(fd);
+}
+
+}  // namespace sies::ops::testing
+
+#endif  // SIES_TESTS_OPS_HTTP_CLIENT_H_

@@ -1,0 +1,126 @@
+// The embedded HTTP server's robustness contract: well-formed GETs
+// dispatch, everything hostile gets a clean error response, and no
+// client behavior takes the accept loop down.
+#include "ops/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "http_client.h"
+
+namespace sies::ops {
+namespace {
+
+using testing::Get;
+using testing::RawRequest;
+
+/// Starts a server with /hello and /echo endpoints on an ephemeral port.
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.Handle("/hello", [](const HttpRequest&) {
+      return HttpResponse{200, "text/plain; charset=utf-8", "hi\n"};
+    });
+    server_.Handle("/echo", [](const HttpRequest& request) {
+      std::string body = request.method + " " + request.path;
+      for (const auto& [key, value] : request.params) {
+        body += " " + key + "=" + value;
+      }
+      return HttpResponse{200, "text/plain; charset=utf-8", body};
+    });
+    ASSERT_TRUE(server_.Start("127.0.0.1", 0).ok());
+    ASSERT_NE(server_.port(), 0) << "ephemeral port must resolve";
+  }
+
+  HttpServer server_;
+};
+
+TEST_F(HttpServerTest, ServesRegisteredPath) {
+  auto r = Get(server_.port(), "/hello");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "hi\n");
+  EXPECT_NE(r.raw.find("Connection: close"), std::string::npos);
+  EXPECT_NE(r.raw.find("Content-Length: 3"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, ParsesQueryParameters) {
+  auto r = Get(server_.port(), "/echo?a=1&b=two&bare");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("GET /echo"), std::string::npos);
+  EXPECT_NE(r.body.find("a=1"), std::string::npos);
+  EXPECT_NE(r.body.find("b=two"), std::string::npos);
+  EXPECT_NE(r.body.find("bare="), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  auto r = Get(server_.port(), "/nope");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 404);
+}
+
+TEST_F(HttpServerTest, NonGetIs405) {
+  auto r = RawRequest(server_.port(), "POST /hello HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 405);
+}
+
+TEST_F(HttpServerTest, OversizedRequestLineIs400) {
+  std::string long_target(2 * kMaxRequestLine, 'a');
+  auto r = RawRequest(server_.port(),
+                      "GET /" + long_target + " HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 400);
+}
+
+TEST_F(HttpServerTest, GarbageRequestIs400) {
+  auto r = RawRequest(server_.port(), "\x01\x02garbage\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 400);
+}
+
+TEST_F(HttpServerTest, EarlyCloseDoesNotKillTheServer) {
+  // Half a request line then hang up; a bare connect; a full request
+  // whose sender never reads the response.
+  testing::SendAndClose(server_.port(), "GET /hel");
+  testing::SendAndClose(server_.port(), "");
+  testing::SendAndClose(server_.port(), "GET /hello HTTP/1.0\r\n\r\n");
+  // The loop must still serve the next well-formed request.
+  auto r = Get(server_.port(), "/hello");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(server_.running());
+}
+
+TEST_F(HttpServerTest, CountsEveryAnsweredRequest) {
+  (void)Get(server_.port(), "/hello");
+  (void)Get(server_.port(), "/nope");
+  (void)RawRequest(server_.port(), "PUT /hello HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(server_.requests_served(), 3u);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndStopsServing) {
+  server_.Stop();
+  EXPECT_FALSE(server_.running());
+  server_.Stop();  // second Stop must be a no-op
+  auto r = Get(server_.port(), "/hello");
+  EXPECT_FALSE(r.ok) << "stopped server must refuse connections";
+}
+
+TEST(HttpServerLifecycleTest, RestartAfterStopServesAgain) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong"};
+  });
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+  const uint16_t first_port = server.port();
+  EXPECT_EQ(Get(first_port, "/ping").status, 200);
+  server.Stop();
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+  EXPECT_EQ(Get(server.port(), "/ping").status, 200);
+}
+
+}  // namespace
+}  // namespace sies::ops

@@ -1,0 +1,134 @@
+// Scrapes a LIVE engine run: the admin server answers from another
+// thread while RunEngineExperiment is mid-flight. Admission at epoch t
+// must be visible at t, teardown must free the query's slots, and the
+// epoch timeline's phase arithmetic must be consistent with wall time.
+// This is also the scraper-vs-engine race shape the `ops` ctest label
+// runs under TSan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/query_spec.h"
+#include "http_client.h"
+#include "runner/engine_runner.h"
+#include "telemetry/telemetry.h"
+
+namespace sies::runner {
+namespace {
+
+using ops::testing::Get;
+using ops::testing::HttpResult;
+
+/// One mid-run scrape of every endpoint, keyed by the epoch it ran at.
+struct Scrape {
+  uint64_t epoch = 0;
+  HttpResult readyz, queries, epochs, metrics;
+};
+
+TEST(OpsIntegrationTest, LiveRunServesAdmissionTeardownAndTimeline) {
+  auto& timeline = telemetry::EpochTimeline::Global();
+  timeline.Reset();
+  timeline.Enable();
+
+  auto queries = engine::ParseQueriesText(
+      "sum temperature id 0\n"
+      "avg temperature id 1\n");
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+
+  EngineExperimentConfig config;
+  config.queries.push_back({queries.value()[0], /*admit_epoch=*/1,
+                            /*teardown_epoch=*/0});
+  // The second query lives only in epochs [3, 6): its admission and its
+  // teardown both happen while the server is being scraped.
+  config.queries.push_back({queries.value()[1], /*admit_epoch=*/3,
+                            /*teardown_epoch=*/6});
+  config.num_sources = 16;
+  config.epochs = 8;
+  config.ops_port = 0;
+  config.threads = 2;
+
+  uint16_t port = 0;
+  config.on_ops_ready = [&port](uint16_t p) { port = p; };
+  std::vector<Scrape> scrapes;
+  config.after_epoch = [&](uint64_t epoch) {
+    Scrape s;
+    s.epoch = epoch;
+    s.readyz = Get(port, "/readyz");
+    s.queries = Get(port, "/queries");
+    s.epochs = Get(port, "/epochs?last=1");
+    s.metrics = Get(port, "/metrics");
+    scrapes.push_back(std::move(s));
+  };
+
+  auto result = RunEngineExperiment(config);
+  timeline.Disable();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().all_verified);
+  ASSERT_EQ(scrapes.size(), 8u);
+  ASSERT_NE(port, 0);
+
+  for (const Scrape& s : scrapes) {
+    ASSERT_TRUE(s.readyz.ok && s.queries.ok && s.epochs.ok && s.metrics.ok)
+        << "scrape failed at epoch " << s.epoch;
+    EXPECT_EQ(s.queries.status, 200);
+    EXPECT_EQ(s.epochs.status, 200);
+    EXPECT_EQ(s.metrics.status, 200);
+
+    // Admission visibility: q1 appears exactly in its live window.
+    const bool q1_visible =
+        s.queries.body.find("\"id\": 1") != std::string::npos;
+    EXPECT_EQ(q1_visible, s.epoch >= 3 && s.epoch < 6)
+        << "epoch " << s.epoch << ": " << s.queries.body;
+    EXPECT_NE(s.queries.body.find("\"id\": 0"), std::string::npos);
+
+    // Readiness: keys warm after epoch 1 finished, fresh ever since.
+    EXPECT_EQ(s.readyz.status, 200) << s.readyz.body;
+
+    // /metrics stays a parseable Prometheus scrape mid-run.
+    EXPECT_NE(s.metrics.body.find("# TYPE"), std::string::npos);
+  }
+
+  // Teardown frees slots: q0 (SUM) needs one channel once q1 is gone,
+  // and the final scrape's count drops back to 1.
+  const Scrape& last = scrapes.back();
+  EXPECT_NE(last.queries.body.find("\"count\": 1"), std::string::npos)
+      << last.queries.body;
+
+  // Timeline arithmetic invariants (the ≥90%-of-wall coverage check
+  // runs in check.sh --ops-smoke, on a paced single-threaded run where
+  // wall time is meaningful): critical path is positive, never exceeds
+  // the wall, and never exceeds the attributed CPU total.
+  const std::vector<telemetry::EpochRecord> records = timeline.Last(8);
+  ASSERT_FALSE(records.empty());
+  for (const telemetry::EpochRecord& r : records) {
+    EXPECT_GT(r.wall_seconds, 0.0);
+    EXPECT_GT(r.critical_path_seconds, 0.0);
+    EXPECT_LE(r.critical_path_seconds, r.wall_seconds);
+    EXPECT_LE(r.critical_path_seconds, r.attributed_seconds);
+    EXPECT_TRUE(r.answered);
+    EXPECT_TRUE(r.verified);
+    EXPECT_FALSE(r.channels.empty());
+    EXPECT_EQ(r.tampered_channels, 0u);
+  }
+  timeline.Reset();
+}
+
+TEST(OpsIntegrationTest, RunWithoutOpsPortStartsNoServer) {
+  auto queries = engine::ParseQueriesText("sum temperature id 0\n");
+  ASSERT_TRUE(queries.ok());
+  EngineExperimentConfig config;
+  config.queries.push_back({queries.value()[0]});
+  config.num_sources = 8;
+  config.epochs = 2;
+  bool ready_called = false;
+  config.on_ops_ready = [&ready_called](uint16_t) { ready_called = true; };
+  auto result = RunEngineExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(ready_called) << "ops plane must be off by default";
+}
+
+}  // namespace
+}  // namespace sies::runner

@@ -87,5 +87,44 @@ TEST(AuditTrailTest, JsonMatchesGolden) {
   EXPECT_EQ(trail.ToJson(), expected);
 }
 
+
+TEST(AuditTrailTest, RingBoundEvictsOldestAndCountsDrops) {
+  AuditTrail trail;
+  trail.Enable();
+  EXPECT_EQ(trail.capacity(), AuditTrail::kDefaultCapacity);
+  trail.SetCapacity(3);
+  for (uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    trail.Record(AuditKind::kRadioLoss, epoch, 0, "loss");
+  }
+  EXPECT_EQ(trail.size(), 3u);
+  EXPECT_EQ(trail.dropped_events(), 2u);
+  auto events = trail.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // seq stays monotone across evictions: the front gap is detectable.
+  EXPECT_EQ(events.front().seq, 2u);
+  EXPECT_EQ(events.front().epoch, 3u);
+  EXPECT_EQ(events.back().seq, 4u);
+  EXPECT_EQ(events.back().epoch, 5u);
+}
+
+TEST(AuditTrailTest, ShrinkingCapacityEvictsImmediately) {
+  AuditTrail trail;
+  trail.Enable();
+  for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    trail.Record(AuditKind::kTamper, epoch, 1, "x");
+  }
+  trail.SetCapacity(2);
+  EXPECT_EQ(trail.size(), 2u);
+  EXPECT_EQ(trail.dropped_events(), 2u);
+  EXPECT_EQ(trail.Events().front().epoch, 3u);
+  // Capacity clamps to >= 1; Reset clears the drop counter.
+  trail.SetCapacity(0);
+  EXPECT_EQ(trail.capacity(), 1u);
+  EXPECT_EQ(trail.size(), 1u);
+  trail.Reset();
+  EXPECT_EQ(trail.dropped_events(), 0u);
+  EXPECT_EQ(trail.size(), 0u);
+}
+
 }  // namespace
 }  // namespace sies::telemetry
