@@ -51,6 +51,18 @@ void PrintUsage() {
       "  --queries-file=PATH       like --queries, but load the query mix\n"
       "                            from PATH (one `AGG ATTR [scale K]\n"
       "                            [where ...] [id N]` per line)\n"
+      "  --transport=sim|udp       engine mode only: deliver epochs through\n"
+      "                            the in-process simulator (default) or\n"
+      "                            real UDP datagrams + acks on loopback.\n"
+      "                            Loss injection stays deterministic, so\n"
+      "                            both backends produce identical outcomes\n"
+      "                            for the same seed\n"
+      "  --ack-timeout-ms=T        UDP backend: per-attempt ack deadline\n"
+      "                            (default 200)\n"
+      "  --pipeline                engine mode only: derive epoch t+1 keys\n"
+      "                            on an idle-priority thread while epoch\n"
+      "                            t's verification is consumed (identical\n"
+      "                            outcomes, lower epoch latency)\n"
       "  --ops-port=P              engine mode only: serve the live ops\n"
       "                            plane (GET /metrics /healthz /readyz\n"
       "                            /queries /epochs) on 127.0.0.1:P while\n"
@@ -227,6 +239,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Transport + pipelining are engine-mode features (the single-query
+  // schemes keep the simulator's fixed methodology).
+  std::string transport = flags.GetString("transport", "sim");
+  bool pipeline = flags.GetBool("pipeline", false).value_or(false);
+  if (transport != "sim" && transport != "udp") {
+    std::fprintf(stderr, "unknown --transport '%s' (sim|udp)\n",
+                 transport.c_str());
+    return 2;
+  }
+  if ((transport == "udp" || pipeline) && !engine_mode) {
+    std::fprintf(stderr,
+                 "--transport/--pipeline drive the engine; add --queries "
+                 "or --queries-file\n");
+    return 2;
+  }
+  auto ack_timeout_ms = flags.GetIntInRange("ack-timeout-ms", 200, 1, 60'000);
+  if (!ack_timeout_ms.ok()) {
+    std::fprintf(stderr, "%s\n", ack_timeout_ms.status().ToString().c_str());
+    return 2;
+  }
+
   // Ops plane: --ops-port starts the embedded admin server inside the
   // engine run and turns the per-epoch latency timeline on.
   const bool ops_enabled = flags.Has("ops-port");
@@ -304,6 +337,12 @@ int main(int argc, char** argv) {
     engine_config.loss_rate = config.loss_rate;
     engine_config.max_retries = config.max_retries;
     engine_config.epoch_pacing_ms = static_cast<uint32_t>(epoch_ms.value());
+    engine_config.transport = transport == "udp"
+                                  ? runner::EngineTransport::kUdp
+                                  : runner::EngineTransport::kSim;
+    engine_config.udp_ack_timeout_ms =
+        static_cast<uint32_t>(ack_timeout_ms.value());
+    engine_config.pipeline = pipeline;
     if (ops_enabled) {
       engine_config.ops_port = static_cast<int>(ops_port);
       engine_config.ops_staleness_seconds = ops_staleness.value();
@@ -352,6 +391,14 @@ int main(int argc, char** argv) {
     std::printf(
         "network           : N=%u, F=%u, D=[18,50]x10^%u, %u epochs\n",
         config.num_sources, config.fanout, config.scale_pow10, er.epochs);
+    std::printf("transport         : %s%s\n", transport.c_str(),
+                pipeline ? " (pipelined)" : "");
+    if (transport == "udp") {
+      std::printf("udp               : %llu datagrams sent, %llu malformed "
+                  "dropped\n",
+                  static_cast<unsigned long long>(er.udp_datagrams_sent),
+                  static_cast<unsigned long long>(er.udp_malformed_datagrams));
+    }
     std::printf("channel epochs    : %llu on the wire vs %llu naive "
                 "(dedup saved %llu)\n",
                 static_cast<unsigned long long>(er.channel_epochs),

@@ -51,6 +51,7 @@ KEY_COLUMNS = {
     "fig6b_querier_vs_domain": "domain_pow10",
     "batched_crypto": "kind",
     "engine_multiquery": "k",
+    "transport": "mode",
 }
 
 # Metrics that must match exactly under --strict (determinism claims,

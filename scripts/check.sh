@@ -3,6 +3,7 @@
 # Usage: scripts/check.sh [--skip-bench] [--sanitize] [--tsan] [--tidy]
 #                         [--lint] [--telemetry-smoke] [--fault-smoke]
 #                         [--engine-smoke] [--bench-smoke] [--ops-smoke]
+#                         [--transport-smoke]
 #   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
 #                      pass below always runs
 #   --bench-smoke      ONLY run the bench JSON smoke (tiny-N --smoke runs
@@ -48,6 +49,13 @@
 #                      critical path <= wall, and the phase probes
 #                      explaining >= 90% of the best epoch's wall); the
 #                      smoke also runs as part of the full check
+#   --transport-smoke  ONLY run the real-transport smoke (sies_sim
+#                      --transport=udp across a loss-rate x retry
+#                      matrix; every UDP CSV must equal the simulator's
+#                      CSV for the same seed once the timing columns
+#                      are dropped, and --pipeline must not change
+#                      outcomes either); the smoke also runs as part of
+#                      the full check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +69,7 @@ FAULT_ONLY=0
 ENGINE_ONLY=0
 BENCH_SMOKE_ONLY=0
 OPS_ONLY=0
+TRANSPORT_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -73,6 +82,7 @@ for arg in "$@"; do
     --engine-smoke) ENGINE_ONLY=1 ;;
     --bench-smoke) BENCH_SMOKE_ONLY=1 ;;
     --ops-smoke) OPS_ONLY=1 ;;
+    --transport-smoke) TRANSPORT_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -300,6 +310,59 @@ PYEOF
   rm -rf "$dir"
 }
 
+# The real-transport determinism contract: a UDP run (loss injected
+# sender-side, BEFORE the socket) must reproduce the simulator's CSV
+# bit-for-bit for the same seed — only the timing columns (src_us,
+# agg_us, qry_ms) may differ. Checked across a loss-rate x retry
+# matrix, and once more with --pipeline on top of UDP.
+transport_smoke() {
+  local build="$1" dir loss retries
+  dir="$(mktemp -d)"
+  echo "== transport smoke (sim vs udp CSV diff) =="
+  for loss in 0 0.3; do
+    for retries in 0 2; do
+      "./$build/examples/sies_sim" --queries=2 --sources=16 --fanout=4 \
+          --epochs=8 --seed=5 --loss-rate="$loss" --max-retries="$retries" \
+          --csv > "$dir/sim-$loss-$retries.csv"
+      "./$build/examples/sies_sim" --queries=2 --sources=16 --fanout=4 \
+          --epochs=8 --seed=5 --loss-rate="$loss" --max-retries="$retries" \
+          --transport=udp --csv > "$dir/udp-$loss-$retries.csv"
+    done
+  done
+  "./$build/examples/sies_sim" --queries=2 --sources=16 --fanout=4 \
+      --epochs=8 --seed=5 --loss-rate=0.3 --max-retries=2 \
+      --transport=udp --pipeline --csv > "$dir/pipelined.csv"
+  # --transport=udp and --pipeline are engine-mode features; the legacy
+  # single-query path must reject them instead of silently simulating.
+  "./$build/examples/sies_sim" --scheme=sies --sources=16 --epochs=1 \
+      --transport=udp > /dev/null 2>&1 \
+      && { echo "--transport=udp without --queries must be rejected" >&2
+           exit 1; }
+  python3 - "$dir" <<'PYEOF'
+import csv, sys
+d = sys.argv[1]
+TIMING = {"src_us", "agg_us", "qry_ms"}
+
+def semantic(path):
+    with open(f"{d}/{path}") as f:
+        return [{k: v for k, v in row.items() if k not in TIMING}
+                for row in csv.DictReader(f)]
+
+for loss in ("0", "0.3"):
+    for retries in ("0", "2"):
+        sim = semantic(f"sim-{loss}-{retries}.csv")
+        udp = semantic(f"udp-{loss}-{retries}.csv")
+        assert sim and sim == udp, \
+            f"udp diverged from sim at loss={loss} retries={retries}"
+# Pipelining is a latency optimization; outcomes stay bit-identical.
+assert semantic("pipelined.csv") == semantic("sim-0.3-2.csv"), \
+    "pipelined udp run diverged from the serial simulator"
+print("transport smoke OK: 4 loss x retry cells + pipelined run "
+      "bit-identical to sim")
+PYEOF
+  rm -rf "$dir"
+}
+
 # Tiny-N (--smoke) runs of every JSON-emitting bench, outputs validated
 # as parseable JSON and diffed against the committed baselines by the
 # regression gate (structural mode: schema, metric presence, boolean
@@ -311,7 +374,7 @@ bench_smoke() {
   dir="$(mktemp -d)"
   echo "== bench smoke (JSON output) =="
   for b in micro_crypto fig6a_querier_vs_n telemetry_overhead \
-           engine_multiquery batched_crypto; do
+           engine_multiquery batched_crypto transport_pipeline; do
     echo "-- $b --smoke"
     (cd "$dir" && "$OLDPWD/$build/bench/$b" --smoke > /dev/null)
   done
@@ -466,11 +529,13 @@ if [[ $TSAN_ONLY -eq 1 ]]; then
       engine_channel_plan_test \
       engine_query_registry_test engine_differential_test \
       engine_epoch_scheduler_test engine_query_spec_test \
-      ops_http_server_test ops_admin_server_test ops_integration_test
-  echo "== TSan run (labels: race engine telemetry threadpool loss ops) =="
+      engine_pipeline_test \
+      ops_http_server_test ops_admin_server_test ops_integration_test \
+      transport_test transport_differential_test
+  echo "== TSan run (labels: race engine telemetry threadpool loss ops net) =="
   TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
       ctest --test-dir "$BUILD" \
-            -L 'race|engine|telemetry|threadpool|loss|ops' \
+            -L 'race|engine|telemetry|threadpool|loss|ops|net' \
             --output-on-failure
   echo "TSAN CHECKS PASSED"
   exit 0
@@ -495,7 +560,8 @@ fi
 if [[ $BENCH_SMOKE_ONLY -eq 1 ]]; then
   configure "$BUILD" "${EXTRA[@]}"
   cmake --build "$BUILD" --target micro_crypto fig6a_querier_vs_n \
-      telemetry_overhead engine_multiquery batched_crypto
+      telemetry_overhead engine_multiquery batched_crypto \
+      transport_pipeline
   bench_smoke "$BUILD"
   echo "BENCH SMOKE PASSED"
   exit 0
@@ -506,6 +572,14 @@ if [[ $OPS_ONLY -eq 1 ]]; then
   cmake --build "$BUILD" --target sies_sim
   ops_smoke "$BUILD"
   echo "OPS SMOKE PASSED"
+  exit 0
+fi
+
+if [[ $TRANSPORT_ONLY -eq 1 ]]; then
+  configure "$BUILD" "${EXTRA[@]}"
+  cmake --build "$BUILD" --target sies_sim
+  transport_smoke "$BUILD"
+  echo "TRANSPORT SMOKE PASSED"
   exit 0
 fi
 
@@ -537,6 +611,7 @@ telemetry_smoke "$BUILD"
 fault_smoke "$BUILD"
 engine_smoke "$BUILD"
 ops_smoke "$BUILD"
+transport_smoke "$BUILD"
 
 bench_smoke "$BUILD"
 

@@ -1,5 +1,7 @@
 #include "common/flags.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace sies {
@@ -52,9 +54,16 @@ StatusOr<int64_t> Flags::GetInt(const std::string& name,
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   char* end = nullptr;
+  errno = 0;  // strtoll reports overflow ONLY through errno
   long long v = std::strtoll(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0') {
     return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  if (errno == ERANGE) {
+    // Without this check an over-long value saturates to LLONG_MAX and
+    // flows silently into (usually narrower) config fields.
+    return Status::InvalidArgument("--" + name + " is out of range: '" +
                                    it->second + "'");
   }
   return static_cast<int64_t>(v);
@@ -80,9 +89,17 @@ StatusOr<double> Flags::GetDouble(const std::string& name,
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   char* end = nullptr;
+  errno = 0;  // strtod reports overflow/underflow ONLY through errno
   double v = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') {
     return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    // Overflow saturates to ±inf — reject. Underflow (denormal-or-zero
+    // results, also ERANGE) stays accepted: 1e-400 meaning 0.0 is fine
+    // for every rate/seconds flag this parser serves.
+    return Status::InvalidArgument("--" + name + " is out of range: '" +
                                    it->second + "'");
   }
   return v;

@@ -77,6 +77,26 @@ void MultiQueryEngine::SetThreadPool(common::ThreadPool* pool) {
   querier_.SetThreadPool(pool);
 }
 
+std::vector<uint64_t> MultiQueryEngine::SaltedEpochsFor(
+    uint64_t epoch) const {
+  const auto& channels = registry_.plan().channels();
+  std::vector<uint64_t> salted;
+  salted.reserve(channels.size());
+  for (const PhysicalChannel& ch : channels) {
+    salted.push_back(ch.SaltedEpochFor(epoch));
+  }
+  return salted;
+}
+
+void MultiQueryEngine::WarmSaltedEpochs(
+    const std::vector<uint64_t>& salted) const {
+  for (uint64_t s : salted) querier_.WarmEpoch(s, /*use_pool=*/false);
+}
+
+void MultiQueryEngine::PrefetchEpochKeys(uint64_t epoch) const {
+  WarmSaltedEpochs(SaltedEpochsFor(epoch));
+}
+
 StatusOr<Bytes> MultiQueryEngine::CreateSourcePayload(
     uint32_t index, const core::SensorReading& reading,
     uint64_t epoch) const {

@@ -88,6 +88,24 @@ class MultiQueryEngine {
   /// any thread count. The pool must outlive the engine's use of it.
   void SetThreadPool(common::ThreadPool* pool);
 
+  /// The salted epochs the CURRENT plan's channels will evaluate under
+  /// at `epoch` — the work list a prefetch thread captures BEFORE the
+  /// control plane may mutate the plan (one-plan-per-epoch: the capture
+  /// is taken at an epoch boundary, so it is exact for `epoch`).
+  std::vector<uint64_t> SaltedEpochsFor(uint64_t epoch) const;
+
+  /// Derives the querier-side epoch material for each salted epoch in
+  /// `salted`, pool-free — built for background prefetch threads that
+  /// must not contend with a foreground verification fan-out for pool
+  /// lanes. Purely a cache warm: results are bit-identical whether or
+  /// not (or how far) the prefetch ran before Evaluate needed the keys
+  /// (EpochKeyCache derives outside its mutex, keep-first on insert).
+  void WarmSaltedEpochs(const std::vector<uint64_t>& salted) const;
+
+  /// SaltedEpochsFor + WarmSaltedEpochs in one call, for callers that
+  /// prefetch at a boundary where the plan cannot change underneath.
+  void PrefetchEpochKeys(uint64_t epoch) const;
+
   const core::Params& params() const { return params_; }
   core::EpochKeyCache::Stats SourceCacheStats() const {
     return source_cache_->stats();

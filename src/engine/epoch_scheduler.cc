@@ -1,5 +1,10 @@
 #include "engine/epoch_scheduler.h"
 
+#include <pthread.h>
+#include <sched.h>
+
+#include <utility>
+
 #include "telemetry/metrics.h"
 
 namespace sies::engine {
@@ -13,6 +18,48 @@ EpochScheduler::EpochScheduler(std::shared_ptr<MultiQueryEngine> engine,
   for (uint32_t i = 0; i < source_nodes_.size(); ++i) {
     index_[source_nodes_[i]] = i;
   }
+}
+
+EpochScheduler::~EpochScheduler() { JoinPrefetch(); }
+
+void EpochScheduler::SetPipelining(bool on) {
+  JoinPrefetch();
+  pipelining_ = on;
+}
+
+void EpochScheduler::JoinPrefetch() {
+  if (prefetch_.joinable()) prefetch_.join();
+}
+
+void EpochScheduler::QueueAdmit(core::Query query) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_admits_.push_back(std::move(query));
+}
+
+void EpochScheduler::QueueTeardown(uint32_t query_id) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_teardowns_.push_back(query_id);
+}
+
+Status EpochScheduler::ApplyPending(uint64_t epoch) {
+  // The prefetch thread never reads the plan, but joining before any
+  // mutation keeps the invariant trivial: nothing runs concurrently
+  // with a plan change.
+  JoinPrefetch();
+  std::vector<core::Query> admits;
+  std::vector<uint32_t> teardowns;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    admits.swap(pending_admits_);
+    teardowns.swap(pending_teardowns_);
+  }
+  for (const core::Query& query : admits) {
+    SIES_RETURN_IF_ERROR(Admit(query, epoch));
+  }
+  for (uint32_t query_id : teardowns) {
+    SIES_RETURN_IF_ERROR(Teardown(query_id, epoch));
+  }
+  return Status::OK();
 }
 
 Status EpochScheduler::Admit(const core::Query& query, uint64_t epoch) {
@@ -81,6 +128,27 @@ StatusOr<net::EvalOutcome> EpochScheduler::QuerierEvaluate(
     const std::vector<net::NodeId>& /*participating*/) {
   // Like SiesProtocol, the participating set comes from the envelope's
   // contributor bitmap, not the simulator's out-of-band knowledge.
+  if (pipelining_) {
+    JoinPrefetch();
+    // Capture epoch t+1's work list NOW, on the run thread, from the
+    // plan that is frozen for this epoch — the thread then touches only
+    // the querier's mutex-guarded key cache. SCHED_IDLE (best-effort)
+    // keeps the derivation out of the foreground's way on saturated
+    // hosts: it runs in pacing gaps and whatever the verify fan-out
+    // leaves idle, which is exactly the time pipelining reclaims.
+    std::vector<uint64_t> next = engine_->SaltedEpochsFor(epoch + 1);
+    if (!next.empty()) {
+      prefetch_ = std::thread([this, next = std::move(next)]() {
+        sched_param sp{};
+        pthread_setschedparam(pthread_self(), SCHED_IDLE, &sp);
+        engine_->WarmSaltedEpochs(next);
+        prefetched_epochs_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::MetricsRegistry::Global()
+            .GetCounter("sies_engine_prefetched_epochs_total")
+            ->Increment();
+      });
+    }
+  }
   auto outcomes = engine_->Evaluate(final_payload, epoch);
   if (!outcomes.ok()) return outcomes.status();
   last_outcomes_ = std::move(outcomes).value();

@@ -9,14 +9,28 @@
 //
 // Admission and teardown are forwarded to the engine and must happen
 // between RunEpoch calls: the wire width changes with the plan, and
-// every party must see the same plan within one epoch.
+// every party must see the same plan within one epoch. Callers that
+// cannot guarantee that (an admin thread admitting mid-run) use the
+// queued control plane instead: QueueAdmit/QueueTeardown are
+// thread-safe and ApplyPending drains the queue at the next epoch
+// boundary — one plan per epoch, by construction.
+//
+// Epoch pipelining (SetPipelining): while epoch t's verification is
+// being consumed, a background thread derives epoch t+1's querier-side
+// key material (pool-free, SCHED_IDLE best-effort, so it only soaks up
+// cycles the foreground leaves idle — pacing gaps, source/aggregate
+// phases). The work list is captured at the t boundary from the live
+// plan, so a query admitted for t+1 simply derives cold there — the
+// prefetch is purely a cache warm and never changes results.
 #ifndef SIES_ENGINE_EPOCH_SCHEDULER_H_
 #define SIES_ENGINE_EPOCH_SCHEDULER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +68,7 @@ class EpochScheduler : public net::AggregationProtocol {
  public:
   EpochScheduler(std::shared_ptr<MultiQueryEngine> engine,
                  const net::Topology& topology, ReadingFn readings);
+  ~EpochScheduler() override;
 
   std::string Name() const override { return "SIES_ENGINE"; }
   StatusOr<Bytes> SourceInitialize(net::NodeId id, uint64_t epoch) override;
@@ -78,6 +93,30 @@ class EpochScheduler : public net::AggregationProtocol {
   /// SnapshotQueries().
   Status Admit(const core::Query& query, uint64_t epoch);
   Status Teardown(uint32_t query_id, uint64_t epoch);
+
+  /// Queued control plane — safe from ANY thread at ANY time. Ops are
+  /// buffered until the run thread's next ApplyPending, so admissions
+  /// requested while an epoch is in flight take effect at the boundary.
+  void QueueAdmit(core::Query query);
+  void QueueTeardown(uint32_t query_id);
+  /// Run thread, between epochs: joins any in-flight prefetch, then
+  /// applies queued admissions (then teardowns) as of `epoch`. Returns
+  /// the first failure; remaining queued ops stay dropped with it (a
+  /// failed admission must not silently retry forever).
+  Status ApplyPending(uint64_t epoch);
+
+  /// Enables/disables t+1 key prefetch (see file comment). Run thread
+  /// only; joins any in-flight prefetch first.
+  void SetPipelining(bool on);
+  bool pipelining() const { return pipelining_; }
+  /// Blocks until the in-flight prefetch thread (if any) finishes. Run
+  /// thread only (QuerierEvaluate, ApplyPending and the destructor call
+  /// this; it is idempotent).
+  void JoinPrefetch();
+  /// Epochs whose keys a prefetch thread finished deriving ahead of use.
+  uint64_t prefetched_epochs() const {
+    return prefetched_epochs_.load(std::memory_order_relaxed);
+  }
 
   /// Point-in-time copy of every live query's stats, admission order.
   /// The ONLY scheduler accessor that is safe from another thread while
@@ -111,6 +150,20 @@ class EpochScheduler : public net::AggregationProtocol {
   /// thread. Never held across engine calls that take other locks.
   mutable std::mutex stats_mu_;
   std::vector<QueryLiveStats> stats_;
+
+  /// Guards the queued control plane only (writers: any thread; reader:
+  /// ApplyPending on the run thread).
+  std::mutex pending_mu_;
+  std::vector<core::Query> pending_admits_;
+  std::vector<uint32_t> pending_teardowns_;
+
+  /// Prefetch state — run-thread owned except the counter. The thread
+  /// touches ONLY the querier's mutex-guarded epoch-key cache, so it
+  /// may overlap the next epoch's source/aggregate phases; it is joined
+  /// before the next QuerierEvaluate and before any plan mutation.
+  bool pipelining_ = false;
+  std::thread prefetch_;
+  std::atomic<uint64_t> prefetched_epochs_{0};
 };
 
 }  // namespace sies::engine

@@ -1,0 +1,102 @@
+#include "net/datagram.h"
+
+#include <cstring>
+
+namespace sies::net {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'S', 'I', 'E', 'P'};
+
+void Put16(uint8_t* out, uint16_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void Put32(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void Put64(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint16_t Get16(const uint8_t* in) {
+  return static_cast<uint16_t>(in[0] | (in[1] << 8));
+}
+
+uint32_t Get32(const uint8_t* in) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+uint64_t Get64(const uint8_t* in) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+}  // namespace
+
+Bytes SerializeDatagramFrame(const DatagramFrame& frame) {
+  Bytes out(kDatagramHeaderBytes + frame.payload.size());
+  uint8_t* p = out.data();
+  std::memcpy(p, kMagic, sizeof(kMagic));
+  p[4] = kDatagramVersion;
+  p[5] = static_cast<uint8_t>(frame.kind);
+  Put16(p + 6, 0);  // flags
+  Put64(p + 8, frame.epoch);
+  Put32(p + 16, frame.from);
+  Put32(p + 20, frame.to);
+  Put16(p + 24, frame.attempt);
+  Put16(p + 26, 0);  // reserved
+  Put32(p + 28, static_cast<uint32_t>(frame.payload.size()));
+  if (!frame.payload.empty()) {
+    std::memcpy(p + kDatagramHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+  return out;
+}
+
+StatusOr<DatagramFrame> ParseDatagramFrame(const uint8_t* data, size_t size) {
+  if (size < kDatagramHeaderBytes) {
+    return Status::InvalidArgument("datagram shorter than frame header");
+  }
+  // Frame magic is public framing, not secret material.
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {  // lint:allow(ct-compare)
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (data[4] != kDatagramVersion) {
+    return Status::InvalidArgument("unsupported frame version");
+  }
+  const uint8_t kind = data[5];
+  if (kind != static_cast<uint8_t>(FrameKind::kData) &&
+      kind != static_cast<uint8_t>(FrameKind::kAck)) {
+    return Status::InvalidArgument("unknown frame kind");
+  }
+  if (Get16(data + 6) != 0 || Get16(data + 26) != 0) {
+    return Status::InvalidArgument("nonzero reserved frame bits");
+  }
+  const uint32_t payload_len = Get32(data + 28);
+  if (payload_len > kMaxDatagramPayload) {
+    return Status::InvalidArgument("frame payload over the datagram limit");
+  }
+  if (static_cast<size_t>(payload_len) != size - kDatagramHeaderBytes) {
+    return Status::InvalidArgument(
+        "frame payload length disagrees with datagram size");
+  }
+  if (kind == static_cast<uint8_t>(FrameKind::kAck) && payload_len != 0) {
+    return Status::InvalidArgument("ack frame carries a payload");
+  }
+  DatagramFrame frame;
+  frame.kind = static_cast<FrameKind>(kind);
+  frame.epoch = Get64(data + 8);
+  frame.from = Get32(data + 16);
+  frame.to = Get32(data + 20);
+  frame.attempt = Get16(data + 24);
+  frame.payload.assign(data + kDatagramHeaderBytes, data + size);
+  return frame;
+}
+
+}  // namespace sies::net

@@ -1,0 +1,71 @@
+// Datagram framing for the real-transport (UDP) backend.
+//
+// One frame per datagram. The payload is OPAQUE at this layer: sies_net
+// sits below sies_core in the dependency order, so the frame carries
+// the protocol's wire envelope (message_format) as uninterpreted bytes
+// and only frames the link-layer facts the receiver needs — who sent
+// it, for which epoch, and which transmission attempt this is.
+//
+// Layout (little-endian, 32-byte header):
+//
+//   offset  size  field
+//        0     4  magic "SIEP"
+//        4     1  version (kDatagramVersion)
+//        5     1  kind (kDataFrame | kAckFrame)
+//        6     2  flags (must be zero)
+//        8     8  epoch
+//       16     4  from (sender NodeId)
+//       20     4  to (receiver NodeId)
+//       24     2  attempt (1-based transmission attempt)
+//       26     2  reserved (must be zero)
+//       28     4  payload_len (must equal datagram size - 32)
+//       32     .  payload (kDataFrame only; empty for kAckFrame)
+//
+// ParseDatagramFrame rejects anything malformed with a precise reason —
+// this is the surface the fuzz tests hammer, because in a deployment it
+// reads bytes straight off a socket.
+#ifndef SIES_NET_DATAGRAM_H_
+#define SIES_NET_DATAGRAM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace sies::net {
+
+inline constexpr size_t kDatagramHeaderBytes = 32;
+inline constexpr uint8_t kDatagramVersion = 1;
+/// Largest payload a single frame may carry: the classic IPv4 UDP
+/// maximum (65507) minus our header. Envelopes beyond this need
+/// application-level chunking, which the backend does not do yet.
+inline constexpr size_t kMaxDatagramPayload = 65507 - kDatagramHeaderBytes;
+
+enum class FrameKind : uint8_t {
+  kData = 1,  ///< carries a protocol payload, expects an ack
+  kAck = 2,   ///< empty-payload receipt for one (epoch, from, to, attempt)
+};
+
+struct DatagramFrame {
+  FrameKind kind = FrameKind::kData;
+  uint64_t epoch = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  uint16_t attempt = 1;
+  Bytes payload;  ///< empty for acks
+};
+
+/// Header + payload, ready for sendto(). Payloads over
+/// kMaxDatagramPayload are the caller's bug and are rejected by the
+/// matching parser; serialization does not re-check.
+Bytes SerializeDatagramFrame(const DatagramFrame& frame);
+
+/// Validates and decodes one received datagram. Every malformed input
+/// (short header, bad magic/version/kind, nonzero reserved bits, length
+/// mismatch, oversized or ack-with-payload) is an InvalidArgument — the
+/// transport counts and drops these instead of crashing.
+StatusOr<DatagramFrame> ParseDatagramFrame(const uint8_t* data, size_t size);
+
+}  // namespace sies::net
+
+#endif  // SIES_NET_DATAGRAM_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "telemetry/audit.h"
+#include "telemetry/epoch_timeline.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -29,23 +30,19 @@ telemetry::Counter* DropCounter(const char* cause) {
 }  // namespace
 
 Status Network::SetLossRate(double loss_rate, uint64_t seed) {
-  if (loss_rate < 0.0 || loss_rate > 1.0) {
-    return Status::InvalidArgument("loss rate must be in [0, 1]");
-  }
+  SIES_RETURN_IF_ERROR(transport().SetLossRate(loss_rate, seed));
   loss_rate_ = loss_rate;
-  loss_rng_ = loss_rate == 0.0 ? nullptr
-                               : std::make_unique<Xoshiro256>(seed);
+  loss_seed_ = seed;
   return Status::OK();
 }
 
-uint64_t RetryBackoffSlots(uint64_t epoch, NodeId sender, uint32_t attempt) {
-  // splitmix64 finalizer over the (epoch, sender, attempt) triple.
-  uint64_t x = epoch * 0x9E3779B97F4A7C15ull + sender;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull + attempt;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  const uint32_t window_bits = attempt < 10 ? attempt : 10;
-  return x & ((uint64_t{1} << window_bits) - 1);
+Status Network::SetTransport(Transport* transport) {
+  transport_ = transport;
+  // The new backend inherits the network's loss/retry configuration —
+  // callers must not have to remember which setter came first.
+  Transport& active = this->transport();
+  active.SetMaxRetries(max_retries_);
+  return active.SetLossRate(loss_rate_, loss_seed_);
 }
 
 StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
@@ -64,28 +61,28 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
   // Payload arriving at each node's parent slot, keyed by child id.
   std::unordered_map<NodeId, Bytes> inbox;
 
-  auto deliver = [&](NodeId from, NodeId to, Bytes payload,
-                     EdgeTraffic& traffic) -> bool {
-    Message msg{from, to, epoch, std::move(payload)};
-    const uint64_t wire_size = msg.WireSize();
+  Transport& transport = this->transport();
+  auto& timeline = telemetry::EpochTimeline::Global();
 
-    // Link layer: radiate, then retry up to max_retries_ times on loss.
-    // Each attempt consumes exactly one loss-RNG draw in serial delivery
-    // order, and backoff is a pure function of (epoch, sender, attempt)
-    // rather than an extra draw, so results are bit-identical for any
-    // thread count and any retry budget shorter than the loss streak.
-    uint32_t attempts = 0;
-    bool delivered = false;
-    do {
-      ++attempts;
-      if (loss_rng_ == nullptr || loss_rng_->NextDouble() >= loss_rate_) {
-        delivered = true;
-        break;
-      }
-      if (attempts <= max_retries_) {
-        report.backoff_slots += RetryBackoffSlots(epoch, from, attempts);
-      }
-    } while (attempts <= max_retries_);
+  auto deliver = [&](NodeId from, NodeId to, Bytes payload,
+                     EdgeTraffic& traffic) -> StatusOr<bool> {
+    const uint64_t wire_size = payload.size();
+
+    // Link layer, behind the Transport interface: loss, retries, and
+    // (for real backends) the payload's actual journey over sockets.
+    // Deliveries stay serial and in a fixed order — the determinism
+    // contract both backends' loss models are built on.
+    const bool attribute = timeline.enabled();
+    Stopwatch transport_watch;
+    auto result = transport.Deliver(from, to, epoch, std::move(payload));
+    if (attribute) {
+      timeline.RecordPhase(telemetry::EpochPhase::kTransport,
+                           transport_watch.ElapsedSeconds());
+    }
+    if (!result.ok()) return result.status();
+    Delivery& delivery = result.value();
+    const uint32_t attempts = delivery.attempts;
+    report.backoff_slots += delivery.backoff_slots;
 
     // The sender radiated every attempt whether or not anything arrived,
     // so tx bytes and edge-class traffic are charged per attempt; rx is
@@ -102,7 +99,7 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
               "sies_net_retransmits_total");
       retx->Increment(attempts - 1);
     }
-    if (!delivered) {
+    if (!delivery.delivered) {
       traffic.undelivered += 1;
       ++lost_messages_;
       static telemetry::Counter* lost = DropCounter("radio_loss");
@@ -113,6 +110,7 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
                        (attempts == 1 ? "" : "s"));
       return false;  // lost on the radio channel
     }
+    Message msg{from, to, epoch, std::move(delivery.payload)};
     if (adversary_ != nullptr) {
       // The byte-compare that attributes in-flight mutation is only paid
       // when someone asked for the audit trail.
@@ -178,7 +176,8 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
     EdgeTraffic& traffic = (parent == kQuerierId)
                                ? report.aggregator_to_querier
                                : report.source_to_aggregator;
-    deliver(src, parent, std::move(psrs[i]).value(), traffic);
+    auto sent = deliver(src, parent, std::move(psrs[i]).value(), traffic);
+    if (!sent.ok()) return sent.status();
   }
 
   Stopwatch watch;
@@ -208,7 +207,8 @@ StatusOr<EpochReport> Network::RunEpoch(AggregationProtocol& protocol,
     EdgeTraffic& traffic = (parent == kQuerierId)
                                ? report.aggregator_to_querier
                                : report.aggregator_to_aggregator;
-    deliver(agg, parent, std::move(merged).value(), traffic);
+    auto sent = deliver(agg, parent, std::move(merged).value(), traffic);
+    if (!sent.ok()) return sent.status();
   }
 
   // --- Evaluation phase at the querier. ---

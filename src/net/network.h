@@ -19,6 +19,7 @@
 #include "common/timer.h"
 #include "net/message.h"
 #include "net/topology.h"
+#include "net/transport.h"
 
 namespace sies::net {
 
@@ -140,16 +141,12 @@ struct EpochReport {
   std::vector<uint64_t> node_rx_bytes;
 };
 
-/// Deterministic binary exponential backoff: the number of contention
-/// slots a sender waits before retransmission attempt `attempt` (1-based
-/// count of retries already failed). A hash of (epoch, sender, attempt)
-/// picks a slot in the window [0, 2^min(attempt,10)), so concurrent
-/// retries desynchronize like a seeded CSMA radio would — without
-/// consuming a loss-RNG draw, which keeps results bit-identical across
-/// thread counts.
-uint64_t RetryBackoffSlots(uint64_t epoch, NodeId sender, uint32_t attempt);
-
-/// The simulator. Owns the topology; borrows protocol and adversary.
+/// The epoch driver. Owns the topology; borrows protocol, adversary,
+/// and (optionally) a Transport backend. The protocol phases, adversary
+/// interception, and all byte/energy accounting live here; the link
+/// layer (loss, retries, the payload's physical journey) lives behind
+/// the Transport interface — the internal SimTransport by default, or a
+/// real backend installed via SetTransport.
 class Network {
  public:
   explicit Network(Topology topology) : topology_(std::move(topology)) {}
@@ -166,6 +163,19 @@ class Network {
   /// bit-identical to the serial run. The pool must outlive the network.
   void SetThreadPool(common::ThreadPool* pool) { pool_ = pool; }
 
+  /// Installs (or clears, with nullptr) a link-layer backend. The
+  /// default is the built-in deterministic simulator; a real backend
+  /// (UdpTransport) must already be started. The current loss/retry
+  /// configuration is re-applied to the new backend, so SetTransport,
+  /// SetLossRate, and SetMaxRetries compose in any order. The backend
+  /// must outlive the network's use of it.
+  Status SetTransport(Transport* transport);
+
+  /// The backend RunEpoch will deliver through.
+  Transport& transport() {
+    return transport_ != nullptr ? *transport_ : sim_transport_;
+  }
+
   /// Enables a lossy radio channel: every transmission attempt is
   /// independently dropped with probability `loss_rate` (deterministic
   /// per `seed`). `loss_rate == 1.0` is a total blackout — every epoch
@@ -180,7 +190,10 @@ class Network {
   /// one-draw-per-message RNG sequence of a retransmission-free radio).
   /// Backoff is deterministic — retries consume loss-RNG draws in the
   /// same serial delivery order for any thread count.
-  void SetMaxRetries(uint32_t max_retries) { max_retries_ = max_retries; }
+  void SetMaxRetries(uint32_t max_retries) {
+    max_retries_ = max_retries;
+    transport().SetMaxRetries(max_retries);
+  }
   uint32_t max_retries() const { return max_retries_; }
 
   /// Messages the loss model destroyed for good (every retry exhausted);
@@ -207,9 +220,13 @@ class Network {
   Adversary* adversary_ = nullptr;
   common::ThreadPool* pool_ = nullptr;
   std::unordered_set<NodeId> failed_sources_;
+  /// Loss/retry config is remembered here and re-applied whenever the
+  /// backend changes, so a transport installed late still sees it.
   double loss_rate_ = 0.0;
+  uint64_t loss_seed_ = 0;
   uint32_t max_retries_ = 0;
-  std::unique_ptr<Xoshiro256> loss_rng_;
+  SimTransport sim_transport_;
+  Transport* transport_ = nullptr;  ///< borrowed; nullptr = sim_transport_
   uint64_t lost_messages_ = 0;
   uint64_t retransmits_ = 0;
 };

@@ -1,0 +1,55 @@
+#include "net/transport.h"
+
+#include <utility>
+
+namespace sies::net {
+
+uint64_t RetryBackoffSlots(uint64_t epoch, NodeId sender, uint32_t attempt) {
+  // splitmix64 finalizer over the (epoch, sender, attempt) triple.
+  uint64_t x = epoch * 0x9E3779B97F4A7C15ull + sender;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull + attempt;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const uint32_t window_bits = attempt < 10 ? attempt : 10;
+  return x & ((uint64_t{1} << window_bits) - 1);
+}
+
+Status SimTransport::SetLossRate(double loss_rate, uint64_t seed) {
+  if (loss_rate < 0.0 || loss_rate > 1.0) {
+    return Status::InvalidArgument("loss rate must be in [0, 1]");
+  }
+  loss_rate_ = loss_rate;
+  loss_rng_ =
+      loss_rate == 0.0 ? nullptr : std::make_unique<Xoshiro256>(seed);
+  return Status::OK();
+}
+
+StatusOr<Delivery> SimTransport::Deliver(NodeId from, NodeId /*to*/,
+                                         uint64_t epoch, Bytes payload) {
+  // Radiate, then retry up to max_retries_ times on loss. Each attempt
+  // consumes exactly one loss-RNG draw in serial delivery order, and
+  // backoff is a pure function of (epoch, sender, attempt) rather than
+  // an extra draw, so results are bit-identical for any thread count
+  // and any retry budget shorter than the loss streak.
+  Delivery delivery;
+  uint32_t attempts = 0;
+  bool delivered = false;
+  do {
+    ++attempts;
+    if (loss_rng_ == nullptr || loss_rng_->NextDouble() >= loss_rate_) {
+      delivered = true;
+      break;
+    }
+    if (attempts <= max_retries_) {
+      delivery.backoff_slots += RetryBackoffSlots(epoch, from, attempts);
+    }
+  } while (attempts <= max_retries_);
+  delivery.attempts = attempts;
+  delivery.delivered = delivered;
+  // The simulated channel is noise-free apart from loss: a delivered
+  // payload arrives exactly as sent.
+  if (delivered) delivery.payload = std::move(payload);
+  return delivery;
+}
+
+}  // namespace sies::net

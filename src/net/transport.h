@@ -1,0 +1,101 @@
+// Transport: how one payload physically moves from a child to its
+// parent during an epoch round.
+//
+// Network owns the protocol phases, the adversary hook, and all traffic
+// accounting; a Transport owns only the link layer — loss, retries, and
+// the bytes' actual journey. Two backends exist:
+//
+//   SimTransport  the deterministic simulator the paper's figures were
+//                 reproduced on. Every transmission attempt consumes
+//                 exactly one loss-RNG draw in serial delivery order,
+//                 so a run is bit-identical for any thread count.
+//   UdpTransport  (udp_transport.h) real datagram sockets on loopback
+//                 with an epoll receiver thread and ack-based retries.
+//
+// Deliver() is called serially by Network in a fixed order — that
+// serial order IS the determinism contract, so backends must not
+// reorder or batch deliveries.
+#ifndef SIES_NET_TRANSPORT_H_
+#define SIES_NET_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/message.h"
+
+namespace sies::net {
+
+/// Deterministic binary exponential backoff: the number of contention
+/// slots a sender waits before retransmission attempt `attempt` (1-based
+/// count of retries already failed). A hash of (epoch, sender, attempt)
+/// picks a slot in the window [0, 2^min(attempt,10)), so concurrent
+/// retries desynchronize like a seeded CSMA radio would — without
+/// consuming a loss-RNG draw, which keeps results bit-identical across
+/// thread counts.
+uint64_t RetryBackoffSlots(uint64_t epoch, NodeId sender, uint32_t attempt);
+
+/// What one Deliver() call did, in the units Network's accounting needs.
+struct Delivery {
+  /// True when the payload reached the receiver (within the retry
+  /// budget, and acknowledged for backends that have real acks).
+  bool delivered = false;
+  /// Transmission attempts the sender radiated (>= 1); bytes and energy
+  /// are charged per attempt whether or not anything arrived.
+  uint32_t attempts = 1;
+  /// Contention slots spent between retries (RetryBackoffSlots sums).
+  uint64_t backoff_slots = 0;
+  /// The payload as the receiver saw it; meaningful iff `delivered`.
+  Bytes payload;
+};
+
+/// Link-layer backend behind Network. Deliver() is invoked serially
+/// from the run thread; implementations need not support concurrent
+/// Deliver() calls for the same (epoch, from, to).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Backend name for logs and bench rows ("sim", "udp").
+  virtual std::string Name() const = 0;
+
+  /// Per-attempt Bernoulli loss, deterministic per `seed`; 0 disables
+  /// (and stops consuming RNG draws entirely).
+  virtual Status SetLossRate(double loss_rate, uint64_t seed) = 0;
+
+  /// Retry budget after a lost attempt (0 = no retransmission).
+  virtual void SetMaxRetries(uint32_t max_retries) = 0;
+  virtual uint32_t max_retries() const = 0;
+
+  /// Moves `payload` from `from` to `to` for `epoch`. A transport-level
+  /// failure (e.g. a dead socket) is a Status error and aborts the
+  /// epoch; an exhausted retry budget is a successful Delivery with
+  /// `delivered == false`.
+  virtual StatusOr<Delivery> Deliver(NodeId from, NodeId to, uint64_t epoch,
+                                     Bytes payload) = 0;
+};
+
+/// The deterministic simulator link layer: the loss/retry/backoff
+/// machinery previously inlined in Network::RunEpoch, unchanged —
+/// one RNG draw per attempt, pure-hash backoff, no real I/O.
+class SimTransport final : public Transport {
+ public:
+  std::string Name() const override { return "sim"; }
+  Status SetLossRate(double loss_rate, uint64_t seed) override;
+  void SetMaxRetries(uint32_t max_retries) override {
+    max_retries_ = max_retries;
+  }
+  uint32_t max_retries() const override { return max_retries_; }
+  StatusOr<Delivery> Deliver(NodeId from, NodeId to, uint64_t epoch,
+                             Bytes payload) override;
+
+ private:
+  double loss_rate_ = 0.0;
+  uint32_t max_retries_ = 0;
+  std::unique_ptr<Xoshiro256> loss_rng_;
+};
+
+}  // namespace sies::net
+
+#endif  // SIES_NET_TRANSPORT_H_

@@ -1,0 +1,315 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "net/datagram.h"
+#include "telemetry/metrics.h"
+
+namespace sies::net {
+
+namespace {
+
+telemetry::Counter* MalformedCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "sies_net_udp_malformed_total");
+  return counter;
+}
+
+}  // namespace
+
+UdpTransport::~UdpTransport() { Stop(); }
+
+Status UdpTransport::SetLossRate(double loss_rate, uint64_t seed) {
+  if (loss_rate < 0.0 || loss_rate > 1.0) {
+    return Status::InvalidArgument("loss rate must be in [0, 1]");
+  }
+  loss_rate_ = loss_rate;
+  loss_rng_ =
+      loss_rate == 0.0 ? nullptr : std::make_unique<Xoshiro256>(seed);
+  return Status::OK();
+}
+
+Status UdpTransport::Start(const std::vector<NodeId>& nodes) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("udp transport already started");
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    const std::string err = std::strerror(errno);
+    CloseAll();
+    return Status::Internal("eventfd: " + err);
+  }
+  epoll_event wake_ev{};
+  wake_ev.events = EPOLLIN;
+  wake_ev.data.u64 = ~uint64_t{0};  // sentinel: not an endpoint index
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_ev) < 0) {
+    const std::string err = std::strerror(errno);
+    CloseAll();
+    return Status::Internal("epoll_ctl(wake): " + err);
+  }
+
+  endpoints_.reserve(nodes.size());
+  for (NodeId id : nodes) {
+    if (endpoint_index_.contains(id)) {
+      CloseAll();
+      return Status::InvalidArgument("duplicate node id in Start()");
+    }
+    Endpoint ep;
+    ep.id = id;
+    ep.fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (ep.fd < 0) {
+      const std::string err = std::strerror(errno);
+      CloseAll();
+      return Status::Internal("socket: " + err);
+    }
+    // A burst epoch sends every source's envelope before the receiver
+    // thread drains any of them; a deep receive buffer keeps a healthy
+    // loopback lossless at the N the smokes and tests use.
+    const int rcvbuf = 1 << 21;
+    ::setsockopt(ep.fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;  // kernel-assigned
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(ep.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(ep.fd);
+      CloseAll();
+      return Status::Internal("bind: " + err);
+    }
+    socklen_t len = sizeof(ep.addr);
+    if (::getsockname(ep.fd, reinterpret_cast<sockaddr*>(&ep.addr), &len) <
+        0) {
+      const std::string err = std::strerror(errno);
+      ::close(ep.fd);
+      CloseAll();
+      return Status::Internal("getsockname: " + err);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = endpoints_.size();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, ep.fd, &ev) < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(ep.fd);
+      CloseAll();
+      return Status::Internal("epoll_ctl: " + err);
+    }
+    endpoint_index_[id] = endpoints_.size();
+    endpoints_.push_back(ep);
+  }
+
+  running_.store(true, std::memory_order_release);
+  receiver_ = std::thread([this] { ReceiveLoop(); });
+  return Status::OK();
+}
+
+void UdpTransport::Stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    if (receiver_.joinable()) receiver_.join();
+  }
+  CloseAll();
+}
+
+void UdpTransport::CloseAll() {
+  for (Endpoint& ep : endpoints_) {
+    if (ep.fd >= 0) ::close(ep.fd);
+  }
+  endpoints_.clear();
+  endpoint_index_.clear();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+void UdpTransport::ReceiveLoop() {
+  std::vector<uint8_t> buffer(kDatagramHeaderBytes + kMaxDatagramPayload);
+  epoll_event events[16];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 16, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.u64 == ~uint64_t{0}) continue;  // wake eventfd
+      const Endpoint& ep = endpoints_[events[i].data.u64];
+      // Drain the socket: edge-ish behavior keeps one epoll_wait per
+      // burst instead of one per datagram.
+      for (;;) {
+        sockaddr_in sender{};
+        socklen_t sender_len = sizeof(sender);
+        const ssize_t got = ::recvfrom(
+            ep.fd, buffer.data(), buffer.size(), 0,
+            reinterpret_cast<sockaddr*>(&sender), &sender_len);
+        if (got < 0) break;  // EAGAIN: drained (or transient error)
+        HandleDatagram(ep, buffer.data(), static_cast<size_t>(got), sender);
+      }
+    }
+  }
+}
+
+void UdpTransport::HandleDatagram(const Endpoint& at, const uint8_t* data,
+                                  size_t size, const sockaddr_in& sender) {
+  auto frame = ParseDatagramFrame(data, size);
+  if (!frame.ok()) {
+    malformed_datagrams_.fetch_add(1, std::memory_order_relaxed);
+    MalformedCounter()->Increment();
+    return;
+  }
+  DatagramFrame& f = frame.value();
+  // Data lands on the receiver's socket (to); the ack comes back on the
+  // SENDER's socket (from). Anything else was misdelivered.
+  const NodeId expect_here = f.kind == FrameKind::kData ? f.to : f.from;
+  if (expect_here != at.id) {
+    malformed_datagrams_.fetch_add(1, std::memory_order_relaxed);
+    MalformedCounter()->Increment();
+    return;
+  }
+  const Key key{f.epoch, (uint64_t{f.from} << 32) | f.to};
+  if (f.kind == FrameKind::kData) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = waiters_.find(key);
+      // A duplicate (retransmit racing a slow ack) or a late arrival
+      // after the sender gave up finds no waiter, or one already fed;
+      // re-acking is the idempotent answer either way.
+      if (it != waiters_.end() && !it->second->have_payload) {
+        it->second->payload = std::move(f.payload);
+        it->second->have_payload = true;
+      }
+    }
+    DatagramFrame ack;
+    ack.kind = FrameKind::kAck;
+    ack.epoch = f.epoch;
+    ack.from = f.from;
+    ack.to = f.to;
+    ack.attempt = f.attempt;
+    const Bytes wire = SerializeDatagramFrame(ack);
+    // Best effort from the receiver's own socket back to whatever
+    // address the datagram came from; a lost ack just costs the sender
+    // a retransmission.
+    if (::sendto(at.fd, wire.data(), wire.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&sender),
+                 sizeof(sender)) >= 0) {
+      acks_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Ack: complete the rendezvous waiting on the sender's socket.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = waiters_.find(key);
+  if (it != waiters_.end() && it->second->have_payload) {
+    it->second->acked = true;
+    cv_.notify_all();
+  }
+}
+
+uint16_t UdpTransport::PortOf(NodeId id) const {
+  auto it = endpoint_index_.find(id);
+  if (it == endpoint_index_.end()) return 0;
+  return ntohs(endpoints_[it->second].addr.sin_port);
+}
+
+StatusOr<Delivery> UdpTransport::Deliver(NodeId from, NodeId to,
+                                         uint64_t epoch, Bytes payload) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("udp transport not started");
+  }
+  auto from_it = endpoint_index_.find(from);
+  auto to_it = endpoint_index_.find(to);
+  if (from_it == endpoint_index_.end() || to_it == endpoint_index_.end()) {
+    return Status::NotFound("node has no registered udp endpoint");
+  }
+  if (payload.size() > kMaxDatagramPayload) {
+    return Status::InvalidArgument(
+        "payload exceeds the single-datagram limit (" +
+        std::to_string(payload.size()) + " > " +
+        std::to_string(kMaxDatagramPayload) + " bytes)");
+  }
+  const Endpoint& src = endpoints_[from_it->second];
+  const Endpoint& dst = endpoints_[to_it->second];
+
+  Delivery delivery;
+  Rendezvous slot;
+  const Key key{epoch, (uint64_t{from} << 32) | to};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    waiters_[key] = &slot;
+  }
+
+  DatagramFrame frame;
+  frame.kind = FrameKind::kData;
+  frame.epoch = epoch;
+  frame.from = from;
+  frame.to = to;
+  frame.payload = std::move(payload);
+
+  // Same attempt loop as SimTransport — one deterministic loss draw per
+  // attempt, pure-hash backoff accounting — except a surviving attempt
+  // really hits the socket and must be acked within the deadline.
+  uint32_t attempts = 0;
+  bool delivered = false;
+  do {
+    ++attempts;
+    if (loss_rng_ != nullptr && loss_rng_->NextDouble() < loss_rate_) {
+      // Injected loss: the datagram is destroyed before the antenna, so
+      // there is nothing to wait for (see header comment).
+      if (attempts <= max_retries_) {
+        delivery.backoff_slots += RetryBackoffSlots(epoch, from, attempts);
+      }
+      continue;
+    }
+    frame.attempt = static_cast<uint16_t>(
+        attempts < 0xFFFF ? attempts : 0xFFFF);
+    const Bytes wire = SerializeDatagramFrame(frame);
+    if (::sendto(src.fd, wire.data(), wire.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&dst.addr),
+                 sizeof(dst.addr)) < 0) {
+      return Status::Internal(std::string("sendto: ") +
+                              std::strerror(errno));
+    }
+    datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.ack_timeout_ms),
+                   [&] { return slot.acked; });
+      if (slot.acked) {
+        delivered = true;
+        break;
+      }
+    }
+    // Real timeout (datagram or ack lost on an unhealthy loopback):
+    // retry within the same budget and backoff model.
+    if (attempts <= max_retries_) {
+      delivery.backoff_slots += RetryBackoffSlots(epoch, from, attempts);
+    }
+  } while (attempts <= max_retries_);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    waiters_.erase(key);
+  }
+  delivery.attempts = attempts;
+  delivery.delivered = delivered;
+  if (delivered) delivery.payload = std::move(slot.payload);
+  return delivery;
+}
+
+}  // namespace sies::net

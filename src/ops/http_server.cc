@@ -39,20 +39,22 @@ const char* StatusText(int status) {
 
 /// Blocking send of the whole buffer with a poll()-bounded deadline;
 /// a peer that stops reading (or resets) just ends the connection.
-void SendAll(int fd, const std::string& data) {
+/// Returns true iff every byte was handed to the kernel.
+bool SendAll(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
     pollfd pfd{fd, POLLOUT, 0};
     const int ready = ::poll(&pfd, 1, kConnectionTimeoutMs);
-    if (ready <= 0) return;
+    if (ready <= 0) return false;
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
-      return;
+      return false;
     }
     sent += static_cast<size_t>(n);
   }
+  return true;
 }
 
 void SendResponse(int fd, const HttpResponse& response) {
@@ -62,18 +64,57 @@ void SendResponse(int fd, const HttpResponse& response) {
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += response.body;
-  SendAll(fd, out);
-  telemetry::MetricsRegistry::Global()
-      .GetCounter("ops_http_responses_total",
-                  {{"code", std::to_string(response.status)}})
-      ->Increment();
+  // A response only counts as served once the kernel took every byte —
+  // a peer that reset mid-body lands in the failure counter instead, so
+  // responses_total{code} stays an honest served-to-client count.
+  if (SendAll(fd, out)) {
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("ops_http_responses_total",
+                    {{"code", std::to_string(response.status)}})
+        ->Increment();
+  } else {
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("ops_http_send_failures_total")
+        ->Increment();
+  }
 }
 
-/// Splits "/epochs?last=5&x" into path and decoded params.
-void ParseTarget(const std::string& target, HttpRequest& request) {
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// RFC 3986 percent-decoding. Returns false on a malformed escape ('%'
+/// not followed by two hex digits). '+' is NOT decoded to space: these
+/// are path/query components, not HTML form bodies.
+bool PercentDecode(const std::string& in, std::string& out) {
+  out.clear();
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      out.push_back(in[i]);
+      continue;
+    }
+    if (i + 2 >= in.size()) return false;
+    const int hi = HexValue(in[i + 1]);
+    const int lo = HexValue(in[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return true;
+}
+
+/// Splits "/epochs?last=%35&x" into a decoded path and decoded params
+/// (the '?', '&' and '=' separators are structural and split BEFORE
+/// decoding, so an encoded "%26" lands inside a value instead of
+/// splitting it). Returns false on any malformed percent escape.
+bool ParseTarget(const std::string& target, HttpRequest& request) {
   const size_t qmark = target.find('?');
-  request.path = target.substr(0, qmark);
-  if (qmark == std::string::npos) return;
+  if (!PercentDecode(target.substr(0, qmark), request.path)) return false;
+  if (qmark == std::string::npos) return true;
   std::string query = target.substr(qmark + 1);
   size_t start = 0;
   while (start <= query.size()) {
@@ -82,14 +123,20 @@ void ParseTarget(const std::string& target, HttpRequest& request) {
     const std::string pair = query.substr(start, end - start);
     if (!pair.empty()) {
       const size_t eq = pair.find('=');
+      std::string key, value;
       if (eq == std::string::npos) {
-        request.params[pair] = "";
+        if (!PercentDecode(pair, key)) return false;
       } else {
-        request.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+        if (!PercentDecode(pair.substr(0, eq), key) ||
+            !PercentDecode(pair.substr(eq + 1), value)) {
+          return false;
+        }
       }
+      request.params[key] = value;
     }
     start = end + 1;
   }
+  return true;
 }
 
 }  // namespace
@@ -232,7 +279,12 @@ void HttpServer::ServeConnection(int fd) {
 
   HttpRequest request;
   request.method = line.substr(0, sp1);
-  ParseTarget(line.substr(sp1 + 1, sp2 - sp1 - 1), request);
+  if (!ParseTarget(line.substr(sp1 + 1, sp2 - sp1 - 1), request)) {
+    SendResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                  "bad request: malformed percent "
+                                  "escape in target\n"});
+    return;
+  }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 
   if (request.method != "GET") {

@@ -6,6 +6,7 @@
 
 #include "common/timer.h"
 #include "net/adversary.h"
+#include "net/udp_transport.h"
 #include "ops/admin_server.h"
 #include "telemetry/epoch_timeline.h"
 #include "telemetry/trace.h"
@@ -20,7 +21,23 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
   auto topology =
       net::Topology::BuildCompleteTree(config.num_sources, config.fanout);
   if (!topology.ok()) return topology.status();
+  // Declared before the network so the network (which may hold a raw
+  // pointer to it) is destroyed first on every exit path.
+  std::unique_ptr<net::UdpTransport> udp;
   net::Network network(std::move(topology).value());
+  if (config.transport == EngineTransport::kUdp) {
+    net::UdpTransportOptions udp_options;
+    udp_options.ack_timeout_ms = config.udp_ack_timeout_ms;
+    udp = std::make_unique<net::UdpTransport>(udp_options);
+    std::vector<net::NodeId> nodes;
+    nodes.reserve(network.topology().num_nodes() + 1);
+    for (net::NodeId id = 0; id < network.topology().num_nodes(); ++id) {
+      nodes.push_back(id);
+    }
+    nodes.push_back(net::kQuerierId);  // tree root reports to the querier
+    SIES_RETURN_IF_ERROR(udp->Start(nodes));
+    SIES_RETURN_IF_ERROR(network.SetTransport(udp.get()));
+  }
 
   workload::TraceConfig trace_config;
   trace_config.num_sources = config.num_sources;
@@ -46,6 +63,7 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
   common::ThreadPool pool(config.threads);
   network.SetThreadPool(&pool);
   scheduler.SetThreadPool(&pool);
+  scheduler.SetPipelining(config.pipeline);
 
   // Ops plane: the admin server scrapes the scheduler's mutex-guarded
   // snapshot from its own thread while epochs run. Declared after the
@@ -146,18 +164,21 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
   CostAccumulator src, agg, qry;
   for (uint64_t epoch = 1; epoch <= config.epochs; ++epoch) {
     Stopwatch epoch_watch;
-    // Control plane first: the plan must be settled before the round.
+    // Control plane first: schedule ops go through the boundary queue
+    // (the same path an admin thread would use mid-run), and
+    // ApplyPending settles the plan — joining any in-flight t+1 key
+    // prefetch before it may mutate. One plan per epoch either way.
     for (const EngineQuerySchedule& sched : config.queries) {
       if (std::max<uint64_t>(sched.admit_epoch, 1) == epoch) {
-        SIES_RETURN_IF_ERROR(scheduler.Admit(sched.query, epoch));
+        scheduler.QueueAdmit(sched.query);
       }
     }
     for (const EngineQuerySchedule& sched : config.queries) {
       if (sched.teardown_epoch != 0 && sched.teardown_epoch == epoch) {
-        SIES_RETURN_IF_ERROR(
-            scheduler.Teardown(sched.query.query_id, epoch));
+        scheduler.QueueTeardown(sched.query.query_id);
       }
     }
+    SIES_RETURN_IF_ERROR(scheduler.ApplyPending(epoch));
     if (!eng->HasLiveChannels()) {
       ++result.idle_epochs;  // nothing to serve: skip the radio round
       finish_epoch(epoch, /*verified=*/true, epoch_watch);
@@ -202,6 +223,9 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
         }
       }
     }
+    if (config.on_epoch_outcomes) {
+      config.on_epoch_outcomes(epoch, r.answered, scheduler.last_outcomes());
+    }
     if (attribute) {
       telemetry::EpochVerdict verdict;
       verdict.answered = r.answered;
@@ -229,6 +253,13 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
   result.aggregator_cpu_seconds = agg.MeanSeconds();
   result.querier_cpu_seconds = qry.MeanSeconds();
   result.lost_messages = network.lost_messages();
+  scheduler.JoinPrefetch();
+  result.prefetched_epochs = scheduler.prefetched_epochs();
+  if (udp) {
+    result.udp_datagrams_sent = udp->datagrams_sent();
+    result.udp_malformed_datagrams = udp->malformed_datagrams();
+    udp->Stop();
+  }
   return result;
 }
 

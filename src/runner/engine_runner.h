@@ -24,6 +24,12 @@ struct EngineQuerySchedule {
   uint64_t teardown_epoch = 0;
 };
 
+/// Which net::Transport backend carries the epoch's envelopes.
+enum class EngineTransport {
+  kSim,  ///< in-process deterministic simulator (the default)
+  kUdp,  ///< real UDP datagrams + acks on loopback (net/udp_transport)
+};
+
 struct EngineExperimentConfig {
   std::vector<EngineQuerySchedule> queries;
   AdversaryKind adversary = AdversaryKind::kNone;
@@ -35,6 +41,26 @@ struct EngineExperimentConfig {
   uint32_t threads = 1;
   double loss_rate = 0.0;
   uint32_t max_retries = 0;
+
+  // ---- Transport / pipelining (DESIGN.md, "Transport abstraction") ----
+  /// Backend for epoch delivery. kUdp binds one loopback socket per
+  /// tree node; loss injection stays sender-side and deterministic, so
+  /// a lossless (or injected-loss) UDP run reproduces the simulator's
+  /// outcomes bit-for-bit with the same seed.
+  EngineTransport transport = EngineTransport::kSim;
+  /// Per-attempt ack deadline of the UDP backend.
+  uint32_t udp_ack_timeout_ms = 200;
+  /// Epoch pipelining: derive epoch t+1's querier keys on a background
+  /// SCHED_IDLE thread while epoch t's verification is consumed, and
+  /// route the control plane through the scheduler's boundary queue.
+  /// Purely a latency optimization — outcomes are bit-identical.
+  bool pipeline = false;
+  /// Test hook: every epoch with live channels, from the run thread,
+  /// after the round. `answered` is false when loss starved the epoch
+  /// (outcomes is then last round's leftovers — ignore it).
+  std::function<void(uint64_t epoch, bool answered,
+                     const std::vector<engine::QueryEpochOutcome>& outcomes)>
+      on_epoch_outcomes;
 
   // ---- Ops plane (docs/OBSERVABILITY.md, "Live ops plane") ----
   /// < 0 disables the embedded admin server; 0 binds a kernel-assigned
@@ -85,6 +111,13 @@ struct EngineExperimentResult {
   bool all_verified = true;
   uint64_t retransmits = 0;
   uint64_t lost_messages = 0;
+  /// Epochs whose t+1 keys the pipeline prefetched ahead of use (0 when
+  /// config.pipeline is off).
+  uint64_t prefetched_epochs = 0;
+  /// Data datagrams radiated / malformed datagrams dropped by the UDP
+  /// backend (0 under the simulator).
+  uint64_t udp_datagrams_sent = 0;
+  uint64_t udp_malformed_datagrams = 0;
   std::vector<EngineQueryStats> queries;  ///< schedule order
 };
 

@@ -173,8 +173,13 @@ StatusOr<Evaluation> Querier::EvaluateSlice(
 }
 
 void Querier::WarmEpoch(uint64_t epoch) const {
+  WarmEpoch(epoch, /*use_pool=*/true);
+}
+
+void Querier::WarmEpoch(uint64_t epoch, bool use_pool) const {
   cache_->Global(params_, keys_.global_key, epoch);
-  cache_->Sources(params_, keys_.source_keys, epoch, pool_);
+  cache_->Sources(params_, keys_.source_keys, epoch,
+                  use_pool ? pool_ : nullptr);
 }
 
 bool Querier::WireBitmapIsFull(const uint8_t* bitmap) const {

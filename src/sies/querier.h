@@ -95,6 +95,13 @@ class Querier {
   /// hit — calling this is always safe and never changes results.
   void WarmEpoch(uint64_t epoch) const;
 
+  /// WarmEpoch with the pool fan-out optionally disabled. Background
+  /// prefetch threads (epoch pipelining) pass use_pool = false so the
+  /// derivation never competes with a foreground verification fan-out
+  /// for pool lanes; the cache itself is mutex-guarded, so concurrent
+  /// warm/evaluate of the same epoch is safe (first derivation wins).
+  void WarmEpoch(uint64_t epoch, bool use_pool) const;
+
   /// Drops all cached epoch material; the next Evaluate re-derives from
   /// scratch. Benchmarks use this to time cold evaluations honestly.
   void ClearEpochKeyCache() { cache_->Clear(); }

@@ -37,6 +37,8 @@ const char* EpochPhaseName(EpochPhase phase) {
       return "verify";
     case EpochPhase::kAssemble:
       return "assemble";
+    case EpochPhase::kTransport:
+      return "transport";
   }
   return "?";
 }

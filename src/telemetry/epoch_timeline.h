@@ -41,8 +41,9 @@ enum class EpochPhase : uint8_t {
   kWireParse = 3,     ///< final envelope parse at the querier
   kVerify = 4,        ///< per-channel decrypt + verify fan-out
   kAssemble = 5,      ///< per-query outcome assembly from channel sums
+  kTransport = 6,     ///< link-layer delivery (sim loss model or real UDP)
 };
-inline constexpr size_t kEpochPhaseCount = 6;
+inline constexpr size_t kEpochPhaseCount = 7;
 
 /// Stable lowercase name ("key_derive", "psr_create", ...).
 const char* EpochPhaseName(EpochPhase phase);

@@ -114,6 +114,43 @@ TEST(FlagsTest, IntInRangeRejectsNonNumeric) {
   EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(FlagsTest, IntRejectsOverflow) {
+  // Pre-fix, strtoll saturated --epoch-ms 99999999999999999999 to
+  // LLONG_MAX with errno == ERANGE left unchecked, and the bogus value
+  // flowed silently into narrower config fields.
+  Flags f = ParseArgs({"--epoch-ms=99999999999999999999",
+                       "--neg=-99999999999999999999", "--ok=9000000000"});
+  auto big = f.GetInt("epoch-ms", 0);
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(big.status().ToString().find("out of range"),
+            std::string::npos);
+  EXPECT_FALSE(f.GetInt("neg", 0).ok());
+  // Values inside int64 range (even past 2^32) still parse.
+  EXPECT_EQ(f.GetInt("ok", 0).value(), 9'000'000'000LL);
+}
+
+TEST(FlagsTest, IntInRangeReportsOverflowAsParseError) {
+  Flags f = ParseArgs({"--queries=99999999999999999999"});
+  auto v = f.GetIntInRange("queries", 0, 1, 8);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, DoubleRejectsOverflowKeepsUnderflow) {
+  Flags f = ParseArgs({"--rate=1e999", "--neg=-1e999", "--tiny=1e-400"});
+  auto inf = f.GetDouble("rate", 0.0);
+  ASSERT_FALSE(inf.ok());
+  EXPECT_EQ(inf.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(f.GetDouble("neg", 0.0).ok());
+  // Underflow to (denormal or) zero is not an error for rate/seconds
+  // flags: 1e-400 meaning 0.0 is the caller's intent, honored.
+  auto tiny = f.GetDouble("tiny", 1.0);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_GE(tiny.value(), 0.0);
+  EXPECT_LT(tiny.value(), 1e-300);
+}
+
 TEST(FlagsTest, IntInRangeDoesNotRangeCheckTheDefault) {
   // An absent flag returns the caller's default verbatim — sies_sim
   // uses default 0 with min 1 as its "flag not given" sentinel.

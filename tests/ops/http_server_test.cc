@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "http_client.h"
+#include "telemetry/metrics.h"
 
 namespace sies::ops {
 namespace {
@@ -55,6 +58,70 @@ TEST_F(HttpServerTest, ParsesQueryParameters) {
   EXPECT_NE(r.body.find("bare="), std::string::npos);
 }
 
+TEST_F(HttpServerTest, PercentDecodesQueryValues) {
+  // last=%31 MUST mean last=1 — the pre-fix parser handed the literal
+  // "%31" to strtoul-style consumers, silently reading 0.
+  auto r = Get(server_.port(), "/echo?last=%31&msg=a%20b%26c");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("last=1"), std::string::npos);
+  // An ENCODED '&' or '=' lands inside the value; only literal
+  // separators split.
+  EXPECT_NE(r.body.find("msg=a b&c"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, PercentDecodesThePath) {
+  auto r = Get(server_.port(), "/he%6C%6Co");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "hi\n");
+}
+
+TEST_F(HttpServerTest, PlusIsNotSpace) {
+  // '+' means space only in form bodies; in query components it is a
+  // literal plus.
+  auto r = Get(server_.port(), "/echo?v=a+b");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_NE(r.body.find("v=a+b"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedEscapesAre400) {
+  for (const char* target :
+       {"/echo?v=%zz", "/echo?v=%1", "/echo?v=%", "/he%llo", "/echo?%G1=x"}) {
+    auto r = Get(server_.port(), target);
+    ASSERT_TRUE(r.ok) << target << "\n" << r.raw;
+    EXPECT_EQ(r.status, 400) << target;
+  }
+}
+
+TEST_F(HttpServerTest, RequestLineEdgeCases) {
+  // Double space: the target becomes " /hello", which no handler
+  // matches — a clean 404, not a crash or a surprise dispatch.
+  auto r = RawRequest(server_.port(), "GET  /hello HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 404);
+  // Tab is not a request-line separator.
+  r = RawRequest(server_.port(), "GET\t/hello HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 400);
+  // Trailing whitespace shifts the version token off "HTTP/".
+  r = RawRequest(server_.port(), "GET /hello HTTP/1.0 \r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 400);
+  // Missing version entirely.
+  r = RawRequest(server_.port(), "GET /hello\r\n\r\n");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 400);
+}
+
+TEST_F(HttpServerTest, EmptyQueryKeysAreServed) {
+  auto r = Get(server_.port(), "/echo?=naked&a=1&&");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("=naked"), std::string::npos);
+  EXPECT_NE(r.body.find("a=1"), std::string::npos);
+}
+
 TEST_F(HttpServerTest, UnknownPathIs404) {
   auto r = Get(server_.port(), "/nope");
   ASSERT_TRUE(r.ok) << r.raw;
@@ -99,6 +166,35 @@ TEST_F(HttpServerTest, CountsEveryAnsweredRequest) {
   (void)Get(server_.port(), "/nope");
   (void)RawRequest(server_.port(), "PUT /hello HTTP/1.0\r\n\r\n");
   EXPECT_EQ(server_.requests_served(), 3u);
+}
+
+TEST_F(HttpServerTest, AbortedSendCountsAsFailureNotServed) {
+  // An 8 MB body cannot fit the socket buffers, so a client that hangs
+  // up without reading forces SendAll to fail mid-body. The response
+  // must land in ops_http_send_failures_total and NOT in
+  // ops_http_responses_total{code="200"} — pre-fix, every failed send
+  // still counted as served.
+  static const std::string big_body(8u << 20, 'x');
+  server_.Handle("/big", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", big_body};
+  });
+  auto& registry = telemetry::MetricsRegistry::Global();
+  auto* served = registry.GetCounter("ops_http_responses_total",
+                                     {{"code", "200"}});
+  auto* failed = registry.GetCounter("ops_http_send_failures_total");
+  const uint64_t served_before = served->Value();
+  const uint64_t failed_before = failed->Value();
+  testing::SendAndClose(server_.port(), "GET /big HTTP/1.0\r\n\r\n");
+  // The serve happens on the accept-loop thread; wait for the verdict.
+  for (int i = 0; i < 500 && failed->Value() == failed_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(failed->Value(), failed_before + 1);
+  EXPECT_EQ(served->Value(), served_before);
+  // A well-behaved client afterwards still counts as served.
+  auto r = Get(server_.port(), "/hello");
+  ASSERT_TRUE(r.ok) << r.raw;
+  EXPECT_GT(served->Value(), served_before);
 }
 
 TEST_F(HttpServerTest, StopIsIdempotentAndStopsServing) {
