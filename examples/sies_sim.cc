@@ -8,6 +8,7 @@
 //       --scale=2 --epochs=20
 //   ./build/examples/sies_sim --scheme=secoa --sources=64 --j=300 --csv
 //   ./build/examples/sies_sim --adversary=tamper --audit-out=audit.json
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "common/flags.h"
 #include "engine/query_registry.h"
 #include "engine/query_spec.h"
+#include "predicate/answer.h"
 #include "runner/engine_runner.h"
 #include "runner/runner.h"
 #include "telemetry/telemetry.h"
@@ -50,7 +52,16 @@ void PrintUsage() {
       "                            stddev/sum/count)\n"
       "  --queries-file=PATH       like --queries, but load the query mix\n"
       "                            from PATH (one `AGG ATTR [scale K]\n"
-      "                            [where ...] [id N]` per line)\n"
+      "                            [where ...] [between ...] [id N]` per\n"
+      "                            line; bands compile to dyadic buckets)\n"
+      "  --histogram=FIELD:LO:HI:BUCKETS\n"
+      "                            engine mode: COUNT per equal-width cell\n"
+      "                            of FIELD's [LO,HI] — each cell is a band\n"
+      "                            query compiled to dyadic channels; prints\n"
+      "                            the per-bucket counts and p50/p90/p99\n"
+      "  --group-by=AGG:ATTR:FIELD:LO:HI:GROUPS\n"
+      "                            engine mode: AGG(ATTR) rolled up per\n"
+      "                            equal-width cell of FIELD's [LO,HI]\n"
       "  --transport=sim|udp       engine mode only: deliver epochs through\n"
       "                            the in-process simulator (default) or\n"
       "                            real UDP datagrams + acks on loopback.\n"
@@ -127,6 +138,66 @@ bool ExportTelemetry(const std::string& metrics_out,
   }
   return ok;
 }
+
+std::vector<std::string> SplitColon(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t colon = s.find(':', start);
+    parts.push_back(s.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return parts;
+}
+
+bool ParseFieldName(const std::string& name, sies::core::Field* out) {
+  if (name == "temperature") *out = sies::core::Field::kTemperature;
+  else if (name == "humidity") *out = sies::core::Field::kHumidity;
+  else if (name == "light") *out = sies::core::Field::kLight;
+  else if (name == "voltage") *out = sies::core::Field::kVoltage;
+  else return false;
+  return true;
+}
+
+bool ParseAggName(const std::string& name, sies::core::Aggregate* out) {
+  if (name == "sum") *out = sies::core::Aggregate::kSum;
+  else if (name == "count") *out = sies::core::Aggregate::kCount;
+  else if (name == "avg") *out = sies::core::Aggregate::kAvg;
+  else if (name == "variance") *out = sies::core::Aggregate::kVariance;
+  else if (name == "stddev") *out = sies::core::Aggregate::kStddev;
+  else return false;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  try {
+    size_t end = 0;
+    *out = std::stod(s, &end);
+    return end == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool ParseU32(const std::string& s, uint32_t* out) {
+  double v = 0.0;
+  if (!ParseDouble(s, &v)) return false;
+  if (v < 1 || v > 4096 || v != static_cast<uint32_t>(v)) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+/// A histogram or GROUP-BY demo run: the cell queries feed the engine
+/// like any mix; the last answered epoch's outcomes assemble the shape.
+struct ShapeDemo {
+  bool active = false;
+  bool is_histogram = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  uint32_t cells = 0;
+  std::string title;
+};
 
 }  // namespace
 
@@ -230,6 +301,67 @@ int main(int argc, char** argv) {
       engine_queries =
           engine::DefaultQueryMix(static_cast<uint32_t>(k.value()));
     }
+  }
+  // Shape demos: --histogram / --group-by compile a partition of band
+  // queries (predicate/answer) and run them as an ordinary engine mix.
+  ShapeDemo demo;
+  if (flags.Has("histogram") || flags.Has("group-by")) {
+    if (engine_mode || (flags.Has("histogram") && flags.Has("group-by"))) {
+      std::fprintf(stderr,
+                   "give exactly one of --queries, --queries-file, "
+                   "--histogram, --group-by\n");
+      return 2;
+    }
+    StatusOr<std::vector<core::Query>> cells =
+        Status::InvalidArgument("unparsed shape spec");
+    if (flags.Has("histogram")) {
+      const auto parts = SplitColon(flags.GetString("histogram", ""));
+      predicate::HistogramSpec spec;
+      if (parts.size() != 4 || !ParseFieldName(parts[0], &spec.field) ||
+          !ParseDouble(parts[1], &spec.lo) ||
+          !ParseDouble(parts[2], &spec.hi) ||
+          !ParseU32(parts[3], &spec.buckets)) {
+        std::fprintf(stderr, "--histogram needs FIELD:LO:HI:BUCKETS\n");
+        return 2;
+      }
+      spec.scale_pow10 = config.scale_pow10;
+      spec.attribute = spec.field;
+      demo.is_histogram = true;
+      demo.lo = spec.lo;
+      demo.hi = spec.hi;
+      demo.cells = spec.buckets;
+      demo.title = "COUNT(" + parts[0] + ") in [" + parts[1] + ", " +
+                   parts[2] + "], " + parts[3] + " buckets";
+      cells = predicate::CompileHistogram(spec, /*first_query_id=*/0);
+    } else {
+      const auto parts = SplitColon(flags.GetString("group-by", ""));
+      predicate::GroupBySpec spec;
+      if (parts.size() != 6 || !ParseAggName(parts[0], &spec.aggregate) ||
+          !ParseFieldName(parts[1], &spec.attribute) ||
+          !ParseFieldName(parts[2], &spec.group_field) ||
+          !ParseDouble(parts[3], &spec.lo) ||
+          !ParseDouble(parts[4], &spec.hi) ||
+          !ParseU32(parts[5], &spec.groups)) {
+        std::fprintf(stderr,
+                     "--group-by needs AGG:ATTR:FIELD:LO:HI:GROUPS\n");
+        return 2;
+      }
+      spec.scale_pow10 = config.scale_pow10;
+      demo.lo = spec.lo;
+      demo.hi = spec.hi;
+      demo.cells = spec.groups;
+      demo.title = parts[0] + "(" + parts[1] + ") by " + parts[2] +
+                   " in [" + parts[3] + ", " + parts[4] + "], " + parts[5] +
+                   " groups";
+      cells = predicate::CompileGroupBy(spec, /*first_query_id=*/0);
+    }
+    if (!cells.ok()) {
+      std::fprintf(stderr, "%s\n", cells.status().ToString().c_str());
+      return 2;
+    }
+    engine_queries = std::move(cells).value();
+    engine_mode = true;
+    demo.active = true;
   }
   if (engine_mode && config.scheme != runner::Scheme::kSies) {
     std::fprintf(stderr,
@@ -354,6 +486,17 @@ int main(int argc, char** argv) {
       };
       telemetry::EpochTimeline::Global().Enable();
     }
+    std::vector<engine::QueryEpochOutcome> last_outcomes;
+    if (demo.active) {
+      // The shape assembles from the LAST answered epoch's verified
+      // per-cell outcomes.
+      engine_config.on_epoch_outcomes =
+          [&last_outcomes](uint64_t /*epoch*/, bool answered,
+                           const std::vector<engine::QueryEpochOutcome>&
+                               outcomes) {
+            if (answered) last_outcomes = outcomes;
+          };
+    }
     auto engine_result = runner::RunEngineExperiment(engine_config);
     if (!engine_result.ok()) {
       std::fprintf(stderr, "engine experiment failed: %s\n",
@@ -367,15 +510,17 @@ int main(int argc, char** argv) {
       // One row per query; run-wide columns repeat on every row.
       std::printf(
           "query_id,sql,sources,epochs,answered,verified,unverified,"
-          "partial,coverage,last_value,channel_epochs,naive_channel_epochs,"
+          "partial,coverage,last_value,channels,channel_epochs,"
+          "naive_channel_epochs,"
           "src_us,agg_us,qry_ms,retransmits,lost\n");
       for (const runner::EngineQueryStats& qs : er.queries) {
         std::printf(
-            "%u,\"%s\",%u,%u,%u,%u,%u,%u,%.6f,%.6f,%llu,%llu,"
+            "%u,\"%s\",%u,%u,%u,%u,%u,%u,%.6f,%.6f,%u,%llu,%llu,"
             "%.3f,%.3f,%.3f,%llu,%llu\n",
             qs.query_id, qs.sql.c_str(), config.num_sources, er.epochs,
             qs.answered_epochs, qs.verified_epochs, qs.unverified_epochs,
             qs.partial_epochs, qs.mean_coverage, qs.last_value,
+            qs.wire_channels,
             static_cast<unsigned long long>(er.channel_epochs),
             static_cast<unsigned long long>(er.naive_channel_epochs),
             er.source_cpu_seconds * 1e6, er.aggregator_cpu_seconds * 1e6,
@@ -422,9 +567,56 @@ int main(int argc, char** argv) {
     }
     for (const runner::EngineQueryStats& qs : er.queries) {
       std::printf("  q%-4u %-44s : %u/%u verified (%u partial), "
-                  "last=%.4f\n",
+                  "last=%.4f, %u wire channels\n",
                   qs.query_id, qs.sql.c_str(), qs.verified_epochs,
-                  qs.answered_epochs, qs.partial_epochs, qs.last_value);
+                  qs.answered_epochs, qs.partial_epochs, qs.last_value,
+                  qs.wire_channels);
+    }
+
+    if (demo.active) {
+      std::vector<core::EpochOutcome> cell_outcomes(demo.cells);
+      for (const engine::QueryEpochOutcome& qo : last_outcomes) {
+        if (qo.query_id < demo.cells) cell_outcomes[qo.query_id] = qo.outcome;
+      }
+      auto shape = predicate::AssembleCells(demo.lo, demo.hi, demo.cells,
+                                            config.scale_pow10,
+                                            cell_outcomes);
+      if (!shape.ok()) {
+        std::fprintf(stderr, "shape assembly failed: %s\n",
+                     shape.status().ToString().c_str());
+        return 1;
+      }
+      const predicate::ShapeAnswer& answer = shape.value();
+      std::printf("%-18s: %s (last answered epoch, %s)\n",
+                  demo.is_histogram ? "histogram" : "group-by",
+                  demo.title.c_str(),
+                  answer.all_verified ? "all cells verified"
+                                      : "UNVERIFIED cells");
+      uint64_t max_count = 1;
+      for (const predicate::AnswerCell& cell : answer.cells) {
+        max_count = std::max(max_count, cell.count);
+      }
+      for (const predicate::AnswerCell& cell : answer.cells) {
+        const int bar =
+            static_cast<int>(40 * cell.count / max_count);
+        std::printf("  [%8.2f, %8.2f]  value=%-12.4f count=%-6llu %s %.*s\n",
+                    cell.lo, cell.hi, cell.value,
+                    static_cast<unsigned long long>(cell.count),
+                    cell.verified ? "ok " : "BAD", bar,
+                    "########################################");
+      }
+      if (demo.is_histogram && answer.all_verified &&
+          answer.total_count > 0) {
+        auto p50 = answer.Quantile(0.5);
+        auto p90 = answer.Quantile(0.9);
+        auto p99 = answer.Quantile(0.99);
+        if (p50.ok() && p90.ok() && p99.ok()) {
+          std::printf("  quantiles         : p50=%.3f p90=%.3f p99=%.3f "
+                      "(n=%llu, exact to one cell width)\n",
+                      p50.value(), p90.value(), p99.value(),
+                      static_cast<unsigned long long>(answer.total_count));
+        }
+      }
     }
     // Mirrors the single-query exit policy: under a deliberate attack,
     // unverified epochs are the expected outcome.

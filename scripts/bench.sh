@@ -30,7 +30,7 @@ done
 # sweeps --threads itself (pinned to 1,2,4 so the scaling rows are
 # stable across regenerations).
 BENCHES=(micro_crypto fig6a_querier_vs_n telemetry_overhead
-         engine_multiquery batched_crypto)
+         engine_multiquery batched_crypto predicate_ranges)
 
 cmake -B build > /dev/null
 cmake --build build -j"$(nproc)" --target "${BENCHES[@]}"

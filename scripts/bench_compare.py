@@ -52,6 +52,7 @@ KEY_COLUMNS = {
     "batched_crypto": "kind",
     "engine_multiquery": "k",
     "transport": "mode",
+    "predicate": "range",
 }
 
 # Metrics that must match exactly under --strict (determinism claims,

@@ -3,7 +3,7 @@
 # Usage: scripts/check.sh [--skip-bench] [--sanitize] [--tsan] [--tidy]
 #                         [--lint] [--telemetry-smoke] [--fault-smoke]
 #                         [--engine-smoke] [--bench-smoke] [--ops-smoke]
-#                         [--transport-smoke]
+#                         [--transport-smoke] [--predicate-smoke]
 #   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
 #                      pass below always runs
 #   --bench-smoke      ONLY run the bench JSON smoke (tiny-N --smoke runs
@@ -56,6 +56,14 @@
 #                      are dropped, and --pipeline must not change
 #                      outcomes either); the smoke also runs as part of
 #                      the full check
+#   --predicate-smoke  ONLY run the predicate-compiler smoke (sies_sim
+#                      with a band-query mix across a loss-rate x
+#                      adversary matrix — per-query channel counts
+#                      bounded by 2*ceil(log2 D), dedup accounting —
+#                      plus the --histogram / --group-by demos and the
+#                      grammar's inverted/strict-bound rejections) plus
+#                      the `predicate`-labeled ctest subset; the smoke
+#                      also runs as part of the full check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,6 +78,7 @@ ENGINE_ONLY=0
 BENCH_SMOKE_ONLY=0
 OPS_ONLY=0
 TRANSPORT_ONLY=0
+PREDICATE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -83,6 +92,7 @@ for arg in "$@"; do
     --bench-smoke) BENCH_SMOKE_ONLY=1 ;;
     --ops-smoke) OPS_ONLY=1 ;;
     --transport-smoke) TRANSPORT_ONLY=1 ;;
+    --predicate-smoke) PREDICATE_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -363,6 +373,90 @@ PYEOF
   rm -rf "$dir"
 }
 
+# Compiled range queries end-to-end: a band-query mix across a
+# loss-rate x adversary matrix (per-query CSV channel counts bounded by
+# 2*ceil(log2 D), dyadic-node dedup strictly beating the naive layout),
+# the --histogram and --group-by demos with every cell verified, and
+# the grammar's distinct inverted/strict-bound rejections.
+predicate_smoke() {
+  local build="$1" dir rc loss adversary bad
+  dir="$(mktemp -d)"
+  echo "== predicate smoke (band mix x loss x adversary matrix) =="
+  cat > "$dir/bands.txt" <<'EOF'
+count temperature where 20 <= temperature <= 30
+count temperature where 20 <= temperature <= 35
+avg humidity between 35 and 55
+sum temperature
+EOF
+  for loss in 0 0.3; do
+    for adversary in none tamper; do
+      rc=0
+      "./$build/examples/sies_sim" --queries-file="$dir/bands.txt" \
+          --sources=16 --fanout=4 --epochs=8 --seed=5 \
+          --loss-rate="$loss" --max-retries=2 --adversary="$adversary" \
+          --csv > "$dir/$loss-$adversary.csv" || rc=$?
+      if [[ $rc -ne 0 ]]; then
+        echo "sies_sim band mix --loss-rate=$loss --adversary=$adversary" \
+             "exited $rc" >&2
+        exit 1
+      fi
+    done
+  done
+  "./$build/examples/sies_sim" --histogram=temperature:20:30:8 \
+      --sources=32 --epochs=6 --seed=5 > "$dir/histogram.txt"
+  "./$build/examples/sies_sim" --group-by=avg:temperature:humidity:30:60:4 \
+      --sources=32 --epochs=6 --seed=5 > "$dir/groupby.txt"
+  # The grammar's rejections must fail loudly, not run a wrong query.
+  for bad in "sum temperature where 30 <= temperature <= 20" \
+             "sum temperature where 20 < temperature <= 30"; do
+    echo "$bad" > "$dir/bad.txt"
+    if "./$build/examples/sies_sim" --queries-file="$dir/bad.txt" \
+        --sources=16 --epochs=1 > /dev/null 2>&1; then
+      echo "malformed band must be rejected: $bad" >&2
+      exit 1
+    fi
+  done
+  python3 - "$dir" <<'PYEOF'
+import csv, math, sys
+d = sys.argv[1]
+# Scaled (10^-2) domain sizes of the three band queries, and how many
+# channel kinds each aggregate reads (AVG = SUM + COUNT).
+bands = {0: (1001, 1), 1: (1501, 1), 2: (2001, 2)}
+for loss in ("0", "0.3"):
+    for adversary in ("none", "tamper"):
+        with open(f"{d}/{loss}-{adversary}.csv") as f:
+            rows = list(csv.DictReader(f))
+        label = f"loss={loss} adversary={adversary}"
+        assert len(rows) == 4, label
+        ch = int(rows[0]["channel_epochs"])
+        naive = int(rows[0]["naive_channel_epochs"])
+        # The overlapping [20,30]/[20,35] COUNT bands share dyadic
+        # prefix nodes: the engine MUST beat per-query compilation.
+        assert ch < naive, (label, ch, naive)
+        for row in rows:
+            qid = int(row["query_id"])
+            channels = int(row["channels"])
+            if qid in bands:
+                domain, kinds = bands[qid]
+                cap = kinds * 2 * math.ceil(math.log2(domain))
+                assert 0 < channels <= cap, (label, qid, channels, cap)
+            else:
+                assert channels == 1, (label, qid)  # plain SUM
+            if adversary == "none":
+                assert int(row["unverified"]) == 0, label
+            if loss == "0" and adversary == "none":
+                assert float(row["coverage"]) == 1.0, label
+hist = open(f"{d}/histogram.txt").read()
+assert "all cells verified" in hist and "quantiles" in hist, "histogram"
+assert "BAD" not in hist, "histogram has unverified cells"
+gb = open(f"{d}/groupby.txt").read()
+assert "all cells verified" in gb and "BAD" not in gb, "group-by"
+print("predicate smoke OK: 4 matrix cells + histogram/GROUP-BY demos "
+      "validated")
+PYEOF
+  rm -rf "$dir"
+}
+
 # Tiny-N (--smoke) runs of every JSON-emitting bench, outputs validated
 # as parseable JSON and diffed against the committed baselines by the
 # regression gate (structural mode: schema, metric presence, boolean
@@ -374,7 +468,8 @@ bench_smoke() {
   dir="$(mktemp -d)"
   echo "== bench smoke (JSON output) =="
   for b in micro_crypto fig6a_querier_vs_n telemetry_overhead \
-           engine_multiquery batched_crypto transport_pipeline; do
+           engine_multiquery batched_crypto transport_pipeline \
+           predicate_ranges; do
     echo "-- $b --smoke"
     (cd "$dir" && "$OLDPWD/$build/bench/$b" --smoke > /dev/null)
   done
@@ -535,7 +630,7 @@ if [[ $TSAN_ONLY -eq 1 ]]; then
   echo "== TSan run (labels: race engine telemetry threadpool loss ops net) =="
   TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
       ctest --test-dir "$BUILD" \
-            -L 'race|engine|telemetry|threadpool|loss|ops|net' \
+            -L 'race|engine|telemetry|threadpool|loss|ops|net|predicate' \
             --output-on-failure
   echo "TSAN CHECKS PASSED"
   exit 0
@@ -561,7 +656,7 @@ if [[ $BENCH_SMOKE_ONLY -eq 1 ]]; then
   configure "$BUILD" "${EXTRA[@]}"
   cmake --build "$BUILD" --target micro_crypto fig6a_querier_vs_n \
       telemetry_overhead engine_multiquery batched_crypto \
-      transport_pipeline
+      transport_pipeline predicate_ranges
   bench_smoke "$BUILD"
   echo "BENCH SMOKE PASSED"
   exit 0
@@ -592,6 +687,15 @@ if [[ $ENGINE_ONLY -eq 1 ]]; then
   exit 0
 fi
 
+if [[ $PREDICATE_ONLY -eq 1 ]]; then
+  configure "$BUILD" "${EXTRA[@]}"
+  cmake --build "$BUILD"
+  ctest --test-dir "$BUILD" -L predicate --output-on-failure
+  predicate_smoke "$BUILD"
+  echo "PREDICATE SMOKE PASSED"
+  exit 0
+fi
+
 configure "$BUILD" "${EXTRA[@]}"
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
@@ -612,6 +716,7 @@ fault_smoke "$BUILD"
 engine_smoke "$BUILD"
 ops_smoke "$BUILD"
 transport_smoke "$BUILD"
+predicate_smoke "$BUILD"
 
 bench_smoke "$BUILD"
 

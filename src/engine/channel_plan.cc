@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sies/session.h"  // core::ActiveChannels
+#include "predicate/compiler.h"
 
 namespace sies::engine {
 
@@ -17,50 +17,83 @@ bool SlotBefore(const PhysicalChannel& a, const PhysicalChannel& b) {
 
 }  // namespace
 
-ChannelSpec ChannelSpec::Canonical(const Query& query, Channel kind) {
-  ChannelSpec spec;
-  spec.kind = kind;
-  spec.where = query.where;
-  if (kind != Channel::kCount) {
-    spec.attribute = query.attribute;
-    spec.scale_pow10 = query.scale_pow10;
-  }
-  return spec;
-}
+Status ChannelPlan::Admit(const Query& query, const IdFreeFn& id_free) {
+  auto specs = predicate::CompileChannelSpecs(query);
+  if (!specs.ok()) return specs.status();
 
-StatusOr<uint64_t> ChannelSpec::ValueFor(
-    const core::SensorReading& reading) const {
-  Query shim;
-  shim.attribute = attribute;
-  shim.where = where;
-  shim.scale_pow10 = scale_pow10;
-  return core::ChannelValue(shim, kind, reading);
-}
-
-void ChannelPlan::Admit(const Query& query) {
-  for (Channel kind : core::ActiveChannels(query)) {
-    ChannelSpec spec = ChannelSpec::Canonical(query, kind);
-    ++naive_channels_;
-    auto it = std::find_if(
-        channels_.begin(), channels_.end(),
-        [&](const PhysicalChannel& ch) { return ch.spec == spec; });
-    if (it != channels_.end()) {
-      ++it->refcount;
-      continue;
+  // Pass 1 — plan the admission without touching the live set, so a
+  // failure (salt-space exhaustion) leaves the plan unchanged.
+  std::vector<PhysicalChannel> new_slots;
+  for (const ChannelSpec& spec : specs.value()) {
+    const bool exists =
+        std::any_of(channels_.begin(), channels_.end(),
+                    [&](const PhysicalChannel& ch) {
+                      return ch.spec == spec;
+                    });
+    if (exists) continue;
+    // Salt allocation. PRF uniqueness needs (salt_id, kind) to be
+    // unique across live slots. Plain (full-domain) channels scan from
+    // the creating query's own id — so a plain query salts every
+    // channel with query.query_id, exactly as before buckets existed.
+    // Bucket channels scan DOWN from the top of the 14-bit space:
+    // admissions hand out low ids (histogram cells are consecutive
+    // small ids), so overflow bucket salts must stay out of their way
+    // or the registry's salt-reuse guard would reject the next cell. A
+    // candidate is rejected if a live or pending slot already pairs it
+    // with the same kind, or if `id_free` says an active query holds it
+    // (bucket salts must not squat on another query's id; the query's
+    // own id already passed the registry's checks).
+    uint32_t salt = 0;
+    bool found = false;
+    for (uint32_t step = 0; step <= kMaxQueryId; ++step) {
+      const uint32_t c = spec.bucket.has_value()
+                             ? (kMaxQueryId - step)
+                             : ((query.query_id + step) & kMaxQueryId);
+      const auto same_kind = [&](const PhysicalChannel& ch) {
+        return ch.salt_id == c && ch.spec.kind == spec.kind;
+      };
+      if (std::any_of(channels_.begin(), channels_.end(), same_kind) ||
+          std::any_of(new_slots.begin(), new_slots.end(), same_kind)) {
+        continue;
+      }
+      if (c != query.query_id && id_free && !id_free(c)) continue;
+      salt = c;
+      found = true;
+      break;
+    }
+    if (!found) {
+      return Status::FailedPrecondition(
+          "channel salt space exhausted: no free (salt, kind) pair for "
+          "a new bucket channel");
     }
     PhysicalChannel slot;
     slot.spec = spec;
-    slot.salt_id = query.query_id;
-    slot.refcount = 1;
+    slot.salt_id = salt;
+    slot.refcount = 0;  // counted in pass 2 with the shared slots
+    new_slots.push_back(std::move(slot));
+  }
+
+  // Pass 2 — commit: insert the new slots in wire order, then bump
+  // refcounts through the same lookup every reader uses.
+  for (PhysicalChannel& slot : new_slots) {
     channels_.insert(std::upper_bound(channels_.begin(), channels_.end(),
                                       slot, SlotBefore),
                      std::move(slot));
   }
+  for (const ChannelSpec& spec : specs.value()) {
+    ++naive_channels_;
+    auto it = std::find_if(
+        channels_.begin(), channels_.end(),
+        [&](const PhysicalChannel& ch) { return ch.spec == spec; });
+    ++it->refcount;  // always present: pass 1 created the missing ones
+  }
+  return Status::OK();
 }
 
-void ChannelPlan::Teardown(const Query& query) {
-  for (Channel kind : core::ActiveChannels(query)) {
-    ChannelSpec spec = ChannelSpec::Canonical(query, kind);
+Status ChannelPlan::Teardown(const Query& query) {
+  auto specs = predicate::CompileChannelSpecs(query);
+  if (!specs.ok()) return specs.status();
+  for (const ChannelSpec& spec : specs.value()) {
     auto it = std::find_if(
         channels_.begin(), channels_.end(),
         [&](const PhysicalChannel& ch) { return ch.spec == spec; });
@@ -68,13 +101,16 @@ void ChannelPlan::Teardown(const Query& query) {
     --naive_channels_;
     if (--it->refcount == 0) channels_.erase(it);
   }
+  return Status::OK();
 }
 
 StatusOr<std::vector<size_t>> ChannelPlan::ChannelsOf(
     const Query& query) const {
+  auto specs = predicate::CompileChannelSpecs(query);
+  if (!specs.ok()) return specs.status();
   std::vector<size_t> slots;
-  for (Channel kind : core::ActiveChannels(query)) {
-    ChannelSpec spec = ChannelSpec::Canonical(query, kind);
+  slots.reserve(specs.value().size());
+  for (const ChannelSpec& spec : specs.value()) {
     auto it = std::find_if(
         channels_.begin(), channels_.end(),
         [&](const PhysicalChannel& ch) { return ch.spec == spec; });

@@ -41,12 +41,25 @@ MultiQueryEngine::MultiQueryEngine(core::Params params,
 }
 
 void MultiQueryEngine::ReserveCaches() {
-  // 2x the live channel count: epoch t and t+1 entries coexist during a
-  // transition. +2 keeps headroom for a query admitted mid-epoch, whose
-  // first salted epochs land while the outgoing set is still pinned —
-  // without it the batched Sources entries (the big N x 64 B tables)
-  // would be evicted and re-derived within the same epoch.
-  const size_t want = 2 * static_cast<size_t>(registry_.plan().Count()) + 2;
+  // Plan-driven sizing (re-derived on every admit/teardown): each
+  // physical channel touches ONE salted epoch per table per real epoch,
+  // and with pipelined prefetch the FIFO tables momentarily hold THREE
+  // real epochs' working sets at once — epoch t-1's entries have not
+  // aged out yet when the prefetch thread derives t+1 while t is live.
+  // Eviction is strict FIFO and the prefetched t+1 entries sit at the
+  // deque front, so a two-epoch budget evicts exactly the entries the
+  // next evaluation needs and the cache degenerates into pure thrash
+  // (zero hits). The fixed "assume a few channels per query" prefactor
+  // this replaced was fine for 1-3-channel queries but collapsed on
+  // compiled range queries, whose dyadic covers put up to 2⌈log₂ D⌉
+  // buckets *per kind* in the plan; Count() is the compiled channel
+  // total, so the bound scales with whatever the predicate compiler
+  // emits. +2 keeps headroom for a query admitted mid-epoch, whose
+  // first salted epochs land while the outgoing set is still pinned.
+  // The regression test (tests/engine/predicate_cache_test) asserts
+  // zero premature evictions for a dyadic range mix under exactly this
+  // bound, prefetch included.
+  const size_t want = 3 * static_cast<size_t>(registry_.plan().Count()) + 2;
   source_cache_->Reserve(want);
   querier_.ReserveEpochKeyCapacity(want);
 }
@@ -218,6 +231,11 @@ StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
       sample.slot = static_cast<uint32_t>(i);
       sample.salt_id = channels[i].salt_id;
       sample.kind = ChannelKindName(channels[i].spec.kind);
+      if (channels[i].spec.bucket.has_value()) {
+        sample.bucket_level = static_cast<int32_t>(
+            channels[i].spec.bucket->interval.level);
+        sample.bucket_index = channels[i].spec.bucket->interval.index;
+      }
       sample.seconds = verify_watch.ElapsedSeconds();
       sample.verified = evals[i].verified;
       sample.tid = telemetry::Tracer::CurrentThreadId();
@@ -258,21 +276,25 @@ StatusOr<std::vector<QueryEpochOutcome>> MultiQueryEngine::Evaluate(
   for (const ActiveQuery& aq : registry_.active()) {
     auto slots = registry_.plan().ChannelsOf(aq.query);
     if (!slots.ok()) return slots.status();
-    std::vector<Channel> kinds = core::ActiveChannels(aq.query);
+    // Accumulate per kind: a plain query reads exactly one slot per
+    // kind (the += degenerates to the old assignment), a compiled band
+    // query sums its kind's dyadic buckets — the cover partitions the
+    // band, so the accumulated sums equal the direct band evaluation's
+    // channel sums bit for bit.
     uint64_t sum = 0, sum_squares = 0, count = 0;
     bool verified = true;
-    for (size_t j = 0; j < kinds.size(); ++j) {
-      const ChannelEval& eval = evals[slots.value()[j]];
+    for (size_t slot : slots.value()) {
+      const ChannelEval& eval = evals[slot];
       verified = verified && eval.verified;
-      switch (kinds[j]) {
+      switch (channels[slot].spec.kind) {
         case Channel::kSum:
-          sum = eval.sum;
+          sum += eval.sum;
           break;
         case Channel::kSumSquares:
-          sum_squares = eval.sum;
+          sum_squares += eval.sum;
           break;
         case Channel::kCount:
-          count = eval.sum;
+          count += eval.sum;
           break;
       }
     }

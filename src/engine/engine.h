@@ -115,10 +115,11 @@ class MultiQueryEngine {
   }
 
  private:
-  /// Epoch-key cache sizing (EpochKeyCache satellite): the default
-  /// capacity of 32 thrashes once K queries × their channels exceed it,
-  /// so every (Admit|Teardown) re-reserves 2× the live channel count —
-  /// enough for the current epoch plus one epoch of lookahead jitter.
+  /// Epoch-key cache sizing: the default capacity of 32 thrashes once
+  /// the compiled channel count exceeds it — a single dyadic range
+  /// query can put 2⌈log₂ D⌉ buckets per kind in the plan — so every
+  /// (Admit|Teardown) re-reserves from the live plan's channel count:
+  /// two real epochs' working sets plus mid-epoch admission headroom.
   void ReserveCaches();
 
   core::Params params_;

@@ -37,7 +37,10 @@ Status QueryRegistry::Admit(const Query& query, uint64_t epoch) {
         "query id still salts a live shared channel; reusing it would "
         "collide PRF inputs");
   }
-  plan_.Admit(query);
+  // Extra bucket salts must not squat on a live query's id: the plan's
+  // allocator asks before taking one (see ChannelPlan::Admit).
+  SIES_RETURN_IF_ERROR(plan_.Admit(
+      query, [this](uint32_t id) { return Find(id) == nullptr; }));
   active_.push_back(ActiveQuery{query, epoch});
   telemetry::AuditTrail::Global().Record(
       telemetry::AuditKind::kQueryAdmitted, epoch, telemetry::kAuditNoNode,
@@ -65,7 +68,7 @@ Status QueryRegistry::Teardown(uint32_t query_id, uint64_t epoch) {
   if (it == active_.end()) {
     return Status::NotFound("query id is not active");
   }
-  plan_.Teardown(it->query);
+  SIES_RETURN_IF_ERROR(plan_.Teardown(it->query));
   telemetry::AuditTrail::Global().Record(
       telemetry::AuditKind::kQueryTeardown, epoch, telemetry::kAuditNoNode,
       "q" + std::to_string(query_id) + ": " + it->query.ToSql());

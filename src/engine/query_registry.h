@@ -19,9 +19,6 @@
 
 namespace sies::engine {
 
-/// Largest admissible query id: SaltedEpoch reserves 14 bits for it.
-inline constexpr uint32_t kMaxQueryId = (1u << 14) - 1;
-
 /// One live continuous query.
 struct ActiveQuery {
   Query query;
@@ -39,7 +36,9 @@ class QueryRegistry {
  public:
   /// Admits `query` starting at `epoch`. Fails if the id exceeds
   /// kMaxQueryId, is already active, or still salts a live channel of a
-  /// torn-down query (key-reuse hazard, see file comment).
+  /// torn-down query (key-reuse hazard, see file comment) — and, since
+  /// band queries compile to many channels, if the query is
+  /// uncompilable or the salt space cannot fit its buckets.
   Status Admit(const Query& query, uint64_t epoch);
 
   /// Admits `query` under the smallest id that passes every Admit

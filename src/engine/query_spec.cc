@@ -65,6 +65,25 @@ StatusOr<double> ParseNumber(const std::string& token) {
   }
 }
 
+// Shared by both band spellings. Rejects a second band on the line and
+// inverted bounds with distinct messages (both are tested verbatim).
+Status AttachBand(Query& query, Field field, double lo, double hi) {
+  if (query.band.has_value()) {
+    return Status::InvalidArgument(
+        "a query takes at most one band predicate");
+  }
+  if (lo > hi) {
+    return Status::InvalidArgument(
+        "band bounds are inverted: lo > hi selects nothing");
+  }
+  core::Band band;
+  band.field = field;
+  band.lo = lo;
+  band.hi = hi;
+  query.band = band;
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<Query> ParseQuerySpec(const std::string& line, bool* id_given) {
@@ -100,6 +119,40 @@ StatusOr<Query> ParseQuerySpec(const std::string& line, bool* id_given) {
       query.scale_pow10 = static_cast<uint32_t>(v.value());
       i += 2;
     } else if (keyword == "where") {
+      if (i + 1 >= tokens.size()) {
+        return Status::InvalidArgument(
+            "'where' needs 'FIELD OP VALUE' or 'LO <= FIELD <= HI'");
+      }
+      // Band form: the token after `where` is a number, not a field.
+      if (ParseNumber(tokens[i + 1]).ok()) {
+        if (i + 5 >= tokens.size()) {
+          return Status::InvalidArgument(
+              "band 'where' needs 'LO <= FIELD <= HI'");
+        }
+        for (size_t op_at : {i + 2, i + 4}) {
+          if (tokens[op_at] == "<") {
+            return Status::InvalidArgument(
+                "band bounds are inclusive; use '<=' (strict '<' would "
+                "shift a bound by one scale step)");
+          }
+          if (tokens[op_at] != "<=") {
+            return Status::InvalidArgument(
+                "band 'where' needs 'LO <= FIELD <= HI', got '" +
+                tokens[op_at] + "'");
+          }
+        }
+        auto lo = ParseNumber(tokens[i + 1]);
+        if (!lo.ok()) return lo.status();
+        auto field = ParseField(tokens[i + 3]);
+        if (!field.ok()) return field.status();
+        auto hi = ParseNumber(tokens[i + 5]);
+        if (!hi.ok()) return hi.status();
+        auto attached =
+            AttachBand(query, field.value(), lo.value(), hi.value());
+        if (!attached.ok()) return attached;
+        i += 6;
+        continue;
+      }
       if (i + 3 >= tokens.size()) {
         return Status::InvalidArgument(
             "'where' needs 'FIELD OP VALUE'");
@@ -115,6 +168,19 @@ StatusOr<Query> ParseQuerySpec(const std::string& line, bool* id_given) {
       if (!threshold.ok()) return threshold.status();
       pred.threshold = threshold.value();
       query.where = pred;
+      i += 4;
+    } else if (keyword == "between") {
+      // Sugar: `between LO and HI` bands the query's own attribute.
+      if (i + 3 >= tokens.size() || Lower(tokens[i + 2]) != "and") {
+        return Status::InvalidArgument("'between' needs 'LO and HI'");
+      }
+      auto lo = ParseNumber(tokens[i + 1]);
+      if (!lo.ok()) return lo.status();
+      auto hi = ParseNumber(tokens[i + 3]);
+      if (!hi.ok()) return hi.status();
+      auto attached =
+          AttachBand(query, query.attribute, lo.value(), hi.value());
+      if (!attached.ok()) return attached;
       i += 4;
     } else if (keyword == "id") {
       if (i + 1 >= tokens.size()) {

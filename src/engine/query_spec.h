@@ -2,15 +2,26 @@
 //
 // One query per line:
 //
-//   AGG ATTR [scale K] [where FIELD OP VALUE] [id N]
+//   AGG ATTR [scale K] [WHERE...] [id N]
 //
-//   AGG   ::= sum | count | avg | variance | stddev
-//   ATTR  ::= temperature | humidity | light | voltage
-//   OP    ::= < | <= | > | >= | =
+//   AGG    ::= sum | count | avg | variance | stddev
+//   ATTR   ::= temperature | humidity | light | voltage
+//   OP     ::= < | <= | > | >= | =
+//   WHERE  ::= where FIELD OP VALUE        (scalar predicate)
+//            | where LO <= FIELD <= HI     (band: compiles to dyadic
+//                                           bucket channels)
+//            | between LO and HI           (band over ATTR, sugar)
 //
 // e.g.  avg temperature scale 2 where temperature >= 20
-// Blank lines and lines starting with '#' are skipped. Queries without
-// an explicit `id` get the first free id in file order.
+//       sum temperature where 20 <= temperature <= 30
+//       count humidity between 35 and 55
+//
+// A band and a scalar predicate may appear together (they AND); two
+// bands on one line are rejected. Band bounds are inclusive — strict
+// '<' in a band is rejected with a hint, and inverted bounds (LO > HI)
+// are a distinct error. Blank lines and lines starting with '#' are
+// skipped. Queries without an explicit `id` get the first free id in
+// file order.
 #ifndef SIES_ENGINE_QUERY_SPEC_H_
 #define SIES_ENGINE_QUERY_SPEC_H_
 

@@ -1,0 +1,183 @@
+#include "predicate/answer.h"
+
+#include <cmath>
+
+#include "predicate/compiler.h"
+
+namespace sies::predicate {
+
+using core::Aggregate;
+using core::Band;
+using core::Query;
+
+StatusOr<std::vector<CellBounds>> PartitionBands(double lo, double hi,
+                                                 uint32_t cells,
+                                                 uint32_t scale_pow10) {
+  if (cells == 0) {
+    return Status::InvalidArgument("partition needs >= 1 cell");
+  }
+  Band whole;
+  whole.lo = lo;
+  whole.hi = hi;
+  auto scaled = QuantizeBand(whole, scale_pow10);
+  if (!scaled.ok()) return scaled.status();
+  const uint64_t width = scaled.value().hi - scaled.value().lo + 1;
+  if (cells > width) {
+    return Status::InvalidArgument(
+        "more cells than the scaled range has integers; raise the scale "
+        "or lower the cell count");
+  }
+  const double descale = std::pow(10.0, scale_pow10);
+  const uint64_t base = width / cells;
+  const uint64_t extra = width % cells;
+  std::vector<CellBounds> bounds;
+  bounds.reserve(cells);
+  uint64_t cursor = scaled.value().lo;
+  for (uint32_t i = 0; i < cells; ++i) {
+    CellBounds cell;
+    cell.scaled_lo = cursor;
+    cell.scaled_hi = cursor + base - 1 + (i < extra ? 1 : 0);
+    // Attribute-unit bounds round-trip exactly: ScaledBandBound's
+    // relative epsilon maps scaled/10^k back to the same integer.
+    cell.lo = static_cast<double>(cell.scaled_lo) / descale;
+    cell.hi = static_cast<double>(cell.scaled_hi) / descale;
+    bounds.push_back(cell);
+    cursor = cell.scaled_hi + 1;
+  }
+  return bounds;
+}
+
+namespace {
+
+StatusOr<std::vector<Query>> CompileCells(Aggregate aggregate,
+                                          core::Field attribute,
+                                          core::Field band_field, double lo,
+                                          double hi, uint32_t cells,
+                                          uint32_t scale_pow10,
+                                          uint32_t first_query_id) {
+  if (first_query_id > engine::kMaxQueryId ||
+      cells > engine::kMaxQueryId - first_query_id + 1) {
+    return Status::InvalidArgument(
+        "cell query ids exceed the 14-bit query-id space");
+  }
+  auto bounds = PartitionBands(lo, hi, cells, scale_pow10);
+  if (!bounds.ok()) return bounds.status();
+  std::vector<Query> queries;
+  queries.reserve(cells);
+  for (uint32_t i = 0; i < cells; ++i) {
+    Query query;
+    query.aggregate = aggregate;
+    query.attribute = attribute;
+    query.scale_pow10 = scale_pow10;
+    query.query_id = first_query_id + i;
+    Band band;
+    band.field = band_field;
+    band.lo = bounds.value()[i].lo;
+    band.hi = bounds.value()[i].hi;
+    query.band = band;
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Query>> CompileHistogram(const HistogramSpec& spec,
+                                              uint32_t first_query_id) {
+  if (spec.aggregate != Aggregate::kCount &&
+      spec.aggregate != Aggregate::kSum) {
+    return Status::InvalidArgument(
+        "histogram cells aggregate COUNT or SUM; use GroupBySpec for "
+        "the derived aggregates");
+  }
+  return CompileCells(spec.aggregate, spec.attribute, spec.field, spec.lo,
+                      spec.hi, spec.buckets, spec.scale_pow10,
+                      first_query_id);
+}
+
+StatusOr<std::vector<Query>> CompileGroupBy(const GroupBySpec& spec,
+                                            uint32_t first_query_id) {
+  return CompileCells(spec.aggregate, spec.attribute, spec.group_field,
+                      spec.lo, spec.hi, spec.groups, spec.scale_pow10,
+                      first_query_id);
+}
+
+StatusOr<ShapeAnswer> AssembleCells(
+    double lo, double hi, uint32_t cells, uint32_t scale_pow10,
+    const std::vector<core::EpochOutcome>& outcomes) {
+  auto bounds = PartitionBands(lo, hi, cells, scale_pow10);
+  if (!bounds.ok()) return bounds.status();
+  if (outcomes.size() != cells) {
+    return Status::InvalidArgument(
+        "cell outcome count does not match the partition");
+  }
+  ShapeAnswer answer;
+  answer.cells.reserve(cells);
+  answer.all_verified = true;
+  for (uint32_t i = 0; i < cells; ++i) {
+    AnswerCell cell;
+    cell.lo = bounds.value()[i].lo;
+    cell.hi = bounds.value()[i].hi;
+    cell.value = outcomes[i].result.value;
+    cell.count = outcomes[i].result.count;
+    cell.verified = outcomes[i].verified;
+    cell.coverage = outcomes[i].coverage;
+    answer.all_verified = answer.all_verified && cell.verified;
+    answer.total_count += cell.count;
+    answer.cells.push_back(cell);
+  }
+  return answer;
+}
+
+StatusOr<double> ShapeAnswer::Quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile q must be in [0, 1]");
+  }
+  if (!all_verified) {
+    return Status::FailedPrecondition(
+        "quantile over an unverified histogram");
+  }
+  if (total_count == 0) {
+    return Status::FailedPrecondition("quantile over zero matches");
+  }
+  const double rank = q * static_cast<double>(total_count);
+  double cum = 0.0;
+  for (const AnswerCell& cell : cells) {
+    const double c = static_cast<double>(cell.count);
+    if (c > 0.0 && cum + c >= rank) {
+      const double frac = (rank - cum) / c;
+      return cell.lo + (cell.hi - cell.lo) * frac;
+    }
+    cum += c;
+  }
+  return cells.empty() ? 0.0 : cells.back().hi;
+}
+
+StatusOr<double> ApproxBandAggregate(
+    const Band& band, uint32_t scale_pow10,
+    const std::vector<core::SensorReading>& readings, uint32_t j,
+    uint64_t seed, const std::optional<core::Field>& sum_of) {
+  if (j == 0) {
+    return Status::InvalidArgument("sketch needs >= 1 instance");
+  }
+  auto scaled = QuantizeBand(band, scale_pow10);
+  if (!scaled.ok()) return scaled.status();
+  sketch::SketchSet set(j, seed);
+  for (size_t i = 0; i < readings.size(); ++i) {
+    auto v = core::ScaledFieldValue(readings[i], band.field, scale_pow10);
+    if (!v.ok()) return v.status();
+    if (v.value() < scaled.value().lo || v.value() > scaled.value().hi) {
+      continue;
+    }
+    uint64_t units = 1;  // COUNT: one unit per matching source
+    if (sum_of.has_value()) {
+      auto s = core::ScaledFieldValue(readings[i], *sum_of, scale_pow10);
+      if (!s.ok()) return s.status();
+      units = s.value();
+    }
+    set.InsertValue(i, units);
+  }
+  return set.EstimateCorrected();
+}
+
+}  // namespace sies::predicate

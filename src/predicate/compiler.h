@@ -1,0 +1,58 @@
+// Predicate compiler: lowers a core::Query to the list of physical
+// channel specs the engine puts on the wire.
+//
+// Plain queries (no band) compile exactly as before: one canonical
+// full-domain spec per active kind (1-3 channels). A band query
+// `lo <= field <= hi` compiles, per active kind, to one *bucketed* spec
+// per interval of the band's canonical dyadic cover over the scaled
+// integer domain (predicate/dyadic.h) — at most 2 * ceil(log2 D)
+// channels per kind for a domain of size D. Each bucketed channel is an
+// ordinary SIES channel whose per-source value is gated on bucket
+// membership, so it inherits the per-channel tamper detection
+// unchanged; the querier reassembles the exact band answer by summing
+// the verified bucket sums (the cover partitions the band, so the sum
+// of bucket sums IS the band sum, bit for bit).
+//
+// The compilation is a pure function of the query — every party, and
+// every recompilation (teardown, slot lookup), derives the same spec
+// list in the same order.
+#ifndef SIES_PREDICATE_COMPILER_H_
+#define SIES_PREDICATE_COMPILER_H_
+
+#include <vector>
+
+#include "engine/channel_plan.h"
+#include "sies/query.h"
+
+namespace sies::predicate {
+
+/// The band's inclusive bounds on the scaled integer domain.
+struct ScaledBand {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+/// Validates and quantizes `band` under `scale_pow10`: non-negative
+/// bounds, lo <= hi after quantization, inside the dyadic domain.
+/// Distinct message for inverted bounds — the grammar and admission
+/// both surface it.
+StatusOr<ScaledBand> QuantizeBand(const core::Band& band,
+                                  uint32_t scale_pow10);
+
+/// The full compilation: every physical channel spec `query` needs, in
+/// canonical order — for each active kind (kSum, kSumSquares, kCount as
+/// the aggregate uses them), either the one canonical full-domain spec
+/// (plain query) or the band cover's bucketed specs in ascending
+/// interval order. Fails on invalid bands; never fails for band-free
+/// queries.
+StatusOr<std::vector<engine::ChannelSpec>> CompileChannelSpecs(
+    const core::Query& query);
+
+/// Channel-cost ceiling of one query: compiled channels never exceed
+/// ChannelCount(aggregate) * MaxIntervalsForDomain(D) with D the scaled
+/// band width — the "≤ 2⌈log₂ D⌉ per kind" guarantee the tests assert.
+uint32_t MaxChannelsFor(const core::Query& query);
+
+}  // namespace sies::predicate
+
+#endif  // SIES_PREDICATE_COMPILER_H_

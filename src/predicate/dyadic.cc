@@ -1,0 +1,55 @@
+#include "predicate/dyadic.h"
+
+#include <algorithm>
+
+namespace sies::predicate {
+
+namespace {
+
+uint32_t CountTrailingZeros(uint64_t v) {
+  return v == 0 ? 64 : static_cast<uint32_t>(__builtin_ctzll(v));
+}
+
+uint32_t CeilLog2(uint64_t v) {
+  if (v <= 1) return 0;
+  // ceil(log2 v) = bit width of v - 1.
+  return static_cast<uint32_t>(64 - __builtin_clzll(v - 1));
+}
+
+}  // namespace
+
+StatusOr<std::vector<DyadicInterval>> DyadicDecompose(uint64_t lo,
+                                                      uint64_t hi) {
+  if (lo > hi) {
+    return Status::InvalidArgument("inverted range: lo > hi");
+  }
+  if (hi > kMaxDomainValue) {
+    return Status::InvalidArgument(
+        "range exceeds the 2^62 dyadic domain");
+  }
+  // Greedy largest-aligned-fit, low to high: at each position take the
+  // biggest canonical interval that starts there and stays within hi.
+  // This reproduces the segment-tree cover — block sizes ascend to the
+  // single largest block and descend after it, so the count is bounded
+  // by 2 * ceil(log2(span + 1)).
+  std::vector<DyadicInterval> cover;
+  uint64_t cur = lo;
+  while (cur <= hi) {
+    uint32_t level = std::min<uint32_t>(62, CountTrailingZeros(cur));
+    while (level > 0 && (cur + (uint64_t{1} << level) - 1) > hi) {
+      --level;
+    }
+    DyadicInterval interval;
+    interval.level = level;
+    interval.index = cur >> level;
+    cover.push_back(interval);
+    cur += uint64_t{1} << level;  // <= hi + 1 <= 2^62: no overflow
+  }
+  return cover;
+}
+
+uint32_t MaxIntervalsForDomain(uint64_t domain_size) {
+  return std::max<uint32_t>(1, 2 * CeilLog2(domain_size));
+}
+
+}  // namespace sies::predicate

@@ -1,0 +1,61 @@
+// Dyadic interval decomposition — the combinatorial core of the
+// predicate compiler.
+//
+// A *canonical dyadic interval* at level L and index i covers the
+// integer range [i * 2^L, (i + 1) * 2^L - 1]: the set of values whose
+// top bits equal i. Any inclusive integer range [lo, hi] inside a
+// domain of size D decomposes into at most 2 * ceil(log2 D) disjoint
+// canonical intervals (the classic segment-tree cover), and membership
+// in one interval is a single shift-compare: (v >> level) == index.
+//
+// The predicate compiler maps each interval of a range query to one
+// physical SIES channel. Because the cover is *canonical* — a pure
+// function of [lo, hi], independent of which query asked — overlapping
+// range queries share their common dyadic nodes, and the engine's
+// ChannelPlan dedups them exactly like ordinary channels.
+#ifndef SIES_PREDICATE_DYADIC_H_
+#define SIES_PREDICATE_DYADIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sies::predicate {
+
+/// Largest admissible domain value: DyadicDecompose works on
+/// [0, 2^62) so that interval widths (up to 2^62) and the exclusive
+/// upper bound never overflow uint64 arithmetic. Scaled sensor values
+/// are bounded far below this by ChannelValue's own 9.2e18 check.
+inline constexpr uint64_t kMaxDomainValue = (uint64_t{1} << 62) - 1;
+
+/// One canonical dyadic interval: [index << level, ((index+1) << level) - 1].
+struct DyadicInterval {
+  uint32_t level = 0;   ///< log2 of the interval width
+  uint64_t index = 0;   ///< position among the level's intervals
+
+  uint64_t Lo() const { return index << level; }
+  uint64_t Hi() const { return ((index + 1) << level) - 1; }
+  uint64_t Width() const { return uint64_t{1} << level; }
+  /// Membership: one shift and one compare — this is what the source
+  /// side evaluates per reading per bucket channel.
+  bool Contains(uint64_t v) const { return (v >> level) == index; }
+
+  bool operator==(const DyadicInterval&) const = default;
+};
+
+/// The canonical dyadic cover of the inclusive range [lo, hi]:
+/// disjoint intervals whose union is exactly [lo, hi], in ascending
+/// order, at most 2 * ceil(log2(hi - lo + 2)) of them. Fails on
+/// inverted ranges (lo > hi) and bounds above kMaxDomainValue.
+StatusOr<std::vector<DyadicInterval>> DyadicDecompose(uint64_t lo,
+                                                      uint64_t hi);
+
+/// The compiler's channel-cost guarantee: the largest cover any range
+/// inside a domain of size `domain_size` can need — 2 * ceil(log2 D)
+/// intervals (and never more than 123 at the 2^62 domain cap).
+uint32_t MaxIntervalsForDomain(uint64_t domain_size);
+
+}  // namespace sies::predicate
+
+#endif  // SIES_PREDICATE_DYADIC_H_

@@ -186,8 +186,19 @@ StatusOr<EngineExperimentResult> RunEngineExperiment(
     }
     result.channel_epochs += eng->registry().plan().Count();
     for (const engine::ActiveQuery& aq : eng->registry().active()) {
-      result.naive_channel_epochs +=
-          core::ChannelCount(aq.query.aggregate);
+      // A live query's compiled channel count (== ChannelCount for
+      // plain queries, buckets × kinds for band queries) is what a
+      // dedicated session per query-per-bucket would put on the wire.
+      auto slots = eng->registry().plan().ChannelsOf(aq.query);
+      const uint64_t compiled =
+          slots.ok() ? slots.value().size()
+                     : core::ChannelCount(aq.query.aggregate);
+      result.naive_channel_epochs += compiled;
+      auto it = stats_index.find(aq.query.query_id);
+      if (it != stats_index.end()) {
+        result.queries[it->second].wire_channels =
+            static_cast<uint32_t>(compiled);
+      }
     }
 
     const bool attribute = timeline.enabled();

@@ -89,6 +89,10 @@ struct EngineQueryStats {
   uint32_t partial_epochs = 0;     ///< verified with coverage < 1
   double last_value = 0.0;         ///< result of the last verified epoch
   double mean_coverage = 0.0;      ///< over answered epochs
+  /// Physical wire channels this query reads in the live plan (from its
+  /// last live epoch): ChannelCount for a plain query, buckets × kinds
+  /// for a compiled band query (≤ 2⌈log₂ D⌉ per kind).
+  uint32_t wire_channels = 0;
 };
 
 struct EngineExperimentResult {
@@ -101,8 +105,10 @@ struct EngineExperimentResult {
   /// Σ over run epochs of live physical channels — what the engine
   /// actually puts on the wire.
   uint64_t channel_epochs = 0;
-  /// Σ over run epochs of Σ_liveq ChannelCount(q) — what K independent
-  /// sessions would have to transmit. channel_epochs < naive ⇔ dedup won.
+  /// Σ over run epochs of each live query's COMPILED channel count —
+  /// what independent per-query (and, for band queries, per-bucket)
+  /// sessions would have to transmit. Equals Σ ChannelCount(q) when no
+  /// query carries a band. channel_epochs < naive ⇔ dedup won.
   uint64_t naive_channel_epochs = 0;
   /// Mean per-epoch CPU over answered epochs, per party.
   double source_cpu_seconds = 0;

@@ -39,10 +39,25 @@ std::shared_ptr<const Entry> EpochKeyCache::Find(const Table<Entry>& table,
 template <typename Entry>
 void EpochKeyCache::Insert(Table<Entry>& table, uint64_t epoch,
                            std::shared_ptr<const Entry> entry) {
+  // Salted keys carry the real epoch in their high 48 bits (SaltedEpoch
+  // layout); the newest real epoch seen defines the live window.
+  const uint64_t real = epoch >> 16;
+  if (real > newest_real_epoch_) newest_real_epoch_ = real;
   while (table.size() >= capacity_) {
+    const uint64_t dropped = table.front().first >> 16;
     table.pop_front();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-    EvictionCounter()->Increment();
+    // Dropping an entry at least two real epochs old is *retirement* —
+    // epochs advance monotonically, so it would never have been read
+    // again. Dropping from the live window (the current epoch, or the
+    // next one a pipeline prefetch already derived) is a premature
+    // eviction: the entry will be re-derived within the same epoch,
+    // which is the thrash the eviction counter exists to expose.
+    // Unsalted epochs (single-party tests) all report real epoch 0 and
+    // keep the pre-salt behaviour: every drop counts.
+    if (dropped + 1 >= newest_real_epoch_) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      EvictionCounter()->Increment();
+    }
   }
   table.emplace_back(epoch, std::move(entry));
 }

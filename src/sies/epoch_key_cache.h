@@ -112,7 +112,14 @@ class EpochKeyCache {
     uint64_t global_misses = 0;
     uint64_t source_hits = 0;
     uint64_t source_misses = 0;
-    uint64_t evictions = 0;  ///< entries dropped to make room, both tables
+    /// PREMATURE drops, both tables: entries evicted out of the live
+    /// epoch window (current epoch, or the prefetched next one) and so
+    /// re-derived within the epoch. Retiring entries of finished epochs
+    /// is normal FIFO aging and is NOT counted — a correctly sized
+    /// cache (engine ReserveCaches: plan-driven) reports 0 here over
+    /// any run length, which is what the range-query regression test
+    /// asserts.
+    uint64_t evictions = 0;
   };
   Stats stats() const {
     return Stats{global_hits_.load(std::memory_order_relaxed),
@@ -134,6 +141,10 @@ class EpochKeyCache {
               std::shared_ptr<const Entry> entry);
 
   size_t capacity_;  // guarded by mu_; grows via Reserve, never shrinks
+  /// Newest real epoch (salted key >> 16) ever inserted — the live
+  /// window marker premature-eviction accounting compares against.
+  /// Guarded by mu_ (Insert runs under it).
+  uint64_t newest_real_epoch_ = 0;
   mutable std::mutex mu_;
   Table<GlobalEntry> global_;
   Table<SourceEntry> sources_;

@@ -89,13 +89,23 @@ std::string Query::ToSql() const {
   sql += "(";
   sql += FieldName(attribute);
   sql += ") FROM Sensors";
-  if (where.has_value()) {
+  if (band.has_value() || where.has_value()) {
     sql += " WHERE ";
-    sql += FieldName(where->field);
-    sql += " ";
-    sql += OpName(where->op);
-    sql += " ";
-    sql += std::to_string(where->threshold);
+    if (band.has_value()) {
+      sql += std::to_string(band->lo);
+      sql += " <= ";
+      sql += FieldName(band->field);
+      sql += " <= ";
+      sql += std::to_string(band->hi);
+      if (where.has_value()) sql += " AND ";
+    }
+    if (where.has_value()) {
+      sql += FieldName(where->field);
+      sql += " ";
+      sql += OpName(where->op);
+      sql += " ";
+      sql += std::to_string(where->threshold);
+    }
   }
   sql += " EPOCH DURATION " + std::to_string(epoch_duration_ms) + "ms";
   return sql;
@@ -130,28 +140,64 @@ bool UsesChannel(Aggregate aggregate, Channel channel) {
   return false;
 }
 
+StatusOr<uint64_t> ScaledFieldValue(const SensorReading& reading, Field field,
+                                    uint32_t scale_pow10) {
+  double raw = GetField(reading, field);
+  if (raw < 0.0) {
+    return Status::OutOfRange(
+        "attribute must be non-negative (encode via translation first)");
+  }
+  double scaled = std::trunc(raw * std::pow(10.0, scale_pow10));
+  if (scaled >= 9.2e18) {
+    return Status::OutOfRange("scaled value overflows 64 bits");
+  }
+  return static_cast<uint64_t>(scaled);
+}
+
+StatusOr<uint64_t> ScaledBandBound(double x, uint32_t scale_pow10) {
+  if (x < 0.0) {
+    return Status::OutOfRange("band bounds must be non-negative");
+  }
+  const double y = x * std::pow(10.0, scale_pow10);
+  // Absolute + relative epsilon: decimal bounds (18.2 -> 1819.999...)
+  // and scaled-integer round-trips (s / 10^k * 10^k for large s) both
+  // land within a few ulps BELOW the intended integer; promote them.
+  const double scaled = std::trunc(y + 1e-9 + y * 1e-12);
+  if (scaled >= 9.2e18) {
+    return Status::OutOfRange("scaled band bound overflows 64 bits");
+  }
+  return static_cast<uint64_t>(scaled);
+}
+
 StatusOr<uint64_t> ChannelValue(const Query& query, Channel channel,
                                 const SensorReading& reading) {
+  // Band first, predicate second — the compiled bucket path evaluates in
+  // the same order, so the two paths fail identically on out-of-domain
+  // readings (a negative band attribute errors even when `where` would
+  // have filtered the reading).
+  if (query.band.has_value()) {
+    auto lo = ScaledBandBound(query.band->lo, query.scale_pow10);
+    if (!lo.ok()) return lo.status();
+    auto hi = ScaledBandBound(query.band->hi, query.scale_pow10);
+    if (!hi.ok()) return hi.status();
+    auto v = ScaledFieldValue(reading, query.band->field, query.scale_pow10);
+    if (!v.ok()) return v.status();
+    if (v.value() < lo.value() || v.value() > hi.value()) {
+      return uint64_t{0};
+    }
+  }
   if (query.where.has_value() && !query.where->Matches(reading)) {
     return uint64_t{0};  // non-matching sources transmit 0 (paper III-B)
   }
   if (channel == Channel::kCount) return uint64_t{1};
 
-  double raw = GetField(reading, query.attribute);
-  if (raw < 0.0) {
-    return Status::OutOfRange(
-        "attribute must be non-negative (encode via translation first)");
-  }
-  double scaled = std::trunc(raw * std::pow(10.0, query.scale_pow10));
-  if (scaled >= 9.2e18) {
-    return Status::OutOfRange("scaled value overflows 64 bits");
-  }
-  uint64_t v = static_cast<uint64_t>(scaled);
+  auto v = ScaledFieldValue(reading, query.attribute, query.scale_pow10);
+  if (!v.ok()) return v.status();
   if (channel == Channel::kSumSquares) {
-    if (v != 0 && v > UINT64_MAX / v) {
+    if (v.value() != 0 && v.value() > UINT64_MAX / v.value()) {
       return Status::OutOfRange("squared value overflows 64 bits");
     }
-    return v * v;
+    return v.value() * v.value();
   }
   return v;
 }

@@ -53,6 +53,22 @@ struct Predicate {
   bool operator==(const Predicate&) const = default;
 };
 
+/// Range (band) predicate: `lo <= field <= hi`, bounds inclusive and in
+/// attribute units. Membership is decided on the *scaled integer*
+/// domain — a reading matches iff
+///   ScaledBandBound(lo, k) <= trunc(value * 10^k) <= ScaledBandBound(hi, k)
+/// with k the query's scale_pow10 — so the engine's dyadic bucket
+/// decomposition (src/predicate) partitions exactly the set of readings
+/// the direct evaluation path accepts, and both paths produce
+/// bit-identical channel sums.
+struct Band {
+  Field field = Field::kTemperature;
+  double lo = 0.0;  ///< inclusive lower bound, attribute units
+  double hi = 0.0;  ///< inclusive upper bound, attribute units
+
+  bool operator==(const Band&) const = default;
+};
+
 /// Aggregate function of the query.
 enum class Aggregate { kSum, kCount, kAvg, kVariance, kStddev };
 
@@ -61,6 +77,9 @@ struct Query {
   Aggregate aggregate = Aggregate::kSum;
   Field attribute = Field::kTemperature;
   std::optional<Predicate> where;
+  /// Range restriction, ANDed with `where`. Non-matching sources
+  /// transmit 0 on every channel, exactly like a non-matching `where`.
+  std::optional<Band> band;
   /// Epoch duration T in milliseconds (push-based model; informational
   /// for the simulator, which steps epochs logically).
   uint64_t epoch_duration_ms = 1000;
@@ -90,9 +109,23 @@ uint32_t ChannelCount(Aggregate aggregate);
 /// True if `channel` is among the channels `aggregate` needs.
 bool UsesChannel(Aggregate aggregate, Channel channel);
 
+/// trunc(GetField(reading, field) * 10^scale_pow10) as an unsigned
+/// integer — the scaling every SIES channel applies before encryption.
+/// Fails on negative values and 64-bit overflow.
+StatusOr<uint64_t> ScaledFieldValue(const SensorReading& reading, Field field,
+                                    uint32_t scale_pow10);
+
+/// A band bound quantized onto the scaled integer domain:
+/// trunc(x * 10^k + 1e-9). The epsilon absorbs the binary-representation
+/// error of decimal bounds (an exact decimal like 18.2 may scale to
+/// 1819.999..., which must quantize to 1820, not 1819); the SAME
+/// function is used by the direct evaluation path (ChannelValue) and the
+/// dyadic compiler, so both agree on membership for every reading.
+StatusOr<uint64_t> ScaledBandBound(double x, uint32_t scale_pow10);
+
 /// The per-source value to feed into the SIES channel for this reading:
-/// 0 when the predicate does not match (the paper's convention), else the
-/// scaled attribute / its square / the constant 1.
+/// 0 when the band or predicate does not match (the paper's convention),
+/// else the scaled attribute / its square / the constant 1.
 StatusOr<uint64_t> ChannelValue(const Query& query, Channel channel,
                                 const SensorReading& reading);
 

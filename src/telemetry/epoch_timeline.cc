@@ -209,7 +209,12 @@ std::string EpochTimeline::ToJson(size_t last_k) const {
       out += "{\"slot\": " + std::to_string(ch.slot) +
              ", \"salt_id\": " + std::to_string(ch.salt_id) + ", \"kind\": \"";
       out += ch.kind;
-      out += "\", \"seconds\": ";
+      out += "\"";
+      if (ch.bucket_level >= 0) {
+        out += ", \"bucket_level\": " + std::to_string(ch.bucket_level) +
+               ", \"bucket_index\": " + std::to_string(ch.bucket_index);
+      }
+      out += ", \"seconds\": ";
       AppendDouble(out, ch.seconds);
       out += ", \"verified\": ";
       out += ch.verified ? "true" : "false";

@@ -63,6 +63,11 @@ struct ChannelVerifySample {
   uint32_t slot = 0;      ///< index into the epoch's wire plan
   uint32_t salt_id = 0;   ///< PRF-salt identity of the slot
   const char* kind = "";  ///< "sum" / "sum_squares" / "count"
+  /// Dyadic bucket identity of a compiled range channel (predicate
+  /// compiler): level = log2 of the bucket width on the scaled domain,
+  /// index = its position. level is -1 for full-domain channels.
+  int32_t bucket_level = -1;
+  uint64_t bucket_index = 0;
   double seconds = 0.0;
   bool verified = true;
   uint32_t tid = 0;       ///< dense thread id (Tracer::CurrentThreadId)

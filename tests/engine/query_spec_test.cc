@@ -79,5 +79,88 @@ TEST(QuerySpecTest, DefaultMixDedupsToThreeChannels) {
   }
 }
 
+
+TEST(QuerySpecTest, ParsesBandWhereForm) {
+  auto q = ParseQuerySpec("sum temperature where 20 <= temperature <= 30");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q.value().band.has_value());
+  EXPECT_EQ(q.value().band->field, core::Field::kTemperature);
+  EXPECT_EQ(q.value().band->lo, 20.0);
+  EXPECT_EQ(q.value().band->hi, 30.0);
+  EXPECT_FALSE(q.value().where.has_value());
+}
+
+TEST(QuerySpecTest, ParsesBetweenSugarOverTheAttribute) {
+  auto q = ParseQuerySpec("count humidity between 35 and 55 id 2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q.value().band.has_value());
+  EXPECT_EQ(q.value().band->field, core::Field::kHumidity);
+  EXPECT_EQ(q.value().band->lo, 35.0);
+  EXPECT_EQ(q.value().band->hi, 55.0);
+  EXPECT_EQ(q.value().query_id, 2u);
+}
+
+TEST(QuerySpecTest, BandAndScalarPredicateCompose) {
+  auto q = ParseQuerySpec(
+      "avg temperature where 20 <= temperature <= 30 where humidity >= 40");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q.value().band.has_value());
+  ASSERT_TRUE(q.value().where.has_value());
+  EXPECT_EQ(q.value().where->field, core::Field::kHumidity);
+}
+
+TEST(QuerySpecTest, RejectsInvertedBandWithDistinctMessage) {
+  for (const char* line :
+       {"sum temperature where 30 <= temperature <= 20",
+        "sum temperature between 30 and 20"}) {
+    auto q = ParseQuerySpec(line);
+    ASSERT_FALSE(q.ok()) << line;
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(q.status().message().find(
+                  "band bounds are inverted: lo > hi selects nothing"),
+              std::string::npos)
+        << q.status().ToString();
+  }
+}
+
+TEST(QuerySpecTest, RejectsStrictBandBoundsWithHint) {
+  auto q = ParseQuerySpec("sum temperature where 20 < temperature <= 30");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("band bounds are inclusive"),
+            std::string::npos)
+      << q.status().ToString();
+  EXPECT_FALSE(
+      ParseQuerySpec("sum temperature where 20 <= temperature < 30").ok());
+}
+
+TEST(QuerySpecTest, RejectsDuplicateBands) {
+  auto q = ParseQuerySpec(
+      "sum temperature between 20 and 30 where 25 <= humidity <= 50");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("at most one band"),
+            std::string::npos);
+}
+
+TEST(QuerySpecTest, RejectsTruncatedBandForms) {
+  EXPECT_FALSE(ParseQuerySpec("sum temperature where 20 <= temperature").ok());
+  EXPECT_FALSE(ParseQuerySpec("sum temperature where 20").ok());
+  EXPECT_FALSE(ParseQuerySpec("sum temperature between 20 and").ok());
+  EXPECT_FALSE(ParseQuerySpec("sum temperature between 20 or 30").ok());
+  EXPECT_FALSE(
+      ParseQuerySpec("sum temperature where 20 <= pressure <= 30").ok());
+}
+
+TEST(QuerySpecTest, TextParsesBandMix) {
+  auto queries = ParseQueriesText(
+      "count temperature where 20 <= temperature <= 30\n"
+      "avg humidity between 35 and 55\n"
+      "sum temperature\n");
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  ASSERT_EQ(queries.value().size(), 3u);
+  EXPECT_TRUE(queries.value()[0].band.has_value());
+  EXPECT_TRUE(queries.value()[1].band.has_value());
+  EXPECT_FALSE(queries.value()[2].band.has_value());
+}
+
 }  // namespace
 }  // namespace sies::engine

@@ -18,7 +18,9 @@
 #include "crypto/prime.h"
 #include "crypto/rsa.h"
 #include "mht/merkle_tree.h"
+#include "engine/query_spec.h"
 #include "mutesla/mutesla.h"
+#include "predicate/dyadic.h"
 #include "secoa/secoa_max.h"
 #include "secoa/secoa_sum.h"
 #include "sies/message_format.h"
@@ -355,6 +357,103 @@ TEST(FuzzTest, CmtParserWidthsEnforced) {
       EXPECT_FALSE(querier.Decrypt(random, 1, {0}).ok());
     }
   }
+}
+
+TEST(FuzzTest, QuerySpecGrammarRandomAndMutated) {
+  // The query grammar (scalar predicates, band predicates, 'between'
+  // sugar) parses operator text; seed with every edge case the band
+  // grammar introduced, then recombine tokens at random. Invariants:
+  // no crash, and every accepted spec satisfies the one band invariant
+  // the parser promises: lo <= hi (negative bounds are deferred to the
+  // compiler, which rejects them with its own message).
+  const char* seeds[] = {
+      "sum temperature",
+      "sum temperature where 20 <= temperature <= 30",
+      "count humidity between 35 and 55",
+      "avg temperature where 20 <= temperature <= 30 where humidity >= 40",
+      "sum temperature where 30 <= temperature <= 20",
+      "sum temperature where 20 < temperature <= 30",
+      "sum temperature where 20 <= temperature < 30",
+      "sum temperature between 30 and 20",
+      "sum temperature between 20 or 30",
+      "sum temperature between 20 and",
+      "sum temperature where 20 <= pressure <= 30",
+      "sum temperature between 20 and 30 where 25 <= humidity <= 50",
+      "variance humidity scale 3 id 7",
+      "sum temperature where -1 <= temperature <= 30",
+      "sum temperature where 1e308 <= temperature <= 1e309",
+      "between between between",
+      "where 1 <= x <= 2",
+  };
+  for (const char* seed : seeds) {
+    auto q = engine::ParseQuerySpec(seed);
+    if (q.ok() && q.value().band.has_value()) {
+      EXPECT_LE(q.value().band->lo, q.value().band->hi) << seed;
+    }
+  }
+  // Random recombinations of the grammar's vocabulary.
+  const char* words[] = {"sum",   "count", "avg",   "variance", "temperature",
+                         "humidity", "where", "between", "and", "<=", "<",
+                         ">=", "=", "20", "30", "-5", "1e12", "id", "scale",
+                         "2", "abc", ""};
+  Xoshiro256 rng(14);
+  for (int t = 0; t < kTrials; ++t) {
+    std::string line;
+    const size_t tokens = 1 + rng.NextBelow(10);
+    for (size_t i = 0; i < tokens; ++i) {
+      if (i) line.push_back(' ');
+      line += words[rng.NextBelow(sizeof(words) / sizeof(words[0]))];
+    }
+    auto q = engine::ParseQuerySpec(line);
+    (void)q;  // must not crash; either outcome is acceptable
+  }
+  // Multi-line text parser: blank lines, comments, and hostile mixes.
+  auto text = engine::ParseQueriesText(
+      "# comment\n\nsum temperature where 20 <= temperature <= 30\n"
+      "count humidity between 35 and 55\nbogus line here\n");
+  EXPECT_FALSE(text.ok());
+  for (int t = 0; t < 50; ++t) {
+    std::string blob;
+    for (size_t i = rng.NextBelow(200); i > 0; --i) {
+      blob.push_back(static_cast<char>(rng.NextBelow(128)));
+    }
+    auto parsed = engine::ParseQueriesText(blob);
+    (void)parsed;
+  }
+}
+
+TEST(FuzzTest, DyadicDecomposeRandomRangesHoldInvariants) {
+  // The predicate compiler's dyadic cover: random (including hostile)
+  // bounds must produce either an error or an exact disjoint cover —
+  // never a crash, never an interval outside [lo, hi].
+  Xoshiro256 rng(15);
+  for (int t = 0; t < kTrials; ++t) {
+    uint64_t lo = rng.Next() >> rng.NextBelow(64);
+    uint64_t hi = rng.Next() >> rng.NextBelow(64);
+    auto cover = predicate::DyadicDecompose(lo, hi);
+    if (!cover.ok()) {
+      EXPECT_TRUE(lo > hi || hi > predicate::kMaxDomainValue)
+          << "valid range [" << lo << ", " << hi << "] rejected";
+      continue;
+    }
+    uint64_t cursor = lo;
+    for (const predicate::DyadicInterval& iv : cover.value()) {
+      ASSERT_EQ(iv.Lo(), cursor);
+      ASSERT_GE(iv.Hi(), iv.Lo());
+      cursor = iv.Hi() + 1;
+    }
+    EXPECT_EQ(cursor, hi + 1);
+    EXPECT_LE(cover.value().size(),
+              predicate::MaxIntervalsForDomain(hi - lo + 1));
+  }
+  // Boundary seeds around the domain cap.
+  EXPECT_TRUE(predicate::DyadicDecompose(0, predicate::kMaxDomainValue).ok());
+  EXPECT_FALSE(
+      predicate::DyadicDecompose(0, predicate::kMaxDomainValue + 1).ok());
+  EXPECT_FALSE(predicate::DyadicDecompose(UINT64_MAX, UINT64_MAX).ok());
+  EXPECT_TRUE(predicate::DyadicDecompose(predicate::kMaxDomainValue,
+                                         predicate::kMaxDomainValue)
+                  .ok());
 }
 
 TEST(FuzzTest, BigUintDifferentialAgainstNativeArithmetic) {

@@ -1,0 +1,219 @@
+// Answer shapes: equal-width partitions, histogram / GROUP-BY cell
+// compilation, outcome assembly, quantiles, and the AMS approximate
+// band aggregate.
+#include "predicate/answer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predicate/compiler.h"
+
+namespace sies::predicate {
+namespace {
+
+TEST(PartitionTest, EqualWidthCellsTileTheScaledRange) {
+  auto cells = PartitionBands(20.0, 30.0, 8, 2);
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  ASSERT_EQ(cells.value().size(), 8u);
+  EXPECT_EQ(cells.value().front().scaled_lo, 2000u);
+  EXPECT_EQ(cells.value().back().scaled_hi, 3000u);
+  uint64_t cursor = 2000;
+  uint64_t min_width = UINT64_MAX, max_width = 0;
+  for (const CellBounds& cell : cells.value()) {
+    EXPECT_EQ(cell.scaled_lo, cursor);
+    const uint64_t width = cell.scaled_hi - cell.scaled_lo + 1;
+    min_width = std::min(min_width, width);
+    max_width = std::max(max_width, width);
+    cursor = cell.scaled_hi + 1;
+  }
+  EXPECT_EQ(cursor, 3001u);
+  EXPECT_LE(max_width - min_width, 1u) << "widths differ by more than one";
+}
+
+TEST(PartitionTest, AttributeBoundsRoundTripToScaledBounds) {
+  // The double cell bounds must re-quantize to exactly the scaled
+  // integers they came from — otherwise a cell query would cover a
+  // different range than the partition reports.
+  auto cells = PartitionBands(18.0, 49.99, 7, 2);
+  ASSERT_TRUE(cells.ok());
+  for (const CellBounds& cell : cells.value()) {
+    auto lo = core::ScaledBandBound(cell.lo, 2);
+    auto hi = core::ScaledBandBound(cell.hi, 2);
+    ASSERT_TRUE(lo.ok());
+    ASSERT_TRUE(hi.ok());
+    EXPECT_EQ(lo.value(), cell.scaled_lo);
+    EXPECT_EQ(hi.value(), cell.scaled_hi);
+  }
+}
+
+TEST(PartitionTest, ErrorPaths) {
+  EXPECT_FALSE(PartitionBands(20.0, 30.0, 0, 2).ok());
+  auto inverted = PartitionBands(30.0, 20.0, 4, 2);
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_NE(inverted.status().message().find("inverted"),
+            std::string::npos);
+  // [20.00, 20.02] at scale 2 holds three integers; five cells cannot.
+  EXPECT_FALSE(PartitionBands(20.0, 20.02, 5, 2).ok());
+}
+
+TEST(HistogramTest, CompilesCellQueriesWithConsecutiveIds) {
+  HistogramSpec spec;
+  spec.field = core::Field::kHumidity;
+  spec.lo = 30.0;
+  spec.hi = 60.0;
+  spec.buckets = 4;
+  auto queries = CompileHistogram(spec, /*first_query_id=*/10);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  ASSERT_EQ(queries.value().size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    const core::Query& q = queries.value()[i];
+    EXPECT_EQ(q.query_id, 10u + i);
+    EXPECT_EQ(q.aggregate, core::Aggregate::kCount);
+    ASSERT_TRUE(q.band.has_value());
+    EXPECT_EQ(q.band->field, core::Field::kHumidity);
+  }
+  // Adjacent cells: each cell's band starts right after the previous
+  // one on the scaled domain.
+  auto b0 = QuantizeBand(*queries.value()[0].band, spec.scale_pow10);
+  auto b1 = QuantizeBand(*queries.value()[1].band, spec.scale_pow10);
+  ASSERT_TRUE(b0.ok());
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1.value().lo, b0.value().hi + 1);
+}
+
+TEST(HistogramTest, RejectsDerivedAggregates) {
+  HistogramSpec spec;
+  spec.lo = 20.0;
+  spec.hi = 30.0;
+  spec.aggregate = core::Aggregate::kAvg;
+  EXPECT_FALSE(CompileHistogram(spec, 0).ok());
+}
+
+TEST(HistogramTest, RejectsIdOverflow) {
+  HistogramSpec spec;
+  spec.lo = 20.0;
+  spec.hi = 30.0;
+  spec.buckets = 8;
+  EXPECT_FALSE(CompileHistogram(spec, engine::kMaxQueryId - 2).ok());
+}
+
+TEST(GroupByTest, CompilesRollupCells) {
+  GroupBySpec spec;
+  spec.aggregate = core::Aggregate::kAvg;
+  spec.attribute = core::Field::kTemperature;
+  spec.group_field = core::Field::kHumidity;
+  spec.lo = 30.0;
+  spec.hi = 60.0;
+  spec.groups = 3;
+  auto queries = CompileGroupBy(spec, 0);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries.value().size(), 3u);
+  for (const core::Query& q : queries.value()) {
+    EXPECT_EQ(q.aggregate, core::Aggregate::kAvg);
+    EXPECT_EQ(q.attribute, core::Field::kTemperature);
+    ASSERT_TRUE(q.band.has_value());
+    EXPECT_EQ(q.band->field, core::Field::kHumidity);
+  }
+}
+
+std::vector<core::EpochOutcome> MakeOutcomes(
+    const std::vector<uint64_t>& counts) {
+  std::vector<core::EpochOutcome> outcomes;
+  for (uint64_t count : counts) {
+    core::EpochOutcome o;
+    o.result.count = count;
+    o.result.value = static_cast<double>(count);
+    o.verified = true;
+    o.coverage = 1.0;
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+TEST(AssembleTest, CellsCarryBoundsValuesAndCounts) {
+  auto shape = AssembleCells(0.0, 0.39, 4, 2, MakeOutcomes({1, 2, 3, 4}));
+  ASSERT_TRUE(shape.ok()) << shape.status().ToString();
+  EXPECT_TRUE(shape.value().all_verified);
+  EXPECT_EQ(shape.value().total_count, 10u);
+  ASSERT_EQ(shape.value().cells.size(), 4u);
+  EXPECT_EQ(shape.value().cells[2].count, 3u);
+}
+
+TEST(AssembleTest, UnverifiedCellPoisonsAllVerified) {
+  auto outcomes = MakeOutcomes({1, 2, 3, 4});
+  outcomes[1].verified = false;
+  auto shape = AssembleCells(0.0, 0.39, 4, 2, outcomes);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_FALSE(shape.value().all_verified);
+  EXPECT_FALSE(shape.value().Quantile(0.5).ok());
+}
+
+TEST(AssembleTest, RejectsMismatchedOutcomeCount) {
+  EXPECT_FALSE(AssembleCells(0.0, 0.39, 4, 2, MakeOutcomes({1, 2})).ok());
+}
+
+TEST(QuantileTest, InterpolatesInsideCells) {
+  // Cells [0.00, 0.09], [0.10, 0.19], ... with counts 0, 10, 0, 10:
+  // ranks 1-10 land in cell 1, ranks 11-20 in cell 3.
+  auto shape = AssembleCells(0.0, 0.39, 4, 2, MakeOutcomes({0, 10, 0, 10}));
+  ASSERT_TRUE(shape.ok());
+  auto p25 = shape.value().Quantile(0.25);
+  auto p75 = shape.value().Quantile(0.75);
+  ASSERT_TRUE(p25.ok());
+  ASSERT_TRUE(p75.ok());
+  EXPECT_GE(p25.value(), 0.10);
+  EXPECT_LE(p25.value(), 0.19);
+  EXPECT_GE(p75.value(), 0.30);
+  EXPECT_LE(p75.value(), 0.39);
+  // Monotonic, and the extremes stay inside the partitioned range.
+  auto p0 = shape.value().Quantile(0.0);
+  auto p100 = shape.value().Quantile(1.0);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p100.ok());
+  EXPECT_LE(p0.value(), p25.value());
+  EXPECT_LE(p25.value(), p75.value());
+  EXPECT_LE(p75.value(), p100.value());
+}
+
+TEST(QuantileTest, ErrorPaths) {
+  auto shape = AssembleCells(0.0, 0.39, 4, 2, MakeOutcomes({1, 1, 1, 1}));
+  ASSERT_TRUE(shape.ok());
+  EXPECT_FALSE(shape.value().Quantile(-0.1).ok());
+  EXPECT_FALSE(shape.value().Quantile(1.1).ok());
+  auto empty = AssembleCells(0.0, 0.39, 4, 2, MakeOutcomes({0, 0, 0, 0}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty.value().Quantile(0.5).ok());
+}
+
+TEST(ApproxTest, SketchEstimatesBandCount) {
+  // 256 readings, half inside the band: the debiased AMS estimate must
+  // land within a loose factor of the exact count.
+  std::vector<core::SensorReading> readings(256);
+  for (size_t i = 0; i < readings.size(); ++i) {
+    readings[i].temperature = (i % 2 == 0) ? 25.0 : 45.0;
+  }
+  core::Band band;
+  band.field = core::Field::kTemperature;
+  band.lo = 20.0;
+  band.hi = 30.0;
+  auto estimate = ApproxBandAggregate(band, 2, readings, /*j=*/256,
+                                      /*seed=*/17);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  EXPECT_GT(estimate.value(), 128.0 * 0.5);
+  EXPECT_LT(estimate.value(), 128.0 * 2.0);
+}
+
+TEST(ApproxTest, RejectsZeroInstancesAndInvertedBands) {
+  std::vector<core::SensorReading> readings(4);
+  core::Band band;
+  band.field = core::Field::kTemperature;
+  band.lo = 20.0;
+  band.hi = 30.0;
+  EXPECT_FALSE(ApproxBandAggregate(band, 2, readings, 0, 17).ok());
+  band.lo = 31.0;
+  EXPECT_FALSE(ApproxBandAggregate(band, 2, readings, 16, 17).ok());
+}
+
+}  // namespace
+}  // namespace sies::predicate

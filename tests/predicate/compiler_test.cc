@@ -1,0 +1,149 @@
+// Predicate compiler: plain queries keep their canonical channels,
+// band queries compile to bucketed specs bounded by the dyadic
+// channel-cost ceiling, and invalid bands fail with distinct messages.
+#include "predicate/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "predicate/dyadic.h"
+#include "sies/query.h"
+
+namespace sies::predicate {
+namespace {
+
+core::Query PlainQuery(core::Aggregate aggregate) {
+  core::Query q;
+  q.aggregate = aggregate;
+  q.attribute = core::Field::kTemperature;
+  q.scale_pow10 = 2;
+  q.query_id = 3;
+  return q;
+}
+
+core::Query BandQuery(core::Aggregate aggregate, double lo, double hi,
+                      core::Field field = core::Field::kTemperature) {
+  core::Query q = PlainQuery(aggregate);
+  core::Band band;
+  band.field = field;
+  band.lo = lo;
+  band.hi = hi;
+  q.band = band;
+  return q;
+}
+
+TEST(CompilerTest, PlainQueryCompilesToCanonicalChannels) {
+  for (auto aggregate :
+       {core::Aggregate::kSum, core::Aggregate::kCount, core::Aggregate::kAvg,
+        core::Aggregate::kVariance}) {
+    auto specs = CompileChannelSpecs(PlainQuery(aggregate));
+    ASSERT_TRUE(specs.ok());
+    EXPECT_EQ(specs.value().size(), core::ChannelCount(aggregate));
+    for (const engine::ChannelSpec& spec : specs.value()) {
+      EXPECT_FALSE(spec.bucket.has_value());
+    }
+  }
+}
+
+TEST(CompilerTest, BandQueryCompilesToDyadicBuckets) {
+  core::Query q = BandQuery(core::Aggregate::kSum, 20.0, 30.0);
+  auto scaled = QuantizeBand(*q.band, q.scale_pow10);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled.value().lo, 2000u);
+  EXPECT_EQ(scaled.value().hi, 3000u);
+  auto cover = DyadicDecompose(scaled.value().lo, scaled.value().hi);
+  ASSERT_TRUE(cover.ok());
+
+  auto specs = CompileChannelSpecs(q);
+  ASSERT_TRUE(specs.ok());
+  // One SUM spec per cover interval, in ascending interval order.
+  ASSERT_EQ(specs.value().size(), cover.value().size());
+  for (size_t i = 0; i < specs.value().size(); ++i) {
+    const engine::ChannelSpec& spec = specs.value()[i];
+    EXPECT_EQ(spec.kind, core::Channel::kSum);
+    ASSERT_TRUE(spec.bucket.has_value());
+    EXPECT_EQ(spec.bucket->field, core::Field::kTemperature);
+    EXPECT_EQ(spec.bucket->scale_pow10, 2u);
+    EXPECT_EQ(spec.bucket->interval, cover.value()[i]);
+  }
+}
+
+TEST(CompilerTest, BandAvgCompilesBucketsPerKind) {
+  core::Query q = BandQuery(core::Aggregate::kAvg, 20.0, 30.0);
+  auto cover = DyadicDecompose(2000, 3000);
+  ASSERT_TRUE(cover.ok());
+  auto specs = CompileChannelSpecs(q);
+  ASSERT_TRUE(specs.ok());
+  // AVG reads SUM + COUNT: two kinds, each with the full cover.
+  EXPECT_EQ(specs.value().size(), 2 * cover.value().size());
+}
+
+TEST(CompilerTest, ChannelCostStaysWithinCeiling) {
+  for (double hi : {20.01, 21.0, 25.5, 30.0, 49.99}) {
+    core::Query q = BandQuery(core::Aggregate::kAvg, 20.0, hi);
+    auto specs = CompileChannelSpecs(q);
+    ASSERT_TRUE(specs.ok());
+    EXPECT_LE(specs.value().size(), MaxChannelsFor(q))
+        << "band [20, " << hi << "]";
+    // The acceptance bound: per kind, at most 2 * ceil(log2 D).
+    auto scaled = QuantizeBand(*q.band, q.scale_pow10);
+    ASSERT_TRUE(scaled.ok());
+    const uint64_t domain = scaled.value().hi - scaled.value().lo + 1;
+    EXPECT_LE(specs.value().size() / core::ChannelCount(q.aggregate),
+              MaxIntervalsForDomain(domain));
+  }
+}
+
+TEST(CompilerTest, InvertedBandIsDistinctError) {
+  core::Query q = BandQuery(core::Aggregate::kSum, 30.0, 20.0);
+  auto specs = CompileChannelSpecs(q);
+  ASSERT_FALSE(specs.ok());
+  EXPECT_EQ(specs.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(specs.status().message().find("inverted"), std::string::npos);
+}
+
+TEST(CompilerTest, NegativeBandBoundIsRejected) {
+  EXPECT_FALSE(CompileChannelSpecs(
+                   BandQuery(core::Aggregate::kSum, -1.0, 20.0))
+                   .ok());
+}
+
+TEST(CompilerTest, BandBeyondDyadicDomainIsRejected) {
+  // 5e18 passes the 64-bit scaled-value check but exceeds the 2^62
+  // dyadic domain cap.
+  core::Query q = BandQuery(core::Aggregate::kSum, 0.0, 5.0e18);
+  q.scale_pow10 = 0;
+  auto specs = CompileChannelSpecs(q);
+  ASSERT_FALSE(specs.ok());
+  EXPECT_NE(specs.status().message().find("2^62"), std::string::npos);
+}
+
+TEST(CompilerTest, QuantizationMatchesDirectChannelValue) {
+  // The bound quantizer and the source-side reading quantizer agree on
+  // representable decimals — this is what makes the compiled path
+  // bit-identical to the direct band path.
+  for (double x : {18.2, 20.0, 29.99, 33.333, 45.67}) {
+    auto bound = core::ScaledBandBound(x, 2);
+    ASSERT_TRUE(bound.ok());
+    core::SensorReading reading;
+    reading.temperature = x;
+    auto value =
+        core::ScaledFieldValue(reading, core::Field::kTemperature, 2);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(bound.value(), value.value()) << "x = " << x;
+  }
+}
+
+TEST(CompilerTest, CompilationIsDeterministic) {
+  core::Query q = BandQuery(core::Aggregate::kVariance, 22.5, 41.25);
+  auto a = CompileChannelSpecs(q);
+  auto b = CompileChannelSpecs(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_TRUE(a.value()[i] == b.value()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sies::predicate

@@ -1,0 +1,113 @@
+// Dyadic decomposition: the property every compiled range query rides
+// on — DyadicDecompose([lo, hi]) is an exact, disjoint, ascending cover
+// of at most 2 * ceil(log2 D) canonical intervals.
+#include "predicate/dyadic.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace sies::predicate {
+namespace {
+
+// Asserts the cover invariants for one range and returns the interval
+// count so callers can bound it.
+size_t CheckCover(uint64_t lo, uint64_t hi) {
+  auto cover = DyadicDecompose(lo, hi);
+  EXPECT_TRUE(cover.ok()) << cover.status().ToString();
+  if (!cover.ok()) return 0;
+  const std::vector<DyadicInterval>& intervals = cover.value();
+  EXPECT_FALSE(intervals.empty());
+  // Exact cover, no gap, no overlap, ascending: the intervals tile
+  // [lo, hi] left to right.
+  uint64_t cursor = lo;
+  for (const DyadicInterval& iv : intervals) {
+    EXPECT_EQ(iv.Lo(), cursor) << "gap or overlap at " << cursor;
+    EXPECT_GE(iv.Hi(), iv.Lo());
+    // Canonical alignment: the interval starts on a multiple of its
+    // width — this is what makes covers of overlapping ranges share
+    // nodes.
+    EXPECT_EQ(iv.Lo() % iv.Width(), 0u);
+    // Membership agrees with the bounds on both edges and outside.
+    EXPECT_TRUE(iv.Contains(iv.Lo()));
+    EXPECT_TRUE(iv.Contains(iv.Hi()));
+    if (iv.Lo() > 0) {
+      EXPECT_FALSE(iv.Contains(iv.Lo() - 1));
+    }
+    EXPECT_FALSE(iv.Contains(iv.Hi() + 1));
+    cursor = iv.Hi() + 1;
+  }
+  EXPECT_EQ(cursor, hi + 1) << "cover stops short of hi";
+  return intervals.size();
+}
+
+TEST(DyadicTest, SingletonAndSmallRanges) {
+  EXPECT_EQ(CheckCover(0, 0), 1u);
+  EXPECT_EQ(CheckCover(5, 5), 1u);
+  EXPECT_EQ(CheckCover(0, 1), 1u);   // one level-1 interval
+  EXPECT_EQ(CheckCover(1, 2), 2u);   // unaligned: two singletons
+  CheckCover(0, 7);                  // one level-3 interval
+  CheckCover(1, 6);
+}
+
+TEST(DyadicTest, FullDomainIsOneInterval) {
+  auto cover = DyadicDecompose(0, kMaxDomainValue);
+  ASSERT_TRUE(cover.ok());
+  ASSERT_EQ(cover.value().size(), 1u);
+  EXPECT_EQ(cover.value()[0].level, 62u);
+  EXPECT_EQ(cover.value()[0].index, 0u);
+}
+
+TEST(DyadicTest, RejectsInvertedRange) {
+  auto cover = DyadicDecompose(10, 9);
+  ASSERT_FALSE(cover.ok());
+  EXPECT_NE(cover.status().message().find("inverted"), std::string::npos);
+}
+
+TEST(DyadicTest, RejectsBeyondDomainCap) {
+  EXPECT_FALSE(DyadicDecompose(0, kMaxDomainValue + 1).ok());
+}
+
+TEST(DyadicTest, MaxIntervalsForDomainBounds) {
+  EXPECT_EQ(MaxIntervalsForDomain(1), 1u);
+  EXPECT_EQ(MaxIntervalsForDomain(2), 2u);
+  EXPECT_LE(MaxIntervalsForDomain(kMaxDomainValue + 1), 124u);
+}
+
+// The acceptance property: random [lo, hi] in random domains — exact
+// cover, no overlap, and at most 2 * ceil(log2 D) intervals.
+TEST(DyadicTest, RandomRangesCoverExactlyWithinBound) {
+  std::mt19937_64 rng(20260807);
+  const uint64_t domains[] = {2,    16,        1000,      4096,
+                              1001, 10'000'000, uint64_t{1} << 40};
+  for (uint64_t domain : domains) {
+    for (int trial = 0; trial < 200; ++trial) {
+      uint64_t a = rng() % domain;
+      uint64_t b = rng() % domain;
+      const uint64_t lo = std::min(a, b);
+      const uint64_t hi = std::max(a, b);
+      const size_t count = CheckCover(lo, hi);
+      EXPECT_LE(count, MaxIntervalsForDomain(hi - lo + 1))
+          << "[" << lo << ", " << hi << "] in domain " << domain;
+    }
+  }
+}
+
+// Overlapping ranges share canonical nodes: the covers of [4, 15] and
+// [8, 23] both contain the level-3 interval at [8, 15].
+TEST(DyadicTest, OverlappingRangesShareCanonicalNodes) {
+  auto a = DyadicDecompose(4, 15);
+  auto b = DyadicDecompose(8, 23);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool shared = false;
+  for (const DyadicInterval& x : a.value()) {
+    for (const DyadicInterval& y : b.value()) {
+      if (x == y) shared = true;
+    }
+  }
+  EXPECT_TRUE(shared);
+}
+
+}  // namespace
+}  // namespace sies::predicate
