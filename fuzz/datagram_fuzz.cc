@@ -1,0 +1,79 @@
+// Harness: net::ParseDatagramFrame / SerializeDatagramFrame — the only
+// code in the tree that reads bytes straight off a socket. Two oracles:
+//
+//   * parse(x) ok  =>  serialize(parse(x)) == x bit-identically: the
+//     32-byte header has no don't-care bits (flags/reserved must be
+//     zero, payload_len must match), so every accepted frame has
+//     exactly one encoding;
+//   * a frame BUILT from the input (serialize direction) always parses
+//     back field-for-field — the encoder and decoder agree on the
+//     layout for every reachable field value, including the attempt=0
+//     and huge-epoch corners a unit test would not bother with.
+#include <cstring>
+
+#include "fuzz/fuzz_harness.h"
+#include "net/datagram.h"
+
+namespace {
+
+using namespace sies::net;
+
+uint64_t ReadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void CheckParseDirection(const uint8_t* data, size_t size) {
+  auto parsed = ParseDatagramFrame(data, size);
+  if (!parsed.ok()) {
+    SIES_FUZZ_ASSERT(!parsed.status().message().empty(),
+                     "datagram rejection carries no reason");
+    return;
+  }
+  const DatagramFrame& frame = parsed.value();
+  SIES_FUZZ_ASSERT(frame.kind == FrameKind::kData ||
+                       frame.kind == FrameKind::kAck,
+                   "parser produced an unknown frame kind");
+  SIES_FUZZ_ASSERT(frame.kind != FrameKind::kAck || frame.payload.empty(),
+                   "parser accepted an ack with a payload");
+  SIES_FUZZ_ASSERT(frame.payload.size() <= kMaxDatagramPayload,
+                   "parser accepted an oversized payload");
+  const sies::Bytes rewire = SerializeDatagramFrame(frame);
+  SIES_FUZZ_ASSERT(rewire.size() == size &&
+                       std::memcmp(rewire.data(), data, size) == 0,
+                   "accepted datagram is not a serialization fixpoint");
+}
+
+void CheckSerializeDirection(const uint8_t* data, size_t size) {
+  // Interpret the input as a frame spec: [0] kind bit, [1..8] epoch,
+  // [9..12] from, [13..16] to, [17..18] attempt, rest payload.
+  if (size < 19) return;
+  DatagramFrame frame;
+  frame.kind = (data[0] & 1) != 0 ? FrameKind::kData : FrameKind::kAck;
+  frame.epoch = ReadLe64(data + 1);
+  std::memcpy(&frame.from, data + 9, sizeof(frame.from));
+  std::memcpy(&frame.to, data + 13, sizeof(frame.to));
+  std::memcpy(&frame.attempt, data + 17, sizeof(frame.attempt));
+  if (frame.kind == FrameKind::kData) {
+    frame.payload.assign(data + 19, data + size);  // size-19 < 64KiB cap
+  }
+  const sies::Bytes wire = SerializeDatagramFrame(frame);
+  auto parsed = ParseDatagramFrame(wire.data(), wire.size());
+  SIES_FUZZ_ASSERT(parsed.ok(), "encoder emitted a frame the decoder rejects");
+  SIES_FUZZ_ASSERT(parsed.value().kind == frame.kind &&
+                       parsed.value().epoch == frame.epoch &&
+                       parsed.value().from == frame.from &&
+                       parsed.value().to == frame.to &&
+                       parsed.value().attempt == frame.attempt &&
+                       parsed.value().payload == frame.payload,
+                   "frame fields changed across a serialize/parse round trip");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  CheckParseDirection(data, size);
+  CheckSerializeDirection(data, size);
+  return 0;
+}

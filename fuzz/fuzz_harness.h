@@ -1,0 +1,54 @@
+// Shared contract for the dual-mode fuzz harnesses in fuzz/.
+//
+// Every harness is one translation unit exposing the libFuzzer entry
+// point over exactly one untrusted parser surface:
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// and links in one of two modes (fuzz/CMakeLists.txt):
+//
+//   * SIES_FUZZ=ON under clang  ->  -fsanitize=fuzzer(,address,undefined):
+//     a real coverage-guided libFuzzer binary; run it with the committed
+//     corpus and dictionary, e.g.
+//       build-fuzz/fuzz/wire_envelope_fuzz fuzz/corpus/wire_envelope
+//           -dict=fuzz/dict/wire_envelope.dict -max_total_time=60
+//     (one line; split here for width)
+//
+//   * any other compiler  ->  linked against replay_main.cc into
+//     fuzz_<name>_replay: a deterministic ctest (label `fuzz`) that
+//     replays the committed corpus + regression inputs and a fixed
+//     budget of derived mutations. CI therefore never depends on clang;
+//     the corpora are the contract between both modes.
+//
+// Harness policy (docs/FUZZING.md):
+//   * assert SEMANTIC oracles, not just "no crash" — parse-ok implies a
+//     bit-identical reserialization, a verifier never accepts a mutated
+//     envelope, grammar errors are Status values, never aborts;
+//   * be deterministic: no wall clock, no global RNG — any variation
+//     must be derived from the input bytes;
+//   * abort() (via SIES_FUZZ_ASSERT) on an oracle violation so both
+//     libFuzzer and the replay driver treat it as a crash and the input
+//     is saved/minimized into fuzz/regressions/<harness>/.
+#ifndef SIES_FUZZ_FUZZ_HARNESS_H_
+#define SIES_FUZZ_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+/// Oracle assertion: active in every build mode (unlike assert(), which
+/// NDEBUG strips in Release trees). A violated oracle is a finding, so
+/// it must crash the process for libFuzzer / the replay driver to save
+/// the input.
+#define SIES_FUZZ_ASSERT(cond, what)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "fuzz oracle violated: %s (%s:%d)\n", (what),  \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // SIES_FUZZ_FUZZ_HARNESS_H_

@@ -1,0 +1,58 @@
+// Harness: common::FromHex / ToHex plus crypto::BigUint::FromHexString —
+// the hex codecs that ingest key material, config values, and admin
+// input. Small surface, but a nibble-table bug here corrupts keys
+// silently, so the round-trip oracles are exact:
+//
+//   * FromHex ok  =>  even length, and ToHex(FromHex(x)) equals x with
+//     letters lowercased (the codec's only canonicalization);
+//   * FromHex(ToHex(bytes)) == bytes for arbitrary bytes;
+//   * BigUint::FromHexString round-trips through ToHexString up to
+//     leading zeros, and never accepts what FromHex-style nibble
+//     validation would reject (both sides agree on the alphabet).
+#include <cctype>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/biguint.h"
+#include "fuzz/fuzz_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto parsed = sies::FromHex(text);
+  if (parsed.ok()) {
+    SIES_FUZZ_ASSERT(text.size() % 2 == 0, "FromHex accepted an odd length");
+    SIES_FUZZ_ASSERT(parsed.value().size() * 2 == text.size(),
+                     "FromHex output width disagrees with its input");
+    std::string lowered = text;
+    for (char& c : lowered) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    SIES_FUZZ_ASSERT(sies::ToHex(parsed.value()) == lowered,
+                     "ToHex(FromHex(x)) != lowercase(x)");
+  }
+
+  // Encode direction: arbitrary bytes must round-trip exactly.
+  const sies::Bytes bytes(data, data + size);
+  const std::string hex = sies::ToHex(bytes);
+  SIES_FUZZ_ASSERT(hex.size() == 2 * bytes.size(),
+                   "ToHex emitted the wrong width");
+  auto back = sies::FromHex(hex);
+  SIES_FUZZ_ASSERT(back.ok() && back.value() == bytes,
+                   "FromHex(ToHex(bytes)) != bytes");
+
+  // BigUint's big-endian hex reader shares the alphabet but trims
+  // leading zeros on print; compare modulo that canonicalization. Cap
+  // the width: the reader is O(n^2) in nibbles (shift-and-add), which
+  // is fine for key-sized strings but would stall the fuzzer on
+  // megabyte inputs.
+  if (text.size() > 512) return 0;
+  auto big = sies::crypto::BigUint::FromHexString(text);
+  if (big.ok()) {
+    auto again =
+        sies::crypto::BigUint::FromHexString(big.value().ToHexString());
+    SIES_FUZZ_ASSERT(again.ok() && again.value() == big.value(),
+                     "BigUint hex print/parse is not a fixpoint");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Harness: engine::ParseQuerySpec / ParseQueriesText — the operator-
+// facing query grammar ("AGG ATTR [scale K] [where ...] [id N]").
+// Found the non-finite-number bug fixed in engine/query_spec.cc: stod
+// parses "nan"/"inf", NaN short-circuits every range comparison, and
+// static_cast<uint32_t>(NaN) is undefined behavior.
+//
+// Oracles (on accepted queries):
+//   * scale_pow10 <= 9 and query_id <= kMaxQueryId — the range checks
+//     actually bind;
+//   * a band has finite bounds with lo <= hi (NaN/inf can't sneak into
+//     the dyadic decomposition, which would loop or emit an empty
+//     cover);
+//   * a `where FIELD OP VALUE` predicate has a finite threshold;
+//   * ParseQueriesText never assigns the same id twice;
+//   * every rejection is a Status with a message, never an abort.
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "engine/channel_plan.h"
+#include "engine/query_spec.h"
+#include "fuzz/fuzz_harness.h"
+
+namespace {
+
+using namespace sies::engine;
+
+void CheckQuery(const sies::core::Query& query) {
+  SIES_FUZZ_ASSERT(query.scale_pow10 <= 9, "scale escaped its range check");
+  SIES_FUZZ_ASSERT(query.query_id <= kMaxQueryId,
+                   "query id escaped its range check");
+  if (query.band.has_value()) {
+    SIES_FUZZ_ASSERT(std::isfinite(query.band->lo) &&
+                         std::isfinite(query.band->hi),
+                     "band with non-finite bound was accepted");
+    SIES_FUZZ_ASSERT(query.band->lo <= query.band->hi,
+                     "inverted band was accepted");
+  }
+  if (query.where.has_value()) {
+    SIES_FUZZ_ASSERT(std::isfinite(query.where->threshold),
+                     "predicate with non-finite threshold was accepted");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto single = ParseQuerySpec(text);
+  if (single.ok()) {
+    CheckQuery(single.value());
+  } else {
+    SIES_FUZZ_ASSERT(!single.status().message().empty(),
+                     "query rejection carries no reason");
+  }
+
+  auto many = ParseQueriesText(text);
+  if (many.ok()) {
+    SIES_FUZZ_ASSERT(!many.value().empty(),
+                     "ParseQueriesText accepted an empty program");
+    std::unordered_set<uint32_t> ids;
+    for (const auto& query : many.value()) {
+      CheckQuery(query);
+      SIES_FUZZ_ASSERT(ids.insert(query.query_id).second,
+                       "ParseQueriesText assigned a duplicate query id");
+    }
+  }
+  return 0;
+}

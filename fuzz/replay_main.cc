@@ -1,0 +1,147 @@
+// Deterministic corpus-replay driver: the non-clang half of the
+// dual-mode fuzz build (see fuzz_harness.h).
+//
+// Usage: fuzz_<name>_replay [--mutations=N] PATH...
+//
+// Every PATH is a corpus file or a directory of corpus files (missing
+// directories are tolerated so a harness without regressions yet can
+// still name fuzz/regressions/<name>/ in its ctest entry). Each input
+// is fed to LLVMFuzzerTestOneInput verbatim, then --mutations=N derived
+// variants per input (default 64) are generated with a splitmix64
+// stream seeded from the input bytes: single-byte flips, truncations,
+// extensions, and block duplications — the cheap mutation core of a
+// real fuzzer, minus the coverage feedback. Everything is a pure
+// function of the committed corpus, so a replay run is bit-reproducible
+// and valid as a ctest.
+//
+// Exit status: 0 = all inputs replayed (oracle aborts crash the process
+// instead), 2 = usage error / no inputs found.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_harness.h"
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+/// One derived variant of `input`, chosen by the mutation stream.
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& input,
+                            uint64_t& state) {
+  std::vector<uint8_t> out = input;
+  switch (SplitMix64(state) % 5) {
+    case 0:  // flip one byte
+      if (!out.empty()) {
+        out[SplitMix64(state) % out.size()] ^=
+            static_cast<uint8_t>(1 + SplitMix64(state) % 255);
+      }
+      break;
+    case 1:  // truncate anywhere
+      out.resize(SplitMix64(state) % (out.size() + 1));
+      break;
+    case 2: {  // append up to 8 bytes
+      const size_t extra = 1 + SplitMix64(state) % 8;
+      for (size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<uint8_t>(SplitMix64(state)));
+      }
+      break;
+    }
+    case 3: {  // duplicate a block into a random position
+      if (!out.empty()) {
+        const size_t from = SplitMix64(state) % out.size();
+        const size_t len =
+            1 + SplitMix64(state) % std::min<size_t>(out.size() - from, 16);
+        const size_t at = SplitMix64(state) % (out.size() + 1);
+        std::vector<uint8_t> block(out.begin() + static_cast<ptrdiff_t>(from),
+                                   out.begin() +
+                                       static_cast<ptrdiff_t>(from + len));
+        out.insert(out.begin() + static_cast<ptrdiff_t>(at), block.begin(),
+                   block.end());
+      }
+      break;
+    }
+    case 4: {  // overwrite one byte with an interesting boundary value
+      if (!out.empty()) {
+        static constexpr uint8_t kInteresting[] = {0x00, 0x01, 0x7f, 0x80,
+                                                   0xfe, 0xff, ' ',  '\n'};
+        out[SplitMix64(state) % out.size()] =
+            kInteresting[SplitMix64(state) % sizeof(kInteresting)];
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t mutations = 64;
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutations=", 0) == 0) {
+      mutations = static_cast<size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--mutations="), nullptr,
+                        10));
+      continue;
+    }
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      // Directory order is filesystem-dependent; sort for determinism.
+      std::sort(files.begin(), files.end());
+      inputs.insert(inputs.end(), files.begin(), files.end());
+    } else if (std::filesystem::is_regular_file(arg, ec)) {
+      inputs.push_back(arg);
+    }
+    // Nonexistent paths (e.g. an empty regressions dir) are tolerated.
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutations=N] CORPUS_DIR_OR_FILE...\n"
+                 "(no corpus inputs found)\n",
+                 argv[0]);
+    return 2;
+  }
+
+  size_t executed = 0;
+  for (const auto& path : inputs) {
+    const std::vector<uint8_t> input = ReadFile(path);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+    // The mutation stream is seeded from the input bytes (not the file
+    // name), so renaming corpus files never changes the run.
+    uint64_t state = 0x5165535f46555aull;  // "QUES_FUZ"
+    for (uint8_t b : input) state = state * 131 + b;
+    for (size_t m = 0; m < mutations; ++m) {
+      const std::vector<uint8_t> variant = Mutate(input, state);
+      LLVMFuzzerTestOneInput(variant.data(), variant.size());
+      ++executed;
+    }
+  }
+  std::printf("replayed %zu inputs (%zu corpus files, %zu mutations each)\n",
+              executed, inputs.size(), mutations);
+  return 0;
+}

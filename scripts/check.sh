@@ -4,6 +4,7 @@
 #                         [--lint] [--telemetry-smoke] [--fault-smoke]
 #                         [--engine-smoke] [--bench-smoke] [--ops-smoke]
 #                         [--transport-smoke] [--predicate-smoke]
+#                         [--fuzz] [--coverage]
 #   --skip-bench       skip the full (slow) bench binaries; the JSON smoke
 #                      pass below always runs
 #   --bench-smoke      ONLY run the bench JSON smoke (tiny-N --smoke runs
@@ -64,6 +65,18 @@
 #                      grammar's inverted/strict-bound rejections) plus
 #                      the `predicate`-labeled ctest subset; the smoke
 #                      also runs as part of the full check
+#   --fuzz             ONLY run the fuzz smoke: the `fuzz`-labeled
+#                      corpus-replay ctests (committed corpora +
+#                      regressions through every harness in fuzz/)
+#                      followed by a short fixed-budget scripts/fuzz.sh
+#                      campaign (libFuzzer when clang exists, replay
+#                      fallback otherwise); the replay ctests also run
+#                      as part of the full check and under --sanitize
+#   --coverage         ONLY run the parser-coverage gate
+#                      (scripts/coverage.sh): line coverage of the
+#                      untrusted-input parser TUs measured from the
+#                      committed corpora + parser unit tests must stay
+#                      at or above the floors in fuzz/coverage_floors.tsv
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,6 +92,8 @@ BENCH_SMOKE_ONLY=0
 OPS_ONLY=0
 TRANSPORT_ONLY=0
 PREDICATE_ONLY=0
+FUZZ_ONLY=0
+COVERAGE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -93,6 +108,8 @@ for arg in "$@"; do
     --ops-smoke) OPS_ONLY=1 ;;
     --transport-smoke) TRANSPORT_ONLY=1 ;;
     --predicate-smoke) PREDICATE_ONLY=1 ;;
+    --fuzz) FUZZ_ONLY=1 ;;
+    --coverage) COVERAGE_ONLY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -605,9 +622,29 @@ fi
 if [[ $LINT_ONLY -eq 1 ]]; then
   echo "== secret-hygiene linter =="
   python3 scripts/lint_secrets.py --self-test
-  python3 scripts/lint_secrets.py src
+  # No path args: the linter's default roots (src/, bench/, examples/).
+  python3 scripts/lint_secrets.py
   tidy_gate
   echo "LINT GATE PASSED"
+  exit 0
+fi
+
+if [[ $FUZZ_ONLY -eq 1 ]]; then
+  configure "$BUILD" "${EXTRA[@]}"
+  cmake --build "$BUILD" --target fuzz_wire_envelope_replay \
+      fuzz_datagram_replay fuzz_query_spec_replay fuzz_http_request_replay \
+      fuzz_flags_replay fuzz_hex_replay
+  echo "== fuzz smoke: corpus-replay ctests =="
+  ctest --test-dir "$BUILD" -L fuzz --output-on-failure
+  echo "== fuzz smoke: short campaign (fixed 10s budget) =="
+  scripts/fuzz.sh --time 10
+  echo "FUZZ SMOKE PASSED"
+  exit 0
+fi
+
+if [[ $COVERAGE_ONLY -eq 1 ]]; then
+  scripts/coverage.sh
+  echo "COVERAGE GATE PASSED"
   exit 0
 fi
 
@@ -626,11 +663,14 @@ if [[ $TSAN_ONLY -eq 1 ]]; then
       engine_epoch_scheduler_test engine_query_spec_test \
       engine_pipeline_test \
       ops_http_server_test ops_admin_server_test ops_integration_test \
-      transport_test transport_differential_test
-  echo "== TSan run (labels: race engine telemetry threadpool loss ops net) =="
+      transport_test transport_differential_test \
+      fuzz_wire_envelope_replay fuzz_datagram_replay fuzz_query_spec_replay \
+      fuzz_http_request_replay fuzz_flags_replay fuzz_hex_replay
+  echo "== TSan run (labels: race engine telemetry threadpool loss ops net" \
+       "predicate fuzz) =="
   TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
       ctest --test-dir "$BUILD" \
-            -L 'race|engine|telemetry|threadpool|loss|ops|net|predicate' \
+            -L 'race|engine|telemetry|threadpool|loss|ops|net|predicate|fuzz' \
             --output-on-failure
   echo "TSAN CHECKS PASSED"
   exit 0
@@ -719,6 +759,13 @@ transport_smoke "$BUILD"
 predicate_smoke "$BUILD"
 
 bench_smoke "$BUILD"
+
+# Parser-coverage gate: the committed corpora must keep exercising the
+# untrusted-input TUs (floors in fuzz/coverage_floors.tsv). Skipped in
+# the sanitized pass — the gate owns its own instrumented tree.
+if [[ $SANITIZE -eq 0 ]]; then
+  scripts/coverage.sh
+fi
 
 if [[ $SKIP_BENCH -eq 0 && $SANITIZE -eq 0 ]]; then
   echo "== benches =="

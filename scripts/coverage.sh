@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Parser-coverage gate: fails if the fuzz corpus + parser unit tests
+# stop covering the untrusted-input TUs.
+#
+#   scripts/coverage.sh [--report-only]
+#
+# Builds build-coverage/ with gcc's --coverage instrumentation, runs
+# the fuzz-label replay ctests (the committed corpora) plus the parser
+# unit tests, then reads per-TU line coverage out of `gcov
+# --json-format` and compares it against the committed floors in
+# fuzz/coverage_floors.tsv. A drop below a floor exits 1 — deleting
+# corpus seeds, gutting a harness, or adding unreachable parser branches
+# all trip it. Raise the floors when coverage genuinely improves.
+#
+# --report-only prints the table without enforcing (used to pick floors).
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+REPORT_ONLY=0
+[[ "${1:-}" == "--report-only" ]] && REPORT_ONLY=1
+
+if ! command -v gcov >/dev/null 2>&1; then
+  echo "coverage gate: gcov not found; skipping (not a failure)" >&2
+  exit 0
+fi
+
+# O0 keeps line tables honest (O2 merges lines and inflates coverage).
+cmake -B build-coverage -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage -O0" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage" >/dev/null || exit 1
+
+# Only the targets the gate needs: the six replay harnesses and the
+# unit tests named in the floors file's `tests` column.
+mapfile -t TARGETS < <(python3 scripts/coverage_gate.py --list-targets)
+BUILD_ARGS=()
+for t in "${TARGETS[@]}"; do BUILD_ARGS+=(--target "$t"); done
+cmake --build build-coverage -j"$(nproc)" "${BUILD_ARGS[@]}" >/dev/null \
+  || exit 1
+
+# Stale counters from an earlier run would mask a coverage drop.
+find build-coverage -name '*.gcda' -delete
+
+(cd build-coverage && ctest -L 'fuzz' --output-on-failure >/dev/null) || {
+  echo "coverage gate: fuzz replay tests failed" >&2; exit 1; }
+mapfile -t TEST_RES < <(python3 scripts/coverage_gate.py --list-tests)
+if [[ ${#TEST_RES[@]} -gt 0 ]]; then
+  (cd build-coverage &&
+   ctest --output-on-failure -R "$(IFS='|'; echo "${TEST_RES[*]}")" \
+     >/dev/null) || { echo "coverage gate: parser unit tests failed" >&2
+                      exit 1; }
+fi
+
+if [[ $REPORT_ONLY -eq 1 ]]; then
+  python3 scripts/coverage_gate.py --build build-coverage --report-only
+else
+  python3 scripts/coverage_gate.py --build build-coverage
+fi

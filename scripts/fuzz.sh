@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Time-budgeted fuzz campaign over every harness in fuzz/.
+#
+#   scripts/fuzz.sh [--time SECONDS] [--harness NAME] [--jobs N]
+#
+# Two modes, chosen by what the toolchain offers (fuzz_harness.h):
+#
+#   * clang available: configure build-fuzz with -DSIES_FUZZ=ON and
+#     -DSIES_SANITIZE=ON, then run each libFuzzer binary for the time
+#     budget with its committed corpus + dictionary. New coverage-
+#     increasing inputs land in the corpus dir (commit the keepers);
+#     crashes are deduplicated by call-stack hash, minimized with
+#     -minimize_crash, and filed under fuzz/regressions/<harness>/ where
+#     the replay ctests pick them up forever after.
+#
+#   * no clang (the CI image): fall back to the deterministic replay
+#     binaries with a mutation budget scaled from the time budget. This
+#     finds shallow bugs only — it has no coverage feedback — but it
+#     means `scripts/fuzz.sh` is runnable everywhere.
+#
+# Exit: 0 = campaign ran and found nothing new, 1 = crashes were filed
+# (inspect fuzz/regressions/), 2 = usage/build failure.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+
+TIME_BUDGET=60
+ONLY_HARNESS=""
+JOBS=1
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --time) TIME_BUDGET="$2"; shift 2 ;;
+    --time=*) TIME_BUDGET="${1#--time=}"; shift ;;
+    --harness) ONLY_HARNESS="$2"; shift 2 ;;
+    --harness=*) ONLY_HARNESS="${1#--harness=}"; shift ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+    -h|--help)
+      sed -n '2,23p' "$0"; exit 0 ;;
+    *) echo "unknown argument: $1 (see --help)" >&2; exit 2 ;;
+  esac
+done
+
+HARNESSES=(wire_envelope datagram query_spec http_request flags hex)
+if [[ -n "$ONLY_HARNESS" ]]; then
+  HARNESSES=("$ONLY_HARNESS")
+fi
+
+found_crashes=0
+
+file_crash() {
+  # Dedup by content hash; libFuzzer already minimized when possible.
+  local harness="$1" crash="$2"
+  local digest
+  digest=$(sha256sum "$crash" | cut -c1-16)
+  local dest="$REPO_ROOT/fuzz/regressions/$harness/crash-$digest"
+  if [[ ! -f "$dest" ]]; then
+    cp "$crash" "$dest"
+    echo "NEW regression filed: fuzz/regressions/$harness/crash-$digest"
+    found_crashes=1
+  fi
+}
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== libFuzzer mode (clang, ${TIME_BUDGET}s per harness) =="
+  cmake -B build-fuzz -S . \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DSIES_FUZZ=ON -DSIES_SANITIZE=ON || exit 2
+  for h in "${HARNESSES[@]}"; do
+    cmake --build build-fuzz -j"$(nproc)" --target "${h}_fuzz" || exit 2
+  done
+  for h in "${HARNESSES[@]}"; do
+    echo "-- fuzzing $h --"
+    workdir=$(mktemp -d)
+    dict_arg=()
+    [[ -f "fuzz/dict/$h.dict" ]] && dict_arg=(-dict="fuzz/dict/$h.dict")
+    # artifact_prefix keeps crash files out of the repo root; corpus dir
+    # is the committed one so new coverage seeds accumulate in place.
+    "build-fuzz/fuzz/${h}_fuzz" "fuzz/corpus/$h" \
+      "${dict_arg[@]}" \
+      -max_total_time="$TIME_BUDGET" -jobs="$JOBS" -print_final_stats=1 \
+      -artifact_prefix="$workdir/" 2>&1 | tail -4
+    for crash in "$workdir"/crash-* "$workdir"/timeout-* "$workdir"/oom-*; do
+      [[ -f "$crash" ]] || continue
+      min="$workdir/min-$(basename "$crash")"
+      "build-fuzz/fuzz/${h}_fuzz" -minimize_crash=1 -runs=2000 \
+        -exact_artifact_path="$min" "$crash" >/dev/null 2>&1 || true
+      [[ -s "$min" ]] && file_crash "$h" "$min" || file_crash "$h" "$crash"
+    done
+    rm -rf "$workdir"
+  done
+else
+  # Replay fallback: ~40k mutations/s, so scale the budget roughly into
+  # mutations-per-corpus-file; determinism caveat in the header applies.
+  MUTATIONS=$((TIME_BUDGET * 2000))
+  echo "== replay mode (no clang; --mutations=$MUTATIONS per input) =="
+  cmake -B build -S . >/dev/null || exit 2
+  for h in "${HARNESSES[@]}"; do
+    cmake --build build -j"$(nproc)" --target "fuzz_${h}_replay" >/dev/null \
+      || exit 2
+  done
+  for h in "${HARNESSES[@]}"; do
+    echo "-- replaying $h --"
+    if ! "build/fuzz/fuzz_${h}_replay" --mutations="$MUTATIONS" \
+        "fuzz/corpus/$h" "fuzz/regressions/$h"; then
+      echo "replay CRASHED for $h — rerun under a debugger to triage" >&2
+      found_crashes=1
+    fi
+  done
+fi
+
+if [[ $found_crashes -ne 0 ]]; then
+  echo "campaign found crashes — triage fuzz/regressions/ and fix" >&2
+  exit 1
+fi
+echo "campaign clean"

@@ -33,7 +33,7 @@ carries `// lint:allow(<rule>)` -- use only with a justifying comment,
 reviewed like any other code (policy: docs/DEVELOPING.md).
 
 Usage:
-  scripts/lint_secrets.py [paths...]   # default: src/
+  scripts/lint_secrets.py [paths...]   # default: src/ bench/ examples/
   scripts/lint_secrets.py --self-test  # fixture corpus must behave
 Exit status: 0 = clean, 1 = findings, 2 = usage/self-test failure.
 """
@@ -390,8 +390,12 @@ def self_test():
 def main(argv):
     if "--self-test" in argv:
         return self_test()
-    paths = [a for a in argv if not a.startswith("-")] or \
-        [os.path.join(REPO_ROOT, "src")]
+    # Default roots: everything that handles key material. bench/ and
+    # examples/ copy src/ idioms (timing loops over keys, demo logging),
+    # so they inherit the same hygiene rules.
+    paths = [a for a in argv if not a.startswith("-")] or [
+        os.path.join(REPO_ROOT, root) for root in ("src", "bench", "examples")
+    ]
     findings = lint_paths(paths)
     for finding in findings:
         print(finding)

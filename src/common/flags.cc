@@ -12,7 +12,10 @@ StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (flags_done || arg.size() < 3 || arg.substr(0, 2) != "--") {
-      if (arg == "--") {
+      // Only the FIRST bare "--" terminates flag parsing; a later one is
+      // an ordinary positional argument (found by fuzz/flags_fuzz.cc:
+      // the old code swallowed every "--").
+      if (!flags_done && arg == "--") {
         flags_done = true;
         continue;
       }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -58,6 +59,13 @@ StatusOr<double> ParseNumber(const std::string& token) {
     double v = std::stod(token, &end);
     if (end != token.size()) {
       return Status::InvalidArgument("malformed number '" + token + "'");
+    }
+    // stod happily parses "nan" and "inf". A NaN bound would bypass the
+    // lo > hi band check (every comparison is false), and casting a
+    // non-finite double to uint32_t for `scale`/`id` is undefined
+    // behavior — found by fuzz/query_spec_fuzz.cc under UBSan.
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite number '" + token + "'");
     }
     return v;
   } catch (const std::exception&) {

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "ops/request_parser.h"
 #include "telemetry/metrics.h"
 
 namespace sies::ops {
@@ -77,66 +78,6 @@ void SendResponse(int fd, const HttpResponse& response) {
         .GetCounter("ops_http_send_failures_total")
         ->Increment();
   }
-}
-
-int HexValue(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
-}
-
-/// RFC 3986 percent-decoding. Returns false on a malformed escape ('%'
-/// not followed by two hex digits). '+' is NOT decoded to space: these
-/// are path/query components, not HTML form bodies.
-bool PercentDecode(const std::string& in, std::string& out) {
-  out.clear();
-  out.reserve(in.size());
-  for (size_t i = 0; i < in.size(); ++i) {
-    if (in[i] != '%') {
-      out.push_back(in[i]);
-      continue;
-    }
-    if (i + 2 >= in.size()) return false;
-    const int hi = HexValue(in[i + 1]);
-    const int lo = HexValue(in[i + 2]);
-    if (hi < 0 || lo < 0) return false;
-    out.push_back(static_cast<char>((hi << 4) | lo));
-    i += 2;
-  }
-  return true;
-}
-
-/// Splits "/epochs?last=%35&x" into a decoded path and decoded params
-/// (the '?', '&' and '=' separators are structural and split BEFORE
-/// decoding, so an encoded "%26" lands inside a value instead of
-/// splitting it). Returns false on any malformed percent escape.
-bool ParseTarget(const std::string& target, HttpRequest& request) {
-  const size_t qmark = target.find('?');
-  if (!PercentDecode(target.substr(0, qmark), request.path)) return false;
-  if (qmark == std::string::npos) return true;
-  std::string query = target.substr(qmark + 1);
-  size_t start = 0;
-  while (start <= query.size()) {
-    size_t end = query.find('&', start);
-    if (end == std::string::npos) end = query.size();
-    const std::string pair = query.substr(start, end - start);
-    if (!pair.empty()) {
-      const size_t eq = pair.find('=');
-      std::string key, value;
-      if (eq == std::string::npos) {
-        if (!PercentDecode(pair, key)) return false;
-      } else {
-        if (!PercentDecode(pair.substr(0, eq), key) ||
-            !PercentDecode(pair.substr(eq + 1), value)) {
-          return false;
-        }
-      }
-      request.params[key] = value;
-    }
-    start = end + 1;
-  }
-  return true;
 }
 
 }  // namespace
@@ -268,22 +209,19 @@ void HttpServer::ServeConnection(int fd) {
   }
 
   const std::string line = buffer.substr(0, line_end);
-  const size_t sp1 = line.find(' ');
-  const size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1 ||
-      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
-    SendResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
-                                  "bad request: malformed request line\n"});
-    return;
-  }
-
   HttpRequest request;
-  request.method = line.substr(0, sp1);
-  if (!ParseTarget(line.substr(sp1 + 1, sp2 - sp1 - 1), request)) {
-    SendResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
-                                  "bad request: malformed percent "
-                                  "escape in target\n"});
-    return;
+  switch (ParseRequestLine(line, request)) {
+    case RequestLineStatus::kMalformedLine:
+      SendResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                    "bad request: malformed request line\n"});
+      return;
+    case RequestLineStatus::kMalformedEscape:
+      SendResponse(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                                    "bad request: malformed percent "
+                                    "escape in target\n"});
+      return;
+    case RequestLineStatus::kOk:
+      break;
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 

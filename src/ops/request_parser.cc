@@ -1,0 +1,77 @@
+#include "ops/request_parser.h"
+
+namespace sies::ops {
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool PercentDecode(const std::string& in, std::string& out) {
+  out.clear();
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      out.push_back(in[i]);
+      continue;
+    }
+    if (i + 2 >= in.size()) return false;
+    const int hi = HexValue(in[i + 1]);
+    const int lo = HexValue(in[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return true;
+}
+
+bool ParseTarget(const std::string& target, HttpRequest& request) {
+  const size_t qmark = target.find('?');
+  if (!PercentDecode(target.substr(0, qmark), request.path)) return false;
+  if (qmark == std::string::npos) return true;
+  std::string query = target.substr(qmark + 1);
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      std::string key, value;
+      if (eq == std::string::npos) {
+        if (!PercentDecode(pair, key)) return false;
+      } else {
+        if (!PercentDecode(pair.substr(0, eq), key) ||
+            !PercentDecode(pair.substr(eq + 1), value)) {
+          return false;
+        }
+      }
+      request.params[key] = value;
+    }
+    start = end + 1;
+  }
+  return true;
+}
+
+RequestLineStatus ParseRequestLine(const std::string& line,
+                                   HttpRequest& request) {
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1 ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    return RequestLineStatus::kMalformedLine;
+  }
+  request.method = line.substr(0, sp1);
+  if (!ParseTarget(line.substr(sp1 + 1, sp2 - sp1 - 1), request)) {
+    return RequestLineStatus::kMalformedEscape;
+  }
+  return RequestLineStatus::kOk;
+}
+
+}  // namespace sies::ops

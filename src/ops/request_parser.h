@@ -1,0 +1,47 @@
+// HTTP request-line parsing for the embedded admin server, split out of
+// the socket loop so the attacker-facing string handling is callable
+// from unit tests and fuzz harnesses without a live connection
+// (fuzz/http_request_fuzz.cc hammers exactly these entry points).
+//
+// The contract mirrors HttpServer::ServeConnection: a request line is
+// "METHOD TARGET HTTP/x.y"; the target is percent-decoded per RFC 3986
+// with structural separators ('?', '&', '=') split BEFORE decoding, so
+// an encoded "%26" lands inside a value instead of splitting it. Every
+// malformed input is a false return, never an abort — the server turns
+// each failure mode into a 400.
+#ifndef SIES_OPS_REQUEST_PARSER_H_
+#define SIES_OPS_REQUEST_PARSER_H_
+
+#include <string>
+
+#include "ops/http_server.h"
+
+namespace sies::ops {
+
+/// RFC 3986 percent-decoding. Returns false on a malformed escape ('%'
+/// not followed by two hex digits). '+' is NOT decoded to space: these
+/// are path/query components, not HTML form bodies.
+bool PercentDecode(const std::string& in, std::string& out);
+
+/// Splits "/epochs?last=%35&x" into a decoded path and decoded params.
+/// Returns false on any malformed percent escape; `request` may hold
+/// partially decoded params in that case and must be discarded.
+bool ParseTarget(const std::string& target, HttpRequest& request);
+
+/// Outcome of ParseRequestLine, so the server can answer each failure
+/// mode with its tested 400 body.
+enum class RequestLineStatus {
+  kOk,
+  kMalformedLine,    ///< not "METHOD TARGET HTTP/..."
+  kMalformedEscape,  ///< bad percent escape inside the target
+};
+
+/// Parses one request line ("GET /epochs?last=5 HTTP/1.0") into method,
+/// decoded path, and decoded query params. The line must not contain
+/// CR/LF (the server splits on "\r\n" before calling this).
+RequestLineStatus ParseRequestLine(const std::string& line,
+                                   HttpRequest& request);
+
+}  // namespace sies::ops
+
+#endif  // SIES_OPS_REQUEST_PARSER_H_

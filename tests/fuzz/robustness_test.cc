@@ -1,6 +1,11 @@
 // Randomized robustness ("poor man's fuzzing"): every wire-format parser
 // and verifier in the library is fed random and mutated inputs. The
 // invariants: no crash, no false acceptance, errors not aborts.
+//
+// The CorpusReplay* tests additionally replay the committed fuzz corpora
+// and minimized regressions from fuzz/ (path injected as SIES_FUZZ_DIR),
+// so the seeds that once broke a parser keep running in the plain unit
+// suite — not only under the dedicated `fuzz`-label replay binaries.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -8,8 +13,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <thread>
+
+#include "common/flags.h"
+#include "ops/request_parser.h"
 
 #include "cmt/cmt.h"
 #include "common/rng.h"
@@ -31,6 +42,140 @@ namespace sies {
 namespace {
 
 constexpr int kTrials = 200;
+
+// Loads every committed input for one harness: seed corpus plus the
+// minimized regressions fuzzing has filed. Fails the suite if the seed
+// corpus went missing — the corpora are load-bearing test data, not an
+// optional extra.
+std::vector<Bytes> LoadFuzzInputs(const std::string& harness) {
+  std::vector<Bytes> inputs;
+  for (const char* kind : {"corpus", "regressions"}) {
+    const std::filesystem::path dir =
+        std::filesystem::path(SIES_FUZZ_DIR) / kind / harness;
+    if (!std::filesystem::is_directory(dir)) continue;
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file() &&
+          entry.path().filename().string()[0] != '.') {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      inputs.emplace_back(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+    }
+  }
+  EXPECT_FALSE(inputs.empty()) << "no committed inputs for " << harness;
+  return inputs;
+}
+
+std::string AsText(const Bytes& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+TEST(CorpusReplayTest, WireEnvelope) {
+  // Mirrors fuzz/wire_envelope_fuzz.cc: byte 0 selects plan width and
+  // params instance, the rest is the wire frame.
+  auto params16 = core::MakeParams(16, 1).value();
+  auto params12 = core::MakeParams(12, 1).value();
+  for (const Bytes& input : LoadFuzzInputs("wire_envelope")) {
+    if (input.empty()) continue;
+    const size_t channels = input[0] & 0x07u;
+    const bool padded = (input[0] & 0x08u) != 0;
+    const auto& params = padded ? params12 : params16;
+    const Bytes wire(input.begin() + 1, input.end());
+    auto parsed = core::ParseWireEnvelope(params, wire, channels);
+    if (!parsed.ok()) continue;
+    EXPECT_EQ(parsed.value().body.size(), channels * params.PsrBytes());
+    auto rewire = core::SerializeWirePayload(params, parsed.value().bitmap,
+                                             parsed.value().body);
+    ASSERT_TRUE(rewire.ok());
+    if (!padded) {
+      EXPECT_EQ(rewire.value(), wire);
+    }
+  }
+}
+
+TEST(CorpusReplayTest, Datagram) {
+  for (const Bytes& input : LoadFuzzInputs("datagram")) {
+    auto parsed = net::ParseDatagramFrame(input.data(), input.size());
+    if (parsed.ok()) {
+      EXPECT_EQ(net::SerializeDatagramFrame(parsed.value()), input);
+    }
+  }
+}
+
+TEST(CorpusReplayTest, QuerySpec) {
+  for (const Bytes& input : LoadFuzzInputs("query_spec")) {
+    const std::string text = AsText(input);
+    auto single = engine::ParseQuerySpec(text);
+    if (single.ok() && single.value().band.has_value()) {
+      EXPECT_LE(single.value().band->lo, single.value().band->hi) << text;
+    }
+    (void)engine::ParseQueriesText(text);
+  }
+  // The minimized non-finite-number regressions must stay REJECTED:
+  // before the fix, `id nan` cast NaN to uint32_t (UB) and NaN band
+  // bounds slipped past the lo > hi check.
+  for (const char* line :
+       {"sum temperature id nan", "count humidity scale nan",
+        "avg light scale inf", "sum temperature between nan and nan",
+        "sum temperature id 1e999"}) {
+    EXPECT_FALSE(engine::ParseQuerySpec(line).ok()) << line;
+  }
+}
+
+TEST(CorpusReplayTest, HttpRequest) {
+  for (const Bytes& input : LoadFuzzInputs("http_request")) {
+    const std::string raw = AsText(input);
+    const std::string line = raw.substr(0, raw.find_first_of("\r\n"));
+    ops::HttpRequest request;
+    if (ops::ParseRequestLine(line, request) == ops::RequestLineStatus::kOk) {
+      EXPECT_LE(request.path.size(), line.size()) << line;
+    }
+  }
+}
+
+TEST(CorpusReplayTest, Flags) {
+  for (const Bytes& input : LoadFuzzInputs("flags")) {
+    std::string text = AsText(input);
+    text = text.substr(0, text.find('\0'));
+    std::vector<std::string> tokens = {"prog"};
+    for (size_t start = 0; start <= text.size();) {
+      const size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) {
+        tokens.push_back(text.substr(start));
+        break;
+      }
+      tokens.push_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+    std::vector<const char*> argv;
+    for (const auto& token : tokens) argv.push_back(token.c_str());
+    auto flags =
+        Flags::Parse(static_cast<int>(argv.size()), argv.data());
+    ASSERT_TRUE(flags.ok());
+  }
+  // The minimized "--" regression: only the FIRST bare "--" terminates
+  // flag parsing; the second must survive as a positional.
+  const char* argv[] = {"prog", "--a=1", "--", "x", "--", "y"};
+  auto flags = Flags::Parse(6, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().positional(),
+            (std::vector<std::string>{"x", "--", "y"}));
+}
+
+TEST(CorpusReplayTest, Hex) {
+  for (const Bytes& input : LoadFuzzInputs("hex")) {
+    const std::string text = AsText(input);
+    auto parsed = FromHex(text);
+    if (parsed.ok()) {
+      EXPECT_EQ(ToHex(parsed.value()).size(), text.size());
+    }
+  }
+}
 
 TEST(FuzzTest, FromHexNeverCrashes) {
   Xoshiro256 rng(1);

@@ -1,0 +1,17 @@
+// Lint fixture: the second bench-harness shape from the widened scan
+// roots — a batched digest cross-checked against the scalar reference
+// with memcmp. Must be flagged by the ct-compare rule; a benchmark
+// comparing throwaway digests suppresses it with a justified
+// lint:allow.
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace sies {
+
+bool SpotCheckBatchDigest(const Bytes& reference, const uint8_t* batched) {
+  // BAD: early-exit compare of digest material.
+  return std::memcmp(reference.data(), batched, reference.size()) == 0;
+}
+
+}  // namespace sies
